@@ -1,0 +1,108 @@
+// Command xbench regenerates the tables of the paper's evaluation
+// (§VI-C) on this machine:
+//
+//	xbench -table 1         # Table I: inner-join queries
+//	xbench -table 2         # Table II: selection/aggregation queries
+//	xbench -table inputdb   # §VI-C.3: input-database experiment
+//	xbench -table baseline  # §VI-C.1: comparison with the [14] algorithm
+//	xbench -table all       # everything
+//
+// Flags tune thoroughness: -fast skips the slow "without unfolding"
+// column, -equiv verifies surviving mutants by randomized equivalence
+// testing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xbench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which experiment to run: 1, 2, inputdb, baseline, all")
+	fast := flag.Bool("fast", false, "skip the quantified (without-unfolding) timing column")
+	equiv := flag.Bool("equiv", false, "verify surviving mutants by randomized equivalence testing")
+	trials := flag.Int("trials", 120, "randomized equivalence trials per surviving mutant")
+	flag.Parse()
+
+	opts := xbench.Options{
+		SkipQuantified:   *fast,
+		CheckEquivalence: *equiv,
+		EquivTrials:      *trials,
+	}
+
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+
+	if want("1") {
+		run("table 1", func() error {
+			rows, err := xbench.RunTableI(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Table I: inner-join queries ===")
+			fmt.Print(xbench.FormatTable(rows, false))
+			if *equiv {
+				printEquiv(rows)
+			}
+			fmt.Println()
+			return nil
+		})
+	}
+	if want("2") {
+		run("table 2", func() error {
+			rows, err := xbench.RunTableII(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Table II: selection/aggregation queries ===")
+			fmt.Print(xbench.FormatTable(rows, true))
+			if *equiv {
+				printEquiv(rows)
+			}
+			fmt.Println()
+			return nil
+		})
+	}
+	if want("inputdb") {
+		run("inputdb", func() error {
+			rows, err := xbench.RunInputDB([]int{0, 5, 9})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== §VI-C.3: input-database experiment (Q4, 0 FKs) ===")
+			fmt.Print(xbench.FormatInputDB(rows))
+			fmt.Println()
+			return nil
+		})
+	}
+	if want("baseline") {
+		run("baseline", func() error {
+			rows, err := xbench.RunBaseline(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== §VI-C.1: short-paper algorithm [14] vs X-Data (0 FKs) ===")
+			fmt.Print(xbench.FormatBaseline(rows))
+			fmt.Println()
+			return nil
+		})
+	}
+}
+
+func printEquiv(rows []xbench.Row) {
+	for _, r := range rows {
+		if r.Survivors > 0 {
+			fmt.Printf("  %s (FK=%d): %d survivors, %d confirmed equivalent by randomized testing\n",
+				r.Query, r.FKs, r.Survivors, r.SurvivorsEquivalent)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command xdata generates an X-Data test suite for a SQL query: a set of
+// small datasets that together kill every non-equivalent join-type,
+// comparison-operator and aggregation-operator mutant of the query.
+//
+// Usage:
+//
+//	xdata -schema schema.sql -query "SELECT * FROM r, s WHERE r.x = s.x"
+//	xdata -schema schema.sql -queryfile q.sql -format sql
+//	xdata -schema schema.sql -query ... -no-unfold -show-skipped
+//
+// The schema file contains CREATE TABLE statements (INT/VARCHAR/FLOAT
+// types, PRIMARY KEY, FOREIGN KEY ... REFERENCES, NOT NULL). Output is
+// one dataset per mutant group, as text tables (default) or INSERT
+// statements (-format sql).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "path to a DDL file with CREATE TABLE statements (required)")
+	query := flag.String("query", "", "the SQL query to generate test data for")
+	queryFile := flag.String("queryfile", "", "file containing the SQL query (alternative to -query)")
+	format := flag.String("format", "text", "output format: text or sql")
+	noUnfold := flag.Bool("no-unfold", false, "disable quantifier unfolding (paper §VI-B ablation; slower)")
+	showSkipped := flag.Bool("show-skipped", true, "list dataset attempts skipped as equivalent-mutant groups")
+	inputDB := flag.String("inputdb", "", "optional SQL file of INSERT statements providing an input database (§VI-A)")
+	forceInput := flag.Bool("force-input-tuples", false, "constrain generated tuples to come from the input database")
+	minimize := flag.Bool("minimize", false, "prune datasets whose kills are covered by others (greedy set cover)")
+	flag.Parse()
+
+	if *schemaPath == "" || (*query == "" && *queryFile == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ddl, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	sch, err := xdata.ParseSchema(string(ddl))
+	if err != nil {
+		fatal(err)
+	}
+	sql := *query
+	if *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		sql = string(b)
+	}
+	q, err := xdata.ParseQuery(sch, sql)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := xdata.DefaultOptions()
+	opts.Unfold = !*noUnfold
+	if *inputDB != "" {
+		ds, err := loadInserts(sch, *inputDB)
+		if err != nil {
+			fatal(err)
+		}
+		opts.InputDB = ds
+		opts.ForceInputTuples = *forceInput
+	}
+
+	suite, err := xdata.Generate(q, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("-- query: %s\n", strings.Join(strings.Fields(sql), " "))
+	fmt.Printf("-- %d datasets (plus the original-query dataset), %d skipped as equivalent\n\n",
+		len(suite.Datasets), len(suite.Skipped))
+	datasets := suite.All()
+	if *minimize {
+		datasets, err = xdata.Minimize(q, suite, xdata.DefaultMutationOptions())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- minimized to %d datasets\n\n", len(datasets))
+	}
+	for i, ds := range datasets {
+		fmt.Printf("=== dataset %d: %s ===\n", i, ds.Purpose)
+		if *format == "sql" {
+			out := ds.SQLInserts(sch)
+			fmt.Println(strings.TrimPrefix(out, "-- "+ds.Purpose+"\n"))
+		} else {
+			out := ds.String()
+			fmt.Println(strings.TrimPrefix(out, "-- "+ds.Purpose+"\n"))
+		}
+	}
+	if *showSkipped && len(suite.Skipped) > 0 {
+		fmt.Println("=== skipped (equivalent mutant groups) ===")
+		for _, sk := range suite.Skipped {
+			fmt.Printf("  %s\n    -> %s\n", sk.Purpose, sk.Reason)
+		}
+	}
+	fmt.Printf("\n-- solver: %d calls, %d unsat, %v total solve time\n",
+		suite.Stats.SolverCalls, suite.Stats.UnsatCount, suite.Stats.SolveTime)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xdata:", err)
+	os.Exit(1)
+}
+
+// loadInserts parses a minimal INSERT INTO t VALUES (...) file into a
+// dataset.
+func loadInserts(sch *xdata.Schema, path string) (*xdata.Dataset, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := xdata.ParseInserts(sch, string(b))
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

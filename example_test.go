@@ -1,0 +1,97 @@
+package xdata_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const exampleDDL = `
+CREATE TABLE instructor (
+	id INT PRIMARY KEY,
+	name VARCHAR(20) NOT NULL
+);
+CREATE TABLE teaches (
+	id INT NOT NULL,
+	course_id INT NOT NULL,
+	PRIMARY KEY (id, course_id),
+	FOREIGN KEY (id) REFERENCES instructor(id)
+);`
+
+// Generating a complete test suite for the paper's running example: with
+// the foreign key in place, one of the two join-type mutant groups is
+// equivalent and reported as skipped.
+func Example() {
+	sch, err := xdata.ParseSchema(exampleDDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := xdata.ParseQuery(sch, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := xdata.Generate(q, xdata.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kill datasets: %d, equivalent groups skipped: %d\n", len(suite.Datasets), len(suite.Skipped))
+	report, err := xdata.Analyze(q, suite, xdata.DefaultMutationOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mutants killed: %d of %d\n", report.KilledCount(), len(report.Mutants))
+	// Output:
+	// kill datasets: 1, equivalent groups skipped: 1
+	// mutants killed: 1 of 2
+}
+
+// Enumerating the mutant space of a query over all equivalent join
+// orders.
+func ExampleMutants() {
+	sch, err := xdata.ParseSchema(exampleDDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := xdata.ParseQuery(sch, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := xdata.Mutants(q, xdata.DefaultMutationOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range ms {
+		fmt.Println(m.Desc)
+	}
+	// Output:
+	// LOJ at [i]|[t] in (i LOJ t)
+	// ROJ at [i]|[t] in (i ROJ t)
+}
+
+// Executing a query on a hand-built dataset with the embedded engine.
+func ExampleExecute() {
+	sch, err := xdata.ParseSchema(exampleDDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := xdata.ParseQuery(sch, "SELECT i.name FROM instructor i, teaches t WHERE i.id = t.id")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := xdata.ParseInserts(sch, `
+		INSERT INTO instructor VALUES (1, 'Srinivasan'), (2, 'Einstein');
+		INSERT INTO teaches VALUES (1, 101);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := xdata.Execute(q, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// (Srinivasan)
+}

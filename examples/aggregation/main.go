@@ -1,0 +1,90 @@
+// Aggregation: demonstrates Algorithm 4 — one dataset whose three
+// carefully-constrained tuples distinguish all eight aggregation
+// operators (SUM, AVG, COUNT, MIN, MAX and the DISTINCT variants) from
+// one another.
+//
+// Run with:
+//
+//	go run ./examples/aggregation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const ddl = `
+CREATE TABLE instructor (
+	id        INT PRIMARY KEY,
+	name      VARCHAR(20) NOT NULL,
+	dept_name VARCHAR(20) NOT NULL,
+	salary    INT NOT NULL
+);`
+
+func main() {
+	sch, err := xdata.ParseSchema(ddl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sql := range []string{
+		// A mistyped aggregate is a classic query bug: SUM instead of
+		// AVG, or forgetting DISTINCT. One generated dataset kills all
+		// seven mutants of the written aggregate.
+		`SELECT dept_name, SUM(salary) FROM instructor GROUP BY dept_name`,
+		`SELECT dept_name, COUNT(DISTINCT salary) FROM instructor GROUP BY dept_name`,
+		// Global aggregation (no GROUP BY) works the same way.
+		`SELECT AVG(salary) FROM instructor`,
+	} {
+		q, err := xdata.ParseQuery(sch, sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite, err := xdata.Generate(q, xdata.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\n", sql)
+		for _, ds := range suite.Datasets {
+			fmt.Println(ds)
+			// Show the original query's answer so a tester can decide
+			// whether it matches intent.
+			res, err := xdata.Execute(q, ds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("result:\n%s", res)
+		}
+
+		// Show how each mutant's answer differs on the agg dataset.
+		ms, err := xdata.Mutants(q, xdata.DefaultMutationOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := xdata.Analyze(q, suite, xdata.DefaultMutationOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d/%d aggregation mutants killed:\n", report.KilledCount(), len(ms))
+		for _, m := range ms {
+			res, err := m.Plan.Run(suite.Datasets[len(suite.Datasets)-1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-40s -> %v\n", m.Desc, resultCell(res))
+		}
+		fmt.Println()
+	}
+}
+
+// resultCell extracts the aggregate column of a one-group result for
+// display.
+func resultCell(res *xdata.Result) []string {
+	var out []string
+	for _, row := range res.Rows {
+		out = append(out, row[len(row)-1].String())
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Comparison: demonstrates §V-E — three boundary datasets (attribute
+// =, <, > the constant) jointly kill all five mutants of any comparison
+// operator, including the classic off-by-one boundary bugs (< vs <=).
+//
+// Run with:
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const ddl = `
+CREATE TABLE employee (
+	id     INT PRIMARY KEY,
+	name   VARCHAR(20) NOT NULL,
+	salary INT NOT NULL,
+	grade  VARCHAR(4) NOT NULL
+);`
+
+func main() {
+	sch, err := xdata.ParseSchema(ddl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sql := range []string{
+		// Numeric boundary: does the tester mean >= or >?
+		`SELECT * FROM employee WHERE salary >= 50000`,
+		// String comparisons work the same way (lexicographic order).
+		`SELECT * FROM employee WHERE grade = 'B'`,
+	} {
+		q, err := xdata.ParseQuery(sch, sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite, err := xdata.Generate(q, xdata.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\n\n", sql)
+		for _, ds := range suite.Datasets {
+			fmt.Println(ds)
+		}
+		report, err := xdata.Analyze(q, suite, xdata.DefaultMutationOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report)
+
+		// The kill matrix shows the division of labour: the boundary
+		// dataset separates >= from >, the below-boundary dataset
+		// separates < and <=, and so on.
+		fmt.Println("per-dataset kills:")
+		for di, ds := range report.Datasets {
+			var kills []string
+			for mi, m := range report.Mutants {
+				if report.Killed[mi][di] {
+					kills = append(kills, m.Desc)
+				}
+			}
+			fmt.Printf("  %s\n    kills %d mutant(s): %v\n", ds.Purpose, len(kills), kills)
+		}
+		fmt.Println()
+	}
+}

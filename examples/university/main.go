@@ -1,0 +1,134 @@
+// University: walks through Examples 1–3 of the paper on the
+// instructor/teaches/course schema, showing how foreign keys make some
+// join-type mutants equivalent (unkillable) and how selections restore
+// killability (Example 2).
+//
+// Run with:
+//
+//	go run ./examples/university
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const ddlNoFK = `
+CREATE TABLE instructor (
+	id        INT PRIMARY KEY,
+	name      VARCHAR(20) NOT NULL,
+	dept_name VARCHAR(20) NOT NULL,
+	salary    INT NOT NULL
+);
+CREATE TABLE teaches (
+	id        INT NOT NULL,
+	course_id INT NOT NULL,
+	PRIMARY KEY (id, course_id)
+);
+CREATE TABLE course (
+	course_id INT PRIMARY KEY,
+	title     VARCHAR(50) NOT NULL
+);`
+
+const ddlFK = `
+CREATE TABLE instructor (
+	id        INT PRIMARY KEY,
+	name      VARCHAR(20) NOT NULL,
+	dept_name VARCHAR(20) NOT NULL,
+	salary    INT NOT NULL
+);
+CREATE TABLE teaches (
+	id        INT NOT NULL,
+	course_id INT NOT NULL,
+	PRIMARY KEY (id, course_id),
+	FOREIGN KEY (id) REFERENCES instructor(id)
+);
+CREATE TABLE course (
+	course_id INT PRIMARY KEY,
+	title     VARCHAR(50) NOT NULL
+);`
+
+func run(title, ddl, sql string) {
+	fmt.Printf("=== %s ===\n", title)
+	sch, err := xdata.ParseSchema(ddl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := xdata.ParseQuery(sch, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := xdata.Generate(q, xdata.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n", sql)
+	fmt.Printf("datasets: %d (+original)\n", len(suite.Datasets))
+	for _, sk := range suite.Skipped {
+		fmt.Printf("skipped: %s\n  (%s)\n", sk.Purpose, sk.Reason)
+	}
+	report, err := xdata.Analyze(q, suite, xdata.DefaultMutationOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+
+	// Every surviving mutant must be an equivalent mutation; verify by
+	// randomized testing (the paper verified this manually).
+	ms, err := xdata.Mutants(q, xdata.DefaultMutationOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mi := range report.Survivors() {
+		equiv, witness, err := xdata.CheckEquivalent(q, ms[mi], 120, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if equiv {
+			fmt.Printf("survivor %q: equivalent mutant (confirmed by randomized testing)\n", ms[mi].Desc)
+		} else {
+			fmt.Printf("survivor %q: NOT equivalent! witness:\n%s\n", ms[mi].Desc, witness)
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	// Example 1: no foreign keys. Both outer-join mutants of each node
+	// are killable; the dataset nullifying instructor contains a teaches
+	// tuple with no matching instructor AND a matching course tuple so
+	// the difference propagates to the root.
+	run("Example 1: instructor JOIN teaches JOIN course, no foreign keys",
+		ddlNoFK,
+		`SELECT * FROM instructor i, teaches t, course c
+		 WHERE i.id = t.id AND t.course_id = c.course_id`)
+
+	// Example 2 setup: with the foreign key teaches.id -> instructor.id
+	// it is impossible to create a teaches tuple without a matching
+	// instructor, so the i-ROJ-t mutant is equivalent and its dataset is
+	// skipped.
+	run("Example 2a: with FK teaches.id -> instructor.id (mutant becomes equivalent)",
+		ddlFK,
+		`SELECT * FROM instructor i, teaches t WHERE i.id = t.id`)
+
+	// Example 2: adding the selection dept_name = 'CS' lets X-Data build
+	// an instructor that satisfies the foreign key but fails the
+	// selection — so the join's right input has a tuple with no
+	// surviving left match, and the ROJ mutant is killed again.
+	run("Example 2b: FK plus selection dept_name = 'CS' (mutant killable again)",
+		ddlFK,
+		`SELECT * FROM instructor i, teaches t
+		 WHERE i.id = t.id AND i.dept_name = 'CS'`)
+
+	// Example 3: the LOJ mutant of instructor-teaches under the FK — a
+	// non-teaching instructor is possible, and the padded row reaches
+	// the output, so the mutant is killed. (The paper's Example 3 shows
+	// the case where a higher join filters the padded row; that shows up
+	// in Example 1's larger query as equivalent mutants.)
+	run("Example 3: LOJ mutants and difference propagation",
+		ddlFK,
+		`SELECT * FROM instructor i, teaches t, course c
+		 WHERE i.id = t.id AND t.course_id = c.course_id`)
+}

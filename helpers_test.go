@@ -1,0 +1,12 @@
+package xdata_test
+
+import (
+	"repro"
+	"repro/internal/mutation"
+)
+
+// analyzeDatasets evaluates a mutant space against an explicit dataset
+// list (test helper mirroring xdata.Analyze for minimized suites).
+func analyzeDatasets(q *xdata.Query, ms []*xdata.Mutant, datasets []*xdata.Dataset) (*xdata.Report, error) {
+	return mutation.Evaluate(q, ms, datasets)
+}

@@ -1,0 +1,103 @@
+// Package baseline reimplements the dataset-generation approach of the
+// X-Data short paper [14] (Gupta, Vira, Sudarshan, ICDE 2010), which the
+// full paper compares against in §VI-C.1. The short-paper algorithm
+//
+//   - selects tuples from an existing input database instead of solving
+//     constraints (it "did not generate synthetic data if the output of
+//     the original query was insufficient"),
+//   - does not handle foreign-key constraints, and
+//   - targets join-type mutants by making one side of a join empty: for
+//     a node L ⋈ E it empties a relation of E, which differentiates
+//     inner from outer joins when relations are not repeated and no
+//     foreign keys exist (§IV-B of the full paper).
+//
+// Its per-tree-node dataset construction is why the full paper describes
+// its dataset count as exponential; identical datasets are de-duplicated
+// here (they collapse to one dataset per relation occurrence), which only
+// helps the baseline.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/mutation"
+	"repro/internal/qtree"
+	"repro/internal/schema"
+)
+
+// Generate produces the short-paper test suite for a query from an input
+// database: the input database itself (the "original query" dataset),
+// plus, for every join-tree node and side, the input database with one
+// relation of that side emptied. Relations transitively referencing an
+// emptied relation are emptied too, so the datasets remain legal even on
+// schemas with foreign keys.
+func Generate(q *qtree.Query, input *schema.Dataset) ([]*schema.Dataset, error) {
+	if input == nil {
+		return nil, fmt.Errorf("baseline: the [14] algorithm requires an input database")
+	}
+	full := input.Clone()
+	full.Purpose = "[14] original query dataset (input database)"
+	out := []*schema.Dataset{full}
+
+	trees := []*qtree.Node{q.Root}
+	if q.AllInner() {
+		var err error
+		trees, err = mutation.EnumerateTrees(q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	seen := map[string]bool{}
+	for _, tree := range trees {
+		for _, node := range tree.Nodes(nil) {
+			for _, side := range []*qtree.Node{node.Left, node.Right} {
+				for _, occ := range side.Leaves(nil) {
+					if seen[occ.Rel.Name] {
+						continue
+					}
+					seen[occ.Rel.Name] = true
+					ds, err := emptyRelation(q.Schema, input, occ.Rel.Name)
+					if err != nil {
+						return nil, err
+					}
+					ds.Purpose = fmt.Sprintf("[14] dataset with %s empty", occ.Rel.Name)
+					out = append(out, ds)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// emptyRelation clones the input with the named relation (and everything
+// transitively referencing it) emptied.
+func emptyRelation(sch *schema.Schema, input *schema.Dataset, name string) (*schema.Dataset, error) {
+	drop := map[string]bool{name: true}
+	for changed := true; changed; {
+		changed = false
+		for _, rel := range sch.Relations() {
+			if drop[rel.Name] {
+				continue
+			}
+			for _, fk := range rel.ForeignKeys {
+				if drop[fk.RefTable] {
+					drop[rel.Name] = true
+					changed = true
+				}
+			}
+		}
+	}
+	ds := schema.NewDataset("")
+	for _, t := range input.TableNames() {
+		if drop[t] {
+			continue
+		}
+		for _, row := range input.Rows(t) {
+			ds.Insert(t, row.Clone())
+		}
+	}
+	if err := sch.CheckDataset(ds); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return ds, nil
+}

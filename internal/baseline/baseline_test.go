@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mutation"
+	"repro/internal/qtree"
+	"repro/internal/university"
+)
+
+func TestGenerateDatasets(t *testing.T) {
+	sch := university.Schema(0)
+	q, err := qtree.BuildSQL(sch, university.TableIQueries()[1].SQL) // Q2: 3 relations
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := university.SampleDB(sch, 3)
+	dss, err := Generate(q, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 full input DB + one emptied dataset per relation.
+	if len(dss) != 1+3 {
+		t.Fatalf("datasets = %d", len(dss))
+	}
+	for _, ds := range dss {
+		if err := sch.CheckDataset(ds); err != nil {
+			t.Errorf("%q: %v", ds.Purpose, err)
+		}
+	}
+}
+
+func TestGenerateRequiresInput(t *testing.T) {
+	sch := university.Schema(0)
+	q, _ := qtree.BuildSQL(sch, university.TableIQueries()[0].SQL)
+	if _, err := Generate(q, nil); err == nil {
+		t.Error("nil input database not rejected")
+	}
+}
+
+func TestEmptyingCascadesOverForeignKeys(t *testing.T) {
+	// With FKs enabled, emptying instructor must also empty teaches or
+	// the dataset violates referential integrity.
+	sch := university.Schema(1) // teaches.id -> instructor.id
+	q, err := qtree.BuildSQL(sch, university.TableIQueries()[0].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := university.SampleDB(sch, 3)
+	dss, err := Generate(q, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range dss {
+		if !strings.Contains(ds.Purpose, "instructor empty") {
+			continue
+		}
+		if len(ds.Rows("teaches")) != 0 {
+			t.Errorf("teaches not cascaded:\n%s", ds)
+		}
+	}
+}
+
+func TestBaselineKillsJoinMutantsWithoutFKs(t *testing.T) {
+	// §IV-B: with no FKs and no repeated relations, emptying a relation
+	// of side E differentiates inner from outer joins; the baseline
+	// kills all non-equivalent join mutants of Q1.
+	sch := university.Schema(0)
+	q, err := qtree.BuildSQL(sch, university.TableIQueries()[0].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss, err := Generate(q, university.SampleDB(sch, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := mutation.JoinTypeMutants(q, mutation.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mutation.Evaluate(q, ms, dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KilledCount() != len(ms) {
+		t.Errorf("baseline killed %d of %d join mutants without FKs", rep.KilledCount(), len(ms))
+	}
+}
+
+func TestBaselineMissesAggregationMutants(t *testing.T) {
+	// The incompleteness the paper reports: [14] selects existing tuples
+	// and cannot construct the 3-tuple aggregation datasets, so most
+	// aggregation mutants survive while X-Data kills them all.
+	sch := university.Schema(0)
+	q, err := qtree.BuildSQL(sch, "SELECT dept_name, SUM(salary) FROM instructor GROUP BY dept_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss, err := Generate(q, university.SampleDB(sch, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := mutation.AggregateMutants(q)
+	rep, err := mutation.Evaluate(q, ms, dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KilledCount() == len(ms) {
+		t.Errorf("baseline unexpectedly killed all %d aggregation mutants", len(ms))
+	}
+}

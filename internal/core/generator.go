@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/solver"
+	"repro/internal/sqltypes"
+)
+
+// Options configure dataset generation.
+type Options struct {
+	// Unfold expands bounded quantifiers before solving (§VI-B). The
+	// paper's experiments show this is dramatically faster; it is the
+	// default.
+	Unfold bool
+	// SolverNodeLimit bounds solver search nodes (0 = solver default).
+	SolverNodeLimit int64
+	// SolverTimeout bounds each solver call (0 = none).
+	SolverTimeout time.Duration
+	// InputDB, when set, seeds attribute domains with values from an
+	// existing database so generated datasets look familiar (§VI-A).
+	InputDB *schema.Dataset
+	// ForceInputTuples additionally constrains every generated tuple to
+	// equal some tuple of InputDB (§VI-A). When the constraints become
+	// inconsistent the generator retries without them, as the paper
+	// describes.
+	ForceInputTuples bool
+	// FreshValues is the number of synthetic domain values beyond the
+	// query constants (default 8). More values give the solver slack at
+	// the cost of search space.
+	FreshValues int
+	// NoJointNullify disables Algorithm 2's joint nullification of a
+	// class element together with its referencing foreign keys. FOR
+	// ABLATION ONLY: without it, datasets for queries like
+	// (C LOJ A) JOIN B with A.x referencing B.x are skipped as
+	// unsatisfiable and the corresponding mutants survive unkilled.
+	NoJointNullify bool
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options { return Options{Unfold: true} }
+
+// Stats aggregates measurements over one generation run; the benchmark
+// harness uses them to regenerate the paper's timing columns.
+type Stats struct {
+	SolverCalls int
+	SatCount    int
+	UnsatCount  int
+	SolveTime   time.Duration // time inside the constraint solver
+	TotalTime   time.Duration // constraint generation + solving
+	// SolverNodes and SolverRestarts measure solver work (search nodes,
+	// lazy-instantiation restarts): the implementation-independent view
+	// of the paper's unfolding ablation.
+	SolverNodes    int64
+	SolverRestarts int64
+}
+
+// Skip records a dataset that was not generated because its constraints
+// are unsatisfiable — which, per the paper, means the targeted mutant
+// group is equivalent to the original query.
+type Skip struct {
+	Purpose string
+	Reason  string
+}
+
+// Suite is a generated test suite: the dataset exercising the original
+// query plus one dataset per killable mutant group.
+type Suite struct {
+	Original *schema.Dataset
+	Datasets []*schema.Dataset
+	Skipped  []Skip
+	Stats    Stats
+}
+
+// All returns the original dataset followed by the kill datasets.
+func (s *Suite) All() []*schema.Dataset {
+	out := make([]*schema.Dataset, 0, len(s.Datasets)+1)
+	if s.Original != nil {
+		out = append(out, s.Original)
+	}
+	return append(out, s.Datasets...)
+}
+
+// Generator produces test suites for one query.
+type Generator struct {
+	q    *qtree.Query
+	opts Options
+
+	intPool []int64
+	strPool *stringPool
+}
+
+// NewGenerator prepares a generator, building the interesting-value
+// domains for the query: all constants appearing in predicates, ±1
+// boundary neighbours, pairwise sums and differences (for arithmetic
+// join conditions), input-database values when provided, and a band of
+// fresh values. For the paper's query class these domains suffice to
+// find a model whenever one exists over the integers (small-model
+// property of conjunctions of linear comparisons).
+func NewGenerator(q *qtree.Query, opts Options) *Generator {
+	if opts.FreshValues <= 0 {
+		opts.FreshValues = 8
+	}
+	g := &Generator{q: q, opts: opts}
+
+	intSet := map[int64]bool{}
+	strSet := map[string]bool{}
+	var consts []int64
+	for _, p := range q.Preds {
+		for _, s := range []*qtree.Scalar{p.L, p.R} {
+			collectScalarConsts(s, &consts, strSet)
+		}
+	}
+	for _, c := range consts {
+		intSet[c-1] = true
+		intSet[c] = true
+		intSet[c+1] = true
+	}
+	for _, a := range consts {
+		for _, b := range consts {
+			intSet[a+b] = true
+			intSet[a-b] = true
+		}
+	}
+	for i := 0; i < opts.FreshValues; i++ {
+		intSet[int64(i)] = true
+	}
+	if opts.InputDB != nil {
+		for _, t := range opts.InputDB.TableNames() {
+			for _, row := range opts.InputDB.Rows(t) {
+				for _, v := range row {
+					switch v.Kind() {
+					case sqltypes.KindInt:
+						intSet[v.Int()] = true
+					case sqltypes.KindString:
+						strSet[v.Str()] = true
+					case sqltypes.KindFloat:
+						intSet[int64(v.Float())] = true
+					}
+				}
+			}
+		}
+	}
+	for v := range intSet {
+		g.intPool = append(g.intPool, v)
+	}
+	sort.Slice(g.intPool, func(i, j int) bool { return g.intPool[i] < g.intPool[j] })
+
+	g.strPool = newStringPool(strSet, opts.FreshValues)
+	return g
+}
+
+// Query returns the generator's query.
+func (g *Generator) Query() *qtree.Query { return g.q }
+
+func collectScalarConsts(s *qtree.Scalar, ints *[]int64, strs map[string]bool) {
+	switch s.Kind {
+	case qtree.SConst:
+		switch s.Const.Kind() {
+		case sqltypes.KindInt:
+			*ints = append(*ints, s.Const.Int())
+		case sqltypes.KindFloat:
+			*ints = append(*ints, int64(s.Const.Float()))
+		case sqltypes.KindString:
+			strs[s.Const.Str()] = true
+		}
+	case qtree.SArith:
+		collectScalarConsts(s.L, ints, strs)
+		collectScalarConsts(s.R, ints, strs)
+	}
+}
+
+// domainFor returns the candidate values for an attribute, ordered by
+// preference. With an input database, that column's values come first so
+// generated data looks familiar (§VI-A). The preference order is rotated
+// by the tuple slot's index so sibling tuples of one relation try
+// *distinct* values first: equalities demanded by the query are already
+// enforced by the solver's union-find merging, while the chase, the
+// NOT-EXISTS nullifications and the aggregation constraint sets all want
+// distinct tuples — starting them apart avoids deep backtracking.
+func (g *Generator) domainFor(rel *schema.Relation, a schema.Attribute, slotIdx int) []int64 {
+	var dom []int64
+	if g.opts.InputDB != nil {
+		pos := rel.AttrPos(a.Name)
+		for _, row := range g.opts.InputDB.Rows(rel.Name) {
+			if code, ok := g.encodeValue(row[pos]); ok {
+				dom = append(dom, code)
+			}
+		}
+	}
+	switch a.Type {
+	case sqltypes.KindString:
+		dom = append(dom, g.strPool.pref...)
+	case sqltypes.KindBool:
+		dom = append(dom, 0, 1)
+	default:
+		dom = append(dom, g.intPool...)
+	}
+	if slotIdx > 0 && len(dom) > 1 {
+		rot := slotIdx % len(dom)
+		rotated := make([]int64, 0, len(dom))
+		rotated = append(rotated, dom[rot:]...)
+		rotated = append(rotated, dom[:rot]...)
+		dom = rotated
+	}
+	return dom
+}
+
+// encodeValue maps a SQL value to its solver integer. Strings must be in
+// the pool.
+func (g *Generator) encodeValue(v sqltypes.Value) (int64, bool) {
+	switch v.Kind() {
+	case sqltypes.KindInt:
+		return v.Int(), true
+	case sqltypes.KindFloat:
+		return int64(v.Float()), true
+	case sqltypes.KindString:
+		c, ok := g.strPool.code[v.Str()]
+		return c, ok
+	case sqltypes.KindBool:
+		if v.Bool() {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// decodeValue maps a solver integer back to a SQL value of the column's
+// kind.
+func (g *Generator) decodeValue(k sqltypes.Kind, code int64) sqltypes.Value {
+	switch k {
+	case sqltypes.KindString:
+		return sqltypes.NewString(g.strPool.decode(code))
+	case sqltypes.KindFloat:
+		return sqltypes.NewFloat(float64(code))
+	case sqltypes.KindBool:
+		return sqltypes.NewBool(code != 0)
+	default:
+		return sqltypes.NewInt(code)
+	}
+}
+
+// Generate runs the full Algorithm 1: a dataset satisfying the original
+// query, then datasets killing join-type mutants (via equivalence classes
+// and non-equi join predicates), comparison-operator mutants, and
+// aggregation mutants. Unsatisfiable constraint systems are recorded as
+// skips: they correspond to equivalent mutants.
+func (g *Generator) Generate() (*Suite, error) {
+	start := time.Now()
+	suite := &Suite{}
+
+	orig, err := g.GenerateOriginal(suite)
+	if err != nil {
+		return nil, err
+	}
+	suite.Original = orig
+	if err := g.KillEquivalenceClasses(suite); err != nil {
+		return nil, err
+	}
+	if err := g.KillOtherPredicates(suite); err != nil {
+		return nil, err
+	}
+	if err := g.KillComparisonOperators(suite); err != nil {
+		return nil, err
+	}
+	if err := g.KillAggregates(suite); err != nil {
+		return nil, err
+	}
+	suite.Stats.TotalTime = time.Since(start)
+	return suite, nil
+}
+
+// buildDataset constructs a problem, applies build, asserts the database
+// constraints, and solves. A nil dataset with nil error means UNSAT (an
+// equivalent mutant group), which is recorded on the suite.
+func (g *Generator) buildDataset(suite *Suite, purpose string, tupleSets int, needRepair bool, build func(*problem) error) (*schema.Dataset, error) {
+	ds, err := g.tryBuild(suite, purpose, tupleSets, needRepair, g.opts.ForceInputTuples, build)
+	if err == nil && ds == nil && g.opts.ForceInputTuples {
+		// §VI-A: input-database constraints can be inconsistent with the
+		// kill constraints; retry without them.
+		return g.tryBuild(suite, purpose+" (input-db constraints relaxed)", tupleSets, needRepair, false, build)
+	}
+	return ds, err
+}
+
+func (g *Generator) tryBuild(suite *Suite, purpose string, tupleSets int, needRepair, forceInput bool, build func(*problem) error) (*schema.Dataset, error) {
+	saved := g.opts.ForceInputTuples
+	g.opts.ForceInputTuples = forceInput
+	defer func() { g.opts.ForceInputTuples = saved }()
+
+	p, err := g.newProblem(tupleSets, needRepair)
+	if err != nil {
+		return nil, err
+	}
+	if err := build(p); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", purpose, err)
+	}
+	p.assertDBConstraints()
+
+	t0 := time.Now()
+	m, err := p.solve()
+	suite.Stats.SolveTime += time.Since(t0)
+	suite.Stats.SolverCalls++
+	st := p.s.LastStats()
+	suite.Stats.SolverNodes += st.Nodes
+	suite.Stats.SolverRestarts += st.Restarts
+	switch {
+	case err == nil:
+		suite.Stats.SatCount++
+		return p.extract(m, purpose)
+	case err == solver.ErrUnsat:
+		suite.Stats.UnsatCount++
+		suite.Skipped = append(suite.Skipped, Skip{Purpose: purpose, Reason: "constraints unsatisfiable: targeted mutants are equivalent"})
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("core: %s: %w", purpose, err)
+	}
+}
+
+// addIfGenerated appends a dataset when generation succeeded.
+func (suite *Suite) addIfGenerated(ds *schema.Dataset) {
+	if ds != nil {
+		suite.Datasets = append(suite.Datasets, ds)
+	}
+}

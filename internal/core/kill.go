@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/solver"
+	"repro/internal/sqltypes"
+)
+
+// GenerateOriginal produces a dataset on which the original query has a
+// non-empty result (generateDataSetForOriginalQuery of Algorithm 1): all
+// equivalence classes and predicates are satisfied by the occurrence
+// tuples. This dataset also kills any mutant whose result is empty on
+// every legal database.
+func (g *Generator) GenerateOriginal(suite *Suite) (*schema.Dataset, error) {
+	return g.buildDataset(suite, "satisfies the original query (non-empty result)", 1, false, func(p *problem) error {
+		return p.assertQueryConds(0, nil, nil)
+	})
+}
+
+// KillEquivalenceClasses implements Algorithm 2: for every element e of
+// every equivalence class, it jointly nullifies e together with all class
+// members that are foreign keys referencing e (directly or transitively),
+// while the remaining members P join with each other. If P is empty the
+// targeted mutants are equivalent and no dataset is generated.
+func (g *Generator) KillEquivalenceClasses(suite *Suite) error {
+	for _, ec := range g.q.Classes {
+		for _, e := range ec.Members {
+			S, P := g.splitClassByFK(ec, e)
+			purpose := fmt.Sprintf("kill join-type mutants: nullify %s on class %s", attrList(S), ec)
+			if len(P) == 0 {
+				// §V-H relaxation of A2: when a referencing foreign-key
+				// column is nullable, a NULL foreign key provides the
+				// unmatched tuple that nullifying the referenced
+				// attribute cannot.
+				done, err := g.nullableFKFallback(suite, ec, e, S)
+				if err != nil {
+					return err
+				}
+				if !done {
+					suite.Skipped = append(suite.Skipped, Skip{
+						Purpose: purpose,
+						Reason:  "every class member is (or references) the nullified key: equivalent mutants",
+					})
+				}
+				continue
+			}
+			ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
+				// P members join with each other...
+				for _, c := range p.classCons(P, 0) {
+					p.s.Assert(c)
+				}
+				// ...but no tuple of any S relation matches them.
+				pivot := solver.V(p.varOf(P[0], 0))
+				for _, ra := range dedupeRelAttrs(g.q, S) {
+					p.notExistsValue(ra.rel, ra.attr, pivot)
+				}
+				// All other classes and all predicates hold, so the
+				// difference propagates to the root.
+				skip := map[*qtree.EquivClass]bool{ec: true}
+				return p.assertQueryConds(0, skip, nil)
+			})
+			if err != nil {
+				return err
+			}
+			suite.addIfGenerated(ds)
+		}
+	}
+	return nil
+}
+
+// nullableFKFallback implements the §V-H alternative when nullifying a
+// referenced attribute is impossible (P = ∅): pick a referencing class
+// member f whose foreign-key column is nullable (and not part of its
+// primary key) and build a dataset where f's occurrence carries NULL in
+// that column — an f-tuple with no join partner, killing the same
+// join-type mutants the ordinary nullification would. Reports whether a
+// dataset was generated.
+func (g *Generator) nullableFKFallback(suite *Suite, ec *qtree.EquivClass, e qtree.AttrRef, S []qtree.AttrRef) (bool, error) {
+	var f qtree.AttrRef
+	found := false
+	for _, m := range S {
+		if m == e {
+			continue
+		}
+		rel := g.q.Occ(m.Occ).Rel
+		attr := rel.Attr(m.Attr)
+		if attr != nil && !attr.NotNull && !rel.IsPrimaryKeyCol(m.Attr) {
+			f = m
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false, nil
+	}
+	// Members sharing f's base attribute are NULL-patched together; the
+	// remaining members must still join among themselves so the
+	// difference propagates.
+	fRel := g.q.Occ(f.Occ).Rel
+	var nullMembers, rest []qtree.AttrRef
+	for _, m := range ec.Members {
+		mRel := g.q.Occ(m.Occ).Rel
+		if mRel.Name == fRel.Name && m.Attr == f.Attr {
+			nullMembers = append(nullMembers, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	purpose := fmt.Sprintf("kill join-type mutants: NULL foreign key %s on class %s (§V-H, nullable FK)", f, ec)
+	ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
+		for _, c := range p.classCons(rest, 0) {
+			p.s.Assert(c)
+		}
+		for _, m := range nullMembers {
+			p.patchNull(p.occSlot[occSet{m.Occ, 0}], m.Attr)
+		}
+		// No other tuple of f's relation may join in f's place.
+		if len(rest) > 0 {
+			p.notExistsValue(fRel, f.Attr, solver.V(p.varOf(rest[0], 0)))
+		}
+		skip := map[*qtree.EquivClass]bool{ec: true}
+		return p.assertQueryConds(0, skip, nil)
+	})
+	if err != nil {
+		return false, err
+	}
+	suite.addIfGenerated(ds)
+	return ds != nil, nil
+}
+
+// splitClassByFK computes Algorithm 2's S and P sets: S is the element e
+// plus every class member whose base attribute references e's base
+// attribute in the foreign-key closure; P is the rest.
+func (g *Generator) splitClassByFK(ec *qtree.EquivClass, e qtree.AttrRef) (S, P []qtree.AttrRef) {
+	eRel := g.q.Occ(e.Occ).Rel
+	target := schema.ColRef{Table: eRel.Name, Column: e.Attr}
+	referencers := map[schema.ColRef]bool{}
+	if !g.opts.NoJointNullify {
+		for _, r := range g.q.Schema.ReferencersOf(target) {
+			referencers[r] = true
+		}
+	}
+	for _, m := range ec.Members {
+		mRel := g.q.Occ(m.Occ).Rel
+		if m == e || referencers[schema.ColRef{Table: mRel.Name, Column: m.Attr}] ||
+			(mRel.Name == eRel.Name && m.Attr == e.Attr) {
+			// Same base attribute as e (another occurrence of the same
+			// relation) is necessarily nullified together with e.
+			S = append(S, m)
+		} else {
+			P = append(P, m)
+		}
+	}
+	return S, P
+}
+
+type relAttr struct {
+	rel  *schema.Relation
+	attr string
+}
+
+// dedupeRelAttrs maps class members to distinct (base relation,
+// attribute) pairs: nullification quantifies over all tuples of the base
+// relation, so repeated occurrences collapse.
+func dedupeRelAttrs(q *qtree.Query, members []qtree.AttrRef) []relAttr {
+	seen := map[string]bool{}
+	var out []relAttr
+	for _, m := range members {
+		rel := q.Occ(m.Occ).Rel
+		key := rel.Name + "." + m.Attr
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, relAttr{rel: rel, attr: m.Attr})
+		}
+	}
+	return out
+}
+
+func attrList(as []qtree.AttrRef) string {
+	parts := make([]string, len(as))
+	for i, a := range as {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// KillOtherPredicates implements Algorithm 3 for non-equi join
+// conditions: for each cross-occurrence predicate p and each relation r
+// participating in it, generate a dataset where no tuple of r satisfies p
+// against the other relations' tuples, while everything else holds.
+// (Selections are handled by KillComparisonOperators, whose violating
+// datasets carry the same NOT-EXISTS constraint — see Example 2.)
+func (g *Generator) KillOtherPredicates(suite *Suite) error {
+	for i, pr := range g.q.Preds {
+		if len(pr.Occs) < 2 {
+			continue
+		}
+		for _, occ := range pr.Occs {
+			purpose := fmt.Sprintf("kill join-type mutants: nullify %s on predicate %s", occ, pr)
+			pi := i
+			ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
+				if err := p.notExistsPred(pr, occ, 0); err != nil {
+					return err
+				}
+				return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+			})
+			if err != nil {
+				return err
+			}
+			suite.addIfGenerated(ds)
+		}
+	}
+	return nil
+}
+
+// datasetOps are the three comparison datasets of §V-E: as shown in [14],
+// datasets satisfying L = R, L < R and L > R jointly kill every mutant of
+// every comparison operator.
+var datasetOps = []struct {
+	op   sqltypes.CmpOp
+	sign int
+}{
+	{sqltypes.OpEQ, 0},
+	{sqltypes.OpLT, -1},
+	{sqltypes.OpGT, 1},
+}
+
+// KillComparisonOperators implements §V-E, generalized from "A.x op val"
+// to any predicate conjunct: for each predicate, three datasets replace
+// it by =, < and >. Datasets that violate the original operator
+// additionally assert, for single-occurrence predicates, that NO tuple of
+// the relation satisfies the original predicate — the Example 2
+// requirement that makes join mutants killable when foreign keys prevent
+// nullifying the referenced side.
+func (g *Generator) KillComparisonOperators(suite *Suite) error {
+	for i, pr := range g.q.Preds {
+		for _, dop := range datasetOps {
+			purpose := fmt.Sprintf("kill comparison mutants: dataset with (%s) %s (%s)", pr.L, dop.op, pr.R)
+			pi, op := i, dop.op
+			violating := !pr.Op.HoldsSign(dop.sign)
+			ds, err := g.buildDataset(suite, purpose, 1, violating, func(p *problem) error {
+				c, err := p.predCon(pr, op, 0)
+				if err != nil {
+					return err
+				}
+				p.s.Assert(c)
+				if violating && len(pr.Occs) == 1 {
+					if err := p.notExistsPred(pr, pr.Occs[0], 0); err != nil {
+						return err
+					}
+				}
+				return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+			})
+			if err != nil {
+				return err
+			}
+			suite.addIfGenerated(ds)
+		}
+	}
+	return nil
+}
+
+// aggRelaxations lists Algorithm 4's constraint-set combinations in
+// decreasing strength; the first satisfiable one wins (lines 11–13:
+// inconsistent sets are dropped). S4 is the paper's §V-F extension:
+// extra constraints ensuring COUNT/COUNT(DISTINCT) differ from the other
+// aggregation results and distinct values do not cancel — realized as
+// "every aggregated value is at least 4", which separates all eight
+// operators pairwise whenever S1/S2 hold (sums exceed counts, averages
+// of unequal values are strict, and no pair sums to zero). Each base
+// combination is tried with S4 before falling back without it.
+var aggRelaxations = [][4]bool{ // {S1, S2, S3, S4}
+	{true, true, true, true},
+	{true, true, true, false},
+	{true, true, false, true},
+	{true, true, false, false},
+	{false, true, true, true},
+	{false, true, true, false},
+	{true, false, true, true},
+	{true, false, true, false},
+	{false, true, false, true},
+	{false, true, false, false},
+	{true, false, false, true},
+	{true, false, false, false},
+	{false, false, true, true},
+	{false, false, true, false},
+	{false, false, false, true},
+	{false, false, false, false},
+}
+
+// KillAggregates implements Algorithm 4: for each aggregate call, a
+// dataset with three tuple sets in the same group — two sharing a
+// non-zero aggregated value but differing elsewhere (distinguishing
+// DISTINCT variants and COUNT), and a third with a different aggregated
+// value (distinguishing MIN/MAX/SUM/AVG) — whose group does not occur in
+// any other tuple.
+func (g *Generator) KillAggregates(suite *Suite) error {
+	if g.q.Agg == nil {
+		return nil
+	}
+	for ci, call := range g.q.Agg.Calls {
+		if call.Star {
+			continue // COUNT(*) has no aggregated attribute to mutate
+		}
+		numeric := g.q.AttrType(call.Arg).Numeric()
+		generated := false
+		for _, relax := range aggRelaxations {
+			purpose := fmt.Sprintf("kill aggregation mutants of %s", call)
+			var dropped []string
+			for k, on := range relax {
+				if !on {
+					dropped = append(dropped, fmt.Sprintf("S%d", k+1))
+				}
+			}
+			if len(dropped) > 0 {
+				purpose += " (dropped " + strings.Join(dropped, ",") + ")"
+			}
+			cc := call
+			ds, err := g.buildDataset(suite, purpose, 3, true, func(p *problem) error {
+				// S0: every tuple set satisfies the query; group-by
+				// values agree across the three sets.
+				for set := 0; set < 3; set++ {
+					if err := p.assertQueryConds(set, nil, nil); err != nil {
+						return err
+					}
+				}
+				for _, gb := range g.q.Agg.GroupBy {
+					p.s.Assert(solver.Eq(solver.V(p.varOf(gb, 0)), solver.V(p.varOf(gb, 1))))
+					p.s.Assert(solver.Eq(solver.V(p.varOf(gb, 1)), solver.V(p.varOf(gb, 2))))
+				}
+				a0 := solver.V(p.varOf(cc.Arg, 0))
+				a1 := solver.V(p.varOf(cc.Arg, 1))
+				a2 := solver.V(p.varOf(cc.Arg, 2))
+				if relax[0] { // S1
+					p.s.Assert(solver.Eq(a0, a1))
+					if numeric {
+						p.s.Assert(solver.NewCmp(sqltypes.OpNE, a0, solver.C(0)))
+					}
+					diff := p.tupleSetsDiffer(cc.Arg, g.q.Agg.GroupBy)
+					if diff == nil {
+						// No attribute outside G and A exists, so "differ
+						// in at least one other attribute" is infeasible:
+						// S1 must be dropped by the relaxation ladder.
+						diff = solver.NewCmp(sqltypes.OpNE, solver.C(0), solver.C(0))
+					}
+					p.s.Assert(diff)
+				}
+				if relax[1] { // S2
+					p.s.Assert(solver.NewCmp(sqltypes.OpNE, a2, a0))
+				}
+				if relax[2] { // S3
+					p.assertGroupIsolation()
+				}
+				if relax[3] && numeric { // S4 (§V-F extension)
+					for set := 0; set < 3; set++ {
+						p.s.Assert(solver.NewCmp(sqltypes.OpGE,
+							solver.V(p.varOf(cc.Arg, set)), solver.C(4)))
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if ds != nil {
+				ds.Purpose = purpose
+				suite.Datasets = append(suite.Datasets, ds)
+				generated = true
+				break
+			}
+		}
+		if !generated {
+			suite.Skipped = append(suite.Skipped, Skip{
+				Purpose: fmt.Sprintf("kill aggregation mutants of %s", g.q.Agg.Calls[ci]),
+				Reason:  "no relaxation of S1-S3 is satisfiable",
+			})
+		}
+	}
+	return nil
+}
+
+// tupleSetsDiffer builds S1's "differ in at least one other attribute":
+// a disjunction over every occurrence attribute outside the aggregated
+// attribute and the group-by set, requiring tuple sets 0 and 1 to differ
+// somewhere. Returns nil when there is no such attribute (then the chase
+// decides, and S1 is likely inconsistent).
+func (p *problem) tupleSetsDiffer(agg qtree.AttrRef, groupBy []qtree.AttrRef) solver.Con {
+	excluded := map[qtree.AttrRef]bool{agg: true}
+	for _, gb := range groupBy {
+		excluded[gb] = true
+	}
+	var disj []solver.Con
+	for _, occ := range p.g.q.Occs {
+		for _, a := range occ.Rel.Attrs {
+			ar := qtree.AttrRef{Occ: occ.Name, Attr: a.Name}
+			if excluded[ar] {
+				continue
+			}
+			disj = append(disj, solver.NewCmp(sqltypes.OpNE,
+				solver.V(p.varOf(ar, 0)), solver.V(p.varOf(ar, 1))))
+		}
+	}
+	if len(disj) == 0 {
+		return nil
+	}
+	return solver.NewOr(disj...)
+}
+
+// assertGroupIsolation builds S3: the group-by values of the three tuple
+// sets must not occur in any other tuple of the corresponding relations,
+// so no stray tuples join into the group.
+func (p *problem) assertGroupIsolation() {
+	for _, gb := range p.g.q.Agg.GroupBy {
+		own := map[*slot]bool{}
+		for set := 0; set < 3; set++ {
+			own[p.occSlot[occSet{gb.Occ, set}]] = true
+		}
+		rel := p.g.q.Occ(gb.Occ).Rel
+		pos := rel.AttrPos(gb.Attr)
+		pivot := solver.V(p.varOf(gb, 0))
+		var bodies []solver.Con
+		for _, sl := range p.slots[rel.Name] {
+			if own[sl] {
+				continue
+			}
+			bodies = append(bodies, solver.Eq(solver.V(sl.vars[pos]), pivot))
+		}
+		if len(bodies) > 0 {
+			p.s.Assert(solver.NotExists(bodies...))
+		}
+	}
+}

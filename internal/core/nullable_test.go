@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mutation"
+)
+
+// The §V-H nullable-foreign-key extension: with a NOT NULL foreign key,
+// nullifying the referenced attribute is impossible and the mutants are
+// equivalent; with a nullable foreign-key column, a NULL value provides
+// the unmatched tuple and the mutants become killable.
+const nullableDDL = `
+CREATE TABLE instructor (
+	id INT PRIMARY KEY,
+	name VARCHAR(20) NOT NULL
+);
+CREATE TABLE advisor (
+	s_id INT PRIMARY KEY,
+	i_id INT,
+	FOREIGN KEY (i_id) REFERENCES instructor(id)
+);`
+
+const notNullDDL = `
+CREATE TABLE instructor (
+	id INT PRIMARY KEY,
+	name VARCHAR(20) NOT NULL
+);
+CREATE TABLE advisor (
+	s_id INT PRIMARY KEY,
+	i_id INT NOT NULL,
+	FOREIGN KEY (i_id) REFERENCES instructor(id)
+);`
+
+const nullableSQL = `SELECT * FROM instructor i, advisor a WHERE i.id = a.i_id`
+
+func TestNullableFKFallbackGeneratesDataset(t *testing.T) {
+	q := buildQuery(t, nullableDDL, nullableSQL)
+	suite := generate(t, q, DefaultOptions())
+
+	var nullDS bool
+	for _, ds := range suite.Datasets {
+		if !strings.Contains(ds.Purpose, "NULL foreign key") {
+			continue
+		}
+		nullDS = true
+		// The advisor tuple must carry a NULL i_id and the dataset must
+		// still be a legal instance.
+		foundNull := false
+		for _, row := range ds.Rows("advisor") {
+			if row[1].IsNull() {
+				foundNull = true
+			}
+		}
+		if !foundNull {
+			t.Errorf("no NULL foreign key in dataset:\n%s", ds)
+		}
+		if err := q.Schema.CheckDataset(ds); err != nil {
+			t.Errorf("dataset invalid: %v", err)
+		}
+	}
+	if !nullDS {
+		t.Fatalf("nullable-FK fallback dataset not generated; purposes: %v, skips: %+v",
+			purposes(suite), suite.Skipped)
+	}
+
+	// The ROJ mutant (kept orphan advisors) must now be killed.
+	ms, err := mutation.JoinTypeMutants(q, mutation.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mutation.Evaluate(q, ms, suite.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi, m := range ms {
+		if strings.Contains(m.Desc, "ROJ") && !rep.MutantKilled(mi) {
+			t.Errorf("ROJ mutant not killed despite nullable FK")
+		}
+	}
+}
+
+func TestNotNullFKStaysEquivalent(t *testing.T) {
+	// Control: with NOT NULL the fallback must not fire and the skip is
+	// recorded (the paper's Example 2 equivalence).
+	q := buildQuery(t, notNullDDL, nullableSQL)
+	suite := generate(t, q, DefaultOptions())
+	for _, ds := range suite.Datasets {
+		if strings.Contains(ds.Purpose, "NULL foreign key") {
+			t.Errorf("fallback fired for NOT NULL column: %s", ds.Purpose)
+		}
+	}
+	found := false
+	for _, sk := range suite.Skipped {
+		if strings.Contains(sk.Reason, "equivalent") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("equivalent-mutant skip not recorded: %+v", suite.Skipped)
+	}
+}
+
+func TestNullableFKNotUsedWhenColumnInPK(t *testing.T) {
+	// A nullable-looking FK column that is part of the primary key can
+	// never be NULL; the fallback must not fire.
+	const ddl = `
+	CREATE TABLE instructor (id INT PRIMARY KEY);
+	CREATE TABLE teaches (
+		id INT,
+		course_id INT NOT NULL,
+		PRIMARY KEY (id, course_id),
+		FOREIGN KEY (id) REFERENCES instructor(id)
+	);`
+	q := buildQuery(t, ddl, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+	suite := generate(t, q, DefaultOptions())
+	for _, ds := range suite.Datasets {
+		if strings.Contains(ds.Purpose, "NULL foreign key") {
+			t.Errorf("fallback fired for primary-key column: %s", ds.Purpose)
+		}
+	}
+}

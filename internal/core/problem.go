@@ -1,0 +1,591 @@
+// Package core implements the paper's primary contribution: the X-Data
+// dataset-generation algorithms (§V, Algorithms 1–4). Given a normalized
+// query it emits, for each targeted mutant group, a constraint system
+// over per-occurrence tuple variables — join/selection conditions,
+// primary-key functional dependencies (the chase), foreign-key subset
+// constraints with referenced-tuple repair, domain constraints, and the
+// kill-specific NOT-EXISTS / comparison-variant / aggregation constraint
+// sets — solves it with the constraint solver, and extracts a small
+// schema-valid dataset from the model.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/solver"
+	"repro/internal/sqltypes"
+)
+
+// maxSlotsPerRelation caps tuple-array sizes; the paper's CVC3 broke down
+// near 9 tuples per relation (§VI-C.3), and generated datasets are meant
+// to be small.
+const maxSlotsPerRelation = 8
+
+// slot is one tuple variable array entry for a base relation.
+type slot struct {
+	rel  *schema.Relation
+	idx  int // index within the relation's slot array
+	vars []solver.VarID
+}
+
+// problem is one constraint system: the CVC3 input of the paper, built
+// fresh per dataset.
+type problem struct {
+	g     *Generator
+	s     *solver.Solver
+	slots map[string][]*slot // base relation name -> slots
+	// occSlot maps (occurrence name, tuple-set index) to a slot. Non-
+	// aggregation datasets use tuple set 0 only; killAggregates uses
+	// sets 0, 1, 2 (Algorithm 4).
+	occSlot map[occSet]*slot
+	strs    *stringPool
+	// nullPatches are cells overwritten with NULL at extraction time —
+	// the §V-H nullable-foreign-key alternative, where a NULL foreign
+	// key stands in for an impossible nullification of the referenced
+	// attribute. The solver itself is NULL-free.
+	nullPatches []nullPatch
+	// skipFK suppresses the foreign-key constraint for specific
+	// (slot, fk-index) pairs whose columns will be NULL-patched.
+	skipFK map[*slot]map[int]bool
+}
+
+type nullPatch struct {
+	sl  *slot
+	pos int
+}
+
+// patchNull records that the slot's column will be NULL in the extracted
+// dataset and disables every foreign key of the slot's relation that
+// involves the column (a NULL foreign key is vacuously satisfied).
+func (p *problem) patchNull(sl *slot, attr string) {
+	pos := sl.rel.AttrPos(attr)
+	p.nullPatches = append(p.nullPatches, nullPatch{sl: sl, pos: pos})
+	for fi, fk := range sl.rel.ForeignKeys {
+		for _, c := range fk.Columns {
+			if c == attr {
+				if p.skipFK == nil {
+					p.skipFK = map[*slot]map[int]bool{}
+				}
+				if p.skipFK[sl] == nil {
+					p.skipFK[sl] = map[int]bool{}
+				}
+				p.skipFK[sl][fi] = true
+			}
+		}
+	}
+}
+
+type occSet struct {
+	occ string
+	set int
+}
+
+// stringPool encodes string values as integers with order preserved, so
+// the solver's <, <= work lexicographically. pref lists the codes in
+// preference order for value selection: query constants first, then
+// friendly fresh names, then the low/high comparison sentinels.
+type stringPool struct {
+	vals []string
+	code map[string]int64
+	pref []int64
+}
+
+func newStringPool(consts map[string]bool, fresh int) *stringPool {
+	set := make(map[string]bool, len(consts))
+	for s := range consts {
+		set[s] = true
+	}
+	for i := 0; i < fresh; i++ {
+		set[fmt.Sprintf("str_%c", 'a'+i%26)+strings.Repeat("z", i/26)] = true
+	}
+	// Comparison-operator datasets need values strictly below and above
+	// every constant; '!' sorts below and '~' above all ordinary text.
+	for i := 0; i < fresh/2+1; i++ {
+		set[fmt.Sprintf("!low_%c", 'a'+i%26)] = true
+		set[fmt.Sprintf("~high_%c", 'a'+i%26)] = true
+	}
+	vals := make([]string, 0, len(set))
+	for s := range set {
+		vals = append(vals, s)
+	}
+	sort.Strings(vals)
+	p := &stringPool{vals: vals, code: make(map[string]int64, len(vals))}
+	for i, s := range vals {
+		p.code[s] = int64(i)
+	}
+	rank := func(s string) int {
+		switch {
+		case consts[s]:
+			return 0
+		case strings.HasPrefix(s, "str_"):
+			return 1
+		default:
+			return 2 // comparison sentinels
+		}
+	}
+	for r := 0; r <= 2; r++ {
+		for i, s := range vals {
+			if rank(s) == r {
+				p.pref = append(p.pref, int64(i))
+			}
+		}
+	}
+	return p
+}
+
+func (p *stringPool) decode(c int64) string {
+	if c < 0 || int(c) >= len(p.vals) {
+		return fmt.Sprintf("str?%d", c)
+	}
+	return p.vals[c]
+}
+
+// newProblem allocates tuple slots and variables for a dataset.
+//
+// tupleSets is 1 for ordinary datasets, 3 for aggregation datasets.
+// needRepair adds the paper's referenced-tuple repair capacity: for every
+// foreign key R -> S, S receives one extra slot per R slot, so that a
+// NOT-EXISTS nullification of S values can coexist with R's foreign keys
+// (§V-B). Transitively referenced relations outside the query are always
+// included so the dataset is a legal database instance.
+func (g *Generator) newProblem(tupleSets int, needRepair bool) (*problem, error) {
+	p := &problem{
+		g:       g,
+		s:       solver.New(),
+		slots:   map[string][]*slot{},
+		occSlot: map[occSet]*slot{},
+		strs:    g.strPool,
+	}
+
+	// Count base slots per relation.
+	counts := map[string]int{}
+	for _, occ := range g.q.Occs {
+		counts[occ.Rel.Name] += tupleSets
+	}
+
+	// Transitive closure of referenced relations, referencing-first.
+	order, err := g.relationOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, rel := range order {
+		if counts[rel.Name] == 0 {
+			counts[rel.Name] = 1 // referenced-only relation: one tuple
+		}
+	}
+	if needRepair {
+		// Referencing relations appear before referenced ones in order,
+		// so a single pass accumulates repair capacity transitively.
+		for _, rel := range order {
+			for _, fk := range rel.ForeignKeys {
+				counts[fk.RefTable] += counts[rel.Name]
+			}
+		}
+	}
+
+	// Allocate slots and variables (referenced-first for readability).
+	for i := len(order) - 1; i >= 0; i-- {
+		rel := order[i]
+		n := counts[rel.Name]
+		if n > maxSlotsPerRelation {
+			n = maxSlotsPerRelation
+		}
+		for k := 0; k < n; k++ {
+			sl := &slot{rel: rel, idx: k}
+			for _, a := range rel.Attrs {
+				dom := g.domainFor(rel, a, k)
+				sl.vars = append(sl.vars, p.s.NewVar(fmt.Sprintf("%s[%d].%s", rel.Name, k, a.Name), dom))
+			}
+			p.slots[rel.Name] = append(p.slots[rel.Name], sl)
+		}
+	}
+
+	// Map occurrences to their dedicated slots: occurrence j of a base
+	// relation uses slots j*tupleSets .. j*tupleSets+tupleSets-1.
+	occIdx := map[string]int{}
+	for _, occ := range g.q.Occs {
+		base := occIdx[occ.Rel.Name]
+		occIdx[occ.Rel.Name] += tupleSets
+		for set := 0; set < tupleSets; set++ {
+			p.occSlot[occSet{occ.Name, set}] = p.slots[occ.Rel.Name][base+set]
+		}
+	}
+	return p, nil
+}
+
+// relationOrder returns the query's base relations plus all transitively
+// referenced relations, referencing-before-referenced (so FK repair
+// accumulates in one pass). It rejects FK cycles.
+func (g *Generator) relationOrder() ([]*schema.Relation, error) {
+	var post []*schema.Relation
+	state := map[string]int{}
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("core: foreign-key cycle through %s", name)
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		rel := g.q.Schema.Relation(name)
+		if rel == nil {
+			return fmt.Errorf("core: unknown relation %s", name)
+		}
+		for _, fk := range rel.ForeignKeys {
+			if err := visit(fk.RefTable); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		post = append(post, rel) // referenced relations first in post
+		return nil
+	}
+	for _, occ := range g.q.Occs {
+		if err := visit(occ.Rel.Name); err != nil {
+			return nil, err
+		}
+	}
+	// Reverse: referencing relations first.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post, nil
+}
+
+// varOf returns the solver variable for an attribute of an occurrence in
+// a given tuple set.
+func (p *problem) varOf(a qtree.AttrRef, set int) solver.VarID {
+	sl, ok := p.occSlot[occSet{a.Occ, set}]
+	if !ok {
+		panic(fmt.Sprintf("core: no slot for occurrence %s set %d", a.Occ, set))
+	}
+	pos := sl.rel.AttrPos(a.Attr)
+	if pos < 0 {
+		panic(fmt.Sprintf("core: relation %s has no attribute %s", sl.rel.Name, a.Attr))
+	}
+	return sl.vars[pos]
+}
+
+// linOf translates a scalar into a solver linear expression, with string
+// constants encoded via the pool. This is the cvcMap() of the paper.
+func (p *problem) linOf(s *qtree.Scalar, set int) (solver.Lin, error) {
+	switch s.Kind {
+	case qtree.SAttr:
+		return solver.V(p.varOf(s.Attr, set)), nil
+	case qtree.SConst:
+		switch s.Const.Kind() {
+		case sqltypes.KindInt:
+			return solver.C(s.Const.Int()), nil
+		case sqltypes.KindString:
+			code, ok := p.strs.code[s.Const.Str()]
+			if !ok {
+				return solver.Lin{}, fmt.Errorf("core: string constant %q missing from pool", s.Const.Str())
+			}
+			return solver.C(code), nil
+		default:
+			return solver.Lin{}, fmt.Errorf("core: unsupported constant %s (assumption A4: integer/string values)", s.Const)
+		}
+	default:
+		lin, err := s.ToLinear()
+		if err != nil {
+			return solver.Lin{}, err
+		}
+		out := solver.C(lin.Const)
+		// Deterministic order over map keys.
+		attrs := make([]qtree.AttrRef, 0, len(lin.Coeffs))
+		for a := range lin.Coeffs {
+			attrs = append(attrs, a)
+		}
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Less(attrs[j]) })
+		for _, a := range attrs {
+			out = out.Plus(solver.V(p.varOf(a, set)).Times(lin.Coeffs[a]))
+		}
+		return out, nil
+	}
+}
+
+// predCon compiles a predicate to a solver constraint, optionally with a
+// different comparison operator (used by killComparisonOperators).
+func (p *problem) predCon(pr *qtree.Pred, op sqltypes.CmpOp, set int) (solver.Con, error) {
+	l, err := p.linOf(pr.L, set)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.linOf(pr.R, set)
+	if err != nil {
+		return nil, err
+	}
+	return solver.NewCmp(op, l, r), nil
+}
+
+// classCons returns the equality chain for an equivalence class's members
+// (generateEqConds of the paper), restricted to the given members.
+func (p *problem) classCons(members []qtree.AttrRef, set int) []solver.Con {
+	var out []solver.Con
+	for i := 0; i+1 < len(members); i++ {
+		out = append(out, solver.Eq(solver.V(p.varOf(members[i], set)), solver.V(p.varOf(members[i+1], set))))
+	}
+	return out
+}
+
+// assertQueryConds asserts all equivalence classes and predicates for the
+// given tuple set, except for classes in skipClass and predicate indices
+// in skipPred (the specifically violated conditions of a kill dataset).
+func (p *problem) assertQueryConds(set int, skipClass map[*qtree.EquivClass]bool, skipPred map[int]bool) error {
+	for _, ec := range p.g.q.Classes {
+		if skipClass[ec] {
+			continue
+		}
+		for _, c := range p.classCons(ec.Members, set) {
+			p.s.Assert(c)
+		}
+	}
+	for i, pr := range p.g.q.Preds {
+		if skipPred[i] {
+			continue
+		}
+		c, err := p.predCon(pr, pr.Op, set)
+		if err != nil {
+			return err
+		}
+		p.s.Assert(c)
+	}
+	return nil
+}
+
+// assertDBConstraints asserts the schema constraints over all slots: the
+// primary-key functional dependency (footnote 3: the chase — equal keys
+// force equal tuples, so a relation may still collapse to one tuple), and
+// foreign-key subset constraints as bounded FORALL/EXISTS quantifiers.
+// This is genDBConstraints() of the paper.
+func (p *problem) assertDBConstraints() {
+	for _, name := range p.relNames() {
+		slots := p.slots[name]
+		rel := slots[0].rel
+		// Primary key: chase-style functional dependency, asserted as a
+		// bounded universal quantifier over slot pairs (∀ i,j: equal
+		// keys imply equal tuples), exactly as the paper frames it.
+		if len(rel.PrimaryKey) > 0 && len(slots) > 1 {
+			keyPos := make([]int, len(rel.PrimaryKey))
+			for i, c := range rel.PrimaryKey {
+				keyPos[i] = rel.AttrPos(c)
+			}
+			var bodies []solver.Con
+			for i := 0; i < len(slots); i++ {
+				for j := i + 1; j < len(slots); j++ {
+					var keyEq, allEq []solver.Con
+					for _, kp := range keyPos {
+						keyEq = append(keyEq, solver.Eq(solver.V(slots[i].vars[kp]), solver.V(slots[j].vars[kp])))
+					}
+					for ap := range rel.Attrs {
+						allEq = append(allEq, solver.Eq(solver.V(slots[i].vars[ap]), solver.V(slots[j].vars[ap])))
+					}
+					bodies = append(bodies, solver.Implies(solver.NewAnd(keyEq...), solver.NewAnd(allEq...)))
+				}
+			}
+			p.s.Assert(solver.ForAll(bodies...))
+		}
+		// Foreign keys: FORALL r-slot EXISTS s-slot: columns equal.
+		for fi, fk := range rel.ForeignKeys {
+			refSlots := p.slots[fk.RefTable]
+			refRel := p.g.q.Schema.Relation(fk.RefTable)
+			var bodies []solver.Con
+			for _, rs := range slots {
+				if p.skipFK[rs][fi] {
+					continue // NULL-patched column: vacuously satisfied
+				}
+				var disj []solver.Con
+				for _, ss := range refSlots {
+					var eqs []solver.Con
+					for k, col := range fk.Columns {
+						eqs = append(eqs, solver.Eq(
+							solver.V(rs.vars[rel.AttrPos(col)]),
+							solver.V(ss.vars[refRel.AttrPos(fk.RefColumns[k])])))
+					}
+					disj = append(disj, solver.NewAnd(eqs...))
+				}
+				bodies = append(bodies, solver.Exists(disj...))
+			}
+			if len(bodies) > 0 {
+				p.s.Assert(solver.ForAll(bodies...))
+			}
+		}
+	}
+	// Input-database tuple constraints (§VI-A): every generated tuple
+	// must equal one of the input database's tuples.
+	if p.g.opts.ForceInputTuples && p.g.opts.InputDB != nil {
+		p.assertInputTuples()
+	}
+}
+
+func (p *problem) assertInputTuples() {
+	for _, name := range p.relNames() {
+		rows := p.g.opts.InputDB.Rows(name)
+		if len(rows) == 0 {
+			continue
+		}
+		rel := p.slots[name][0].rel
+		for _, sl := range p.slots[name] {
+			var disj []solver.Con
+			for _, row := range rows {
+				var eqs []solver.Con
+				ok := true
+				for ap := range rel.Attrs {
+					code, cok := p.g.encodeValue(row[ap])
+					if !cok {
+						ok = false
+						break
+					}
+					eqs = append(eqs, solver.Eq(solver.V(sl.vars[ap]), solver.C(code)))
+				}
+				if ok {
+					disj = append(disj, solver.NewAnd(eqs...))
+				}
+			}
+			if len(disj) > 0 {
+				p.s.Assert(solver.Exists(disj...))
+			}
+		}
+	}
+}
+
+// notExistsValue asserts the paper's nullification constraint: no slot of
+// base relation rel has attribute attr equal to the given expression.
+func (p *problem) notExistsValue(rel *schema.Relation, attr string, val solver.Lin) {
+	pos := rel.AttrPos(attr)
+	var bodies []solver.Con
+	for _, sl := range p.slots[rel.Name] {
+		bodies = append(bodies, solver.Eq(solver.V(sl.vars[pos]), val))
+	}
+	p.s.Assert(solver.NotExists(bodies...))
+}
+
+// notExistsPred asserts genNotExists(pred, occ): no slot of occ's base
+// relation satisfies the predicate when substituted for occ (other
+// occurrences keep their dedicated slots).
+func (p *problem) notExistsPred(pr *qtree.Pred, occ string, set int) error {
+	sl := p.occSlot[occSet{occ, set}]
+	var bodies []solver.Con
+	for _, cand := range p.slots[sl.rel.Name] {
+		c, err := p.predConWithSlot(pr, occ, cand, set)
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, c)
+	}
+	p.s.Assert(solver.NotExists(bodies...))
+	return nil
+}
+
+// predConWithSlot compiles a predicate with occurrence occ's attributes
+// redirected to the given slot.
+func (p *problem) predConWithSlot(pr *qtree.Pred, occ string, sl *slot, set int) (solver.Con, error) {
+	redirect := func(s *qtree.Scalar) (solver.Lin, error) {
+		return p.linOfRedirect(s, occ, sl, set)
+	}
+	l, err := redirect(pr.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := redirect(pr.R)
+	if err != nil {
+		return nil, err
+	}
+	return solver.NewCmp(pr.Op, l, r), nil
+}
+
+func (p *problem) linOfRedirect(s *qtree.Scalar, occ string, sl *slot, set int) (solver.Lin, error) {
+	switch s.Kind {
+	case qtree.SAttr:
+		if s.Attr.Occ == occ {
+			pos := sl.rel.AttrPos(s.Attr.Attr)
+			return solver.V(sl.vars[pos]), nil
+		}
+		return solver.V(p.varOf(s.Attr, set)), nil
+	case qtree.SConst:
+		return p.linOf(s, set)
+	default:
+		l, err := p.linOfRedirect(s.L, occ, sl, set)
+		if err != nil {
+			return solver.Lin{}, err
+		}
+		r, err := p.linOfRedirect(s.R, occ, sl, set)
+		if err != nil {
+			return solver.Lin{}, err
+		}
+		switch s.Op {
+		case '+':
+			return l.Plus(r), nil
+		case '-':
+			return l.Minus(r), nil
+		case '*':
+			// One side must be constant (checked by ToLinear-style rule).
+			if len(l.Terms) > 0 && len(r.Terms) > 0 {
+				return solver.Lin{}, fmt.Errorf("core: non-linear product in %s", s)
+			}
+			if len(l.Terms) > 0 {
+				return l.Times(r.Const), nil
+			}
+			return r.Times(l.Const), nil
+		default:
+			return solver.Lin{}, fmt.Errorf("core: unsupported arithmetic %c (assumption A4)", s.Op)
+		}
+	}
+}
+
+// relNames returns the populated relation names in deterministic order.
+func (p *problem) relNames() []string {
+	out := make([]string, 0, len(p.slots))
+	for n := range p.slots {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// solve invokes the constraint solver with the generator's options.
+func (p *problem) solve() (solver.Model, error) {
+	return p.s.Solve(solver.Options{
+		Unfold:    p.g.opts.Unfold,
+		NodeLimit: p.g.opts.SolverNodeLimit,
+		Timeout:   p.g.opts.SolverTimeout,
+	})
+}
+
+// extract turns a model into a dataset, de-duplicating rows that the
+// chase made identical.
+func (p *problem) extract(m solver.Model, purpose string) (*schema.Dataset, error) {
+	nulled := map[*slot]map[int]bool{}
+	for _, np := range p.nullPatches {
+		if nulled[np.sl] == nil {
+			nulled[np.sl] = map[int]bool{}
+		}
+		nulled[np.sl][np.pos] = true
+	}
+	ds := schema.NewDataset(purpose)
+	for _, name := range p.relNames() {
+		for _, sl := range p.slots[name] {
+			row := make(sqltypes.Row, len(sl.vars))
+			for i, v := range sl.vars {
+				if nulled[sl][i] {
+					row[i] = sqltypes.TypedNull(sl.rel.Attrs[i].Type)
+					continue
+				}
+				row[i] = p.g.decodeValue(sl.rel.Attrs[i].Type, m[v])
+			}
+			ds.Insert(name, row)
+		}
+	}
+	if err := p.g.q.Schema.DedupPrimaryKeys(ds); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", purpose, err)
+	}
+	if err := p.g.q.Schema.CheckDataset(ds); err != nil {
+		return nil, fmt.Errorf("core: %s: generated dataset invalid: %w", purpose, err)
+	}
+	return ds, nil
+}

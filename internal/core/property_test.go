@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/mutation"
+	"repro/internal/qtree"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// TestPipelinePropertySeeded is the repository's headline property test:
+// for randomized in-class workloads (random chain schemas with random
+// foreign keys, random join/selection/aggregation queries), the generated
+// suite must consist of legal datasets, give the original query a
+// non-empty result, and leave no non-equivalent mutant unkilled
+// (Theorem 1, checked by randomized equivalence testing).
+func TestPipelinePropertySeeded(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		nRel := 2 + rng.Intn(3)
+		var ddl strings.Builder
+		for i := 0; i < nRel; i++ {
+			fmt.Fprintf(&ddl, "CREATE TABLE r%d (k INT PRIMARY KEY, v INT NOT NULL, s VARCHAR(10) NOT NULL", i)
+			if i+1 < nRel && rng.Intn(2) == 0 {
+				fmt.Fprintf(&ddl, ", FOREIGN KEY (k) REFERENCES r%d(k)", i+1)
+			}
+			ddl.WriteString(");\n")
+		}
+		var conds []string
+		for i := 0; i+1 < nRel; i++ {
+			attr := []string{"k", "v"}[rng.Intn(2)]
+			conds = append(conds, fmt.Sprintf("a%d.%s = a%d.k", i, attr, i+1))
+		}
+		if rng.Intn(2) == 0 {
+			conds = append(conds, fmt.Sprintf("a0.v %s %d", []string{">", "<", "=", ">=", "<=", "<>"}[rng.Intn(6)], rng.Intn(5)))
+		}
+		var from []string
+		for i := 0; i < nRel; i++ {
+			from = append(from, fmt.Sprintf("r%d a%d", i, i))
+		}
+		sel, groupBy := "*", ""
+		if rng.Intn(3) == 0 {
+			agg := []string{"SUM(a0.v)", "COUNT(a0.v)", "MIN(a0.v)", "MAX(a0.v)", "AVG(a0.v)", "SUM(DISTINCT a0.v)"}[rng.Intn(6)]
+			sel = "a0.s, " + agg
+			groupBy = " GROUP BY a0.s"
+		}
+		sql := fmt.Sprintf("SELECT %s FROM %s", sel, strings.Join(from, ", "))
+		if len(conds) > 0 {
+			sql += " WHERE " + strings.Join(conds, " AND ")
+		}
+		sql += groupBy
+
+		sch, err := sqlparser.ParseSchema(ddl.String())
+		if err != nil {
+			t.Fatalf("trial %d: schema: %v\n%s", trial, err, ddl.String())
+		}
+		q, err := qtree.BuildSQL(sch, sql)
+		if err != nil {
+			t.Fatalf("trial %d: query: %v\n%s", trial, err, sql)
+		}
+		suite, err := NewGenerator(q, DefaultOptions()).Generate()
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, sql, err)
+		}
+
+		// Invariant 1: every dataset is a legal database instance.
+		for _, ds := range suite.All() {
+			if err := sch.CheckDataset(ds); err != nil {
+				t.Fatalf("trial %d (%s): invalid dataset %q: %v", trial, sql, ds.Purpose, err)
+			}
+		}
+		// Invariant 2: the original-query dataset yields rows.
+		res, err := engine.NewPlan(q).Run(suite.Original)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("trial %d (%s): empty result on original dataset", trial, sql)
+		}
+		// Invariant 3 (Theorem 1): surviving mutants are equivalent.
+		ms, err := mutation.Space(q, mutation.DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep, err := mutation.Evaluate(q, ms, suite.All())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		chk := mutation.NewEquivalenceChecker(int64(trial))
+		chk.Trials = 60
+		for _, mi := range rep.Survivors() {
+			equiv, witness, err := chk.Check(q, ms[mi])
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !equiv {
+				t.Errorf("trial %d (%s): non-equivalent survivor %q\nwitness:\n%s",
+					trial, sql, ms[mi].Desc, witness)
+			}
+		}
+	}
+}
+
+// Quick property: dataset extraction decode/encode round-trips for every
+// value kind the generator produces.
+func TestValueCodecProperty(t *testing.T) {
+	sch, err := sqlparser.ParseSchema("CREATE TABLE t (a INT, b VARCHAR(5))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qtree.BuildSQL(sch, "SELECT * FROM t WHERE t.a > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(q, DefaultOptions())
+	f := func(v int32) bool {
+		code, ok := g.encodeValue(sqltypes.NewInt(int64(v)))
+		if !ok || code != int64(v) {
+			return false
+		}
+		return g.decodeValue(sqltypes.KindInt, code).Int() == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Strings round-trip through the pool.
+	for _, s := range g.strPool.vals {
+		code, ok := g.encodeValue(sqltypes.NewString(s))
+		if !ok || g.decodeValue(sqltypes.KindString, code).Str() != s {
+			t.Errorf("string %q does not round-trip", s)
+		}
+	}
+}

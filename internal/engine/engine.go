@@ -1,0 +1,605 @@
+// Package engine is the in-memory relational executor used to decide
+// which mutants a dataset kills. The paper ran original and mutant
+// queries on a backing DBMS; this package is the from-scratch substitute.
+//
+// It executes join trees (qtree.Node) over datasets with bag semantics,
+// SQL NULL handling (outer-join padding, three-valued predicate logic),
+// grouping/aggregation, and multiset result comparison.
+//
+// Join and selection conditions are not stored on tree nodes; following
+// the paper (§II), selections are applied at the leaves and every join
+// predicate — including all equalities implied by an equivalence class —
+// is applied at the earliest node where its occurrences are available.
+// This makes condition placement deterministic for every join order the
+// mutation space enumerates.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Plan is an executable query variant: a join tree plus the predicate and
+// aggregate lists to use. Mutants are expressed as Plans sharing the
+// parent Query but overriding one component.
+type Plan struct {
+	Query *qtree.Query
+	Tree  *qtree.Node     // defaults to Query.Root
+	Preds []*qtree.Pred   // defaults to Query.Preds
+	Aggs  []qtree.AggCall // defaults to Query.Agg.Calls (if aggregated)
+}
+
+// NewPlan returns the plan for the original query.
+func NewPlan(q *qtree.Query) *Plan {
+	p := &Plan{Query: q, Tree: q.Root, Preds: q.Preds}
+	if q.Agg != nil {
+		p.Aggs = q.Agg.Calls
+	}
+	return p
+}
+
+// WithTree returns a copy of the plan using a different join tree.
+func (p *Plan) WithTree(tree *qtree.Node) *Plan {
+	cp := *p
+	cp.Tree = tree
+	return &cp
+}
+
+// WithPredReplaced returns a copy of the plan with predicate at index i
+// replaced.
+func (p *Plan) WithPredReplaced(i int, np *qtree.Pred) *Plan {
+	cp := *p
+	cp.Preds = make([]*qtree.Pred, len(p.Preds))
+	copy(cp.Preds, p.Preds)
+	cp.Preds[i] = np
+	return &cp
+}
+
+// WithAggReplaced returns a copy of the plan with aggregate call i
+// replaced.
+func (p *Plan) WithAggReplaced(i int, call qtree.AggCall) *Plan {
+	cp := *p
+	cp.Aggs = make([]qtree.AggCall, len(p.Aggs))
+	copy(cp.Aggs, p.Aggs)
+	cp.Aggs[i] = call
+	return &cp
+}
+
+// Result is a bag of output rows.
+type Result struct {
+	Cols []string
+	Rows []sqltypes.Row
+}
+
+// Multiset returns the row-key multiset of the result.
+func (r *Result) Multiset() map[string]int {
+	m := make(map[string]int, len(r.Rows))
+	for _, row := range r.Rows {
+		m[row.Key()]++
+	}
+	return m
+}
+
+// Equal compares two results as multisets of rows (column names are
+// ignored; arity and contents must match).
+func (r *Result) Equal(o *Result) bool {
+	if len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	a, b := r.Multiset(), o.Multiset()
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result as a small table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Cols, " | "))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		sb.WriteString(strings.Join(cells, " | "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// rel is an intermediate relation during execution.
+type rel struct {
+	cols     map[qtree.AttrRef]int
+	nullable map[qtree.AttrRef]bool // attrs under an outer join's null-padded side
+	width    int
+	rows     []sqltypes.Row
+}
+
+func (r *rel) lookupFn(row sqltypes.Row) func(qtree.AttrRef) sqltypes.Value {
+	return func(a qtree.AttrRef) sqltypes.Value {
+		i, ok := r.cols[a]
+		if !ok {
+			panic(fmt.Sprintf("engine: attribute %s not in scope", a))
+		}
+		return row[i]
+	}
+}
+
+// Run executes the plan against a dataset.
+func (p *Plan) Run(ds *schema.Dataset) (*Result, error) {
+	ex := &executor{plan: p, ds: ds}
+	root, err := ex.exec(p.Tree)
+	if err != nil {
+		return nil, err
+	}
+	// Any predicate not applied inside the tree (possible only if its
+	// occurrences never co-occur, which build rejects) would be a bug.
+	for i, applied := range ex.applied {
+		if !applied {
+			return nil, fmt.Errorf("engine: predicate %s was never applied", p.Preds[i])
+		}
+	}
+	if p.Query.Agg != nil {
+		return p.aggregate(root)
+	}
+	return p.project(root)
+}
+
+type executor struct {
+	plan    *Plan
+	ds      *schema.Dataset
+	applied []bool
+}
+
+func (ex *executor) exec(n *qtree.Node) (*rel, error) {
+	if ex.applied == nil {
+		ex.applied = make([]bool, len(ex.plan.Preds))
+	}
+	if n.IsLeaf() {
+		return ex.execLeaf(n.Occ)
+	}
+	left, err := ex.exec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.exec(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	return ex.join(n, left, right)
+}
+
+func (ex *executor) execLeaf(occ *qtree.Occurrence) (*rel, error) {
+	r := &rel{cols: map[qtree.AttrRef]int{}, nullable: map[qtree.AttrRef]bool{}}
+	for i, a := range occ.Rel.Attrs {
+		r.cols[qtree.AttrRef{Occ: occ.Name, Attr: a.Name}] = i
+	}
+	r.width = occ.Rel.Arity()
+	// Selections on this occurrence are applied at the leaf (paper §II:
+	// selections pushed to the lowest level).
+	var sels []int
+	for i, p := range ex.plan.Preds {
+		if len(p.Occs) == 1 && p.Occs[0] == occ.Name {
+			sels = append(sels, i)
+			ex.applied[i] = true
+		} else if len(p.Occs) == 0 && !ex.applied[i] {
+			// Constant predicate: evaluate once, globally.
+			if p.Eval(func(qtree.AttrRef) sqltypes.Value { return sqltypes.Null() }) != sqltypes.True {
+				ex.applied[i] = true
+				return r, nil // empty relation kills the branch
+			}
+			ex.applied[i] = true
+		}
+	}
+	for _, row := range ex.ds.Rows(occ.Rel.Name) {
+		keep := true
+		for _, si := range sels {
+			if ex.plan.Preds[si].Eval(r.lookupFn(row)) != sqltypes.True {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			r.rows = append(r.rows, row)
+		}
+	}
+	return r, nil
+}
+
+// nodeConds computes the join conditions applied at a node: for every
+// equivalence class, all cross-side member pairs; plus every non-equi
+// predicate whose occurrence set spans the node for the first time.
+type cond struct {
+	// pair condition: left attr = right attr
+	isPair bool
+	l, r   qtree.AttrRef
+	pred   *qtree.Pred
+}
+
+func (ex *executor) nodeConds(left, right *rel) []cond {
+	var out []cond
+	for _, ec := range ex.plan.Query.Classes {
+		var ls, rs []qtree.AttrRef
+		for _, m := range ec.Members {
+			if _, ok := left.cols[m]; ok {
+				ls = append(ls, m)
+			} else if _, ok := right.cols[m]; ok {
+				rs = append(rs, m)
+			}
+		}
+		// All cross pairs: every implied equality applied at the
+		// earliest point.
+		for _, l := range ls {
+			for _, r := range rs {
+				out = append(out, cond{isPair: true, l: l, r: r})
+			}
+		}
+	}
+	for i, p := range ex.plan.Preds {
+		if ex.applied[i] || len(p.Occs) < 2 {
+			continue
+		}
+		inScope, touchesL, touchesR := true, false, false
+		for _, a := range p.Attrs() {
+			if _, ok := left.cols[a]; ok {
+				touchesL = true
+			} else if _, ok := right.cols[a]; ok {
+				touchesR = true
+			} else {
+				inScope = false
+				break
+			}
+		}
+		if inScope && touchesL && touchesR {
+			out = append(out, cond{pred: p})
+			ex.applied[i] = true
+		} else if inScope && (touchesL || touchesR) {
+			// All occurrences on one side: should have been applied
+			// deeper; mark defensively (can happen only for predicates
+			// whose occurrences all sit in one subtree but involve more
+			// than one occurrence that first co-occurred here).
+			out = append(out, cond{pred: p})
+			ex.applied[i] = true
+		}
+	}
+	return out
+}
+
+func (ex *executor) join(n *qtree.Node, left, right *rel) (*rel, error) {
+	conds := ex.nodeConds(left, right)
+	out := &rel{cols: map[qtree.AttrRef]int{}, nullable: map[qtree.AttrRef]bool{}, width: left.width + right.width}
+	for a, i := range left.cols {
+		out.cols[a] = i
+		if left.nullable[a] {
+			out.nullable[a] = true
+		}
+	}
+	for a, i := range right.cols {
+		out.cols[a] = left.width + i
+		if right.nullable[a] {
+			out.nullable[a] = true
+		}
+	}
+	switch n.Type {
+	case sqlparser.LeftOuterJoin, sqlparser.FullOuterJoin:
+		for a := range right.cols {
+			out.nullable[a] = true
+		}
+	}
+	switch n.Type {
+	case sqlparser.RightOuterJoin, sqlparser.FullOuterJoin:
+		for a := range left.cols {
+			out.nullable[a] = true
+		}
+	}
+
+	match := func(lr, rr sqltypes.Row) bool {
+		combined := make(sqltypes.Row, 0, out.width)
+		combined = append(combined, lr...)
+		combined = append(combined, rr...)
+		lookup := out.lookupFn(combined)
+		for _, c := range conds {
+			var t sqltypes.Tristate
+			if c.isPair {
+				t = sqltypes.TriCompare(sqltypes.OpEQ, lookup(c.l), lookup(c.r))
+			} else {
+				t = c.pred.Eval(lookup)
+			}
+			if t != sqltypes.True {
+				return false
+			}
+		}
+		return true
+	}
+
+	rightMatched := make([]bool, len(right.rows))
+	for _, lr := range left.rows {
+		found := false
+		for ri, rr := range right.rows {
+			if match(lr, rr) {
+				found = true
+				rightMatched[ri] = true
+				row := make(sqltypes.Row, 0, out.width)
+				row = append(row, lr...)
+				row = append(row, rr...)
+				out.rows = append(out.rows, row)
+			}
+		}
+		if !found && (n.Type == sqlparser.LeftOuterJoin || n.Type == sqlparser.FullOuterJoin) {
+			row := make(sqltypes.Row, 0, out.width)
+			row = append(row, lr...)
+			for i := 0; i < right.width; i++ {
+				row = append(row, sqltypes.Null())
+			}
+			out.rows = append(out.rows, row)
+		}
+	}
+	if n.Type == sqlparser.RightOuterJoin || n.Type == sqlparser.FullOuterJoin {
+		for ri, rr := range right.rows {
+			if rightMatched[ri] {
+				continue
+			}
+			row := make(sqltypes.Row, 0, out.width)
+			for i := 0; i < left.width; i++ {
+				row = append(row, sqltypes.Null())
+			}
+			row = append(row, rr...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// outputColumn is a projection target: a single attribute or a coalesce
+// group created by natural-join star expansion.
+type outputColumn struct {
+	name  string
+	attrs []qtree.AttrRef // coalesce in order; length 1 for plain columns
+}
+
+// projColumns computes the output columns for non-aggregate queries,
+// coalescing natural-join common attributes under SELECT * (standard SQL
+// star expansion; this is what makes assumption A8 necessary).
+func (p *Plan) projColumns() []outputColumn {
+	q := p.Query
+	if !q.Proj.Star {
+		out := make([]outputColumn, len(q.Proj.Attrs))
+		for i, a := range q.Proj.Attrs {
+			out[i] = outputColumn{name: a.String(), attrs: []qtree.AttrRef{a}}
+		}
+		return out
+	}
+	// Coalesce groups: union-find over natural-join common attribute
+	// pairs of the original tree.
+	group := map[qtree.AttrRef]qtree.AttrRef{}
+	var find func(a qtree.AttrRef) qtree.AttrRef
+	find = func(a qtree.AttrRef) qtree.AttrRef {
+		p, ok := group[a]
+		if !ok || p == a {
+			return a
+		}
+		r := find(p)
+		group[a] = r
+		return r
+	}
+	for _, n := range q.Root.Nodes(nil) {
+		if !n.Natural {
+			continue
+		}
+		for _, pair := range naturalPairs(n) {
+			group[find(pair[1])] = find(pair[0])
+		}
+	}
+	members := map[qtree.AttrRef][]qtree.AttrRef{}
+	for _, a := range q.Proj.Attrs {
+		r := find(a)
+		members[r] = append(members[r], a)
+	}
+	var out []outputColumn
+	done := map[qtree.AttrRef]bool{}
+	for _, a := range q.Proj.Attrs {
+		r := find(a)
+		if done[r] {
+			continue
+		}
+		done[r] = true
+		ms := members[r]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Less(ms[j]) })
+		name := a.String()
+		if len(ms) > 1 {
+			name = a.Attr
+		}
+		out = append(out, outputColumn{name: name, attrs: ms})
+	}
+	return out
+}
+
+func naturalPairs(n *qtree.Node) [][2]qtree.AttrRef {
+	l := map[string]qtree.AttrRef{}
+	for _, occ := range n.Left.Leaves(nil) {
+		for _, a := range occ.Rel.Attrs {
+			l[a.Name] = qtree.AttrRef{Occ: occ.Name, Attr: a.Name}
+		}
+	}
+	var out [][2]qtree.AttrRef
+	for _, occ := range n.Right.Leaves(nil) {
+		for _, a := range occ.Rel.Attrs {
+			if la, ok := l[a.Name]; ok {
+				out = append(out, [2]qtree.AttrRef{la, {Occ: occ.Name, Attr: a.Name}})
+			}
+		}
+	}
+	return out
+}
+
+func (p *Plan) project(r *rel) (*Result, error) {
+	cols := p.projColumns()
+	res := &Result{}
+	for _, c := range cols {
+		res.Cols = append(res.Cols, c.name)
+	}
+	for _, row := range r.rows {
+		lookup := r.lookupFn(row)
+		out := make(sqltypes.Row, len(cols))
+		for i, c := range cols {
+			v := sqltypes.Null()
+			for _, a := range c.attrs {
+				if cv := lookup(a); !cv.IsNull() {
+					v = cv
+					break
+				}
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if p.Query.Distinct {
+		res.Rows = dedupRows(res.Rows)
+	}
+	return res, nil
+}
+
+func dedupRows(rows []sqltypes.Row) []sqltypes.Row {
+	seen := map[string]bool{}
+	var out []sqltypes.Row
+	for _, r := range rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (p *Plan) aggregate(r *rel) (*Result, error) {
+	spec := p.Query.Agg
+	res := &Result{}
+	for _, g := range spec.GroupBy {
+		res.Cols = append(res.Cols, g.String())
+	}
+	for _, c := range p.Aggs {
+		res.Cols = append(res.Cols, c.String())
+	}
+	type group struct {
+		key  sqltypes.Row
+		rows []sqltypes.Row
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range r.rows {
+		lookup := r.lookupFn(row)
+		key := make(sqltypes.Row, len(spec.GroupBy))
+		for i, g := range spec.GroupBy {
+			key[i] = lookup(g)
+		}
+		k := key.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// Global aggregation over empty input yields a single row.
+	if len(groups) == 0 && len(spec.GroupBy) == 0 {
+		out := make(sqltypes.Row, 0, len(p.Aggs))
+		for _, c := range p.Aggs {
+			out = append(out, aggEmpty(c))
+		}
+		res.Rows = append(res.Rows, out)
+		return res, nil
+	}
+	for _, k := range order {
+		g := groups[k]
+		out := make(sqltypes.Row, 0, len(spec.GroupBy)+len(p.Aggs))
+		out = append(out, g.key...)
+		for _, c := range p.Aggs {
+			v, err := evalAgg(c, g.rows, r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func aggEmpty(c qtree.AggCall) sqltypes.Value {
+	if c.Func == sqlparser.AggCount {
+		return sqltypes.NewInt(0)
+	}
+	return sqltypes.Null()
+}
+
+func evalAgg(c qtree.AggCall, rows []sqltypes.Row, r *rel) (sqltypes.Value, error) {
+	if c.Star {
+		return sqltypes.NewInt(int64(len(rows))), nil
+	}
+	idx, ok := r.cols[c.Arg]
+	if !ok {
+		return sqltypes.Value{}, fmt.Errorf("engine: aggregate argument %s not in scope", c.Arg)
+	}
+	var vals []sqltypes.Value
+	for _, row := range rows {
+		if v := row[idx]; !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	if c.Distinct {
+		seen := map[string]bool{}
+		var d []sqltypes.Value
+		for _, v := range vals {
+			k := (sqltypes.Row{v}).Key()
+			if !seen[k] {
+				seen[k] = true
+				d = append(d, v)
+			}
+		}
+		vals = d
+	}
+	switch c.Func {
+	case sqlparser.AggCount:
+		return sqltypes.NewInt(int64(len(vals))), nil
+	case sqlparser.AggMin, sqlparser.AggMax:
+		if len(vals) == 0 {
+			return sqltypes.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp := sqltypes.Compare(v, best)
+			if (c.Func == sqlparser.AggMin && cmp < 0) || (c.Func == sqlparser.AggMax && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case sqlparser.AggSum, sqlparser.AggAvg:
+		if len(vals) == 0 {
+			return sqltypes.Null(), nil
+		}
+		sum := sqltypes.NewInt(0)
+		for _, v := range vals {
+			sum = sqltypes.Add(sum, v)
+		}
+		if c.Func == sqlparser.AggSum {
+			return sum, nil
+		}
+		return sqltypes.NewFloat(sum.Float() / float64(len(vals))), nil
+	}
+	return sqltypes.Value{}, fmt.Errorf("engine: unknown aggregate %v", c.Func)
+}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Three-way mixed outer-join tree: padded NULLs must flow through upper
+// joins correctly.
+func TestMixedOuterJoinTree(t *testing.T) {
+	ds := schema.NewDataset("mixed")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewString("CS"), sqltypes.NewInt(10)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("b"), sqltypes.NewString("Bio"), sqltypes.NewInt(20)})
+	ds.Insert("teaches", ints(1, 100))
+	ds.Insert("course", sqltypes.Row{sqltypes.NewInt(100), sqltypes.NewString("db")})
+	ds.Insert("course", sqltypes.Row{sqltypes.NewInt(200), sqltypes.NewString("os")})
+
+	// (i LOJ t) FULL OUTER JOIN c: instructor 2 padded on t and c;
+	// course 200 padded on i and t.
+	res := run(t, q(t, `SELECT i.id, t.course_id, c.course_id
+		FROM (instructor i LEFT OUTER JOIN teaches t ON i.id = t.id)
+		FULL OUTER JOIN course c ON t.course_id = c.course_id`), ds)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows:\n%s", res)
+	}
+	var sawPaddedI, sawPaddedC bool
+	for _, r := range res.Rows {
+		if r[0].IsNull() {
+			sawPaddedC = true
+		}
+		if !r[0].IsNull() && r[1].IsNull() && r[2].IsNull() {
+			sawPaddedI = true
+		}
+	}
+	if !sawPaddedI || !sawPaddedC {
+		t.Errorf("padding misbehaved:\n%s", res)
+	}
+}
+
+func TestMultiColumnGroupBy(t *testing.T) {
+	ds := schema.NewDataset("g2")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("x"), sqltypes.NewString("CS"), sqltypes.NewInt(5)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("x"), sqltypes.NewString("CS"), sqltypes.NewInt(7)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(3), sqltypes.NewString("y"), sqltypes.NewString("CS"), sqltypes.NewInt(1)})
+	res := run(t, q(t, `SELECT name, dept_name, SUM(salary) FROM instructor GROUP BY name, dept_name`), ds)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups:\n%s", res)
+	}
+	for _, r := range res.Rows {
+		if r[0].Str() == "x" && r[2].Int() != 12 {
+			t.Errorf("group x sum = %v", r[2])
+		}
+	}
+}
+
+// NULL group keys: padded rows group together (SQL treats NULLs as one
+// group).
+func TestNullGroupKey(t *testing.T) {
+	ds := schema.NewDataset("ng")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewString("CS"), sqltypes.NewInt(5)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("b"), sqltypes.NewString("Bio"), sqltypes.NewInt(5)})
+	ds.Insert("teaches", ints(9, 100)) // matches nobody
+	res := run(t, q(t, `SELECT i.name, COUNT(t.course_id)
+		FROM teaches t LEFT OUTER JOIN instructor i ON i.id = t.id
+		GROUP BY i.name`), ds)
+	if len(res.Rows) != 1 || !res.Rows[0][0].IsNull() || res.Rows[0][1].Int() != 1 {
+		t.Fatalf("NULL grouping:\n%s", res)
+	}
+}
+
+// The same relation joined to itself must not alias rows.
+func TestSelfJoinIndependentScans(t *testing.T) {
+	ds := schema.NewDataset("self")
+	ds.Insert("r1", ints(1, 1))
+	ds.Insert("r1", ints(2, 2))
+	res := run(t, q(t, "SELECT a.x, b.x FROM r1 a, r1 b WHERE a.x < b.x"), ds)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 || res.Rows[0][1].Int() != 2 {
+		t.Fatalf("self join:\n%s", res)
+	}
+}
+
+// Arithmetic in selections evaluates with NULL propagation.
+func TestArithmeticSelectionWithNull(t *testing.T) {
+	ds := schema.NewDataset("ar")
+	ds.Insert("r1", ints(4, 2))
+	ds.Insert("r2", ints(2, 9))
+	// r1.x = r2.x * 2 matches.
+	res := run(t, q(t, "SELECT * FROM r1 a, r2 b WHERE a.x = b.x * 2"), ds)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows:\n%s", res)
+	}
+}
+
+// Empty relations propagate: inner join yields nothing, outer join pads.
+func TestEmptyRelationBehaviour(t *testing.T) {
+	ds := schema.NewDataset("empty")
+	ds.Insert("r1", ints(1, 1))
+	inner := run(t, q(t, "SELECT * FROM r1 a, r2 b WHERE a.x = b.x"), ds)
+	if len(inner.Rows) != 0 {
+		t.Errorf("inner join with empty side: %v", inner.Rows)
+	}
+	outer := run(t, q(t, "SELECT * FROM r1 a LEFT OUTER JOIN r2 b ON a.x = b.x"), ds)
+	if len(outer.Rows) != 1 || !outer.Rows[0][2].IsNull() {
+		t.Errorf("outer join with empty side:\n%s", outer)
+	}
+}
+
+// Plans are reusable and runs are independent (no state leaks between
+// executions over different datasets).
+func TestPlanReuse(t *testing.T) {
+	query := q(t, "SELECT * FROM r1 a, r2 b WHERE a.x = b.x")
+	plan := NewPlan(query)
+	ds1 := schema.NewDataset("one")
+	ds1.Insert("r1", ints(1, 0))
+	ds1.Insert("r2", ints(1, 0))
+	ds2 := schema.NewDataset("two")
+	ds2.Insert("r1", ints(1, 0))
+	for i := 0; i < 3; i++ {
+		r1, err := plan.Run(ds1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := plan.Run(ds2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Rows) != 1 || len(r2.Rows) != 0 {
+			t.Fatalf("iteration %d: %d/%d rows", i, len(r1.Rows), len(r2.Rows))
+		}
+	}
+}
+
+// A mutated tree with swapped children must behave like the
+// corresponding swapped outer join (the canonicalization assumption of
+// the mutation package).
+func TestLojRojSwapSemantics(t *testing.T) {
+	query := q(t, "SELECT * FROM r1 a, r2 b WHERE a.x = b.x")
+	ds := schema.NewDataset("swap")
+	ds.Insert("r1", ints(1, 0))
+	ds.Insert("r1", ints(2, 0))
+	ds.Insert("r2", ints(1, 0))
+
+	loj := query.Root.Clone()
+	loj.Type = sqlparser.LeftOuterJoin
+	rojSwapped := &qtree.Node{Type: sqlparser.RightOuterJoin, Left: query.Root.Right.Clone(), Right: query.Root.Left.Clone()}
+
+	r1, err := NewPlan(query).WithTree(loj).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewPlan(query).WithTree(rojSwapped).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Errorf("L LOJ R != R ROJ L:\n%s\nvs\n%s", r1, r2)
+	}
+}
+
+// Aggregates over float values (AVG output) compare consistently.
+func TestAvgFloatComparison(t *testing.T) {
+	ds := schema.NewDataset("avg")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewString("CS"), sqltypes.NewInt(5)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("b"), sqltypes.NewString("CS"), sqltypes.NewInt(10)})
+	query := q(t, "SELECT dept_name, AVG(salary) FROM instructor GROUP BY dept_name")
+	res := run(t, query, ds)
+	if res.Rows[0][1].Float() != 7.5 {
+		t.Fatalf("avg = %v", res.Rows[0][1])
+	}
+	// AVG result 10.0 must equal SUM result 10 in multiset comparison
+	// (integral floats collide with ints by design).
+	a := &Result{Rows: []sqltypes.Row{{sqltypes.NewFloat(10.0)}}}
+	b := &Result{Rows: []sqltypes.Row{{sqltypes.NewInt(10)}}}
+	if !a.Equal(b) {
+		t.Error("10.0 and 10 must compare equal across aggregate mutants")
+	}
+}

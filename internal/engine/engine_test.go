@@ -1,0 +1,395 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+const testDDL = `
+CREATE TABLE instructor (
+	id INT PRIMARY KEY,
+	name VARCHAR(20) NOT NULL,
+	dept_name VARCHAR(20) NOT NULL,
+	salary INT
+);
+CREATE TABLE teaches (
+	id INT NOT NULL,
+	course_id INT NOT NULL,
+	PRIMARY KEY (id, course_id)
+);
+CREATE TABLE course (
+	course_id INT PRIMARY KEY,
+	title VARCHAR(50)
+);
+CREATE TABLE r1 (x INT PRIMARY KEY, y INT);
+CREATE TABLE r2 (x INT PRIMARY KEY, y INT);
+`
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := sqlparser.ParseSchema(testDDL)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	return s
+}
+
+func q(t *testing.T, sql string) *qtree.Query {
+	t.Helper()
+	qq, err := qtree.BuildSQL(testSchema(t), sql)
+	if err != nil {
+		t.Fatalf("BuildSQL(%q): %v", sql, err)
+	}
+	return qq
+}
+
+func run(t *testing.T, query *qtree.Query, ds *schema.Dataset) *Result {
+	t.Helper()
+	res, err := NewPlan(query).Run(ds)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func ints(vals ...int64) sqltypes.Row {
+	r := make(sqltypes.Row, len(vals))
+	for i, v := range vals {
+		r[i] = sqltypes.NewInt(v)
+	}
+	return r
+}
+
+// universityDS builds the paper's running-example data: one instructor
+// teaching a course, one instructor teaching nothing, and one orphan
+// teaches row (no FK constraints in this engine-level schema).
+func universityDS() *schema.Dataset {
+	ds := schema.NewDataset("engine test")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("alice"), sqltypes.NewString("CS"), sqltypes.NewInt(90000)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("bob"), sqltypes.NewString("Bio"), sqltypes.NewInt(60000)})
+	ds.Insert("teaches", ints(1, 10))
+	ds.Insert("teaches", ints(3, 20))
+	ds.Insert("course", sqltypes.Row{sqltypes.NewInt(10), sqltypes.NewString("db")})
+	ds.Insert("course", sqltypes.Row{sqltypes.NewInt(20), sqltypes.NewString("os")})
+	return ds
+}
+
+func TestInnerJoin(t *testing.T) {
+	res := run(t, q(t, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id"), universityDS())
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Int() != 1 || res.Rows[0][5].Int() != 10 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	res := run(t, q(t, "SELECT * FROM instructor i LEFT OUTER JOIN teaches t ON i.id = t.id"), universityDS())
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// bob (id 2) must appear padded with NULLs.
+	var padded sqltypes.Row
+	for _, r := range res.Rows {
+		if r[0].Int() == 2 {
+			padded = r
+		}
+	}
+	if padded == nil || !padded[4].IsNull() || !padded[5].IsNull() {
+		t.Errorf("padded row = %v", padded)
+	}
+}
+
+func TestRightOuterJoin(t *testing.T) {
+	res := run(t, q(t, "SELECT * FROM instructor i RIGHT OUTER JOIN teaches t ON i.id = t.id"), universityDS())
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	var padded sqltypes.Row
+	for _, r := range res.Rows {
+		if r[0].IsNull() {
+			padded = r
+		}
+	}
+	if padded == nil || padded[4].Int() != 3 {
+		t.Errorf("padded row = %v", padded)
+	}
+}
+
+func TestFullOuterJoin(t *testing.T) {
+	res := run(t, q(t, "SELECT i.id, i.name, t.id, t.course_id FROM instructor i FULL OUTER JOIN teaches t ON i.id = t.id"), universityDS())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestJoinChainWithPropagation(t *testing.T) {
+	// Example 1 shape: i JOIN t JOIN c.
+	res := run(t, q(t, `SELECT * FROM instructor i, teaches t, course c
+		WHERE i.id = t.id AND t.course_id = c.course_id`), universityDS())
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectionAtLeaf(t *testing.T) {
+	res := run(t, q(t, "SELECT * FROM instructor i WHERE i.salary > 70000"), universityDS())
+	if len(res.Rows) != 1 || res.Rows[0][1].Str() != "alice" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestStringSelection(t *testing.T) {
+	res := run(t, q(t, "SELECT * FROM instructor i WHERE i.dept_name = 'CS'"), universityDS())
+	if len(res.Rows) != 1 || res.Rows[0][1].Str() != "alice" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	res := run(t, q(t, "SELECT i.name FROM instructor i WHERE i.id = 1"), universityDS())
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 || res.Rows[0][0].Str() != "alice" {
+		t.Fatalf("res = %v", res)
+	}
+	if res.Cols[0] != "i.name" {
+		t.Errorf("cols = %v", res.Cols)
+	}
+}
+
+func TestBagSemantics(t *testing.T) {
+	ds := schema.NewDataset("dups")
+	ds.Insert("teaches", ints(1, 10))
+	ds.Insert("teaches", ints(2, 10)) // two teaches rows with course 10
+	ds.Insert("course", sqltypes.Row{sqltypes.NewInt(10), sqltypes.NewString("db")})
+	res := run(t, q(t, "SELECT c.title FROM teaches t, course c WHERE t.course_id = c.course_id"), ds)
+	if len(res.Rows) != 2 {
+		t.Fatalf("bag semantics violated: %v", res.Rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ds := schema.NewDataset("dups")
+	ds.Insert("teaches", ints(1, 10))
+	ds.Insert("teaches", ints(2, 10))
+	ds.Insert("course", sqltypes.Row{sqltypes.NewInt(10), sqltypes.NewString("db")})
+	res := run(t, q(t, "SELECT DISTINCT c.title FROM teaches t, course c WHERE t.course_id = c.course_id"), ds)
+	if len(res.Rows) != 1 {
+		t.Fatalf("DISTINCT failed: %v", res.Rows)
+	}
+}
+
+func TestNonEquiJoin(t *testing.T) {
+	ds := schema.NewDataset("ne")
+	ds.Insert("r1", ints(20, 0))
+	ds.Insert("r1", ints(15, 0))
+	ds.Insert("r2", ints(10, 0))
+	res := run(t, q(t, "SELECT * FROM r1 a, r2 b WHERE a.x = b.x + 10"), ds)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 20 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestOuterJoinNullCondNotMatched(t *testing.T) {
+	// A padded NULL must not satisfy an equality higher in the tree
+	// (3VL): ((r1 LOJ r2) JOIN r2b) where the join uses r2's attr.
+	ds := schema.NewDataset("3vl")
+	ds.Insert("r1", ints(1, 5))
+	ds.Insert("r2", ints(2, 5)) // r1.x=1 has no match in r2 on x
+	res := run(t, q(t, "SELECT * FROM r1 a LEFT OUTER JOIN r2 b ON a.x = b.x WHERE b.y = 5"), ds)
+	// Note: WHERE b.y = 5 is pushed to the leaf of b per the paper's
+	// tree semantics; the padded row for a.x=1 survives the outer join.
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !res.Rows[0][2].IsNull() {
+		t.Errorf("expected padded row, got %v", res.Rows[0])
+	}
+}
+
+func TestEquivalenceClassAllPairsAtNode(t *testing.T) {
+	// Class {a.x, b.x, c.x}: join order ((a,c),b) must still apply a-c
+	// equality at the lower node (Fig. 2(c) of the paper).
+	ds := schema.NewDataset("ec")
+	ds.Insert("r1", ints(1, 0))
+	ds.Insert("r2", ints(1, 0))
+	query := q(t, "SELECT * FROM r1 a, r2 b WHERE a.x = b.x")
+	res := run(t, query, ds)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	ds := schema.NewDataset("agg")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewString("CS"), sqltypes.NewInt(10)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("b"), sqltypes.NewString("CS"), sqltypes.NewInt(10)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(3), sqltypes.NewString("c"), sqltypes.NewString("CS"), sqltypes.NewInt(40)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(4), sqltypes.NewString("d"), sqltypes.NewString("Bio"), sqltypes.NewInt(7)})
+
+	cases := []struct {
+		sql  string
+		want map[string]string // group -> agg value
+	}{
+		{"SELECT dept_name, SUM(salary) FROM instructor GROUP BY dept_name", map[string]string{"CS": "60", "Bio": "7"}},
+		{"SELECT dept_name, SUM(DISTINCT salary) FROM instructor GROUP BY dept_name", map[string]string{"CS": "50", "Bio": "7"}},
+		{"SELECT dept_name, COUNT(salary) FROM instructor GROUP BY dept_name", map[string]string{"CS": "3", "Bio": "1"}},
+		{"SELECT dept_name, COUNT(DISTINCT salary) FROM instructor GROUP BY dept_name", map[string]string{"CS": "2", "Bio": "1"}},
+		{"SELECT dept_name, AVG(salary) FROM instructor GROUP BY dept_name", map[string]string{"CS": "20", "Bio": "7"}},
+		{"SELECT dept_name, AVG(DISTINCT salary) FROM instructor GROUP BY dept_name", map[string]string{"CS": "25", "Bio": "7"}},
+		{"SELECT dept_name, MIN(salary) FROM instructor GROUP BY dept_name", map[string]string{"CS": "10", "Bio": "7"}},
+		{"SELECT dept_name, MAX(salary) FROM instructor GROUP BY dept_name", map[string]string{"CS": "40", "Bio": "7"}},
+		{"SELECT dept_name, COUNT(*) FROM instructor GROUP BY dept_name", map[string]string{"CS": "3", "Bio": "1"}},
+	}
+	for _, tc := range cases {
+		res := run(t, q(t, tc.sql), ds)
+		if len(res.Rows) != len(tc.want) {
+			t.Errorf("%s: rows = %v", tc.sql, res.Rows)
+			continue
+		}
+		for _, r := range res.Rows {
+			if got := r[1].String(); got != tc.want[r[0].Str()] {
+				t.Errorf("%s: group %s = %s, want %s", tc.sql, r[0], got, tc.want[r[0].Str()])
+			}
+		}
+	}
+}
+
+func TestGlobalAggEmptyInput(t *testing.T) {
+	ds := schema.NewDataset("empty")
+	res := run(t, q(t, "SELECT COUNT(*) FROM instructor"), ds)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 0 {
+		t.Fatalf("COUNT(*) over empty = %v", res.Rows)
+	}
+	res2 := run(t, q(t, "SELECT SUM(salary) FROM instructor"), ds)
+	if len(res2.Rows) != 1 || !res2.Rows[0][0].IsNull() {
+		t.Fatalf("SUM over empty = %v", res2.Rows)
+	}
+	// Grouped aggregation over empty input yields no rows.
+	res3 := run(t, q(t, "SELECT dept_name, COUNT(*) FROM instructor GROUP BY dept_name"), ds)
+	if len(res3.Rows) != 0 {
+		t.Fatalf("grouped agg over empty = %v", res3.Rows)
+	}
+}
+
+func TestCountIgnoresNulls(t *testing.T) {
+	// NULLs reach aggregates via outer-join padding.
+	ds := schema.NewDataset("nulls")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewString("CS"), sqltypes.NewInt(10)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("b"), sqltypes.NewString("CS"), sqltypes.NewInt(20)})
+	ds.Insert("teaches", ints(1, 100))
+	res := run(t, q(t, `SELECT i.dept_name, COUNT(t.course_id) FROM instructor i
+		LEFT OUTER JOIN teaches t ON i.id = t.id GROUP BY i.dept_name`), ds)
+	if len(res.Rows) != 1 || res.Rows[0][1].Int() != 1 {
+		t.Fatalf("COUNT over padded rows = %v", res.Rows)
+	}
+	res2 := run(t, q(t, `SELECT i.dept_name, COUNT(*) FROM instructor i
+		LEFT OUTER JOIN teaches t ON i.id = t.id GROUP BY i.dept_name`), ds)
+	if res2.Rows[0][1].Int() != 2 {
+		t.Fatalf("COUNT(*) over padded rows = %v", res2.Rows)
+	}
+}
+
+func TestNaturalJoinStarCoalesce(t *testing.T) {
+	// r1 NATURAL JOIN r2 on common columns x, y: SELECT * outputs x and
+	// y once.
+	ds := schema.NewDataset("nat")
+	ds.Insert("r1", ints(1, 7))
+	ds.Insert("r2", ints(1, 7))
+	res := run(t, q(t, "SELECT * FROM r1 NATURAL JOIN r2"), ds)
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 2 {
+		t.Fatalf("natural star = %v (cols %v)", res.Rows, res.Cols)
+	}
+}
+
+func TestResultEqualMultiset(t *testing.T) {
+	a := &Result{Rows: []sqltypes.Row{ints(1), ints(1), ints(2)}}
+	b := &Result{Rows: []sqltypes.Row{ints(2), ints(1), ints(1)}}
+	c := &Result{Rows: []sqltypes.Row{ints(1), ints(2), ints(2)}}
+	if !a.Equal(b) {
+		t.Error("order must not matter")
+	}
+	if a.Equal(c) {
+		t.Error("multiplicities must matter")
+	}
+	d := &Result{Rows: []sqltypes.Row{ints(1), ints(1)}}
+	if a.Equal(d) {
+		t.Error("cardinality must matter")
+	}
+}
+
+func TestMutantTreeExecution(t *testing.T) {
+	// The join/outer-join running example: mutating i JOIN t to LOJ is
+	// killed by a dataset with a non-teaching instructor.
+	query := q(t, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+	ds := universityDS()
+	orig := run(t, query, ds)
+	mutTree := query.Root.Clone()
+	mutTree.Type = sqlparser.LeftOuterJoin
+	mut, err := NewPlan(query).WithTree(mutTree).Run(ds)
+	if err != nil {
+		t.Fatalf("mutant run: %v", err)
+	}
+	if orig.Equal(mut) {
+		t.Error("LOJ mutant should differ on dataset with non-teaching instructor")
+	}
+}
+
+func TestMutantPredReplacement(t *testing.T) {
+	query := q(t, "SELECT * FROM instructor i WHERE i.salary > 70000")
+	ds := universityDS()
+	plan := NewPlan(query)
+	orig, _ := plan.Run(ds)
+	mut, err := plan.WithPredReplaced(0, query.Preds[0].WithOp(sqltypes.OpGE)).Run(ds)
+	if err != nil {
+		t.Fatalf("mutant run: %v", err)
+	}
+	// salary values are 90000 and 60000; > vs >= agree here.
+	if !orig.Equal(mut) {
+		t.Error("mutant should agree on this data")
+	}
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(3), sqltypes.NewString("eve"), sqltypes.NewString("CS"), sqltypes.NewInt(70000)})
+	orig2, _ := plan.Run(ds)
+	mut2, _ := plan.WithPredReplaced(0, query.Preds[0].WithOp(sqltypes.OpGE)).Run(ds)
+	if orig2.Equal(mut2) {
+		t.Error("boundary row must distinguish > from >=")
+	}
+}
+
+func TestMutantAggReplacement(t *testing.T) {
+	query := q(t, "SELECT dept_name, SUM(salary) FROM instructor GROUP BY dept_name")
+	ds := schema.NewDataset("agg")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewString("CS"), sqltypes.NewInt(10)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("b"), sqltypes.NewString("CS"), sqltypes.NewInt(10)})
+	plan := NewPlan(query)
+	orig, _ := plan.Run(ds)
+	mut, err := plan.WithAggReplaced(0, query.Agg.Calls[0].Mutate(sqlparser.AggSum, true)).Run(ds)
+	if err != nil {
+		t.Fatalf("mutant run: %v", err)
+	}
+	if orig.Equal(mut) {
+		t.Error("SUM vs SUM(DISTINCT) must differ with duplicate values")
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	ds := schema.NewDataset("self")
+	ds.Insert("r1", ints(1, 2))
+	ds.Insert("r1", ints(2, 3))
+	res := run(t, q(t, "SELECT a.x, b.x FROM r1 a, r1 b WHERE a.y = b.x"), ds)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 || res.Rows[0][1].Int() != 2 {
+		t.Fatalf("self join rows = %v", res.Rows)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := run(t, q(t, "SELECT i.name FROM instructor i WHERE i.id = 1"), universityDS())
+	if !strings.Contains(res.String(), "alice") {
+		t.Errorf("String() = %q", res.String())
+	}
+}

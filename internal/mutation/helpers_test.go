@@ -1,0 +1,49 @@
+package mutation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+// singlePlan builds the original-query plan (test helper).
+func singlePlan(q *qtree.Query) *engine.Plan { return engine.NewPlan(q) }
+
+// resultKey canonicalizes a result multiset (test helper).
+func resultKey(res *engine.Result) string {
+	var keys []string
+	for _, r := range res.Rows {
+		keys = append(keys, r.Key())
+	}
+	// Order-insensitive: sort.
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return strings.Join(keys, "|")
+}
+
+// comparisonDatasets builds boundary datasets for every predicate of the
+// query by hand (the core package is not importable here without a
+// dependency cycle, so this mirrors its =, <, > construction on the
+// instructor relation used by the test).
+func comparisonDatasets(t *testing.T, q *qtree.Query) []*schema.Dataset {
+	t.Helper()
+	mk := func(salary int64, name string) *schema.Dataset {
+		ds := schema.NewDataset("boundary")
+		ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString(name), sqltypes.NewInt(salary)})
+		return ds
+	}
+	return []*schema.Dataset{
+		mk(70000, "x"), mk(69999, "w"), mk(70001, "y"),
+		mk(70000, "w"), mk(69999, "x"), mk(70001, "x"),
+		mk(70000, "y"), mk(69999, "y"), mk(70001, "w"),
+	}
+}

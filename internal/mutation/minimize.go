@@ -1,0 +1,72 @@
+package mutation
+
+import (
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// MinimizeSuite implements the dataset pruning the paper lists as ongoing
+// work (§VII: "minimizing the number of datasets generated, by pruning
+// redundant datasets"): given the kill matrix, it selects a subset of
+// datasets that kills exactly the same mutants, by greedy set cover
+// (largest remaining kill set first, earlier datasets breaking ties so
+// the original-query dataset is preferred). The original-query dataset at
+// keep[0] is always retained — the tester needs at least one non-empty
+// result (Algorithm 1) — and datasets that kill nothing beyond it are
+// dropped.
+//
+// Minimization preserves completeness: the returned suite kills a mutant
+// if and only if the full suite did.
+func MinimizeSuite(rep *Report) []*schema.Dataset {
+	nd := len(rep.Datasets)
+	if nd == 0 {
+		return nil
+	}
+	// killSets[d] = mutants killed by dataset d.
+	killSets := make([]map[int]bool, nd)
+	for d := 0; d < nd; d++ {
+		killSets[d] = map[int]bool{}
+	}
+	uncovered := map[int]bool{}
+	for mi := range rep.Mutants {
+		for d := 0; d < nd; d++ {
+			if rep.Killed[mi][d] {
+				killSets[d][mi] = true
+				uncovered[mi] = true
+			}
+		}
+	}
+
+	keep := []int{0} // the original-query dataset
+	for mi := range killSets[0] {
+		delete(uncovered, mi)
+	}
+	for len(uncovered) > 0 {
+		best, bestGain := -1, 0
+		for d := 1; d < nd; d++ {
+			gain := 0
+			for mi := range killSets[d] {
+				if uncovered[mi] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = d, gain
+			}
+		}
+		if best < 0 {
+			break // unreachable: every uncovered mutant is killed somewhere
+		}
+		keep = append(keep, best)
+		for mi := range killSets[best] {
+			delete(uncovered, mi)
+		}
+	}
+	sort.Ints(keep)
+	out := make([]*schema.Dataset, 0, len(keep))
+	for _, d := range keep {
+		out = append(out, rep.Datasets[d])
+	}
+	return out
+}

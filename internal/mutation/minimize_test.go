@@ -1,0 +1,91 @@
+package mutation
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+// buildReport constructs a synthetic report with the given kill matrix
+// (rows: mutants, columns: datasets).
+func buildReport(t *testing.T, matrix [][]bool) *Report {
+	t.Helper()
+	nd := 0
+	if len(matrix) > 0 {
+		nd = len(matrix[0])
+	}
+	rep := &Report{Killed: matrix}
+	for d := 0; d < nd; d++ {
+		ds := schema.NewDataset("d")
+		ds.Insert("t", sqltypes.Row{sqltypes.NewInt(int64(d))})
+		rep.Datasets = append(rep.Datasets, ds)
+	}
+	for range matrix {
+		rep.Mutants = append(rep.Mutants, &Mutant{})
+	}
+	return rep
+}
+
+func TestMinimizeDropsRedundant(t *testing.T) {
+	// d1 kills {m0,m1}; d2 kills {m0}; d3 kills {m1}: d2,d3 redundant.
+	rep := buildReport(t, [][]bool{
+		{false, true, true, false},
+		{false, true, false, true},
+	})
+	kept := MinimizeSuite(rep)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d datasets, want 2 (original + d1)", len(kept))
+	}
+	if kept[1] != rep.Datasets[1] {
+		t.Errorf("kept wrong dataset")
+	}
+}
+
+func TestMinimizeKeepsOriginal(t *testing.T) {
+	// Even when the original kills nothing it is retained.
+	rep := buildReport(t, [][]bool{{false, true}})
+	kept := MinimizeSuite(rep)
+	if len(kept) != 2 || kept[0] != rep.Datasets[0] {
+		t.Fatalf("original dataset not retained: %d", len(kept))
+	}
+}
+
+func TestMinimizePreservesCoverage(t *testing.T) {
+	// Random-ish matrix: coverage before and after must be identical.
+	matrix := [][]bool{
+		{false, true, false, false, true},
+		{false, false, true, false, false},
+		{false, true, false, true, false},
+		{false, false, false, false, false}, // survivor stays a survivor
+		{true, false, false, false, false},  // killed by the original
+	}
+	rep := buildReport(t, matrix)
+	kept := MinimizeSuite(rep)
+	keptIdx := map[*schema.Dataset]int{}
+	for i, ds := range rep.Datasets {
+		keptIdx[ds] = i
+	}
+	covered := func(datasets []*schema.Dataset, mi int) bool {
+		for _, ds := range datasets {
+			if matrix[mi][keptIdx[ds]] {
+				return true
+			}
+		}
+		return false
+	}
+	for mi := range matrix {
+		if covered(rep.Datasets, mi) != covered(kept, mi) {
+			t.Errorf("mutant %d coverage changed after minimization", mi)
+		}
+	}
+	if len(kept) >= len(rep.Datasets) {
+		t.Errorf("nothing pruned: %d of %d", len(kept), len(rep.Datasets))
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	if got := MinimizeSuite(&Report{}); got != nil {
+		t.Errorf("empty report minimized to %v", got)
+	}
+}

@@ -1,0 +1,204 @@
+package mutation
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Kind classifies mutants.
+type Kind string
+
+// Mutant kinds, matching the paper's three mutation classes.
+const (
+	KindJoinType   Kind = "join-type"
+	KindComparison Kind = "comparison"
+	KindAggregate  Kind = "aggregate"
+)
+
+// Mutant is a single syntactic mutation of the query, executable as an
+// engine.Plan.
+type Mutant struct {
+	Key  string // canonical identity, for de-duplication
+	Kind Kind
+	Desc string
+	Plan *engine.Plan
+}
+
+// Options configure mutant-space generation.
+type Options struct {
+	// IncludeFullOuter includes mutations to full outer join. The
+	// paper's Table I experiments "ignore the mutation to full outer
+	// join"; set true to include them.
+	IncludeFullOuter bool
+	// AllJoinOrders enumerates every equivalent join order for pure
+	// inner-join queries (the paper's space). When false — or when the
+	// query already contains outer joins, whose order is fixed by the
+	// query text — only the written tree is mutated.
+	AllJoinOrders bool
+}
+
+// DefaultOptions matches the paper's experimental setup.
+func DefaultOptions() Options {
+	return Options{IncludeFullOuter: false, AllJoinOrders: true}
+}
+
+// Space generates the de-duplicated mutant space for a query.
+func Space(q *qtree.Query, opts Options) ([]*Mutant, error) {
+	var out []*Mutant
+	jm, err := JoinTypeMutants(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, jm...)
+	out = append(out, ComparisonMutants(q)...)
+	out = append(out, AggregateMutants(q)...)
+	return out, nil
+}
+
+// JoinTypeMutants generates all single join-type mutations. For pure
+// inner-join queries with AllJoinOrders, every cross-product-free join
+// order is considered and mutants are de-duplicated by canonical form;
+// for queries with outer joins the written tree's nodes are mutated to
+// each other join type.
+func JoinTypeMutants(q *qtree.Query, opts Options) ([]*Mutant, error) {
+	if q.Root == nil || q.Root.IsLeaf() {
+		return nil, nil
+	}
+	basePlan := engine.NewPlan(q)
+	seen := map[string]bool{Canon(q.Root): true}
+	var out []*Mutant
+
+	addTreeMutants := func(tree *qtree.Node) {
+		nodes := tree.Nodes(nil)
+		for ni := range nodes {
+			var types []sqlparser.JoinType
+			for _, jt := range sqlparser.AllJoinTypes {
+				if jt == nodes[ni].Type {
+					continue
+				}
+				if jt == sqlparser.FullOuterJoin && !opts.IncludeFullOuter {
+					continue
+				}
+				types = append(types, jt)
+			}
+			for _, jt := range types {
+				mt := tree.Clone()
+				mNodes := mt.Nodes(nil)
+				mNodes[ni].Type = jt
+				key := Canon(mt)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, &Mutant{
+					Key:  key,
+					Kind: KindJoinType,
+					Desc: fmt.Sprintf("%s at [%s]|[%s] in %s", jt.Symbol(), strings.Join(sortedNames(mNodes[ni].Left), ","), strings.Join(sortedNames(mNodes[ni].Right), ","), mt),
+					Plan: basePlan.WithTree(mt),
+				})
+			}
+		}
+	}
+
+	if q.AllInner() && opts.AllJoinOrders {
+		trees, err := EnumerateTrees(q)
+		if err != nil {
+			return nil, err
+		}
+		// Every all-inner tree is equivalent to the original; record
+		// each so de-duplication can skip inner-only mutants.
+		for _, t := range trees {
+			seen[Canon(t)] = true
+		}
+		for _, t := range trees {
+			addTreeMutants(t)
+		}
+	} else {
+		addTreeMutants(q.Root)
+	}
+	return out, nil
+}
+
+// ComparisonMutants generates the comparison-operator mutation space:
+// each predicate conjunct's operator replaced by each of the other five
+// operators (§II). Equi-join conjuncts represented by equivalence classes
+// are join conditions, covered by the join-type space, and are not
+// comparison-mutated.
+func ComparisonMutants(q *qtree.Query) []*Mutant {
+	basePlan := engine.NewPlan(q)
+	var out []*Mutant
+	for i, p := range q.Preds {
+		for _, op := range sqltypes.AllCmpOps {
+			if op == p.Op {
+				continue
+			}
+			mp := p.WithOp(op)
+			out = append(out, &Mutant{
+				Key:  fmt.Sprintf("cmp:%d:%s", i, op),
+				Kind: KindComparison,
+				Desc: fmt.Sprintf("%s -> %s", p, mp),
+				Plan: basePlan.WithPredReplaced(i, mp),
+			})
+		}
+	}
+	return out
+}
+
+// aggVariants is the paper's eight-operator aggregation space: MAX, MIN,
+// SUM, AVG, COUNT, SUM(DISTINCT), AVG(DISTINCT), COUNT(DISTINCT).
+var aggVariants = []struct {
+	f sqlparser.AggFunc
+	d bool
+}{
+	{sqlparser.AggMax, false},
+	{sqlparser.AggMin, false},
+	{sqlparser.AggSum, false},
+	{sqlparser.AggAvg, false},
+	{sqlparser.AggCount, false},
+	{sqlparser.AggSum, true},
+	{sqlparser.AggAvg, true},
+	{sqlparser.AggCount, true},
+}
+
+// AggregateMutants generates the aggregation-operator mutation space:
+// each aggregate call replaced by each of the other seven operators.
+// COUNT(*) calls are not mutated (there is no aggregated attribute to
+// carry over); numeric-only operators are skipped for non-numeric
+// arguments.
+func AggregateMutants(q *qtree.Query) []*Mutant {
+	if q.Agg == nil {
+		return nil
+	}
+	basePlan := engine.NewPlan(q)
+	var out []*Mutant
+	for i, call := range q.Agg.Calls {
+		if call.Star {
+			continue
+		}
+		numeric := q.AttrType(call.Arg).Numeric()
+		for _, v := range aggVariants {
+			if v.f == call.Func && v.d == call.Distinct {
+				continue
+			}
+			if !numeric {
+				switch v.f {
+				case sqlparser.AggSum, sqlparser.AggAvg:
+					continue
+				}
+			}
+			mc := call.Mutate(v.f, v.d)
+			out = append(out, &Mutant{
+				Key:  fmt.Sprintf("agg:%d:%s", i, mc),
+				Kind: KindAggregate,
+				Desc: fmt.Sprintf("%s -> %s", call, mc),
+				Plan: basePlan.WithAggReplaced(i, mc),
+			})
+		}
+	}
+	return out
+}

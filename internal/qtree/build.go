@@ -1,0 +1,573 @@
+package qtree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Build performs semantic analysis of a parsed statement against a schema
+// and returns the normalized query. It enforces the paper's assumptions
+// A3–A6 (single block, conjunctive simple predicates, no NULL tests) and
+// standard SQL name-resolution rules.
+func Build(sch *schema.Schema, stmt *sqlparser.SelectStmt) (*Query, error) {
+	b := &builder{
+		schema: sch,
+		q: &Query{
+			Schema:    sch,
+			SQL:       stmt.String(),
+			occByName: map[string]*Occurrence{},
+			Distinct:  stmt.Distinct,
+		},
+		uf: newUnionFind(),
+	}
+
+	// FROM: comma-separated items combine left-deep with inner joins.
+	var root *Node
+	for _, te := range stmt.From {
+		n, err := b.buildTableExpr(te)
+		if err != nil {
+			return nil, err
+		}
+		if root == nil {
+			root = n
+		} else {
+			root = &Node{Type: sqlparser.InnerJoin, Left: root, Right: n}
+		}
+	}
+	b.q.Root = root
+	b.outerOccs = len(b.q.Occs)
+
+	// WHERE conjuncts.
+	if stmt.Where != nil {
+		if err := b.addConjuncts(stmt.Where, "WHERE clause"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Select list and aggregation.
+	if err := b.buildSelect(stmt); err != nil {
+		return nil, err
+	}
+
+	b.q.Classes = b.uf.classes()
+	if err := b.check(); err != nil {
+		return nil, err
+	}
+	return b.q, nil
+}
+
+// BuildSQL parses and builds in one step.
+func BuildSQL(sch *schema.Schema, sql string) (*Query, error) {
+	stmt, err := sqlparser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	q, err := Build(sch, stmt)
+	if err != nil {
+		return nil, err
+	}
+	q.SQL = sql
+	return q, nil
+}
+
+type builder struct {
+	schema *schema.Schema
+	q      *Query
+	uf     *unionFind
+	// outerOccs is the number of occurrences introduced by the outer
+	// query's FROM clause; occurrences beyond it come from decorrelated
+	// subqueries and are excluded from SELECT * expansion.
+	outerOccs int
+}
+
+func (b *builder) addOccurrence(table, alias string) (*Occurrence, error) {
+	rel := b.schema.Relation(table)
+	if rel == nil {
+		return nil, fmt.Errorf("qtree: unknown relation %q", table)
+	}
+	name := strings.ToLower(alias)
+	if name == "" {
+		name = rel.Name
+	}
+	if _, dup := b.q.occByName[name]; dup {
+		return nil, fmt.Errorf("qtree: duplicate relation name %q in FROM (repeated relations need distinct aliases)", name)
+	}
+	occ := &Occurrence{Name: name, Rel: rel, ID: len(b.q.Occs)}
+	b.q.Occs = append(b.q.Occs, occ)
+	b.q.occByName[name] = occ
+	return occ, nil
+}
+
+func (b *builder) buildTableExpr(te sqlparser.TableExpr) (*Node, error) {
+	switch t := te.(type) {
+	case *sqlparser.TableRef:
+		occ, err := b.addOccurrence(t.Table, t.Alias)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Occ: occ}, nil
+	case *sqlparser.JoinExpr:
+		left, err := b.buildTableExpr(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := b.buildTableExpr(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{Type: t.Type, Natural: t.Natural, Left: left, Right: right}
+		if t.Natural {
+			if err := b.addNaturalConds(n); err != nil {
+				return nil, err
+			}
+		} else if t.On != nil {
+			if err := b.addConjuncts(t.On, "ON clause"); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("qtree: unsupported table expression %T", te)
+	}
+}
+
+// addNaturalConds adds equi-join conditions for every attribute name
+// common to the two sides of a natural join.
+func (b *builder) addNaturalConds(n *Node) error {
+	leftAttrs := availableAttrs(n.Left)
+	rightAttrs := availableAttrs(n.Right)
+	common := 0
+	for name, l := range leftAttrs {
+		r, ok := rightAttrs[name]
+		if !ok {
+			continue
+		}
+		if len(l) > 1 || len(r) > 1 {
+			return fmt.Errorf("qtree: natural join attribute %q is ambiguous", name)
+		}
+		b.uf.union(l[0], r[0])
+		common++
+	}
+	if common == 0 {
+		return fmt.Errorf("qtree: natural join with no common attributes (would be a cross product)")
+	}
+	return nil
+}
+
+func availableAttrs(n *Node) map[string][]AttrRef {
+	out := map[string][]AttrRef{}
+	for _, occ := range n.Leaves(nil) {
+		for _, a := range occ.Rel.Attrs {
+			out[a.Name] = append(out[a.Name], AttrRef{Occ: occ.Name, Attr: a.Name})
+		}
+	}
+	return out
+}
+
+// addConjuncts decomposes a boolean expression into conjuncts (rejecting
+// OR and NOT per assumption A5), classifies each as an equi-join
+// condition (merged into equivalence classes) or a retained predicate.
+func (b *builder) addConjuncts(e sqlparser.Expr, where string) error {
+	switch ex := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch ex.Op {
+		case "AND":
+			if err := b.addConjuncts(ex.L, where); err != nil {
+				return err
+			}
+			return b.addConjuncts(ex.R, where)
+		case "OR":
+			return fmt.Errorf("qtree: OR in %s is outside the supported class (assumption A5: conjunctions of simple conditions)", where)
+		case "=", "<>", "<", "<=", ">", ">=":
+			return b.addComparison(ex)
+		default:
+			return fmt.Errorf("qtree: unexpected operator %q in %s", ex.Op, where)
+		}
+	case *sqlparser.NotExpr:
+		return fmt.Errorf("qtree: NOT in %s is outside the supported class (assumption A5; NOT IN / NOT EXISTS would need anti-joins)", where)
+	case *sqlparser.InSubquery:
+		return b.decorrelate(ex.Sub, ex.Expr)
+	case *sqlparser.ExistsSubquery:
+		return b.decorrelate(ex.Sub, nil)
+	default:
+		return fmt.Errorf("qtree: unexpected boolean expression %s in %s", e, where)
+	}
+}
+
+// decorrelate rewrites an IN or EXISTS subquery into a join, as §V-H
+// prescribes for simple subqueries: the subquery's relations join the
+// outer query, its WHERE conjuncts (which may reference outer relations
+// — correlation resolves naturally in the combined scope) are added to
+// the predicate pool, and for IN the outer expression is equated with
+// the subquery's select column. The decorrelated join is the query that
+// is tested: its duplicate counts may differ from the semijoin the
+// subquery denotes, which is the trade-off the paper accepts.
+func (b *builder) decorrelate(sub *sqlparser.SelectStmt, outer sqlparser.Expr) error {
+	if b.q.Root == nil {
+		return fmt.Errorf("qtree: subqueries are only supported in the WHERE clause, not in ON conditions")
+	}
+	if len(sub.GroupBy) > 0 {
+		return fmt.Errorf("qtree: aggregating subqueries cannot be decorrelated into joins (§V-H handles simple subqueries)")
+	}
+	for _, it := range sub.Select {
+		if it.Star {
+			continue
+		}
+		if _, ok := it.Expr.(*sqlparser.AggExpr); ok {
+			return fmt.Errorf("qtree: aggregating subqueries cannot be decorrelated into joins (§V-H handles simple subqueries)")
+		}
+	}
+	if outer != nil {
+		if len(sub.Select) != 1 || sub.Select[0].Star {
+			return fmt.Errorf("qtree: IN subquery must select exactly one column")
+		}
+	}
+	var subRoot *Node
+	for _, te := range sub.From {
+		n, err := b.buildTableExpr(te)
+		if err != nil {
+			return err
+		}
+		if subRoot == nil {
+			subRoot = n
+		} else {
+			subRoot = &Node{Type: sqlparser.InnerJoin, Left: subRoot, Right: n}
+		}
+	}
+	b.q.Root = &Node{Type: sqlparser.InnerJoin, Left: b.q.Root, Right: subRoot}
+	if sub.Where != nil {
+		if err := b.addConjuncts(sub.Where, "subquery WHERE clause"); err != nil {
+			return err
+		}
+	}
+	if outer != nil {
+		eq := &sqlparser.BinaryExpr{Op: "=", L: outer, R: sub.Select[0].Expr}
+		if err := b.addComparison(eq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) addComparison(ex *sqlparser.BinaryExpr) error {
+	l, err := b.buildScalar(ex.L)
+	if err != nil {
+		return err
+	}
+	r, err := b.buildScalar(ex.R)
+	if err != nil {
+		return err
+	}
+	var op sqltypes.CmpOp
+	switch ex.Op {
+	case "=":
+		op = sqltypes.OpEQ
+	case "<>":
+		op = sqltypes.OpNE
+	case "<":
+		op = sqltypes.OpLT
+	case "<=":
+		op = sqltypes.OpLE
+	case ">":
+		op = sqltypes.OpGT
+	case ">=":
+		op = sqltypes.OpGE
+	}
+	if err := b.checkComparable(l, r, ex); err != nil {
+		return err
+	}
+	// Plain cross-occurrence attribute equality is an equi-join
+	// condition, represented by equivalence classes (paper §IV-B).
+	if op == sqltypes.OpEQ && l.Kind == SAttr && r.Kind == SAttr && l.Attr.Occ != r.Attr.Occ {
+		b.uf.union(l.Attr, r.Attr)
+		return nil
+	}
+	b.q.Preds = append(b.q.Preds, NewPred(op, l, r))
+	return nil
+}
+
+func (b *builder) checkComparable(l, r *Scalar, ex *sqlparser.BinaryExpr) error {
+	lk, err := b.scalarKind(l)
+	if err != nil {
+		return err
+	}
+	rk, err := b.scalarKind(r)
+	if err != nil {
+		return err
+	}
+	lNum, rNum := lk.Numeric(), rk.Numeric()
+	if lNum != rNum || (!lNum && lk != rk) {
+		return fmt.Errorf("qtree: type mismatch in %s: %s vs %s", ex, lk, rk)
+	}
+	return nil
+}
+
+func (b *builder) scalarKind(s *Scalar) (sqltypes.Kind, error) {
+	switch s.Kind {
+	case SAttr:
+		return b.q.AttrType(s.Attr), nil
+	case SConst:
+		return s.Const.Kind(), nil
+	default:
+		lk, err := b.scalarKind(s.L)
+		if err != nil {
+			return 0, err
+		}
+		rk, err := b.scalarKind(s.R)
+		if err != nil {
+			return 0, err
+		}
+		if !lk.Numeric() || !rk.Numeric() {
+			return 0, fmt.Errorf("qtree: arithmetic on non-numeric operands (%s, %s)", lk, rk)
+		}
+		if lk == sqltypes.KindFloat || rk == sqltypes.KindFloat {
+			return sqltypes.KindFloat, nil
+		}
+		return sqltypes.KindInt, nil
+	}
+}
+
+func (b *builder) buildScalar(e sqlparser.Expr) (*Scalar, error) {
+	switch ex := e.(type) {
+	case *sqlparser.ColRef:
+		a, err := b.resolveCol(ex)
+		if err != nil {
+			return nil, err
+		}
+		return NewAttr(a), nil
+	case *sqlparser.NumLit:
+		return NewConst(ex.Val), nil
+	case *sqlparser.StrLit:
+		return NewConst(sqltypes.NewString(ex.Val)), nil
+	case *sqlparser.BinaryExpr:
+		switch ex.Op {
+		case "+", "-", "*", "/":
+			l, err := b.buildScalar(ex.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.buildScalar(ex.R)
+			if err != nil {
+				return nil, err
+			}
+			return NewArith(ex.Op[0], l, r), nil
+		}
+		return nil, fmt.Errorf("qtree: boolean expression %s used as scalar", ex)
+	case *sqlparser.AggExpr:
+		return nil, fmt.Errorf("qtree: aggregate %s not allowed here (aggregation only at the top level, §II)", ex)
+	default:
+		return nil, fmt.Errorf("qtree: unsupported scalar expression %s", e)
+	}
+}
+
+func (b *builder) resolveCol(c *sqlparser.ColRef) (AttrRef, error) {
+	col := strings.ToLower(c.Column)
+	if c.Qualifier != "" {
+		q := strings.ToLower(c.Qualifier)
+		occ := b.q.occByName[q]
+		if occ == nil {
+			return AttrRef{}, fmt.Errorf("qtree: unknown relation or alias %q in %s", c.Qualifier, c)
+		}
+		if occ.Rel.AttrPos(col) < 0 {
+			return AttrRef{}, fmt.Errorf("qtree: relation %s has no column %q", occ.Rel.Name, col)
+		}
+		return AttrRef{Occ: occ.Name, Attr: col}, nil
+	}
+	var found []AttrRef
+	for _, occ := range b.q.Occs {
+		if occ.Rel.AttrPos(col) >= 0 {
+			found = append(found, AttrRef{Occ: occ.Name, Attr: col})
+		}
+	}
+	switch len(found) {
+	case 0:
+		return AttrRef{}, fmt.Errorf("qtree: unknown column %q", c.Column)
+	case 1:
+		return found[0], nil
+	default:
+		return AttrRef{}, fmt.Errorf("qtree: ambiguous column %q (in %s and %s)", c.Column, found[0], found[1])
+	}
+}
+
+func (b *builder) buildSelect(stmt *sqlparser.SelectStmt) error {
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Select {
+		if !it.Star {
+			if _, ok := it.Expr.(*sqlparser.AggExpr); ok {
+				hasAgg = true
+			}
+		}
+	}
+	if !hasAgg {
+		return b.buildPlainSelect(stmt)
+	}
+	return b.buildAggSelect(stmt)
+}
+
+func (b *builder) buildPlainSelect(stmt *sqlparser.SelectStmt) error {
+	for _, it := range stmt.Select {
+		switch {
+		case it.Star && it.Qualifier == "":
+			if len(stmt.Select) != 1 {
+				return fmt.Errorf("qtree: SELECT * cannot be combined with other select items")
+			}
+			// Star expands over the outer query's relations only;
+			// decorrelated subquery relations stay projected away.
+			b.q.Proj = Projection{Star: true}
+			for _, occ := range b.q.Occs[:b.outerOccs] {
+				for _, a := range occ.Rel.Attrs {
+					b.q.Proj.Attrs = append(b.q.Proj.Attrs, AttrRef{Occ: occ.Name, Attr: a.Name})
+				}
+			}
+			return nil
+		case it.Star:
+			occ := b.q.occByName[strings.ToLower(it.Qualifier)]
+			if occ == nil {
+				return fmt.Errorf("qtree: unknown relation or alias %q in %s.*", it.Qualifier, it.Qualifier)
+			}
+			for _, a := range occ.Rel.Attrs {
+				b.q.Proj.Attrs = append(b.q.Proj.Attrs, AttrRef{Occ: occ.Name, Attr: a.Name})
+			}
+		default:
+			cr, ok := it.Expr.(*sqlparser.ColRef)
+			if !ok {
+				return fmt.Errorf("qtree: select item %s: only column references, *, and aggregates are supported in the select list", it.Expr)
+			}
+			a, err := b.resolveCol(cr)
+			if err != nil {
+				return err
+			}
+			b.q.Proj.Attrs = append(b.q.Proj.Attrs, a)
+		}
+	}
+	return nil
+}
+
+func (b *builder) buildAggSelect(stmt *sqlparser.SelectStmt) error {
+	agg := &AggSpec{}
+	groupSet := map[AttrRef]bool{}
+	for _, g := range stmt.GroupBy {
+		a, err := b.resolveCol(g)
+		if err != nil {
+			return err
+		}
+		agg.GroupBy = append(agg.GroupBy, a)
+		groupSet[a] = true
+	}
+	// For aggregation queries the result columns are the GROUP BY
+	// attributes followed by the aggregate calls; Proj.Attrs stays empty.
+	for _, it := range stmt.Select {
+		if it.Star {
+			return fmt.Errorf("qtree: SELECT * cannot be combined with aggregation")
+		}
+		switch ex := it.Expr.(type) {
+		case *sqlparser.AggExpr:
+			call := AggCall{Func: ex.Func, Distinct: ex.Distinct}
+			if ex.Arg == nil {
+				call.Star = true
+			} else {
+				cr, ok := ex.Arg.(*sqlparser.ColRef)
+				if !ok {
+					return fmt.Errorf("qtree: aggregate argument %s: only single columns are supported (paper: aggregated attribute A)", ex.Arg)
+				}
+				a, err := b.resolveCol(cr)
+				if err != nil {
+					return err
+				}
+				if ex.Func != sqlparser.AggCount && ex.Func != sqlparser.AggMin && ex.Func != sqlparser.AggMax {
+					if k := b.q.AttrType(a); !k.Numeric() {
+						return fmt.Errorf("qtree: %s over non-numeric column %s", ex.Func, a)
+					}
+				}
+				call.Arg = a
+			}
+			agg.Calls = append(agg.Calls, call)
+		case *sqlparser.ColRef:
+			a, err := b.resolveCol(ex)
+			if err != nil {
+				return err
+			}
+			if !groupSet[a] {
+				return fmt.Errorf("qtree: column %s must appear in GROUP BY or inside an aggregate", a)
+			}
+		default:
+			return fmt.Errorf("qtree: select item %s not supported with aggregation", it.Expr)
+		}
+	}
+	if len(agg.Calls) == 0 {
+		return fmt.Errorf("qtree: GROUP BY without any aggregate in the select list is outside the supported class")
+	}
+	b.q.Agg = agg
+	return nil
+}
+
+// check validates structural assumptions after building.
+func (b *builder) check() error {
+	if len(b.q.Occs) == 0 {
+		return fmt.Errorf("qtree: query has no relations")
+	}
+	// Outer-join nodes must have an applicable join condition; an outer
+	// join degenerating to a cross product has no sensible mutation
+	// semantics (and is invalid SQL without ON anyway).
+	for _, n := range b.q.Root.Nodes(nil) {
+		if n.Type == sqlparser.InnerJoin {
+			continue
+		}
+		if !b.q.JoinGraphEdge(n.Left.OccSet(), n.Right.OccSet()) {
+			return fmt.Errorf("qtree: outer join %s has no join condition linking its inputs", n)
+		}
+	}
+	// Assumptions A7/A8: a full outer join must expose at least one
+	// attribute from each input in the select clause (non-common
+	// attributes for natural joins).
+	for _, n := range b.q.Root.Nodes(nil) {
+		if n.Type != sqlparser.FullOuterJoin {
+			continue
+		}
+		if err := b.checkFullOuterVisibility(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) checkFullOuterVisibility(n *Node) error {
+	proj := b.q.Proj.Attrs
+	if b.q.Agg != nil {
+		proj = append(append([]AttrRef{}, b.q.Agg.GroupBy...), nil...)
+		for _, c := range b.q.Agg.Calls {
+			if !c.Star {
+				proj = append(proj, c.Arg)
+			}
+		}
+	}
+	for _, side := range []*Node{n.Left, n.Right} {
+		occs := side.OccSet()
+		visible := false
+		for _, a := range proj {
+			if !occs[a.Occ] {
+				continue
+			}
+			if n.Natural && b.isCommonNaturalAttr(n, a) {
+				continue // assumption A8: common attrs don't count
+			}
+			visible = true
+			break
+		}
+		if !visible {
+			return fmt.Errorf("qtree: full outer join %s: select clause exposes no attribute of input %s (assumptions A7/A8)", n, side)
+		}
+	}
+	return nil
+}
+
+func (b *builder) isCommonNaturalAttr(n *Node, a AttrRef) bool {
+	l, r := availableAttrs(n.Left), availableAttrs(n.Right)
+	_, inL := l[a.Attr]
+	_, inR := r[a.Attr]
+	return inL && inR
+}

@@ -1,0 +1,83 @@
+package qtree
+
+import (
+	"strings"
+	"testing"
+)
+
+// §V-H: simple IN/EXISTS subqueries decorrelate into joins.
+
+func TestInSubqueryDecorrelation(t *testing.T) {
+	q := buildQ(t, `SELECT * FROM instructor i
+		WHERE i.id IN (SELECT t.id FROM teaches t WHERE t.course_id > 100)`)
+	if len(q.Occs) != 2 {
+		t.Fatalf("occs = %d, want 2 (subquery relation joined in)", len(q.Occs))
+	}
+	// The IN equality becomes an equivalence class.
+	if len(q.Classes) != 1 || q.Classes[0].String() != "{i.id, t.id}" {
+		t.Errorf("classes = %v", q.Classes)
+	}
+	// The subquery's selection is in the predicate pool.
+	if len(q.Selections()) != 1 {
+		t.Errorf("selections = %v", q.Preds)
+	}
+	// SELECT * projects only the outer relation.
+	for _, a := range q.Proj.Attrs {
+		if a.Occ == "t" {
+			t.Errorf("subquery attribute %s leaked into SELECT *", a)
+		}
+	}
+	if got := q.Root.String(); got != "(i JOIN t)" {
+		t.Errorf("tree = %s", got)
+	}
+}
+
+func TestCorrelatedExistsDecorrelation(t *testing.T) {
+	// Correlated EXISTS: the inner WHERE references the outer relation.
+	q := buildQ(t, `SELECT i.name FROM instructor i
+		WHERE EXISTS (SELECT t.id FROM teaches t WHERE t.id = i.id)`)
+	if len(q.Occs) != 2 {
+		t.Fatalf("occs = %d", len(q.Occs))
+	}
+	if len(q.Classes) != 1 {
+		t.Errorf("correlation predicate should form a class: %v", q.Classes)
+	}
+}
+
+func TestNestedSubquery(t *testing.T) {
+	q := buildQ(t, `SELECT * FROM instructor i
+		WHERE i.id IN (SELECT t.id FROM teaches t
+			WHERE t.course_id IN (SELECT c.course_id FROM course c WHERE c.credits > 3))`)
+	if len(q.Occs) != 3 {
+		t.Fatalf("occs = %d, want 3", len(q.Occs))
+	}
+	if len(q.Classes) != 2 {
+		t.Errorf("classes = %v", q.Classes)
+	}
+}
+
+func TestSubqueryRejections(t *testing.T) {
+	for _, tc := range []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT * FROM instructor i WHERE i.id IN (SELECT COUNT(t.id) FROM teaches t)`, "decorrelated"},
+		{`SELECT * FROM instructor i WHERE i.id IN (SELECT t.id, t.course_id FROM teaches t)`, "one column"},
+		{`SELECT * FROM instructor i WHERE i.salary IN (SELECT s.id FROM teaches s GROUP BY s.id)`, ""},
+		{`SELECT * FROM instructor i WHERE NOT i.id IN (SELECT t.id FROM teaches t)`, "anti-join"},
+		{`SELECT * FROM instructor i WHERE NOT EXISTS (SELECT t.id FROM teaches t)`, "anti-join"},
+		{`SELECT * FROM instructor i JOIN teaches t ON i.id IN (SELECT x.id FROM teaches x)`, "ON"},
+	} {
+		err := buildErr(t, tc.sql)
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s:\n  error %q does not mention %q", tc.sql, err, tc.want)
+		}
+	}
+}
+
+func TestSubqueryAliasCollision(t *testing.T) {
+	err := buildErr(t, `SELECT * FROM teaches t WHERE t.id IN (SELECT t.id FROM teaches t)`)
+	if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("error = %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Dataset is a test case in the paper's sense: a legal database instance,
+// mapping base-relation names to bags of rows. Generated datasets also
+// carry a human-readable Purpose describing which mutant group they target
+// (the paper stresses that each test case must be small and intuitive
+// because a human examines it).
+type Dataset struct {
+	Purpose string
+	Tables  map[string][]sqltypes.Row
+}
+
+// NewDataset returns an empty dataset with the given purpose label.
+func NewDataset(purpose string) *Dataset {
+	return &Dataset{Purpose: purpose, Tables: make(map[string][]sqltypes.Row)}
+}
+
+// Insert appends a row to the named table.
+func (d *Dataset) Insert(table string, row sqltypes.Row) {
+	table = strings.ToLower(table)
+	d.Tables[table] = append(d.Tables[table], row)
+}
+
+// Rows returns the rows of the named table (nil if absent).
+func (d *Dataset) Rows(table string) []sqltypes.Row {
+	return d.Tables[strings.ToLower(table)]
+}
+
+// TableNames returns the populated table names, sorted.
+func (d *Dataset) TableNames() []string {
+	out := make([]string, 0, len(d.Tables))
+	for n := range d.Tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total number of rows across all tables.
+func (d *Dataset) Size() int {
+	n := 0
+	for _, rows := range d.Tables {
+		n += len(rows)
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	out := NewDataset(d.Purpose)
+	for t, rows := range d.Tables {
+		cp := make([]sqltypes.Row, len(rows))
+		for i, r := range rows {
+			cp[i] = r.Clone()
+		}
+		out.Tables[t] = cp
+	}
+	return out
+}
+
+// String renders the dataset as a compact text table per relation.
+func (d *Dataset) String() string {
+	var sb strings.Builder
+	if d.Purpose != "" {
+		fmt.Fprintf(&sb, "-- %s\n", d.Purpose)
+	}
+	for _, t := range d.TableNames() {
+		fmt.Fprintf(&sb, "%s:\n", t)
+		for _, r := range d.Tables[t] {
+			fmt.Fprintf(&sb, "  %s\n", r)
+		}
+	}
+	return sb.String()
+}
+
+// SQLInserts renders the dataset as INSERT statements against the schema
+// (columns in schema order).
+func (d *Dataset) SQLInserts(s *Schema) string {
+	var sb strings.Builder
+	if d.Purpose != "" {
+		fmt.Fprintf(&sb, "-- %s\n", d.Purpose)
+	}
+	for _, t := range d.TableNames() {
+		rel := s.Relation(t)
+		for _, r := range d.Tables[t] {
+			vals := make([]string, len(r))
+			for i, v := range r {
+				vals[i] = v.SQLLiteral()
+			}
+			if rel != nil {
+				cols := make([]string, len(rel.Attrs))
+				for i, a := range rel.Attrs {
+					cols[i] = a.Name
+				}
+				fmt.Fprintf(&sb, "INSERT INTO %s (%s) VALUES (%s);\n", t, strings.Join(cols, ", "), strings.Join(vals, ", "))
+			} else {
+				fmt.Fprintf(&sb, "INSERT INTO %s VALUES (%s);\n", t, strings.Join(vals, ", "))
+			}
+		}
+	}
+	return sb.String()
+}
+
+// CheckDataset validates a dataset against the schema: arity and type of
+// every row, NOT NULL columns, primary-key uniqueness, and referential
+// integrity of every foreign key. It returns the first violation found,
+// or nil if the dataset is a legal database instance.
+func (s *Schema) CheckDataset(d *Dataset) error {
+	for _, t := range d.TableNames() {
+		rel := s.Relation(t)
+		if rel == nil {
+			return fmt.Errorf("dataset: unknown relation %s", t)
+		}
+		seenPK := make(map[string]int)
+		for ri, row := range d.Tables[t] {
+			if len(row) != rel.Arity() {
+				return fmt.Errorf("dataset: %s row %d: arity %d, want %d", t, ri, len(row), rel.Arity())
+			}
+			for ci, v := range row {
+				a := rel.Attrs[ci]
+				if v.IsNull() {
+					if a.NotNull {
+						return fmt.Errorf("dataset: %s row %d: NULL in NOT NULL column %s", t, ri, a.Name)
+					}
+					continue
+				}
+				if !kindCompatible(a.Type, v.Kind()) {
+					return fmt.Errorf("dataset: %s row %d: column %s has %s, want %s", t, ri, a.Name, v.Kind(), a.Type)
+				}
+			}
+			if len(rel.PrimaryKey) > 0 {
+				key, ok := pkKey(rel, row)
+				if !ok {
+					return fmt.Errorf("dataset: %s row %d: NULL in primary key", t, ri)
+				}
+				if prev, dup := seenPK[key]; dup {
+					return fmt.Errorf("dataset: %s rows %d and %d: duplicate primary key %s", t, prev, ri, key)
+				}
+				seenPK[key] = ri
+			}
+		}
+	}
+	// Referential integrity.
+	for _, t := range d.TableNames() {
+		rel := s.Relation(t)
+		for _, fk := range rel.ForeignKeys {
+			ref := s.Relation(fk.RefTable)
+			if ref == nil {
+				return fmt.Errorf("dataset: %s: %s: missing referenced relation", t, fk)
+			}
+			refKeys := make(map[string]bool)
+			for _, row := range d.Rows(fk.RefTable) {
+				refKeys[projKey(ref, fk.RefColumns, row)] = true
+			}
+			for ri, row := range d.Tables[t] {
+				k := projKey(rel, fk.Columns, row)
+				if k == "" { // NULL in FK: vacuously satisfied (A2 forbids, but be lenient)
+					continue
+				}
+				if !refKeys[k] {
+					return fmt.Errorf("dataset: %s row %d violates %s: no matching %s row", t, ri, fk, fk.RefTable)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func kindCompatible(col, val sqltypes.Kind) bool {
+	if col == val {
+		return true
+	}
+	return col.Numeric() && val.Numeric()
+}
+
+func pkKey(rel *Relation, row sqltypes.Row) (string, bool) {
+	cells := make(sqltypes.Row, 0, len(rel.PrimaryKey))
+	for _, c := range rel.PrimaryKey {
+		v := row[rel.AttrPos(c)]
+		if v.IsNull() {
+			return "", false
+		}
+		cells = append(cells, v)
+	}
+	return cells.Key(), true
+}
+
+func projKey(rel *Relation, cols []string, row sqltypes.Row) string {
+	cells := make(sqltypes.Row, 0, len(cols))
+	for _, c := range cols {
+		v := row[rel.AttrPos(c)]
+		if v.IsNull() {
+			return ""
+		}
+		cells = append(cells, v)
+	}
+	return cells.Key()
+}
+
+// DedupPrimaryKeys removes rows whose full contents duplicate an earlier
+// row, and reports an error if two distinct rows share a primary key. The
+// paper notes the solver may legitimately make repair tuples equal to
+// existing tuples; duplicates are eliminated before the dataset is
+// materialized.
+func (s *Schema) DedupPrimaryKeys(d *Dataset) error {
+	for _, t := range d.TableNames() {
+		rel := s.Relation(t)
+		if rel == nil {
+			continue
+		}
+		seenRow := make(map[string]bool)
+		seenPK := make(map[string]string)
+		var kept []sqltypes.Row
+		for _, row := range d.Tables[t] {
+			rk := row.Key()
+			if seenRow[rk] {
+				continue
+			}
+			if len(rel.PrimaryKey) > 0 {
+				pk, ok := pkKey(rel, row)
+				if !ok {
+					return fmt.Errorf("dedup: %s: NULL primary key", t)
+				}
+				if prev, dup := seenPK[pk]; dup && prev != rk {
+					return fmt.Errorf("dedup: %s: primary-key conflict between distinct rows", t)
+				}
+				if _, dup := seenPK[pk]; dup {
+					continue
+				}
+				seenPK[pk] = rk
+			}
+			seenRow[rk] = true
+			kept = append(kept, row)
+		}
+		d.Tables[t] = kept
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func mustRel(t *testing.T, name string, attrs []Attribute, pk []string, fks []ForeignKey) *Relation {
+	t.Helper()
+	r, err := NewRelation(name, attrs, pk, fks)
+	if err != nil {
+		t.Fatalf("NewRelation(%s): %v", name, err)
+	}
+	return r
+}
+
+func chainSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := New()
+	s.MustAddRelation(mustRel(t, "c",
+		[]Attribute{{Name: "x", Type: sqltypes.KindInt, NotNull: true}},
+		[]string{"x"}, nil))
+	s.MustAddRelation(mustRel(t, "b",
+		[]Attribute{{Name: "x", Type: sqltypes.KindInt, NotNull: true}},
+		[]string{"x"},
+		[]ForeignKey{{Columns: []string{"x"}, RefTable: "c", RefColumns: []string{"x"}}}))
+	s.MustAddRelation(mustRel(t, "a",
+		[]Attribute{{Name: "x", Type: sqltypes.KindInt, NotNull: true}},
+		[]string{"x"},
+		[]ForeignKey{{Columns: []string{"x"}, RefTable: "b", RefColumns: []string{"x"}}}))
+	return s
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := mustRel(t, "Emp", []Attribute{
+		{Name: "ID", Type: sqltypes.KindInt, NotNull: true},
+		{Name: "Name", Type: sqltypes.KindString},
+	}, []string{"id"}, nil)
+	if r.Name != "emp" {
+		t.Errorf("relation name not lower-cased: %s", r.Name)
+	}
+	if r.AttrPos("ID") != 0 || r.AttrPos("name") != 1 || r.AttrPos("nope") != -1 {
+		t.Error("AttrPos case-insensitive lookup failed")
+	}
+	if !r.IsPrimaryKeyCol("Id") || r.IsPrimaryKeyCol("name") {
+		t.Error("IsPrimaryKeyCol failed")
+	}
+	if r.Arity() != 2 {
+		t.Errorf("Arity = %d", r.Arity())
+	}
+}
+
+func TestNewRelationErrors(t *testing.T) {
+	if _, err := NewRelation("r", []Attribute{{Name: "a"}, {Name: "A"}}, nil, nil); err == nil {
+		t.Error("duplicate attribute not rejected")
+	}
+	if _, err := NewRelation("r", []Attribute{{Name: "a"}}, []string{"b"}, nil); err == nil {
+		t.Error("bad PK column not rejected")
+	}
+	if _, err := NewRelation("r", []Attribute{{Name: "a"}}, nil,
+		[]ForeignKey{{Columns: []string{"z"}, RefTable: "s", RefColumns: []string{"a"}}}); err == nil {
+		t.Error("bad FK column not rejected")
+	}
+	if _, err := NewRelation("r", []Attribute{{Name: "a"}}, nil,
+		[]ForeignKey{{Columns: []string{"a"}, RefTable: "s", RefColumns: []string{"x", "y"}}}); err == nil {
+		t.Error("mismatched FK column counts not rejected")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := chainSchema(t)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	// FK to a missing relation.
+	s2 := New()
+	s2.MustAddRelation(mustRel(t, "a", []Attribute{{Name: "x", Type: sqltypes.KindInt}}, []string{"x"},
+		[]ForeignKey{{Columns: []string{"x"}, RefTable: "ghost", RefColumns: []string{"x"}}}))
+	if err := s2.Validate(); err == nil {
+		t.Error("dangling FK target not rejected")
+	}
+
+	// FK referencing a non-PK column set.
+	s3 := New()
+	s3.MustAddRelation(mustRel(t, "b", []Attribute{
+		{Name: "x", Type: sqltypes.KindInt}, {Name: "y", Type: sqltypes.KindInt},
+	}, []string{"x"}, nil))
+	s3.MustAddRelation(mustRel(t, "a", []Attribute{{Name: "y", Type: sqltypes.KindInt}}, []string{"y"},
+		[]ForeignKey{{Columns: []string{"y"}, RefTable: "b", RefColumns: []string{"y"}}}))
+	if err := s3.Validate(); err == nil {
+		t.Error("FK to non-primary-key columns not rejected")
+	}
+
+	// FK with mismatched types.
+	s4 := New()
+	s4.MustAddRelation(mustRel(t, "b", []Attribute{{Name: "x", Type: sqltypes.KindString}}, []string{"x"}, nil))
+	s4.MustAddRelation(mustRel(t, "a", []Attribute{{Name: "x", Type: sqltypes.KindInt}}, []string{"x"},
+		[]ForeignKey{{Columns: []string{"x"}, RefTable: "b", RefColumns: []string{"x"}}}))
+	if err := s4.Validate(); err == nil {
+		t.Error("type-mismatched FK not rejected")
+	}
+}
+
+func TestFKClosureTransitive(t *testing.T) {
+	s := chainSchema(t)
+	cl := s.FKClosure()
+	want := map[string]bool{
+		"a.x->b.x": true,
+		"b.x->c.x": true,
+		"a.x->c.x": true, // transitive edge from the paper's preprocessing
+	}
+	got := make(map[string]bool)
+	for _, e := range cl {
+		got[e.From.String()+"->"+e.To.String()] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("closure missing edge %s (got %v)", k, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("closure has extra edges: %v", got)
+	}
+}
+
+func TestReferencersOf(t *testing.T) {
+	s := chainSchema(t)
+	refs := s.ReferencersOf(ColRef{"c", "x"})
+	names := make(map[string]bool)
+	for _, r := range refs {
+		names[r.String()] = true
+	}
+	// Both a.x (transitively) and b.x (directly) reference c.x.
+	if !names["a.x"] || !names["b.x"] || len(names) != 2 {
+		t.Errorf("ReferencersOf(c.x) = %v", names)
+	}
+}
+
+func TestFKClosureCycleTerminates(t *testing.T) {
+	// Mutually referencing relations must not hang the closure.
+	s := New()
+	s.MustAddRelation(mustRel(t, "p", []Attribute{{Name: "x", Type: sqltypes.KindInt}}, []string{"x"},
+		[]ForeignKey{{Columns: []string{"x"}, RefTable: "q", RefColumns: []string{"x"}}}))
+	s.MustAddRelation(mustRel(t, "q", []Attribute{{Name: "x", Type: sqltypes.KindInt}}, []string{"x"},
+		[]ForeignKey{{Columns: []string{"x"}, RefTable: "p", RefColumns: []string{"x"}}}))
+	cl := s.FKClosure()
+	if len(cl) == 0 {
+		t.Error("cyclic closure empty")
+	}
+}
+
+func TestDatasetInsertAndValidate(t *testing.T) {
+	s := chainSchema(t)
+	d := NewDataset("test")
+	d.Insert("c", sqltypes.Row{sqltypes.NewInt(1)})
+	d.Insert("b", sqltypes.Row{sqltypes.NewInt(1)})
+	d.Insert("a", sqltypes.Row{sqltypes.NewInt(1)})
+	if err := s.CheckDataset(d); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	if d.Size() != 3 {
+		t.Errorf("Size = %d", d.Size())
+	}
+}
+
+func TestDatasetFKViolation(t *testing.T) {
+	s := chainSchema(t)
+	d := NewDataset("bad")
+	d.Insert("a", sqltypes.Row{sqltypes.NewInt(7)}) // no b row
+	err := s.CheckDataset(d)
+	if err == nil || !strings.Contains(err.Error(), "violates") {
+		t.Errorf("FK violation not detected: %v", err)
+	}
+}
+
+func TestDatasetPKViolation(t *testing.T) {
+	s := chainSchema(t)
+	d := NewDataset("bad")
+	d.Insert("c", sqltypes.Row{sqltypes.NewInt(1)})
+	d.Insert("c", sqltypes.Row{sqltypes.NewInt(1)})
+	if err := s.CheckDataset(d); err == nil {
+		t.Error("duplicate PK not detected")
+	}
+}
+
+func TestDatasetArityAndTypeViolations(t *testing.T) {
+	s := chainSchema(t)
+	d := NewDataset("bad")
+	d.Insert("c", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(2)})
+	if err := s.CheckDataset(d); err == nil {
+		t.Error("arity violation not detected")
+	}
+	d2 := NewDataset("bad")
+	d2.Insert("c", sqltypes.Row{sqltypes.NewString("oops")})
+	if err := s.CheckDataset(d2); err == nil {
+		t.Error("type violation not detected")
+	}
+	d3 := NewDataset("bad")
+	d3.Insert("c", sqltypes.Row{sqltypes.Null()})
+	if err := s.CheckDataset(d3); err == nil {
+		t.Error("NOT NULL violation not detected")
+	}
+}
+
+func TestDedupPrimaryKeys(t *testing.T) {
+	s := chainSchema(t)
+	d := NewDataset("dup")
+	d.Insert("c", sqltypes.Row{sqltypes.NewInt(1)})
+	d.Insert("c", sqltypes.Row{sqltypes.NewInt(1)})
+	d.Insert("c", sqltypes.Row{sqltypes.NewInt(2)})
+	if err := s.DedupPrimaryKeys(d); err != nil {
+		t.Fatalf("DedupPrimaryKeys: %v", err)
+	}
+	if len(d.Rows("c")) != 2 {
+		t.Errorf("dedup kept %d rows, want 2", len(d.Rows("c")))
+	}
+	if err := s.CheckDataset(d); err != nil {
+		t.Errorf("deduped dataset invalid: %v", err)
+	}
+}
+
+func TestDedupConflictDetected(t *testing.T) {
+	// Two distinct rows with the same PK must be reported, not silently
+	// merged.
+	s := New()
+	s.MustAddRelation(mustRel(t, "r", []Attribute{
+		{Name: "k", Type: sqltypes.KindInt}, {Name: "v", Type: sqltypes.KindInt},
+	}, []string{"k"}, nil))
+	d := NewDataset("conflict")
+	d.Insert("r", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(10)})
+	d.Insert("r", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(20)})
+	if err := s.DedupPrimaryKeys(d); err == nil {
+		t.Error("PK conflict between distinct rows not reported")
+	}
+}
+
+func TestDatasetCloneIndependence(t *testing.T) {
+	d := NewDataset("orig")
+	d.Insert("t", sqltypes.Row{sqltypes.NewInt(1)})
+	c := d.Clone()
+	c.Insert("t", sqltypes.Row{sqltypes.NewInt(2)})
+	c.Tables["t"][0][0] = sqltypes.NewInt(99)
+	if len(d.Rows("t")) != 1 || d.Rows("t")[0][0].Int() != 1 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestSQLInserts(t *testing.T) {
+	s := chainSchema(t)
+	d := NewDataset("demo")
+	d.Insert("c", sqltypes.Row{sqltypes.NewInt(5)})
+	out := d.SQLInserts(s)
+	if !strings.Contains(out, "INSERT INTO c (x) VALUES (5);") {
+		t.Errorf("SQLInserts output:\n%s", out)
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := chainSchema(t)
+	out := s.String()
+	for _, want := range []string{"CREATE TABLE a", "PRIMARY KEY (x)", "FOREIGN KEY (x) REFERENCES b(x)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schema DDL missing %q:\n%s", want, out)
+		}
+	}
+	// Each CREATE TABLE must appear exactly once (no accumulation bug).
+	if strings.Count(out, "CREATE TABLE c") != 1 {
+		t.Errorf("CREATE TABLE c repeated:\n%s", out)
+	}
+}
+
+func TestCompositeFKValidation(t *testing.T) {
+	s := New()
+	s.MustAddRelation(mustRel(t, "sec", []Attribute{
+		{Name: "cid", Type: sqltypes.KindInt}, {Name: "sid", Type: sqltypes.KindInt},
+	}, []string{"cid", "sid"}, nil))
+	s.MustAddRelation(mustRel(t, "t", []Attribute{
+		{Name: "cid", Type: sqltypes.KindInt}, {Name: "sid", Type: sqltypes.KindInt},
+	}, []string{"cid", "sid"},
+		[]ForeignKey{{Columns: []string{"cid", "sid"}, RefTable: "sec", RefColumns: []string{"cid", "sid"}}}))
+	if err := s.Validate(); err != nil {
+		t.Fatalf("composite FK schema invalid: %v", err)
+	}
+	d := NewDataset("ok")
+	d.Insert("sec", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(2)})
+	d.Insert("t", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(2)})
+	if err := s.CheckDataset(d); err != nil {
+		t.Errorf("valid composite FK dataset rejected: %v", err)
+	}
+	bad := NewDataset("bad")
+	bad.Insert("sec", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(2)})
+	bad.Insert("t", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(3)})
+	if err := s.CheckDataset(bad); err == nil {
+		t.Error("composite FK violation not detected")
+	}
+}

@@ -1,0 +1,390 @@
+// Package solver is a finite-domain constraint solver playing the role
+// CVC3 plays in the paper: it finds a model (an assignment of values to
+// tuple-attribute variables) satisfying the constraints the X-Data
+// generator emits — equality/comparison constraints over linear integer
+// expressions, conjunction/disjunction, and bounded FORALL / EXISTS /
+// NOT-EXISTS quantifiers over tuple arrays.
+//
+// Two solve modes reproduce the paper's §VI-B unfolding experiment:
+//
+//   - Unfolded: quantifiers are expanded into plain conjunctions /
+//     disjunctions before search, and the search uses watched constraints
+//     plus domain pruning — the fast path.
+//   - Quantified: quantifier nodes stay opaque and are handled by a
+//     lazy-instantiation loop (solve the ground fragment, check the
+//     model against each quantifier, add a violated instance as a ground
+//     lemma, restart), modelling how 2007-era SMT solvers such as CVC3
+//     processed quantified formulas. The extra restarts and re-solves
+//     are the work that unfolding eliminates; LastStats exposes them.
+//
+// Both modes are sound and complete over the given finite domains.
+// String values are handled by the caller encoding them as integers over
+// an order-preserving pool (see the core package).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// VarID identifies a solver variable.
+type VarID int32
+
+// Lin is a linear expression: sum of Coef*Var terms plus a constant.
+type Lin struct {
+	Terms []Term
+	Const int64
+}
+
+// Term is one Coef*Var summand.
+type Term struct {
+	Coef int64
+	V    VarID
+}
+
+// V returns the linear expression consisting of a single variable.
+func V(v VarID) Lin { return Lin{Terms: []Term{{Coef: 1, V: v}}} }
+
+// C returns a constant linear expression.
+func C(c int64) Lin { return Lin{Const: c} }
+
+// Plus returns l + o.
+func (l Lin) Plus(o Lin) Lin {
+	out := Lin{Const: l.Const + o.Const}
+	out.Terms = append(append([]Term{}, l.Terms...), o.Terms...)
+	return out.normalize()
+}
+
+// Minus returns l - o.
+func (l Lin) Minus(o Lin) Lin { return l.Plus(o.Times(-1)) }
+
+// Times returns l * k.
+func (l Lin) Times(k int64) Lin {
+	out := Lin{Const: l.Const * k}
+	for _, t := range l.Terms {
+		out.Terms = append(out.Terms, Term{Coef: t.Coef * k, V: t.V})
+	}
+	return out.normalize()
+}
+
+func (l Lin) normalize() Lin {
+	sum := map[VarID]int64{}
+	for _, t := range l.Terms {
+		sum[t.V] += t.Coef
+	}
+	out := Lin{Const: l.Const}
+	for v, c := range sum {
+		if c != 0 {
+			out.Terms = append(out.Terms, Term{Coef: c, V: v})
+		}
+	}
+	sort.Slice(out.Terms, func(i, j int) bool { return out.Terms[i].V < out.Terms[j].V })
+	return out
+}
+
+// Vars appends the variables of the expression.
+func (l Lin) Vars(dst []VarID) []VarID {
+	for _, t := range l.Terms {
+		dst = append(dst, t.V)
+	}
+	return dst
+}
+
+// Con is a constraint node.
+type Con interface{ conNode() }
+
+// Cmp compares two linear expressions.
+type Cmp struct {
+	Op   sqltypes.CmpOp
+	L, R Lin
+}
+
+func (*Cmp) conNode() {}
+
+// NewCmp builds a comparison constraint.
+func NewCmp(op sqltypes.CmpOp, l, r Lin) *Cmp { return &Cmp{Op: op, L: l, R: r} }
+
+// Eq is shorthand for an equality constraint.
+func Eq(l, r Lin) *Cmp { return NewCmp(sqltypes.OpEQ, l, r) }
+
+// And is a conjunction.
+type And struct{ Cs []Con }
+
+func (*And) conNode() {}
+
+// NewAnd builds a conjunction.
+func NewAnd(cs ...Con) *And { return &And{Cs: cs} }
+
+// Or is a disjunction.
+type Or struct{ Cs []Con }
+
+func (*Or) conNode() {}
+
+// NewOr builds a disjunction.
+func NewOr(cs ...Con) *Or { return &Or{Cs: cs} }
+
+// Quant is a bounded quantifier with pre-instantiated bodies: FORALL is a
+// conjunction of bodies, EXISTS a disjunction. In unfolded mode it is
+// flattened away before search; in quantified mode it is kept opaque and
+// re-expanded on every evaluation.
+type Quant struct {
+	All    bool
+	Bodies []Con
+}
+
+func (*Quant) conNode() {}
+
+// ForAll builds a universal quantifier over instantiated bodies.
+func ForAll(bodies ...Con) *Quant { return &Quant{All: true, Bodies: bodies} }
+
+// Exists builds an existential quantifier over instantiated bodies.
+func Exists(bodies ...Con) *Quant { return &Quant{All: false, Bodies: bodies} }
+
+// NotExists builds the paper's ¬∃ constraint: the negation of each body,
+// conjoined, kept as a quantifier node.
+func NotExists(bodies ...Con) *Quant {
+	neg := make([]Con, len(bodies))
+	for i, b := range bodies {
+		neg[i] = Negate(b)
+	}
+	return &Quant{All: true, Bodies: neg}
+}
+
+// Implies builds a => b as Or(¬a, b); used for primary-key functional
+// dependencies (the chase).
+func Implies(a, b Con) Con { return NewOr(Negate(a), b) }
+
+// Negate returns the negation-normal-form negation of a constraint.
+func Negate(c Con) Con {
+	switch n := c.(type) {
+	case *Cmp:
+		return &Cmp{Op: n.Op.Negate(), L: n.L, R: n.R}
+	case *And:
+		out := make([]Con, len(n.Cs))
+		for i, x := range n.Cs {
+			out[i] = Negate(x)
+		}
+		return &Or{Cs: out}
+	case *Or:
+		out := make([]Con, len(n.Cs))
+		for i, x := range n.Cs {
+			out[i] = Negate(x)
+		}
+		return &And{Cs: out}
+	case *Quant:
+		out := make([]Con, len(n.Bodies))
+		for i, x := range n.Bodies {
+			out[i] = Negate(x)
+		}
+		return &Quant{All: !n.All, Bodies: out}
+	default:
+		panic(fmt.Sprintf("solver: Negate on %T", c))
+	}
+}
+
+// Options configure a solve.
+type Options struct {
+	// Unfold selects the fast path (quantifier expansion + watched
+	// propagation). False models CVC3 without unfolding (§VI-B).
+	Unfold bool
+	// NodeLimit bounds search nodes (0 = default 50M).
+	NodeLimit int64
+	// Timeout bounds wall time (0 = none).
+	Timeout time.Duration
+}
+
+// Errors distinguishing "no model exists" (an equivalent mutation, in
+// X-Data terms) from resource exhaustion.
+var (
+	ErrUnsat = errors.New("solver: unsatisfiable")
+	ErrLimit = errors.New("solver: node or time limit exceeded")
+)
+
+// Model maps variables to values.
+type Model []int64
+
+// Stats reports the work a solve performed: an implementation-
+// independent measure of the unfolding ablation (the paper uses CVC3
+// wall time as a proxy for the same work).
+type Stats struct {
+	// Nodes is the total number of search nodes visited, summed over
+	// instantiation restarts in quantified mode.
+	Nodes int64
+	// Restarts is the number of lazy-instantiation rounds beyond the
+	// first solve (always 0 in unfolded mode).
+	Restarts int64
+}
+
+// Solver accumulates variables and constraints.
+type Solver struct {
+	domains [][]int64
+	names   []string
+	cons    []Con
+	last    Stats
+}
+
+// LastStats returns the work counters of the most recent Solve call.
+func (s *Solver) LastStats() Stats { return s.last }
+
+// New returns an empty solver.
+func New() *Solver { return &Solver{} }
+
+// NewVar declares a variable with the given (non-empty, deduplicated,
+// order-preserved) candidate domain. The name is for diagnostics.
+func (s *Solver) NewVar(name string, domain []int64) VarID {
+	seen := map[int64]bool{}
+	var d []int64
+	for _, v := range domain {
+		if !seen[v] {
+			seen[v] = true
+			d = append(d, v)
+		}
+	}
+	if len(d) == 0 {
+		d = []int64{0}
+	}
+	s.domains = append(s.domains, d)
+	s.names = append(s.names, name)
+	return VarID(len(s.domains) - 1)
+}
+
+// NumVars returns the number of declared variables.
+func (s *Solver) NumVars() int { return len(s.domains) }
+
+// Name returns a variable's diagnostic name.
+func (s *Solver) Name(v VarID) string { return s.names[v] }
+
+// Assert adds a constraint.
+func (s *Solver) Assert(c Con) {
+	if c != nil {
+		s.cons = append(s.cons, c)
+	}
+}
+
+// Solve searches for a model of all asserted constraints.
+func (s *Solver) Solve(opts Options) (Model, error) {
+	s.last = Stats{}
+	limit := opts.NodeLimit
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	if opts.Unfold {
+		return s.solveUnfolded(limit, deadline)
+	}
+	return s.solveQuantified(limit, deadline)
+}
+
+// flatten expands Quant nodes into And/Or recursively.
+func flatten(c Con) Con {
+	switch n := c.(type) {
+	case *Cmp:
+		return n
+	case *And:
+		out := make([]Con, len(n.Cs))
+		for i, x := range n.Cs {
+			out[i] = flatten(x)
+		}
+		return &And{Cs: out}
+	case *Or:
+		out := make([]Con, len(n.Cs))
+		for i, x := range n.Cs {
+			out[i] = flatten(x)
+		}
+		return &Or{Cs: out}
+	case *Quant:
+		out := make([]Con, len(n.Bodies))
+		for i, x := range n.Bodies {
+			out[i] = flatten(x)
+		}
+		if n.All {
+			return &And{Cs: out}
+		}
+		return &Or{Cs: out}
+	default:
+		panic(fmt.Sprintf("solver: flatten on %T", c))
+	}
+}
+
+// conVars collects the variables mentioned by a constraint.
+func conVars(c Con, dst map[VarID]bool) {
+	switch n := c.(type) {
+	case *Cmp:
+		for _, t := range n.L.Terms {
+			dst[t.V] = true
+		}
+		for _, t := range n.R.Terms {
+			dst[t.V] = true
+		}
+	case *And:
+		for _, x := range n.Cs {
+			conVars(x, dst)
+		}
+	case *Or:
+		for _, x := range n.Cs {
+			conVars(x, dst)
+		}
+	case *Quant:
+		for _, x := range n.Bodies {
+			conVars(x, dst)
+		}
+	}
+}
+
+// String renders a constraint for diagnostics.
+func ConString(c Con, name func(VarID) string) string {
+	switch n := c.(type) {
+	case *Cmp:
+		return linString(n.L, name) + " " + n.Op.String() + " " + linString(n.R, name)
+	case *And:
+		return naryString("AND", n.Cs, name)
+	case *Or:
+		return naryString("OR", n.Cs, name)
+	case *Quant:
+		kw := "EXISTS"
+		if n.All {
+			kw = "FORALL"
+		}
+		return kw + naryString("", n.Bodies, name)
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}
+
+func naryString(op string, cs []Con, name func(VarID) string) string {
+	out := "("
+	for i, c := range cs {
+		if i > 0 {
+			out += " " + op + " "
+		}
+		out += ConString(c, name)
+	}
+	return out + ")"
+}
+
+func linString(l Lin, name func(VarID) string) string {
+	out := ""
+	for i, t := range l.Terms {
+		if i > 0 {
+			out += " + "
+		}
+		if t.Coef != 1 {
+			out += fmt.Sprintf("%d*", t.Coef)
+		}
+		out += name(t.V)
+	}
+	if l.Const != 0 || len(l.Terms) == 0 {
+		if out != "" {
+			out += " + "
+		}
+		out += fmt.Sprintf("%d", l.Const)
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// JoinType enumerates the four join operators of the paper's mutation
+// space (§II).
+type JoinType uint8
+
+// Join types: inner, left outer, right outer, full outer.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+	RightOuterJoin
+	FullOuterJoin
+)
+
+// AllJoinTypes lists every join type in a stable order.
+var AllJoinTypes = []JoinType{InnerJoin, LeftOuterJoin, RightOuterJoin, FullOuterJoin}
+
+// String returns the SQL spelling.
+func (j JoinType) String() string {
+	switch j {
+	case InnerJoin:
+		return "JOIN"
+	case LeftOuterJoin:
+		return "LEFT OUTER JOIN"
+	case RightOuterJoin:
+		return "RIGHT OUTER JOIN"
+	case FullOuterJoin:
+		return "FULL OUTER JOIN"
+	default:
+		return fmt.Sprintf("JoinType(%d)", uint8(j))
+	}
+}
+
+// Symbol returns compact relational-algebra notation for display.
+func (j JoinType) Symbol() string {
+	switch j {
+	case InnerJoin:
+		return "JOIN"
+	case LeftOuterJoin:
+		return "LOJ"
+	case RightOuterJoin:
+		return "ROJ"
+	case FullOuterJoin:
+		return "FOJ"
+	default:
+		return "?"
+	}
+}
+
+// AggFunc enumerates the aggregation operators of the mutation space.
+type AggFunc uint8
+
+// Aggregate operators: the paper's eight (§II), where the DISTINCT
+// variants are encoded by AggExpr.Distinct.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// Expr is a scalar or boolean expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColRef references a column, optionally qualified by a table name or
+// alias.
+type ColRef struct {
+	Qualifier string // "" if unqualified
+	Column    string
+}
+
+func (c *ColRef) exprNode() {}
+
+// String renders the possibly-qualified name.
+func (c *ColRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Column
+	}
+	return c.Column
+}
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Val     sqltypes.Value // KindInt or KindFloat
+	Literal string
+}
+
+func (n *NumLit) exprNode() {}
+
+// String renders the original literal.
+func (n *NumLit) String() string { return n.Literal }
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+func (s *StrLit) exprNode() {}
+
+// String renders the quoted literal.
+func (s *StrLit) String() string { return "'" + strings.ReplaceAll(s.Val, "'", "''") + "'" }
+
+// BinaryExpr is an arithmetic or boolean binary operation. Op is one of
+// + - * / AND OR = <> < <= > >=.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (b *BinaryExpr) exprNode() {}
+
+// String renders the expression with explicit parentheses around nested
+// binary operations.
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("%s %s %s", parenthesize(b.L), b.Op, parenthesize(b.R))
+}
+
+func parenthesize(e Expr) string {
+	if be, ok := e.(*BinaryExpr); ok {
+		return "(" + be.String() + ")"
+	}
+	return e.String()
+}
+
+// NotExpr is boolean negation.
+type NotExpr struct{ E Expr }
+
+func (n *NotExpr) exprNode() {}
+
+// String renders NOT (e).
+func (n *NotExpr) String() string { return "NOT (" + n.E.String() + ")" }
+
+// InSubquery is "expr IN (SELECT ...)". The paper handles simple
+// subqueries by decorrelation into joins (§V-H); the qtree builder
+// performs that rewrite.
+type InSubquery struct {
+	Expr Expr
+	Sub  *SelectStmt
+}
+
+func (i *InSubquery) exprNode() {}
+
+// String renders the membership test.
+func (i *InSubquery) String() string {
+	return fmt.Sprintf("%s IN (%s)", i.Expr, i.Sub)
+}
+
+// ExistsSubquery is "EXISTS (SELECT ...)", possibly correlated.
+type ExistsSubquery struct {
+	Sub *SelectStmt
+}
+
+func (e *ExistsSubquery) exprNode() {}
+
+// String renders the existence test.
+func (e *ExistsSubquery) String() string { return fmt.Sprintf("EXISTS (%s)", e.Sub) }
+
+// AggExpr is an aggregate function application. Arg is nil for COUNT(*).
+type AggExpr struct {
+	Func     AggFunc
+	Distinct bool
+	Arg      Expr // nil means *
+}
+
+func (a *AggExpr) exprNode() {}
+
+// String renders the aggregate call.
+func (a *AggExpr) String() string {
+	inner := "*"
+	if a.Arg != nil {
+		inner = a.Arg.String()
+	}
+	if a.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, inner)
+}
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Star      bool   // SELECT * (or qualifier.*)
+	Qualifier string // for qualifier.*
+	Expr      Expr   // nil when Star
+	Alias     string // optional AS alias
+}
+
+// String renders the item.
+func (si SelectItem) String() string {
+	var s string
+	switch {
+	case si.Star && si.Qualifier != "":
+		s = si.Qualifier + ".*"
+	case si.Star:
+		s = "*"
+	default:
+		s = si.Expr.String()
+	}
+	if si.Alias != "" {
+		s += " AS " + si.Alias
+	}
+	return s
+}
+
+// TableExpr is a FROM-clause item: either a TableRef or a JoinExpr.
+type TableExpr interface {
+	fmt.Stringer
+	tableNode()
+}
+
+// TableRef names a base relation with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // "" if none
+}
+
+func (t *TableRef) tableNode() {}
+
+// String renders table [alias].
+func (t *TableRef) String() string {
+	if t.Alias != "" {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// JoinExpr is an explicit join between two table expressions. Natural
+// joins have Natural set and no On condition.
+type JoinExpr struct {
+	Type    JoinType
+	Natural bool
+	Left    TableExpr
+	Right   TableExpr
+	On      Expr // nil for NATURAL or CROSS
+}
+
+func (j *JoinExpr) tableNode() {}
+
+// String renders the join in SQL syntax.
+func (j *JoinExpr) String() string {
+	kw := j.Type.String()
+	if j.Natural {
+		kw = "NATURAL " + kw
+	}
+	s := fmt.Sprintf("%s %s %s", tableParen(j.Left), kw, tableParen(j.Right))
+	if j.On != nil {
+		s += " ON " + j.On.String()
+	}
+	return s
+}
+
+func tableParen(t TableExpr) string {
+	if je, ok := t.(*JoinExpr); ok {
+		return "(" + je.String() + ")"
+	}
+	return t.String()
+}
+
+// SelectStmt is a parsed single-block query.
+type SelectStmt struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []TableExpr // comma-separated items; each may be a join tree
+	Where    Expr        // nil if absent
+	GroupBy  []*ColRef
+}
+
+// String renders the statement in SQL.
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	items := make([]string, len(s.Select))
+	for i, it := range s.Select {
+		items[i] = it.String()
+	}
+	sb.WriteString(strings.Join(items, ", "))
+	sb.WriteString(" FROM ")
+	froms := make([]string, len(s.From))
+	for i, f := range s.From {
+		froms[i] = f.String()
+	}
+	sb.WriteString(strings.Join(froms, ", "))
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		cols := make([]string, len(s.GroupBy))
+		for i, c := range s.GroupBy {
+			cols[i] = c.String()
+		}
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(cols, ", "))
+	}
+	return sb.String()
+}
+
+// CreateTableStmt is a parsed CREATE TABLE statement.
+type CreateTableStmt struct {
+	Name        string
+	Columns     []ColumnDef
+	PrimaryKey  []string
+	ForeignKeys []FKDef
+}
+
+// ColumnDef is one column declaration.
+type ColumnDef struct {
+	Name    string
+	Type    sqltypes.Kind
+	NotNull bool
+}
+
+// FKDef is a foreign-key table constraint.
+type FKDef struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}

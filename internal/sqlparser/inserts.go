@@ -1,0 +1,129 @@
+package sqlparser
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+// ParseInserts parses a sequence of INSERT INTO statements into a
+// dataset, validating each row against the schema. Supported forms:
+//
+//	INSERT INTO t VALUES (1, 'x'), (2, 'y');
+//	INSERT INTO t (a, b) VALUES (1, 'x');
+//
+// Values are numeric or string literals, or NULL.
+func ParseInserts(sch *schema.Schema, input string) (*schema.Dataset, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	ds := schema.NewDataset("input database")
+	for p.cur().kind != tkEOF {
+		if err := p.parseInsert(sch, ds); err != nil {
+			return nil, err
+		}
+	}
+	if err := sch.CheckDataset(ds); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func (p *parser) parseInsert(sch *schema.Schema, ds *schema.Dataset) error {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	rel := sch.Relation(table)
+	if rel == nil {
+		return fmt.Errorf("sql: INSERT into unknown relation %q", table)
+	}
+	cols := make([]int, 0, rel.Arity())
+	if p.peekSymbol("(") {
+		names, err := p.parseParenIdentList()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			pos := rel.AttrPos(n)
+			if pos < 0 {
+				return fmt.Errorf("sql: relation %s has no column %q", rel.Name, n)
+			}
+			cols = append(cols, pos)
+		}
+	} else {
+		for i := 0; i < rel.Arity(); i++ {
+			cols = append(cols, i)
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		row := make(sqltypes.Row, rel.Arity())
+		for i := range row {
+			row[i] = sqltypes.TypedNull(rel.Attrs[i].Type)
+		}
+		for i := 0; ; i++ {
+			if i >= len(cols) {
+				return fmt.Errorf("sql: too many values for %s (%d columns)", rel.Name, len(cols))
+			}
+			v, err := p.parseInsertValue(rel.Attrs[cols[i]].Type)
+			if err != nil {
+				return err
+			}
+			row[cols[i]] = v
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+		ds.Insert(rel.Name, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	p.acceptSymbol(";")
+	return nil
+}
+
+func (p *parser) parseInsertValue(want sqltypes.Kind) (sqltypes.Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkKeyword && t.text == "NULL":
+		p.pos++
+		return sqltypes.TypedNull(want), nil
+	case t.kind == tkKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.pos++
+		return sqltypes.NewBool(t.text == "TRUE"), nil
+	case t.kind == tkString:
+		p.pos++
+		return sqltypes.NewString(t.text), nil
+	default:
+		e, err := p.parseAddExpr() // handles negative literals
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		lit, ok := e.(*NumLit)
+		if !ok {
+			return sqltypes.Value{}, fmt.Errorf("sql: unsupported INSERT value %s", e)
+		}
+		if want == sqltypes.KindFloat && lit.Val.Kind() == sqltypes.KindInt {
+			return sqltypes.NewFloat(float64(lit.Val.Int())), nil
+		}
+		return lit.Val, nil
+	}
+}

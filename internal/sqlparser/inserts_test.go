@@ -1,0 +1,87 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+const insertDDL = `
+CREATE TABLE t (
+	a INT PRIMARY KEY,
+	b VARCHAR(10),
+	c FLOAT,
+	d BOOLEAN
+);`
+
+func TestParseInsertsBasic(t *testing.T) {
+	sch, err := ParseSchema(insertDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ParseInserts(sch, `
+		INSERT INTO t VALUES (1, 'x', 2.5, TRUE);
+		INSERT INTO t VALUES (2, NULL, 3, FALSE), (3, 'y', -1.5, TRUE);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ds.Rows("t")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0].Int() != 1 || rows[0][1].Str() != "x" || rows[0][2].Float() != 2.5 || !rows[0][3].Bool() {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if !rows[1][1].IsNull() {
+		t.Errorf("row 1 NULL lost: %v", rows[1])
+	}
+	// Integer literal promoted to FLOAT column.
+	if rows[1][2].Kind() != sqltypes.KindFloat || rows[1][2].Float() != 3 {
+		t.Errorf("row 1 c = %v", rows[1][2])
+	}
+	if rows[2][2].Float() != -1.5 {
+		t.Errorf("negative float = %v", rows[2][2])
+	}
+}
+
+func TestParseInsertsColumnList(t *testing.T) {
+	sch, err := ParseSchema(insertDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ParseInserts(sch, "INSERT INTO t (c, a) VALUES (9.5, 7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := ds.Rows("t")[0]
+	if row[0].Int() != 7 || row[2].Float() != 9.5 || !row[1].IsNull() {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestParseInsertsErrors(t *testing.T) {
+	sch, err := ParseSchema(insertDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		sql, want string
+	}{
+		{"INSERT INTO ghost VALUES (1)", "unknown relation"},
+		{"INSERT INTO t (z) VALUES (1)", "no column"},
+		{"INSERT INTO t VALUES (1, 'x', 2.5, TRUE, 99)", "too many values"},
+		{"INSERT INTO t VALUES (1, 'x'", ""},
+		{"INSERT INTO t VALUES (1, 'x', 2.5, TRUE); INSERT INTO t VALUES (1, 'y', 0, FALSE)", "duplicate"},
+	} {
+		_, err := ParseInserts(sch, tc.sql)
+		if err == nil {
+			t.Errorf("%q: expected error", tc.sql)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q does not mention %q", tc.sql, err, tc.want)
+		}
+	}
+}

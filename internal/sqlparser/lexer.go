@@ -1,0 +1,174 @@
+// Package sqlparser implements a hand-written lexer and recursive-descent
+// parser for the SQL fragment the paper targets (assumptions A3–A6):
+// single-block SELECT queries with comma/INNER/LEFT/RIGHT/FULL [OUTER]
+// JOIN (optionally NATURAL) table expressions, conjunctive WHERE clauses
+// of simple comparisons over arithmetic expressions, optional GROUP BY
+// with a single unconstrained aggregate, and the DDL subset (CREATE TABLE
+// with PRIMARY KEY / FOREIGN KEY / NOT NULL) needed to declare schemas.
+//
+// The paper's prototype used the Apache Derby parser; this package is the
+// from-scratch substitute.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkSymbol // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers lower-cased
+	pos  int    // byte offset, for diagnostics
+}
+
+func (t token) String() string {
+	if t.kind == tkEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords recognized by the lexer. Anything else alphanumeric is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "NATURAL": true, "CROSS": true,
+	"DISTINCT": true, "ALL": true, "NULL": true, "IS": true, "IN": true, "EXISTS": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true, "VALUES": true, "PRIMARY": true, "KEY": true,
+	"FOREIGN": true, "REFERENCES": true, "UNIQUE": true, "CHECK": true,
+	"INT": true, "INTEGER": true, "SMALLINT": true, "BIGINT": true,
+	"VARCHAR": true, "CHAR": true, "TEXT": true,
+	"FLOAT": true, "REAL": true, "DOUBLE": true, "PRECISION": true,
+	"NUMERIC": true, "DECIMAL": true, "BOOLEAN": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, // recognized to reject clearly
+	"TRUE": true, "FALSE": true,
+}
+
+// lex tokenizes the input. It returns an error for unterminated strings
+// or illegal characters.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i, n := 0, len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*': // block comment
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sql: unterminated comment at offset %d", i)
+			}
+			i += 2 + end + 2
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tkKeyword, up, start})
+			} else {
+				toks = append(toks, token{tkIdent, strings.ToLower(word), start})
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9') {
+				i++
+			}
+			if i < n && input[i] == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' {
+				i++
+				for i < n && input[i] >= '0' && input[i] <= '9' {
+					i++
+				}
+			}
+			toks = append(toks, token{tkNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{tkString, sb.String(), start})
+		case c == '"': // quoted identifier
+			start := i
+			i++
+			j := strings.IndexByte(input[i:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+			}
+			toks = append(toks, token{tkIdent, strings.ToLower(input[i : i+j]), start})
+			i += j + 1
+		default:
+			start := i
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				if two == "!=" {
+					two = "<>"
+				}
+				toks = append(toks, token{tkSymbol, two, start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.', ';':
+				toks = append(toks, token{tkSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: illegal character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tkEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,817 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(input string) (*parser, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tkKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, found %s at offset %d", kw, p.cur(), p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) peekSymbol(sym string) bool {
+	t := p.cur()
+	return t.kind == tkSymbol && t.text == sym
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peekSymbol(sym) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sql: expected %q, found %s at offset %d", sym, p.cur(), p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return "", fmt.Errorf("sql: expected identifier, found %s at offset %d", t, t.pos)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// ParseQuery parses a single-block SELECT statement. Constructs outside
+// the paper's query class (HAVING, ORDER BY, subqueries, IS NULL per
+// assumption A6) are rejected with explanatory errors.
+func ParseQuery(input string) (*SelectStmt, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if p.cur().kind != tkEOF {
+		return nil, fmt.Errorf("sql: unexpected trailing input at offset %d: %s", p.cur().pos, p.cur())
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		stmt.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		te, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, te)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	for _, kw := range []string{"HAVING", "ORDER", "LIMIT"} {
+		if p.peekKeyword(kw) {
+			return nil, fmt.Errorf("sql: %s is outside the supported query class (paper §II: unconstrained aggregation only)", kw)
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// qualifier.* form
+	if p.cur().kind == tkIdent && p.toks[p.pos+1].kind == tkSymbol && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tkSymbol && p.toks[p.pos+2].text == "*" {
+		q := p.next().text
+		p.next() // .
+		p.next() // *
+		return SelectItem{Star: true, Qualifier: q}, nil
+	}
+	e, err := p.parseAddExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().kind == tkIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// parseTableExpr parses a table reference followed by any number of join
+// clauses (left-associative, as in SQL).
+func (p *parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		natural := p.acceptKeyword("NATURAL")
+		jt, isJoin, err := p.parseJoinKeyword(natural)
+		if err != nil {
+			return nil, err
+		}
+		if !isJoin {
+			if natural {
+				return nil, fmt.Errorf("sql: NATURAL must be followed by a join at offset %d", p.cur().pos)
+			}
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		je := &JoinExpr{Type: jt, Natural: natural, Left: left, Right: right}
+		if !natural {
+			if p.acceptKeyword("ON") {
+				on, err := p.parseOrExpr()
+				if err != nil {
+					return nil, err
+				}
+				je.On = on
+			} else if jt != InnerJoin {
+				return nil, fmt.Errorf("sql: outer join requires ON condition at offset %d", p.cur().pos)
+			}
+		}
+		left = je
+	}
+}
+
+// parseJoinKeyword consumes a join specification if present. It returns
+// the join type and whether a join keyword was consumed.
+func (p *parser) parseJoinKeyword(natural bool) (JoinType, bool, error) {
+	switch {
+	case p.acceptKeyword("JOIN"):
+		return InnerJoin, true, nil
+	case p.acceptKeyword("INNER"):
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return InnerJoin, true, nil
+	case p.acceptKeyword("LEFT"):
+		p.acceptKeyword("OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return LeftOuterJoin, true, nil
+	case p.acceptKeyword("RIGHT"):
+		p.acceptKeyword("OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return RightOuterJoin, true, nil
+	case p.acceptKeyword("FULL"):
+		p.acceptKeyword("OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return FullOuterJoin, true, nil
+	case p.acceptKeyword("CROSS"):
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		if natural {
+			return 0, false, fmt.Errorf("sql: NATURAL CROSS JOIN is not valid")
+		}
+		return InnerJoin, true, nil
+	}
+	return 0, false, nil
+}
+
+func (p *parser) parseTablePrimary() (TableExpr, error) {
+	if p.acceptSymbol("(") {
+		te, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return te, nil
+	}
+	if p.peekKeyword("SELECT") {
+		return nil, fmt.Errorf("sql: subqueries in FROM are outside the supported query class (assumption A3)")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	tr := &TableRef{Table: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		tr.Alias = a
+	} else if p.cur().kind == tkIdent {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+// Boolean expression grammar: Or -> And (OR And)*, And -> Not (AND Not)*,
+// Not -> NOT Not | Cmp, Cmp -> Add (relop Add)?.
+func (p *parser) parseOrExpr() (Expr, error) {
+	l, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndExpr() (Expr, error) {
+	l, err := p.parseNotExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNotExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNotExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNotExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	if p.acceptKeyword("EXISTS") {
+		sub, err := p.parseParenSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &ExistsSubquery{Sub: sub}, nil
+	}
+	return p.parseCmpExpr()
+}
+
+// parseParenSubquery parses "( SELECT ... )".
+func (p *parser) parseParenSubquery() (*SelectStmt, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (p *parser) parseCmpExpr() (Expr, error) {
+	// Parenthesized boolean expressions: disambiguate "(a AND b)" from
+	// "(x + 1) = y" by attempting a boolean parse on backtrack.
+	if p.peekSymbol("(") {
+		save := p.pos
+		p.pos++
+		inner, err := p.parseOrExpr()
+		if err == nil && p.acceptSymbol(")") {
+			// If followed by a comparison/arithmetic operator this was a
+			// scalar grouping, so fall through to re-parse as arithmetic.
+			if !p.isCmpOrArith() {
+				return inner, nil
+			}
+		}
+		p.pos = save
+	}
+	l, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IS") {
+		return nil, fmt.Errorf("sql: IS [NOT] NULL is outside the supported query class (assumption A6)")
+	}
+	if p.acceptKeyword("IN") {
+		sub, err := p.parseParenSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &InSubquery{Expr: l, Sub: sub}, nil
+	}
+	op, ok := p.acceptCmpOp()
+	if !ok {
+		return nil, fmt.Errorf("sql: expected comparison operator, found %s at offset %d", p.cur(), p.cur().pos)
+	}
+	r, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) isCmpOrArith() bool {
+	t := p.cur()
+	if t.kind != tkSymbol {
+		return false
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/":
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptCmpOp() (string, bool) {
+	t := p.cur()
+	if t.kind != tkSymbol {
+		return "", false
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		p.pos++
+		return t.text, true
+	}
+	return "", false
+}
+
+// Arithmetic grammar: Add -> Mul ((+|-) Mul)*, Mul -> Unary ((*|/) Unary)*.
+func (p *parser) parseAddExpr() (Expr, error) {
+	l, err := p.parseMulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSymbol("+"):
+			op = "+"
+		case p.acceptSymbol("-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMulExpr() (Expr, error) {
+	l, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSymbol("*"):
+			op = "*"
+		case p.acceptSymbol("/"):
+			op = "/"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnaryExpr() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(*NumLit); ok {
+			return negateLit(n), nil
+		}
+		return &BinaryExpr{Op: "-", L: &NumLit{Val: sqltypes.NewInt(0), Literal: "0"}, R: e}, nil
+	}
+	return p.parsePrimaryExpr()
+}
+
+func negateLit(n *NumLit) *NumLit {
+	if n.Val.Kind() == sqltypes.KindInt {
+		return &NumLit{Val: sqltypes.NewInt(-n.Val.Int()), Literal: "-" + n.Literal}
+	}
+	return &NumLit{Val: sqltypes.NewFloat(-n.Val.Float()), Literal: "-" + n.Literal}
+}
+
+func (p *parser) parsePrimaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad numeric literal %q: %v", t.text, err)
+			}
+			return &NumLit{Val: sqltypes.NewFloat(f), Literal: t.text}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer literal %q: %v", t.text, err)
+		}
+		return &NumLit{Val: sqltypes.NewInt(i), Literal: t.text}, nil
+	case tkString:
+		p.pos++
+		return &StrLit{Val: t.text}, nil
+	case tkSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseAddExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tkKeyword:
+		switch t.text {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			return p.parseAggExpr()
+		case "NULL":
+			return nil, fmt.Errorf("sql: NULL literals are outside the supported query class (assumption A6)")
+		case "SELECT":
+			return nil, fmt.Errorf("sql: scalar subqueries are outside the supported query class (assumption A3)")
+		}
+	case tkIdent:
+		return p.parseColRef()
+	}
+	return nil, fmt.Errorf("sql: unexpected %s at offset %d", t, t.pos)
+}
+
+func (p *parser) parseAggExpr() (Expr, error) {
+	t := p.next()
+	var f AggFunc
+	switch t.text {
+	case "COUNT":
+		f = AggCount
+	case "SUM":
+		f = AggSum
+	case "AVG":
+		f = AggAvg
+	case "MIN":
+		f = AggMin
+	case "MAX":
+		f = AggMax
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	agg := &AggExpr{Func: f}
+	if p.acceptKeyword("DISTINCT") {
+		agg.Distinct = true
+	}
+	if p.acceptSymbol("*") {
+		if f != AggCount {
+			return nil, fmt.Errorf("sql: %s(*) is not valid", f)
+		}
+		if agg.Distinct {
+			return nil, fmt.Errorf("sql: COUNT(DISTINCT *) is not valid")
+		}
+	} else {
+		arg, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *parser) parseColRef() (*ColRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColRef{Qualifier: name, Column: col}, nil
+	}
+	return &ColRef{Column: name}, nil
+}
+
+// ParseSchema parses a sequence of CREATE TABLE statements into a Schema.
+func ParseSchema(input string) (*schema.Schema, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	s := schema.New()
+	for p.cur().kind != tkEOF {
+		stmt, err := p.parseCreateTable()
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]schema.Attribute, len(stmt.Columns))
+		for i, c := range stmt.Columns {
+			attrs[i] = schema.Attribute{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
+		}
+		fks := make([]schema.ForeignKey, len(stmt.ForeignKeys))
+		for i, fk := range stmt.ForeignKeys {
+			fks[i] = schema.ForeignKey{Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns}
+		}
+		rel, err := schema.NewRelation(stmt.Name, attrs, stmt.PrimaryKey, fks)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddRelation(rel); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name}
+	for {
+		switch {
+		case p.acceptKeyword("PRIMARY"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseParenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if stmt.PrimaryKey != nil {
+				return nil, fmt.Errorf("sql: table %s: multiple primary keys", name)
+			}
+			stmt.PrimaryKey = cols
+		case p.acceptKeyword("FOREIGN"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseParenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("REFERENCES"); err != nil {
+				return nil, err
+			}
+			ref, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			var refCols []string
+			if p.peekSymbol("(") {
+				refCols, err = p.parseParenIdentList()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				refCols = cols // default: same column names
+			}
+			stmt.ForeignKeys = append(stmt.ForeignKeys, FKDef{Columns: cols, RefTable: ref, RefColumns: refCols})
+		default:
+			col, fk, pk, err := p.parseColumnDef(name)
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if pk {
+				if stmt.PrimaryKey != nil {
+					return nil, fmt.Errorf("sql: table %s: multiple primary keys", name)
+				}
+				stmt.PrimaryKey = []string{col.Name}
+			}
+			if fk != nil {
+				stmt.ForeignKeys = append(stmt.ForeignKeys, *fk)
+			}
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	return stmt, nil
+}
+
+func (p *parser) parseParenIdentList() ([]string, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *parser) parseColumnDef(table string) (ColumnDef, *FKDef, bool, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColumnDef{}, nil, false, err
+	}
+	kind, err := p.parseTypeName()
+	if err != nil {
+		return ColumnDef{}, nil, false, err
+	}
+	col := ColumnDef{Name: name, Type: kind}
+	var fk *FKDef
+	pk := false
+	for {
+		switch {
+		case p.acceptKeyword("NOT"):
+			if err := p.expectKeyword("NULL"); err != nil {
+				return ColumnDef{}, nil, false, err
+			}
+			col.NotNull = true
+		case p.acceptKeyword("PRIMARY"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return ColumnDef{}, nil, false, err
+			}
+			pk = true
+			col.NotNull = true
+		case p.acceptKeyword("REFERENCES"):
+			ref, err := p.expectIdent()
+			if err != nil {
+				return ColumnDef{}, nil, false, err
+			}
+			refCols := []string{name}
+			if p.peekSymbol("(") {
+				refCols, err = p.parseParenIdentList()
+				if err != nil {
+					return ColumnDef{}, nil, false, err
+				}
+			}
+			fk = &FKDef{Columns: []string{name}, RefTable: ref, RefColumns: refCols}
+		case p.acceptKeyword("UNIQUE"):
+			// Tolerated but not modeled beyond PK (assumption A1).
+		default:
+			return col, fk, pk, nil
+		}
+	}
+}
+
+func (p *parser) parseTypeName() (sqltypes.Kind, error) {
+	t := p.cur()
+	if t.kind != tkKeyword {
+		return 0, fmt.Errorf("sql: expected type name, found %s at offset %d", t, t.pos)
+	}
+	p.pos++
+	var kind sqltypes.Kind
+	switch t.text {
+	case "INT", "INTEGER", "SMALLINT", "BIGINT":
+		kind = sqltypes.KindInt
+	case "VARCHAR", "CHAR", "TEXT":
+		kind = sqltypes.KindString
+	case "FLOAT", "REAL", "NUMERIC", "DECIMAL":
+		kind = sqltypes.KindFloat
+	case "DOUBLE":
+		p.acceptKeyword("PRECISION")
+		kind = sqltypes.KindFloat
+	case "BOOLEAN":
+		kind = sqltypes.KindBool
+	default:
+		return 0, fmt.Errorf("sql: unsupported type %s at offset %d", t.text, t.pos)
+	}
+	// Optional length/precision arguments: VARCHAR(20), NUMERIC(8,2).
+	if p.acceptSymbol("(") {
+		for p.cur().kind == tkNumber || p.peekSymbol(",") {
+			p.pos++
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return 0, err
+		}
+	}
+	return kind, nil
+}

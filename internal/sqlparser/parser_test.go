@@ -1,0 +1,376 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func mustParseQuery(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, err := ParseQuery(q)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestParseSimpleJoinQuery(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+	if !s.Select[0].Star {
+		t.Error("expected SELECT *")
+	}
+	if len(s.From) != 2 {
+		t.Fatalf("len(From) = %d", len(s.From))
+	}
+	tr, ok := s.From[0].(*TableRef)
+	if !ok || tr.Table != "instructor" || tr.Alias != "i" {
+		t.Errorf("From[0] = %v", s.From[0])
+	}
+	be, ok := s.Where.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("Where = %v", s.Where)
+	}
+	l := be.L.(*ColRef)
+	if l.Qualifier != "i" || l.Column != "id" {
+		t.Errorf("lhs = %v", l)
+	}
+}
+
+func TestParseExplicitJoins(t *testing.T) {
+	for _, tc := range []struct {
+		sql  string
+		want JoinType
+	}{
+		{"SELECT * FROM a JOIN b ON a.x = b.x", InnerJoin},
+		{"SELECT * FROM a INNER JOIN b ON a.x = b.x", InnerJoin},
+		{"SELECT * FROM a LEFT JOIN b ON a.x = b.x", LeftOuterJoin},
+		{"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x", LeftOuterJoin},
+		{"SELECT * FROM a RIGHT OUTER JOIN b ON a.x = b.x", RightOuterJoin},
+		{"SELECT * FROM a FULL OUTER JOIN b ON a.x = b.x", FullOuterJoin},
+	} {
+		s := mustParseQuery(t, tc.sql)
+		je, ok := s.From[0].(*JoinExpr)
+		if !ok {
+			t.Fatalf("%q: not a join: %T", tc.sql, s.From[0])
+		}
+		if je.Type != tc.want {
+			t.Errorf("%q: type = %v, want %v", tc.sql, je.Type, tc.want)
+		}
+	}
+}
+
+func TestParseNestedJoinTree(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM (a JOIN b ON a.x = b.x) LEFT OUTER JOIN c ON b.y = c.y")
+	top, ok := s.From[0].(*JoinExpr)
+	if !ok || top.Type != LeftOuterJoin {
+		t.Fatalf("top = %v", s.From[0])
+	}
+	inner, ok := top.Left.(*JoinExpr)
+	if !ok || inner.Type != InnerJoin {
+		t.Fatalf("inner = %v", top.Left)
+	}
+}
+
+func TestParseLeftAssociativeJoins(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+	top := s.From[0].(*JoinExpr)
+	if _, ok := top.Left.(*JoinExpr); !ok {
+		t.Error("joins should be left-associative")
+	}
+	if tr, ok := top.Right.(*TableRef); !ok || tr.Table != "c" {
+		t.Errorf("right = %v", top.Right)
+	}
+}
+
+func TestParseNaturalJoin(t *testing.T) {
+	s := mustParseQuery(t, "SELECT a.x, b.y FROM a NATURAL JOIN b")
+	je := s.From[0].(*JoinExpr)
+	if !je.Natural || je.On != nil || je.Type != InnerJoin {
+		t.Errorf("natural join parse = %+v", je)
+	}
+	s2 := mustParseQuery(t, "SELECT a.x, b.y FROM a NATURAL FULL OUTER JOIN b")
+	je2 := s2.From[0].(*JoinExpr)
+	if !je2.Natural || je2.Type != FullOuterJoin {
+		t.Errorf("natural full outer join parse = %+v", je2)
+	}
+}
+
+func TestParseWhereConjunction(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM a, b, c WHERE a.x = b.x AND b.x = c.x AND a.y > 10")
+	// Expect a left-nested AND chain.
+	top := s.Where.(*BinaryExpr)
+	if top.Op != "AND" {
+		t.Fatalf("Where = %v", s.Where)
+	}
+	cnt := 0
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+			walk(be.L)
+			walk(be.R)
+			return
+		}
+		cnt++
+	}
+	walk(s.Where)
+	if cnt != 3 {
+		t.Errorf("conjunct count = %d, want 3", cnt)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM r WHERE r.a = r.b + 2 * r.c")
+	eq := s.Where.(*BinaryExpr)
+	add := eq.R.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("rhs = %v", eq.R)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Errorf("precedence wrong: %v", add.R)
+	}
+}
+
+func TestParseParenthesizedScalar(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM r WHERE (r.a + 1) = r.b")
+	eq, ok := s.Where.(*BinaryExpr)
+	if !ok || eq.Op != "=" {
+		t.Fatalf("Where = %v", s.Where)
+	}
+	if _, ok := eq.L.(*BinaryExpr); !ok {
+		t.Errorf("lhs = %v", eq.L)
+	}
+}
+
+func TestParseParenthesizedBoolean(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM r WHERE (r.a = 1 AND r.b = 2)")
+	be := s.Where.(*BinaryExpr)
+	if be.Op != "AND" {
+		t.Errorf("Where = %v", s.Where)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM r WHERE r.a = -5")
+	eq := s.Where.(*BinaryExpr)
+	lit, ok := eq.R.(*NumLit)
+	if !ok || lit.Val.Int() != -5 {
+		t.Errorf("rhs = %v", eq.R)
+	}
+}
+
+func TestParseFloatLiteral(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM r WHERE r.a > 2.5")
+	eq := s.Where.(*BinaryExpr)
+	lit := eq.R.(*NumLit)
+	if lit.Val.Kind() != sqltypes.KindFloat || lit.Val.Float() != 2.5 {
+		t.Errorf("rhs = %v", eq.R)
+	}
+}
+
+func TestParseStringLiteralEscapes(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM r WHERE r.name = 'O''Brien'")
+	eq := s.Where.(*BinaryExpr)
+	lit := eq.R.(*StrLit)
+	if lit.Val != "O'Brien" {
+		t.Errorf("string literal = %q", lit.Val)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s := mustParseQuery(t, "SELECT dept, SUM(DISTINCT salary) AS total FROM instructor GROUP BY dept")
+	if len(s.Select) != 2 {
+		t.Fatalf("select items = %d", len(s.Select))
+	}
+	agg, ok := s.Select[1].Expr.(*AggExpr)
+	if !ok || agg.Func != AggSum || !agg.Distinct {
+		t.Fatalf("agg = %v", s.Select[1].Expr)
+	}
+	if s.Select[1].Alias != "total" {
+		t.Errorf("alias = %q", s.Select[1].Alias)
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Column != "dept" {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	s := mustParseQuery(t, "SELECT COUNT(*) FROM r")
+	agg := s.Select[0].Expr.(*AggExpr)
+	if agg.Func != AggCount || agg.Arg != nil || agg.Distinct {
+		t.Errorf("agg = %+v", agg)
+	}
+	if _, err := ParseQuery("SELECT SUM(*) FROM r"); err == nil {
+		t.Error("SUM(*) not rejected")
+	}
+	if _, err := ParseQuery("SELECT COUNT(DISTINCT *) FROM r"); err == nil {
+		t.Error("COUNT(DISTINCT *) not rejected")
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	s := mustParseQuery(t, "SELECT i.*, t.id FROM instructor i, teaches t WHERE i.id = t.id")
+	if !s.Select[0].Star || s.Select[0].Qualifier != "i" {
+		t.Errorf("item 0 = %+v", s.Select[0])
+	}
+}
+
+func TestRejectedConstructs(t *testing.T) {
+	for _, q := range []string{
+		"SELECT * FROM r WHERE r.a IS NULL",
+		"SELECT * FROM r WHERE r.a = NULL",
+		"SELECT * FROM (SELECT * FROM s) t",
+		"SELECT dept, SUM(x) FROM r GROUP BY dept HAVING SUM(x) > 5",
+		"SELECT * FROM r ORDER BY a",
+		"SELECT * FROM r WHERE a = (SELECT x FROM s)",
+	} {
+		if _, err := ParseQuery(q); err == nil {
+			t.Errorf("%q: expected rejection", q)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, q := range []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM a WHERE",
+		"SELECT * FROM a LEFT OUTER JOIN b", // outer join needs ON
+		"SELECT * FROM a JOIN b ON a.x =",
+		"SELECT * FROM a b c",
+		"SELECT * FROM r WHERE r.a = 'unterminated",
+		"SELECT * FROM r WHERE r.a @ 3",
+	} {
+		if _, err := ParseQuery(q); err == nil {
+			t.Errorf("%q: expected parse error", q)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := mustParseQuery(t, `SELECT * -- line comment
+		FROM r /* block
+		comment */ WHERE r.a = 1`)
+	if s.Where == nil {
+		t.Error("comment handling dropped WHERE")
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	for _, q := range []string{
+		"SELECT * FROM instructor i, teaches t WHERE i.id = t.id",
+		"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x",
+		"SELECT dept, SUM(DISTINCT salary) FROM instructor GROUP BY dept",
+		"SELECT COUNT(*) FROM r WHERE r.a > 10 AND r.b = 'x'",
+	} {
+		s1 := mustParseQuery(t, q)
+		s2 := mustParseQuery(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round trip unstable:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestParseSchemaBasic(t *testing.T) {
+	ddl := `
+	CREATE TABLE department (
+		dept_name VARCHAR(20) PRIMARY KEY,
+		budget INT
+	);
+	CREATE TABLE instructor (
+		id INT NOT NULL,
+		name VARCHAR(20),
+		dept_name VARCHAR(20) NOT NULL REFERENCES department(dept_name),
+		salary INT,
+		PRIMARY KEY (id)
+	);
+	CREATE TABLE teaches (
+		id INT NOT NULL,
+		course_id INT NOT NULL,
+		PRIMARY KEY (id, course_id),
+		FOREIGN KEY (id) REFERENCES instructor(id)
+	);`
+	s, err := ParseSchema(ddl)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	inst := s.Relation("instructor")
+	if inst == nil || inst.Arity() != 4 {
+		t.Fatalf("instructor = %+v", inst)
+	}
+	if len(inst.PrimaryKey) != 1 || inst.PrimaryKey[0] != "id" {
+		t.Errorf("instructor PK = %v", inst.PrimaryKey)
+	}
+	if len(inst.ForeignKeys) != 1 || inst.ForeignKeys[0].RefTable != "department" {
+		t.Errorf("instructor FKs = %v", inst.ForeignKeys)
+	}
+	te := s.Relation("teaches")
+	if len(te.PrimaryKey) != 2 {
+		t.Errorf("teaches PK = %v", te.PrimaryKey)
+	}
+	if te.Attr("id").Type != sqltypes.KindInt {
+		t.Errorf("teaches.id type = %v", te.Attr("id").Type)
+	}
+	if dept := s.Relation("department"); !dept.Attr("dept_name").NotNull {
+		t.Error("PRIMARY KEY column should imply NOT NULL")
+	}
+}
+
+func TestParseSchemaFKWithoutRefColumns(t *testing.T) {
+	ddl := `
+	CREATE TABLE b (x INT PRIMARY KEY);
+	CREATE TABLE a (x INT NOT NULL, PRIMARY KEY(x), FOREIGN KEY (x) REFERENCES b);`
+	s, err := ParseSchema(ddl)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	fk := s.Relation("a").ForeignKeys[0]
+	if fk.RefColumns[0] != "x" {
+		t.Errorf("defaulted ref column = %v", fk.RefColumns)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, ddl := range []string{
+		"CREATE TABLE t (x BLOB)",                               // unsupported type
+		"CREATE TABLE t (x INT PRIMARY KEY, y INT PRIMARY KEY)", // two PKs
+		"CREATE TABLE t (x INT, FOREIGN KEY (z) REFERENCES t)",  // unknown FK col
+		"CREATE TABLE t (x INT REFERENCES ghost(x))",            // dangling ref
+		"CREATE TABLE t (x INT",                                 // unterminated
+		"CREATE TABLE t (x INT); CREATE TABLE t (y INT);",       // duplicate
+	} {
+		if _, err := ParseSchema(ddl); err == nil {
+			t.Errorf("%q: expected error", ddl)
+		}
+	}
+}
+
+func TestParseSchemaTypeArgs(t *testing.T) {
+	s, err := ParseSchema("CREATE TABLE t (a VARCHAR(20), b NUMERIC(8,2), c DOUBLE PRECISION)")
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	r := s.Relation("t")
+	if r.Attr("a").Type != sqltypes.KindString || r.Attr("b").Type != sqltypes.KindFloat || r.Attr("c").Type != sqltypes.KindFloat {
+		t.Errorf("types = %v", r.Attrs)
+	}
+}
+
+func TestLexQuotedIdentifier(t *testing.T) {
+	s := mustParseQuery(t, `SELECT "Weird Col" FROM r`)
+	cr, ok := s.Select[0].Expr.(*ColRef)
+	if !ok || cr.Column != "weird col" {
+		t.Errorf("quoted ident = %v", s.Select[0].Expr)
+	}
+}
+
+func TestJoinExprString(t *testing.T) {
+	s := mustParseQuery(t, "SELECT * FROM (a JOIN b ON a.x = b.x) FULL OUTER JOIN c ON a.x = c.x")
+	str := s.From[0].String()
+	if !strings.Contains(str, "FULL OUTER JOIN") || !strings.Contains(str, "(a JOIN b ON a.x = b.x)") {
+		t.Errorf("join string = %q", str)
+	}
+}

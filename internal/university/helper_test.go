@@ -1,0 +1,16 @@
+package university
+
+import (
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/schema"
+)
+
+// execute runs a query and returns its row count (test helper).
+func execute(q *qtree.Query, ds *schema.Dataset) (int, error) {
+	res, err := engine.NewPlan(q).Run(ds)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}

@@ -1,0 +1,138 @@
+package university
+
+import (
+	"testing"
+
+	"repro/internal/qtree"
+)
+
+func TestSchemaFKParameterization(t *testing.T) {
+	for fk := 0; fk <= NumForeignKeys; fk++ {
+		s := Schema(fk)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("fk=%d: %v", fk, err)
+		}
+		total := 0
+		for _, r := range s.Relations() {
+			total += len(r.ForeignKeys)
+		}
+		if total != fk {
+			t.Errorf("fk=%d: schema has %d foreign keys", fk, total)
+		}
+	}
+	// Negative count enables all.
+	s := Schema(-1)
+	total := 0
+	for _, r := range s.Relations() {
+		total += len(r.ForeignKeys)
+	}
+	if total != NumForeignKeys {
+		t.Errorf("Schema(-1) has %d foreign keys, want %d", total, NumForeignKeys)
+	}
+}
+
+func TestTableIQueriesParse(t *testing.T) {
+	for _, bq := range TableIQueries() {
+		for _, fk := range bq.FKCounts {
+			sch := Schema(fk)
+			q, err := qtree.BuildSQL(sch, bq.SQL)
+			if err != nil {
+				t.Fatalf("%s fk=%d: %v", bq.Name, fk, err)
+			}
+			if got := len(q.Occs); got != bq.Relations {
+				t.Errorf("%s: %d relations, want %d", bq.Name, got, bq.Relations)
+			}
+			if !q.AllInner() {
+				t.Errorf("%s: Table I queries must be inner-join only", bq.Name)
+			}
+			// Join count: total class-implied edges plus join preds must
+			// connect all relations (joins = relations - 1 for these
+			// tree-shaped queries).
+			if bq.Joins != bq.Relations-1 {
+				t.Errorf("%s: joins = %d, relations = %d", bq.Name, bq.Joins, bq.Relations)
+			}
+		}
+	}
+}
+
+func TestTableIIQueriesParse(t *testing.T) {
+	for _, bq := range TableIIQueries() {
+		sch := Schema(bq.FKCounts[0])
+		q, err := qtree.BuildSQL(sch, bq.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", bq.Name, err)
+		}
+		sels := 0
+		for _, p := range q.Preds {
+			if p.IsSelection() {
+				sels++
+			}
+		}
+		if sels != bq.Sels {
+			t.Errorf("%s: %d selections, want %d", bq.Name, sels, bq.Sels)
+		}
+		aggs := 0
+		if q.Agg != nil {
+			aggs = len(q.Agg.Calls)
+		}
+		if aggs != bq.Aggs {
+			t.Errorf("%s: %d aggregates, want %d", bq.Name, aggs, bq.Aggs)
+		}
+	}
+}
+
+func TestQ4HasThreeMemberDeptClass(t *testing.T) {
+	// The 5-relation query's dept_name class spans course, department
+	// and student — this is what makes the paper's 7-dataset count work.
+	sch := Schema(0)
+	q, err := qtree.BuildSQL(sch, TableIQueries()[3].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ec := range q.Classes {
+		if len(ec.Members) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Q4 classes = %v, expected a 3-member dept_name class", q.Classes)
+	}
+}
+
+func TestSampleDBValid(t *testing.T) {
+	for _, n := range []int{1, 5, 9, 50} {
+		sch := Schema(-1) // all FKs: strictest validation
+		ds := SampleDB(sch, n)
+		if err := sch.CheckDataset(ds); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := n
+		if want > 9 {
+			want = 9 // capped at the name-pool size
+		}
+		if got := len(ds.Rows("instructor")); got != want {
+			t.Errorf("n=%d: instructor rows = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSampleDBSatisfiesTableIQueries(t *testing.T) {
+	// The sample database must give every Table I query a non-empty
+	// result (it serves as the [14] baseline's original-query dataset).
+	sch := Schema(0)
+	ds := SampleDB(sch, 5)
+	for _, bq := range TableIQueries() {
+		q, err := qtree.BuildSQL(sch, bq.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := execute(q, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == 0 {
+			t.Errorf("%s: empty result on sample DB", bq.Name)
+		}
+	}
+}
