@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -241,6 +242,96 @@ func BenchmarkAblationJointNullify(b *testing.B) {
 			b.ReportMetric(float64(len(suite.Datasets)), "datasets")
 			b.ReportMetric(float64(rep.KilledCount()), "killed")
 			b.ReportMetric(float64(len(rep.Mutants)), "mutants")
+		})
+	}
+}
+
+// seqBaselines caches sequential (1-worker) wall times per scaling cell
+// so every worker-count sub-benchmark reports speedup against the same
+// baseline measurement.
+var seqBaselines sync.Map // cell name -> time.Duration
+
+// BenchmarkParallelScaling measures the parallel kill-goal pipeline and
+// the parallel kill-matrix evaluator at 1/2/4/8 workers, reporting
+// wall-clock speedup over the 1-worker run as a custom metric. The two
+// cells are the ones the paper's evaluation is dominated by: generation
+// for the Table I 6-join query (Q6, fk=0) and mutation.Evaluate on its
+// university kill matrix.
+func BenchmarkParallelScaling(b *testing.B) {
+	bq := university.TableIQueries()[5] // Q6: 6 joins, 7 relations
+	sch := university.Schema(0)
+	q, err := qtree.BuildSQL(sch, bq.SQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	measureSeq := func(cell string, run func() error) time.Duration {
+		if d, ok := seqBaselines.Load(cell); ok {
+			return d.(time.Duration)
+		}
+		t0 := time.Now()
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+		d := time.Since(t0)
+		seqBaselines.Store(cell, d)
+		return d
+	}
+
+	// Generation scaling on the 6-join Table I cell.
+	genWith := func(workers int) error {
+		opts := core.DefaultOptions()
+		opts.Parallelism = workers
+		_, err := core.NewGenerator(q, opts).Generate()
+		return err
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run("generate/Q6/workers="+itoa(workers), func(b *testing.B) {
+			base := measureSeq("generate/Q6", func() error { return genWith(1) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := genWith(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perOp := time.Duration(int64(b.Elapsed()) / int64(b.N))
+			if perOp > 0 {
+				b.ReportMetric(float64(base)/float64(perOp), "speedup")
+			}
+		})
+	}
+
+	// Kill-matrix scaling: evaluate Q6's mutant space against its suite.
+	suite, err := core.NewGenerator(q, core.DefaultOptions()).Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := mutation.Space(q, mutation.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	evalWith := func(workers int) error {
+		_, err := mutation.EvaluateOpts(q, ms, suite.All(), mutation.EvalOptions{Parallelism: workers})
+		return err
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run("evaluate/Q6/workers="+itoa(workers), func(b *testing.B) {
+			base := measureSeq("evaluate/Q6", func() error { return evalWith(1) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := evalWith(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perOp := time.Duration(int64(b.Elapsed()) / int64(b.N))
+			if perOp > 0 {
+				b.ReportMetric(float64(base)/float64(perOp), "speedup")
+			}
+			b.ReportMetric(float64(len(ms)), "mutants")
 		})
 	}
 }

@@ -25,6 +25,7 @@ func main() {
 	equiv := flag.Bool("equiv", false, "test surviving mutants for equivalence by randomized execution")
 	trials := flag.Int("trials", 120, "randomized trials per surviving mutant")
 	fullOuter := flag.Bool("full-outer", false, "include mutations to FULL OUTER JOIN (the paper's tables exclude them)")
+	parallel := flag.Int("parallel", 0, "workers for generation and kill-matrix evaluation (0 = all CPUs, 1 = sequential); output is identical for every value")
 	flag.Parse()
 
 	if *schemaPath == "" || *query == "" {
@@ -44,7 +45,9 @@ func main() {
 		fatal(err)
 	}
 
-	suite, err := xdata.Generate(q, xdata.DefaultOptions())
+	genOpts := xdata.DefaultOptions()
+	genOpts.Parallelism = *parallel
+	suite, err := xdata.Generate(q, genOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,7 +57,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := xdata.Analyze(q, suite, mopts)
+	rep, err := xdata.AnalyzeParallel(q, suite, mopts, *parallel)
 	if err != nil {
 		fatal(err)
 	}

@@ -25,12 +25,14 @@ func main() {
 	fast := flag.Bool("fast", false, "skip the quantified (without-unfolding) timing column")
 	equiv := flag.Bool("equiv", false, "verify surviving mutants by randomized equivalence testing")
 	trials := flag.Int("trials", 120, "randomized equivalence trials per surviving mutant")
+	parallel := flag.Int("parallel", 0, "workers for generation and kill-matrix evaluation (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	opts := xbench.Options{
 		SkipQuantified:   *fast,
 		CheckEquivalence: *equiv,
 		EquivTrials:      *trials,
+		Parallelism:      *parallel,
 	}
 
 	run := func(name string, f func() error) {

@@ -7,6 +7,7 @@
 //	xdata -schema schema.sql -query "SELECT * FROM r, s WHERE r.x = s.x"
 //	xdata -schema schema.sql -queryfile q.sql -format sql
 //	xdata -schema schema.sql -query ... -no-unfold -show-skipped
+//	xdata -schema schema.sql -query ... -parallel 8
 //
 // The schema file contains CREATE TABLE statements (INT/VARCHAR/FLOAT
 // types, PRIMARY KEY, FOREIGN KEY ... REFERENCES, NOT NULL). Output is
@@ -33,6 +34,7 @@ func main() {
 	inputDB := flag.String("inputdb", "", "optional SQL file of INSERT statements providing an input database (§VI-A)")
 	forceInput := flag.Bool("force-input-tuples", false, "constrain generated tuples to come from the input database")
 	minimize := flag.Bool("minimize", false, "prune datasets whose kills are covered by others (greedy set cover)")
+	parallel := flag.Int("parallel", 0, "kill-goal solver workers (0 = all CPUs, 1 = sequential); output is identical for every value")
 	flag.Parse()
 
 	if *schemaPath == "" || (*query == "" && *queryFile == "") {
@@ -62,6 +64,7 @@ func main() {
 
 	opts := xdata.DefaultOptions()
 	opts.Unfold = !*noUnfold
+	opts.Parallelism = *parallel
 	if *inputDB != "" {
 		ds, err := loadInserts(sch, *inputDB)
 		if err != nil {

@@ -39,6 +39,12 @@ type Options struct {
 	// (C LOJ A) JOIN B with A.x referencing B.x are skipped as
 	// unsatisfiable and the corresponding mutants survive unkilled.
 	NoJointNullify bool
+	// Parallelism is the number of worker goroutines solving kill goals
+	// concurrently (see goals.go). <= 0 selects runtime.GOMAXPROCS(0);
+	// 1 forces fully sequential generation. The generated Suite is
+	// byte-identical for every value: goals are enumerated up front and
+	// their results merged in enumeration order.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -57,6 +63,12 @@ type Stats struct {
 	// of the paper's unfolding ablation.
 	SolverNodes    int64
 	SolverRestarts int64
+	// SolverProblemSize sums constraint counts and candidate-domain
+	// cardinalities across all solver calls: a deterministic proxy for
+	// problem size (e.g. it grows with the input database in the
+	// §VI-C.3 experiment, where search nodes can shrink as the extra
+	// constraints improve propagation).
+	SolverProblemSize int64
 }
 
 // Skip records a dataset that was not generated because its constraints
@@ -251,26 +263,21 @@ func (g *Generator) decodeValue(k sqltypes.Kind, code int64) sqltypes.Value {
 // and non-equi join predicates), comparison-operator mutants, and
 // aggregation mutants. Unsatisfiable constraint systems are recorded as
 // skips: they correspond to equivalent mutants.
+//
+// Generation runs as a two-phase kill-goal pipeline (see goals.go): the
+// independent dataset targets are enumerated first, then solved on a
+// worker pool of Options.Parallelism goroutines with per-goal solver
+// instances. Results are merged in enumeration order, so the returned
+// Suite is identical for every worker count.
 func (g *Generator) Generate() (*Suite, error) {
 	start := time.Now()
-	suite := &Suite{}
-
-	orig, err := g.GenerateOriginal(suite)
+	subs, err := g.runGoals(g.enumerateGoals())
 	if err != nil {
 		return nil, err
 	}
-	suite.Original = orig
-	if err := g.KillEquivalenceClasses(suite); err != nil {
-		return nil, err
-	}
-	if err := g.KillOtherPredicates(suite); err != nil {
-		return nil, err
-	}
-	if err := g.KillComparisonOperators(suite); err != nil {
-		return nil, err
-	}
-	if err := g.KillAggregates(suite); err != nil {
-		return nil, err
+	suite := &Suite{}
+	for _, sub := range subs {
+		mergeInto(suite, sub)
 	}
 	suite.Stats.TotalTime = time.Since(start)
 	return suite, nil
@@ -290,14 +297,13 @@ func (g *Generator) buildDataset(suite *Suite, purpose string, tupleSets int, ne
 }
 
 func (g *Generator) tryBuild(suite *Suite, purpose string, tupleSets int, needRepair, forceInput bool, build func(*problem) error) (*schema.Dataset, error) {
-	saved := g.opts.ForceInputTuples
-	g.opts.ForceInputTuples = forceInput
-	defer func() { g.opts.ForceInputTuples = saved }()
-
 	p, err := g.newProblem(tupleSets, needRepair)
 	if err != nil {
 		return nil, err
 	}
+	// Thread the input-tuple toggle through the problem rather than
+	// mutating shared Generator options: goals solve concurrently.
+	p.forceInput = forceInput
 	if err := build(p); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", purpose, err)
 	}
@@ -310,6 +316,7 @@ func (g *Generator) tryBuild(suite *Suite, purpose string, tupleSets int, needRe
 	st := p.s.LastStats()
 	suite.Stats.SolverNodes += st.Nodes
 	suite.Stats.SolverRestarts += st.Restarts
+	suite.Stats.SolverProblemSize += p.s.ProblemSize()
 	switch {
 	case err == nil:
 		suite.Stats.SatCount++

@@ -1,0 +1,150 @@
+// Kill-goal pipeline: Algorithm 1 as a two-phase enumerate/solve system.
+//
+// Phase 1 (enumeration) walks the query structure and collects one
+// killGoal per independent dataset target: the original-query dataset,
+// one nullification per equivalence-class element (Algorithm 2), one per
+// (non-equi predicate, occurrence) pair (Algorithm 3), one per
+// (predicate, comparison-operator variant) (§V-E), and one per aggregate
+// call (Algorithm 4, including its internal relaxation ladder). Goals
+// share nothing but the read-only Generator, so phase 2 solves them on a
+// worker pool (Options.Parallelism workers) with a fresh problem/solver
+// per goal.
+//
+// Determinism contract: each goal writes into its own private Suite;
+// results are merged in goal-enumeration order after all workers finish.
+// Datasets, Skipped and all integer Stats counters are therefore
+// byte-identical for every worker count (the constraint solver itself is
+// deterministic per problem — fixed restart seed, no wall-clock
+// heuristics under default options). Only the timing fields
+// (Stats.SolveTime, Stats.TotalTime) vary between runs, exactly as they
+// already did sequentially.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// killGoal is one independently-solvable dataset target.
+type killGoal struct {
+	// purpose is a diagnostic label for the goal (the generated
+	// dataset's own purpose string is produced by run).
+	purpose string
+	// run solves the goal, appending datasets, skips and stats to the
+	// private sub-suite. It must not touch shared mutable state.
+	run func(g *Generator, sub *Suite) error
+}
+
+// enumerateGoals collects the full kill-goal list in the canonical
+// (sequential Algorithm 1) order: original dataset, equivalence-class
+// nullifications, non-equi predicate nullifications, comparison-operator
+// variants, aggregate mutations.
+func (g *Generator) enumerateGoals() []killGoal {
+	goals := []killGoal{{
+		purpose: "original-query dataset",
+		run: func(g *Generator, sub *Suite) error {
+			ds, err := g.GenerateOriginal(sub)
+			if err != nil {
+				return err
+			}
+			sub.Original = ds
+			return nil
+		},
+	}}
+	goals = append(goals, g.equivalenceClassGoals()...)
+	goals = append(goals, g.otherPredicateGoals()...)
+	goals = append(goals, g.comparisonOperatorGoals()...)
+	goals = append(goals, g.aggregateGoals()...)
+	return goals
+}
+
+// runGoalsInto executes goals sequentially against a shared suite; the
+// per-phase exported methods (KillEquivalenceClasses etc.) use it so
+// their append-in-place contract is unchanged.
+func runGoalsInto(g *Generator, suite *Suite, goals []killGoal) error {
+	for _, goal := range goals {
+		if err := goal.run(g, suite); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runGoals solves all goals, concurrently when Options.Parallelism (or
+// GOMAXPROCS) allows, and returns the per-goal sub-suites in goal order.
+func (g *Generator) runGoals(goals []killGoal) ([]*Suite, error) {
+	workers := g.opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(goals) {
+		workers = len(goals)
+	}
+	subs := make([]*Suite, len(goals))
+
+	if workers <= 1 {
+		for i := range goals {
+			sub := &Suite{}
+			if err := goals[i].run(g, sub); err != nil {
+				return nil, err
+			}
+			subs[i] = sub
+		}
+		return subs, nil
+	}
+
+	errs := make([]error, len(goals))
+	var next int64 = -1
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(goals) || failed.Load() {
+					return
+				}
+				sub := &Suite{}
+				if err := goals[i].run(g, sub); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				subs[i] = sub
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the first error in goal order so failures are deterministic
+	// too.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return subs, nil
+}
+
+// mergeInto folds a per-goal sub-suite into the final suite. Called in
+// goal-enumeration order, it reproduces the sequential append order
+// exactly.
+func mergeInto(dst, src *Suite) {
+	if src == nil {
+		return
+	}
+	if src.Original != nil {
+		dst.Original = src.Original
+	}
+	dst.Datasets = append(dst.Datasets, src.Datasets...)
+	dst.Skipped = append(dst.Skipped, src.Skipped...)
+	dst.Stats.SolverCalls += src.Stats.SolverCalls
+	dst.Stats.SatCount += src.Stats.SatCount
+	dst.Stats.UnsatCount += src.Stats.UnsatCount
+	dst.Stats.SolveTime += src.Stats.SolveTime
+	dst.Stats.SolverNodes += src.Stats.SolverNodes
+	dst.Stats.SolverRestarts += src.Stats.SolverRestarts
+	dst.Stats.SolverProblemSize += src.Stats.SolverProblemSize
+}

@@ -27,48 +27,67 @@ func (g *Generator) GenerateOriginal(suite *Suite) (*schema.Dataset, error) {
 // while the remaining members P join with each other. If P is empty the
 // targeted mutants are equivalent and no dataset is generated.
 func (g *Generator) KillEquivalenceClasses(suite *Suite) error {
+	return runGoalsInto(g, suite, g.equivalenceClassGoals())
+}
+
+// equivalenceClassGoals enumerates one kill goal per (class, element)
+// nullification of Algorithm 2.
+func (g *Generator) equivalenceClassGoals() []killGoal {
+	var goals []killGoal
 	for _, ec := range g.q.Classes {
 		for _, e := range ec.Members {
-			S, P := g.splitClassByFK(ec, e)
-			purpose := fmt.Sprintf("kill join-type mutants: nullify %s on class %s", attrList(S), ec)
-			if len(P) == 0 {
-				// §V-H relaxation of A2: when a referencing foreign-key
-				// column is nullable, a NULL foreign key provides the
-				// unmatched tuple that nullifying the referenced
-				// attribute cannot.
-				done, err := g.nullableFKFallback(suite, ec, e, S)
-				if err != nil {
-					return err
-				}
-				if !done {
-					suite.Skipped = append(suite.Skipped, Skip{
-						Purpose: purpose,
-						Reason:  "every class member is (or references) the nullified key: equivalent mutants",
-					})
-				}
-				continue
-			}
-			ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
-				// P members join with each other...
-				for _, c := range p.classCons(P, 0) {
-					p.s.Assert(c)
-				}
-				// ...but no tuple of any S relation matches them.
-				pivot := solver.V(p.varOf(P[0], 0))
-				for _, ra := range dedupeRelAttrs(g.q, S) {
-					p.notExistsValue(ra.rel, ra.attr, pivot)
-				}
-				// All other classes and all predicates hold, so the
-				// difference propagates to the root.
-				skip := map[*qtree.EquivClass]bool{ec: true}
-				return p.assertQueryConds(0, skip, nil)
+			ec, e := ec, e
+			goals = append(goals, killGoal{
+				purpose: fmt.Sprintf("nullify %s on class %s", e, ec),
+				run: func(g *Generator, sub *Suite) error {
+					return g.killClassMember(sub, ec, e)
+				},
 			})
-			if err != nil {
-				return err
-			}
-			suite.addIfGenerated(ds)
 		}
 	}
+	return goals
+}
+
+// killClassMember solves one Algorithm 2 nullification goal.
+func (g *Generator) killClassMember(suite *Suite, ec *qtree.EquivClass, e qtree.AttrRef) error {
+	S, P := g.splitClassByFK(ec, e)
+	purpose := fmt.Sprintf("kill join-type mutants: nullify %s on class %s", attrList(S), ec)
+	if len(P) == 0 {
+		// §V-H relaxation of A2: when a referencing foreign-key
+		// column is nullable, a NULL foreign key provides the
+		// unmatched tuple that nullifying the referenced
+		// attribute cannot.
+		done, err := g.nullableFKFallback(suite, ec, e, S)
+		if err != nil {
+			return err
+		}
+		if !done {
+			suite.Skipped = append(suite.Skipped, Skip{
+				Purpose: purpose,
+				Reason:  "every class member is (or references) the nullified key: equivalent mutants",
+			})
+		}
+		return nil
+	}
+	ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
+		// P members join with each other...
+		for _, c := range p.classCons(P, 0) {
+			p.s.Assert(c)
+		}
+		// ...but no tuple of any S relation matches them.
+		pivot := solver.V(p.varOf(P[0], 0))
+		for _, ra := range dedupeRelAttrs(g.q, S) {
+			p.notExistsValue(ra.rel, ra.attr, pivot)
+		}
+		// All other classes and all predicates hold, so the
+		// difference propagates to the root.
+		skip := map[*qtree.EquivClass]bool{ec: true}
+		return p.assertQueryConds(0, skip, nil)
+	})
+	if err != nil {
+		return err
+	}
+	suite.addIfGenerated(ds)
 	return nil
 }
 
@@ -195,25 +214,44 @@ func attrList(as []qtree.AttrRef) string {
 // (Selections are handled by KillComparisonOperators, whose violating
 // datasets carry the same NOT-EXISTS constraint — see Example 2.)
 func (g *Generator) KillOtherPredicates(suite *Suite) error {
+	return runGoalsInto(g, suite, g.otherPredicateGoals())
+}
+
+// otherPredicateGoals enumerates one kill goal per (non-equi predicate,
+// occurrence) pair of Algorithm 3.
+func (g *Generator) otherPredicateGoals() []killGoal {
+	var goals []killGoal
 	for i, pr := range g.q.Preds {
 		if len(pr.Occs) < 2 {
 			continue
 		}
 		for _, occ := range pr.Occs {
-			purpose := fmt.Sprintf("kill join-type mutants: nullify %s on predicate %s", occ, pr)
-			pi := i
-			ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
-				if err := p.notExistsPred(pr, occ, 0); err != nil {
-					return err
-				}
-				return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+			pi, pr, occ := i, pr, occ
+			goals = append(goals, killGoal{
+				purpose: fmt.Sprintf("nullify %s on predicate %s", occ, pr),
+				run: func(g *Generator, sub *Suite) error {
+					return g.killPredOccurrence(sub, pi, pr, occ)
+				},
 			})
-			if err != nil {
-				return err
-			}
-			suite.addIfGenerated(ds)
 		}
 	}
+	return goals
+}
+
+// killPredOccurrence solves one Algorithm 3 goal: no tuple of occ's base
+// relation satisfies predicate pi against the other relations' tuples.
+func (g *Generator) killPredOccurrence(suite *Suite, pi int, pr *qtree.Pred, occ string) error {
+	purpose := fmt.Sprintf("kill join-type mutants: nullify %s on predicate %s", occ, pr)
+	ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
+		if err := p.notExistsPred(pr, occ, 0); err != nil {
+			return err
+		}
+		return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+	})
+	if err != nil {
+		return err
+	}
+	suite.addIfGenerated(ds)
 	return nil
 }
 
@@ -237,30 +275,49 @@ var datasetOps = []struct {
 // requirement that makes join mutants killable when foreign keys prevent
 // nullifying the referenced side.
 func (g *Generator) KillComparisonOperators(suite *Suite) error {
+	return runGoalsInto(g, suite, g.comparisonOperatorGoals())
+}
+
+// comparisonOperatorGoals enumerates one kill goal per (predicate,
+// comparison dataset) pair of §V-E.
+func (g *Generator) comparisonOperatorGoals() []killGoal {
+	var goals []killGoal
 	for i, pr := range g.q.Preds {
 		for _, dop := range datasetOps {
-			purpose := fmt.Sprintf("kill comparison mutants: dataset with (%s) %s (%s)", pr.L, dop.op, pr.R)
-			pi, op := i, dop.op
-			violating := !pr.Op.HoldsSign(dop.sign)
-			ds, err := g.buildDataset(suite, purpose, 1, violating, func(p *problem) error {
-				c, err := p.predCon(pr, op, 0)
-				if err != nil {
-					return err
-				}
-				p.s.Assert(c)
-				if violating && len(pr.Occs) == 1 {
-					if err := p.notExistsPred(pr, pr.Occs[0], 0); err != nil {
-						return err
-					}
-				}
-				return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+			pi, pr, dop := i, pr, dop
+			goals = append(goals, killGoal{
+				purpose: fmt.Sprintf("comparison dataset (%s) %s (%s)", pr.L, dop.op, pr.R),
+				run: func(g *Generator, sub *Suite) error {
+					return g.killComparisonVariant(sub, pi, pr, dop.op, dop.sign)
+				},
 			})
-			if err != nil {
-				return err
-			}
-			suite.addIfGenerated(ds)
 		}
 	}
+	return goals
+}
+
+// killComparisonVariant solves one §V-E goal: a dataset on which
+// predicate pi's comparison holds with the given operator variant.
+func (g *Generator) killComparisonVariant(suite *Suite, pi int, pr *qtree.Pred, op sqltypes.CmpOp, sign int) error {
+	purpose := fmt.Sprintf("kill comparison mutants: dataset with (%s) %s (%s)", pr.L, op, pr.R)
+	violating := !pr.Op.HoldsSign(sign)
+	ds, err := g.buildDataset(suite, purpose, 1, violating, func(p *problem) error {
+		c, err := p.predCon(pr, op, 0)
+		if err != nil {
+			return err
+		}
+		p.s.Assert(c)
+		if violating && len(pr.Occs) == 1 {
+			if err := p.notExistsPred(pr, pr.Occs[0], 0); err != nil {
+				return err
+			}
+		}
+		return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+	})
+	if err != nil {
+		return err
+	}
+	suite.addIfGenerated(ds)
 	return nil
 }
 
@@ -299,86 +356,107 @@ var aggRelaxations = [][4]bool{ // {S1, S2, S3, S4}
 // value (distinguishing MIN/MAX/SUM/AVG) — whose group does not occur in
 // any other tuple.
 func (g *Generator) KillAggregates(suite *Suite) error {
+	return runGoalsInto(g, suite, g.aggregateGoals())
+}
+
+// aggregateGoals enumerates one kill goal per mutatable aggregate call;
+// each goal runs Algorithm 4's full relaxation ladder internally (the
+// ladder is inherently sequential: the first satisfiable set wins).
+func (g *Generator) aggregateGoals() []killGoal {
 	if g.q.Agg == nil {
 		return nil
 	}
+	var goals []killGoal
 	for ci, call := range g.q.Agg.Calls {
 		if call.Star {
 			continue // COUNT(*) has no aggregated attribute to mutate
 		}
-		numeric := g.q.AttrType(call.Arg).Numeric()
-		generated := false
-		for _, relax := range aggRelaxations {
-			purpose := fmt.Sprintf("kill aggregation mutants of %s", call)
-			var dropped []string
-			for k, on := range relax {
-				if !on {
-					dropped = append(dropped, fmt.Sprintf("S%d", k+1))
+		ci, call := ci, call
+		goals = append(goals, killGoal{
+			purpose: fmt.Sprintf("aggregate mutations of %s", call),
+			run: func(g *Generator, sub *Suite) error {
+				return g.killAggregateCall(sub, ci, call)
+			},
+		})
+	}
+	return goals
+}
+
+// killAggregateCall solves one Algorithm 4 goal, walking the relaxation
+// ladder until a constraint set is satisfiable.
+func (g *Generator) killAggregateCall(suite *Suite, ci int, call qtree.AggCall) error {
+	numeric := g.q.AttrType(call.Arg).Numeric()
+	generated := false
+	for _, relax := range aggRelaxations {
+		purpose := fmt.Sprintf("kill aggregation mutants of %s", call)
+		var dropped []string
+		for k, on := range relax {
+			if !on {
+				dropped = append(dropped, fmt.Sprintf("S%d", k+1))
+			}
+		}
+		if len(dropped) > 0 {
+			purpose += " (dropped " + strings.Join(dropped, ",") + ")"
+		}
+		cc := call
+		ds, err := g.buildDataset(suite, purpose, 3, true, func(p *problem) error {
+			// S0: every tuple set satisfies the query; group-by
+			// values agree across the three sets.
+			for set := 0; set < 3; set++ {
+				if err := p.assertQueryConds(set, nil, nil); err != nil {
+					return err
 				}
 			}
-			if len(dropped) > 0 {
-				purpose += " (dropped " + strings.Join(dropped, ",") + ")"
+			for _, gb := range g.q.Agg.GroupBy {
+				p.s.Assert(solver.Eq(solver.V(p.varOf(gb, 0)), solver.V(p.varOf(gb, 1))))
+				p.s.Assert(solver.Eq(solver.V(p.varOf(gb, 1)), solver.V(p.varOf(gb, 2))))
 			}
-			cc := call
-			ds, err := g.buildDataset(suite, purpose, 3, true, func(p *problem) error {
-				// S0: every tuple set satisfies the query; group-by
-				// values agree across the three sets.
+			a0 := solver.V(p.varOf(cc.Arg, 0))
+			a1 := solver.V(p.varOf(cc.Arg, 1))
+			a2 := solver.V(p.varOf(cc.Arg, 2))
+			if relax[0] { // S1
+				p.s.Assert(solver.Eq(a0, a1))
+				if numeric {
+					p.s.Assert(solver.NewCmp(sqltypes.OpNE, a0, solver.C(0)))
+				}
+				diff := p.tupleSetsDiffer(cc.Arg, g.q.Agg.GroupBy)
+				if diff == nil {
+					// No attribute outside G and A exists, so "differ
+					// in at least one other attribute" is infeasible:
+					// S1 must be dropped by the relaxation ladder.
+					diff = solver.NewCmp(sqltypes.OpNE, solver.C(0), solver.C(0))
+				}
+				p.s.Assert(diff)
+			}
+			if relax[1] { // S2
+				p.s.Assert(solver.NewCmp(sqltypes.OpNE, a2, a0))
+			}
+			if relax[2] { // S3
+				p.assertGroupIsolation()
+			}
+			if relax[3] && numeric { // S4 (§V-F extension)
 				for set := 0; set < 3; set++ {
-					if err := p.assertQueryConds(set, nil, nil); err != nil {
-						return err
-					}
+					p.s.Assert(solver.NewCmp(sqltypes.OpGE,
+						solver.V(p.varOf(cc.Arg, set)), solver.C(4)))
 				}
-				for _, gb := range g.q.Agg.GroupBy {
-					p.s.Assert(solver.Eq(solver.V(p.varOf(gb, 0)), solver.V(p.varOf(gb, 1))))
-					p.s.Assert(solver.Eq(solver.V(p.varOf(gb, 1)), solver.V(p.varOf(gb, 2))))
-				}
-				a0 := solver.V(p.varOf(cc.Arg, 0))
-				a1 := solver.V(p.varOf(cc.Arg, 1))
-				a2 := solver.V(p.varOf(cc.Arg, 2))
-				if relax[0] { // S1
-					p.s.Assert(solver.Eq(a0, a1))
-					if numeric {
-						p.s.Assert(solver.NewCmp(sqltypes.OpNE, a0, solver.C(0)))
-					}
-					diff := p.tupleSetsDiffer(cc.Arg, g.q.Agg.GroupBy)
-					if diff == nil {
-						// No attribute outside G and A exists, so "differ
-						// in at least one other attribute" is infeasible:
-						// S1 must be dropped by the relaxation ladder.
-						diff = solver.NewCmp(sqltypes.OpNE, solver.C(0), solver.C(0))
-					}
-					p.s.Assert(diff)
-				}
-				if relax[1] { // S2
-					p.s.Assert(solver.NewCmp(sqltypes.OpNE, a2, a0))
-				}
-				if relax[2] { // S3
-					p.assertGroupIsolation()
-				}
-				if relax[3] && numeric { // S4 (§V-F extension)
-					for set := 0; set < 3; set++ {
-						p.s.Assert(solver.NewCmp(sqltypes.OpGE,
-							solver.V(p.varOf(cc.Arg, set)), solver.C(4)))
-					}
-				}
-				return nil
-			})
-			if err != nil {
-				return err
 			}
-			if ds != nil {
-				ds.Purpose = purpose
-				suite.Datasets = append(suite.Datasets, ds)
-				generated = true
-				break
-			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		if !generated {
-			suite.Skipped = append(suite.Skipped, Skip{
-				Purpose: fmt.Sprintf("kill aggregation mutants of %s", g.q.Agg.Calls[ci]),
-				Reason:  "no relaxation of S1-S3 is satisfiable",
-			})
+		if ds != nil {
+			ds.Purpose = purpose
+			suite.Datasets = append(suite.Datasets, ds)
+			generated = true
+			break
 		}
+	}
+	if !generated {
+		suite.Skipped = append(suite.Skipped, Skip{
+			Purpose: fmt.Sprintf("kill aggregation mutants of %s", g.q.Agg.Calls[ci]),
+			Reason:  "no relaxation of S1-S3 is satisfiable",
+		})
 	}
 	return nil
 }

@@ -51,6 +51,10 @@ type problem struct {
 	// skipFK suppresses the foreign-key constraint for specific
 	// (slot, fk-index) pairs whose columns will be NULL-patched.
 	skipFK map[*slot]map[int]bool
+	// forceInput applies the §VI-A input-tuple constraints for this
+	// problem. Threaded per problem (not via Generator options) so
+	// concurrent kill goals never mutate shared state.
+	forceInput bool
 }
 
 type nullPatch struct {
@@ -418,7 +422,7 @@ func (p *problem) assertDBConstraints() {
 	}
 	// Input-database tuple constraints (§VI-A): every generated tuple
 	// must equal one of the input database's tuples.
-	if p.g.opts.ForceInputTuples && p.g.opts.InputDB != nil {
+	if p.forceInput && p.g.opts.InputDB != nil {
 		p.assertInputTuples()
 	}
 }

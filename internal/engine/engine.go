@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/qtree"
 	"repro/internal/schema"
@@ -33,6 +34,17 @@ type Plan struct {
 	Tree  *qtree.Node     // defaults to Query.Root
 	Preds []*qtree.Pred   // defaults to Query.Preds
 	Aggs  []qtree.AggCall // defaults to Query.Agg.Calls (if aggregated)
+
+	// Compiled execution state, built on first Run and reused across
+	// datasets. A kill matrix runs every mutant plan against every
+	// dataset of a suite; recomputing the dataset-independent parts
+	// (column layouts, join-condition placement, projection targets)
+	// on each run dominated the evaluation profile. sync.Once makes
+	// the lazy compile safe under the parallel evaluator, which runs
+	// one plan against several datasets concurrently.
+	compileOnce sync.Once
+	comp        *compiledPlan
+	compErr     error
 }
 
 // NewPlan returns the plan for the original query.
@@ -45,39 +57,51 @@ func NewPlan(q *qtree.Query) *Plan {
 }
 
 // WithTree returns a copy of the plan using a different join tree.
+// (The With* constructors copy fields explicitly rather than the whole
+// struct so the compiled-state cache — which holds a sync.Once — is
+// never shared with or copied into a derived plan.)
 func (p *Plan) WithTree(tree *qtree.Node) *Plan {
-	cp := *p
-	cp.Tree = tree
-	return &cp
+	return &Plan{Query: p.Query, Tree: tree, Preds: p.Preds, Aggs: p.Aggs}
 }
 
 // WithPredReplaced returns a copy of the plan with predicate at index i
 // replaced.
 func (p *Plan) WithPredReplaced(i int, np *qtree.Pred) *Plan {
-	cp := *p
+	cp := &Plan{Query: p.Query, Tree: p.Tree, Aggs: p.Aggs}
 	cp.Preds = make([]*qtree.Pred, len(p.Preds))
 	copy(cp.Preds, p.Preds)
 	cp.Preds[i] = np
-	return &cp
+	return cp
 }
 
 // WithAggReplaced returns a copy of the plan with aggregate call i
 // replaced.
 func (p *Plan) WithAggReplaced(i int, call qtree.AggCall) *Plan {
-	cp := *p
+	cp := &Plan{Query: p.Query, Tree: p.Tree, Preds: p.Preds}
 	cp.Aggs = make([]qtree.AggCall, len(p.Aggs))
 	copy(cp.Aggs, p.Aggs)
 	cp.Aggs[i] = call
-	return &cp
+	return cp
 }
 
 // Result is a bag of output rows.
 type Result struct {
 	Cols []string
 	Rows []sqltypes.Row
+
+	// Hashed row multiset, memoized on first comparison: a result is
+	// compared against every mutant of the space, and rebuilding the
+	// map (plus one Key() string per row) for both sides of every
+	// comparison dominated the kill-matrix profile. sync.Once makes
+	// the memoization safe under the parallel evaluator, where the
+	// original query's result is shared across worker goroutines.
+	hmOnce sync.Once
+	hm     map[uint64]int
 }
 
-// Multiset returns the row-key multiset of the result.
+// Multiset returns the row-key multiset of the result. It is rebuilt on
+// every call; it serves diagnostics and tests, while Equal uses the
+// memoized hashed multiset internally.
 func (r *Result) Multiset() map[string]int {
 	m := make(map[string]int, len(r.Rows))
 	for _, row := range r.Rows {
@@ -86,13 +110,36 @@ func (r *Result) Multiset() map[string]int {
 	return m
 }
 
+// hashedMultiset returns the memoized multiset of 64-bit row hashes.
+func (r *Result) hashedMultiset() map[uint64]int {
+	r.hmOnce.Do(func() {
+		m := make(map[uint64]int, len(r.Rows))
+		for _, row := range r.Rows {
+			m[row.Hash()]++
+		}
+		r.hm = m
+	})
+	return r.hm
+}
+
 // Equal compares two results as multisets of rows (column names are
-// ignored; arity and contents must match).
+// ignored; arity and contents must match). Row contents are compared by
+// 64-bit FNV-1a hashes of their canonical encoding (see
+// sqltypes.Row.Hash); a false positive requires an FNV collision inside
+// one result pair, with probability ~2^-64 per comparison.
 func (r *Result) Equal(o *Result) bool {
 	if len(r.Rows) != len(o.Rows) {
 		return false
 	}
-	a, b := r.Multiset(), o.Multiset()
+	if len(r.Rows) == 0 {
+		return true
+	}
+	// Arity check before building either multiset: mutants that change
+	// the output width are decided without hashing a single row.
+	if len(r.Rows[0]) != len(o.Rows[0]) {
+		return false
+	}
+	a, b := r.hashedMultiset(), o.hashedMultiset()
 	if len(a) != len(b) {
 		return false
 	}
@@ -120,140 +167,201 @@ func (r *Result) String() string {
 	return sb.String()
 }
 
-// rel is an intermediate relation during execution.
-type rel struct {
+// compiledPlan is the dataset-independent execution state of a Plan:
+// per-node column layouts, join conditions resolved to row indices, and
+// projection / aggregation targets resolved against the root layout. It
+// is immutable after compile() and therefore safe to share across
+// concurrent Run calls on different datasets.
+type compiledPlan struct {
+	root *cnode
+
+	// Non-aggregate projection: output columns plus, per column, the
+	// root-layout indices of its coalesce attributes. An index of -1
+	// (attribute missing from the root layout) only surfaces when a row
+	// is actually projected, matching the lazy lookup the interpreter
+	// performed per row.
+	proj    []outputColumn
+	projIdx [][]int
+
+	// Aggregation: group-by and argument indices in the root layout
+	// (-1 for COUNT(*) or unresolved arguments).
+	groupIdx []int
+	aggIdx   []int
+}
+
+// cnode is one compiled node of the join tree.
+type cnode struct {
 	cols     map[qtree.AttrRef]int
 	nullable map[qtree.AttrRef]bool // attrs under an outer join's null-padded side
 	width    int
-	rows     []sqltypes.Row
+
+	// Leaf fields.
+	leaf       bool
+	relName    string
+	sels       []*qtree.Pred
+	constEmpty bool // a constant predicate evaluated to non-true here
+
+	// Join fields.
+	jt          sqlparser.JoinType
+	left, right *cnode
+	pairs       []pairIdx
+	preds       []*qtree.Pred
 }
 
-func (r *rel) lookupFn(row sqltypes.Row) func(qtree.AttrRef) sqltypes.Value {
-	return func(a qtree.AttrRef) sqltypes.Value {
-		i, ok := r.cols[a]
-		if !ok {
-			panic(fmt.Sprintf("engine: attribute %s not in scope", a))
-		}
-		return row[i]
-	}
+// pairIdx is a compiled equality condition: left-row index l must equal
+// right-row index r (both child-local).
+type pairIdx struct{ l, r int }
+
+func (p *Plan) compile() (*compiledPlan, error) {
+	p.compileOnce.Do(func() { p.comp, p.compErr = p.doCompile() })
+	return p.comp, p.compErr
 }
 
-// Run executes the plan against a dataset.
-func (p *Plan) Run(ds *schema.Dataset) (*Result, error) {
-	ex := &executor{plan: p, ds: ds}
-	root, err := ex.exec(p.Tree)
-	if err != nil {
-		return nil, err
-	}
-	// Any predicate not applied inside the tree (possible only if its
+func (p *Plan) doCompile() (*compiledPlan, error) {
+	applied := make([]bool, len(p.Preds))
+	root := p.compileNode(p.Tree, applied)
+	// Any predicate not placed inside the tree (possible only if its
 	// occurrences never co-occur, which build rejects) would be a bug.
-	for i, applied := range ex.applied {
-		if !applied {
+	for i, a := range applied {
+		if !a {
 			return nil, fmt.Errorf("engine: predicate %s was never applied", p.Preds[i])
 		}
 	}
+	cp := &compiledPlan{root: root}
 	if p.Query.Agg != nil {
-		return p.aggregate(root)
+		spec := p.Query.Agg
+		cp.groupIdx = make([]int, len(spec.GroupBy))
+		for i, g := range spec.GroupBy {
+			cp.groupIdx[i] = colIndex(root.cols, g)
+		}
+		cp.aggIdx = make([]int, len(p.Aggs))
+		for i, c := range p.Aggs {
+			cp.aggIdx[i] = -1
+			if !c.Star {
+				cp.aggIdx[i] = colIndex(root.cols, c.Arg)
+			}
+		}
+	} else {
+		cp.proj = p.projColumns()
+		cp.projIdx = make([][]int, len(cp.proj))
+		for i, c := range cp.proj {
+			idx := make([]int, len(c.attrs))
+			for j, a := range c.attrs {
+				idx[j] = colIndex(root.cols, a)
+			}
+			cp.projIdx[i] = idx
+		}
 	}
-	return p.project(root)
+	return cp, nil
 }
 
-type executor struct {
-	plan    *Plan
-	ds      *schema.Dataset
-	applied []bool
+func colIndex(cols map[qtree.AttrRef]int, a qtree.AttrRef) int {
+	if i, ok := cols[a]; ok {
+		return i
+	}
+	return -1
 }
 
-func (ex *executor) exec(n *qtree.Node) (*rel, error) {
-	if ex.applied == nil {
-		ex.applied = make([]bool, len(ex.plan.Preds))
-	}
+func (p *Plan) compileNode(n *qtree.Node, applied []bool) *cnode {
 	if n.IsLeaf() {
-		return ex.execLeaf(n.Occ)
+		return p.compileLeaf(n.Occ, applied)
 	}
-	left, err := ex.exec(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ex.exec(n.Right)
-	if err != nil {
-		return nil, err
-	}
-	return ex.join(n, left, right)
+	left := p.compileNode(n.Left, applied)
+	right := p.compileNode(n.Right, applied)
+	return p.compileJoin(n, left, right, applied)
 }
 
-func (ex *executor) execLeaf(occ *qtree.Occurrence) (*rel, error) {
-	r := &rel{cols: map[qtree.AttrRef]int{}, nullable: map[qtree.AttrRef]bool{}}
-	for i, a := range occ.Rel.Attrs {
-		r.cols[qtree.AttrRef{Occ: occ.Name, Attr: a.Name}] = i
+func (p *Plan) compileLeaf(occ *qtree.Occurrence, applied []bool) *cnode {
+	c := &cnode{
+		leaf:     true,
+		relName:  occ.Rel.Name,
+		cols:     map[qtree.AttrRef]int{},
+		nullable: map[qtree.AttrRef]bool{},
+		width:    occ.Rel.Arity(),
 	}
-	r.width = occ.Rel.Arity()
+	for i, a := range occ.Rel.Attrs {
+		c.cols[qtree.AttrRef{Occ: occ.Name, Attr: a.Name}] = i
+	}
 	// Selections on this occurrence are applied at the leaf (paper §II:
 	// selections pushed to the lowest level).
-	var sels []int
-	for i, p := range ex.plan.Preds {
-		if len(p.Occs) == 1 && p.Occs[0] == occ.Name {
-			sels = append(sels, i)
-			ex.applied[i] = true
-		} else if len(p.Occs) == 0 && !ex.applied[i] {
-			// Constant predicate: evaluate once, globally.
-			if p.Eval(func(qtree.AttrRef) sqltypes.Value { return sqltypes.Null() }) != sqltypes.True {
-				ex.applied[i] = true
-				return r, nil // empty relation kills the branch
-			}
-			ex.applied[i] = true
-		}
-	}
-	for _, row := range ex.ds.Rows(occ.Rel.Name) {
-		keep := true
-		for _, si := range sels {
-			if ex.plan.Preds[si].Eval(r.lookupFn(row)) != sqltypes.True {
-				keep = false
-				break
+	for i, pr := range p.Preds {
+		if len(pr.Occs) == 1 && pr.Occs[0] == occ.Name {
+			c.sels = append(c.sels, pr)
+			applied[i] = true
+		} else if len(pr.Occs) == 0 && !applied[i] {
+			// Constant predicate: evaluated once, at the first leaf
+			// compiled after it becomes pending. A non-true constant
+			// empties that leaf's relation, killing the branch.
+			applied[i] = true
+			if pr.Eval(func(qtree.AttrRef) sqltypes.Value { return sqltypes.Null() }) != sqltypes.True {
+				c.constEmpty = true
+				return c
 			}
 		}
-		if keep {
-			r.rows = append(r.rows, row)
-		}
 	}
-	return r, nil
+	return c
 }
 
-// nodeConds computes the join conditions applied at a node: for every
+// compileJoin computes the join conditions applied at a node — for every
 // equivalence class, all cross-side member pairs; plus every non-equi
-// predicate whose occurrence set spans the node for the first time.
-type cond struct {
-	// pair condition: left attr = right attr
-	isPair bool
-	l, r   qtree.AttrRef
-	pred   *qtree.Pred
-}
-
-func (ex *executor) nodeConds(left, right *rel) []cond {
-	var out []cond
-	for _, ec := range ex.plan.Query.Classes {
-		var ls, rs []qtree.AttrRef
+// predicate whose occurrence set spans the node for the first time — and
+// resolves them against the children's row layouts.
+func (p *Plan) compileJoin(n *qtree.Node, left, right *cnode, applied []bool) *cnode {
+	c := &cnode{
+		jt:       n.Type,
+		left:     left,
+		right:    right,
+		width:    left.width + right.width,
+		cols:     map[qtree.AttrRef]int{},
+		nullable: map[qtree.AttrRef]bool{},
+	}
+	for a, i := range left.cols {
+		c.cols[a] = i
+		if left.nullable[a] {
+			c.nullable[a] = true
+		}
+	}
+	for a, i := range right.cols {
+		c.cols[a] = left.width + i
+		if right.nullable[a] {
+			c.nullable[a] = true
+		}
+	}
+	switch n.Type {
+	case sqlparser.LeftOuterJoin, sqlparser.FullOuterJoin:
+		for a := range right.cols {
+			c.nullable[a] = true
+		}
+	}
+	switch n.Type {
+	case sqlparser.RightOuterJoin, sqlparser.FullOuterJoin:
+		for a := range left.cols {
+			c.nullable[a] = true
+		}
+	}
+	for _, ec := range p.Query.Classes {
+		var ls, rs []int
 		for _, m := range ec.Members {
-			if _, ok := left.cols[m]; ok {
-				ls = append(ls, m)
-			} else if _, ok := right.cols[m]; ok {
-				rs = append(rs, m)
+			if i, ok := left.cols[m]; ok {
+				ls = append(ls, i)
+			} else if i, ok := right.cols[m]; ok {
+				rs = append(rs, i)
 			}
 		}
 		// All cross pairs: every implied equality applied at the
 		// earliest point.
 		for _, l := range ls {
 			for _, r := range rs {
-				out = append(out, cond{isPair: true, l: l, r: r})
+				c.pairs = append(c.pairs, pairIdx{l, r})
 			}
 		}
 	}
-	for i, p := range ex.plan.Preds {
-		if ex.applied[i] || len(p.Occs) < 2 {
+	for i, pr := range p.Preds {
+		if applied[i] || len(pr.Occs) < 2 {
 			continue
 		}
 		inScope, touchesL, touchesR := true, false, false
-		for _, a := range p.Attrs() {
+		for _, a := range pr.Attrs() {
 			if _, ok := left.cols[a]; ok {
 				touchesL = true
 			} else if _, ok := right.cols[a]; ok {
@@ -263,104 +371,149 @@ func (ex *executor) nodeConds(left, right *rel) []cond {
 				break
 			}
 		}
-		if inScope && touchesL && touchesR {
-			out = append(out, cond{pred: p})
-			ex.applied[i] = true
-		} else if inScope && (touchesL || touchesR) {
-			// All occurrences on one side: should have been applied
-			// deeper; mark defensively (can happen only for predicates
-			// whose occurrences all sit in one subtree but involve more
-			// than one occurrence that first co-occurred here).
-			out = append(out, cond{pred: p})
-			ex.applied[i] = true
+		// Both sides touched: the first node spanning the predicate.
+		// One side only: should have been applied deeper; placed
+		// defensively (can happen only for predicates whose occurrences
+		// all sit in one subtree but involve more than one occurrence
+		// that first co-occurred here).
+		if inScope && (touchesL || touchesR) {
+			c.preds = append(c.preds, pr)
+			applied[i] = true
+		}
+	}
+	return c
+}
+
+// Run executes the plan against a dataset.
+func (p *Plan) Run(ds *schema.Dataset) (*Result, error) {
+	cp, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	rows := cp.root.run(ds)
+	if p.Query.Agg != nil {
+		return p.aggregate(cp, rows)
+	}
+	return p.project(cp, rows)
+}
+
+func (c *cnode) run(ds *schema.Dataset) []sqltypes.Row {
+	if c.leaf {
+		return c.runLeaf(ds)
+	}
+	left := c.left.run(ds)
+	right := c.right.run(ds)
+	return c.runJoin(left, right)
+}
+
+func colAt(cols map[qtree.AttrRef]int, a qtree.AttrRef) int {
+	i, ok := cols[a]
+	if !ok {
+		panic(fmt.Sprintf("engine: attribute %s not in scope", a))
+	}
+	return i
+}
+
+func (c *cnode) runLeaf(ds *schema.Dataset) []sqltypes.Row {
+	if c.constEmpty {
+		return nil
+	}
+	src := ds.Rows(c.relName)
+	if len(c.sels) == 0 {
+		// No selection: the dataset's row slice is shared read-only.
+		return src
+	}
+	// One lookup closure per leaf per run (not per row): it captures a
+	// rebindable current-row variable.
+	var cur sqltypes.Row
+	lookup := func(a qtree.AttrRef) sqltypes.Value { return cur[colAt(c.cols, a)] }
+	var out []sqltypes.Row
+	for _, row := range src {
+		cur = row
+		keep := true
+		for _, pr := range c.sels {
+			if pr.Eval(lookup) != sqltypes.True {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
 		}
 	}
 	return out
 }
 
-func (ex *executor) join(n *qtree.Node, left, right *rel) (*rel, error) {
-	conds := ex.nodeConds(left, right)
-	out := &rel{cols: map[qtree.AttrRef]int{}, nullable: map[qtree.AttrRef]bool{}, width: left.width + right.width}
-	for a, i := range left.cols {
-		out.cols[a] = i
-		if left.nullable[a] {
-			out.nullable[a] = true
-		}
+func (c *cnode) runJoin(left, right []sqltypes.Row) []sqltypes.Row {
+	lw := c.left.width
+	// The probe loop visits |L|x|R| pairs per node per plan run — the
+	// kill-matrix hot path — so all per-pair allocation and
+	// per-attribute map lookups are hoisted out of it: pair equalities
+	// index straight into the child rows, and general predicates share
+	// one scratch row and lookup closure per node per run. Evaluating
+	// pairs before predicates is sound because the node condition is a
+	// conjunction: order cannot change the result.
+	var scratch sqltypes.Row
+	var lookup func(qtree.AttrRef) sqltypes.Value
+	if len(c.preds) > 0 {
+		scratch = make(sqltypes.Row, c.width)
+		lookup = func(a qtree.AttrRef) sqltypes.Value { return scratch[colAt(c.cols, a)] }
 	}
-	for a, i := range right.cols {
-		out.cols[a] = left.width + i
-		if right.nullable[a] {
-			out.nullable[a] = true
-		}
-	}
-	switch n.Type {
-	case sqlparser.LeftOuterJoin, sqlparser.FullOuterJoin:
-		for a := range right.cols {
-			out.nullable[a] = true
-		}
-	}
-	switch n.Type {
-	case sqlparser.RightOuterJoin, sqlparser.FullOuterJoin:
-		for a := range left.cols {
-			out.nullable[a] = true
-		}
-	}
-
 	match := func(lr, rr sqltypes.Row) bool {
-		combined := make(sqltypes.Row, 0, out.width)
-		combined = append(combined, lr...)
-		combined = append(combined, rr...)
-		lookup := out.lookupFn(combined)
-		for _, c := range conds {
-			var t sqltypes.Tristate
-			if c.isPair {
-				t = sqltypes.TriCompare(sqltypes.OpEQ, lookup(c.l), lookup(c.r))
-			} else {
-				t = c.pred.Eval(lookup)
-			}
-			if t != sqltypes.True {
+		for _, p := range c.pairs {
+			if sqltypes.TriCompare(sqltypes.OpEQ, lr[p.l], rr[p.r]) != sqltypes.True {
 				return false
+			}
+		}
+		if len(c.preds) > 0 {
+			copy(scratch, lr)
+			copy(scratch[lw:], rr)
+			for _, pr := range c.preds {
+				if pr.Eval(lookup) != sqltypes.True {
+					return false
+				}
 			}
 		}
 		return true
 	}
 
-	rightMatched := make([]bool, len(right.rows))
-	for _, lr := range left.rows {
+	var out []sqltypes.Row
+	rightMatched := make([]bool, len(right))
+	for _, lr := range left {
 		found := false
-		for ri, rr := range right.rows {
+		for ri, rr := range right {
 			if match(lr, rr) {
 				found = true
 				rightMatched[ri] = true
-				row := make(sqltypes.Row, 0, out.width)
+				row := make(sqltypes.Row, 0, c.width)
 				row = append(row, lr...)
 				row = append(row, rr...)
-				out.rows = append(out.rows, row)
+				out = append(out, row)
 			}
 		}
-		if !found && (n.Type == sqlparser.LeftOuterJoin || n.Type == sqlparser.FullOuterJoin) {
-			row := make(sqltypes.Row, 0, out.width)
+		if !found && (c.jt == sqlparser.LeftOuterJoin || c.jt == sqlparser.FullOuterJoin) {
+			row := make(sqltypes.Row, 0, c.width)
 			row = append(row, lr...)
-			for i := 0; i < right.width; i++ {
+			for i := 0; i < c.right.width; i++ {
 				row = append(row, sqltypes.Null())
 			}
-			out.rows = append(out.rows, row)
+			out = append(out, row)
 		}
 	}
-	if n.Type == sqlparser.RightOuterJoin || n.Type == sqlparser.FullOuterJoin {
-		for ri, rr := range right.rows {
+	if c.jt == sqlparser.RightOuterJoin || c.jt == sqlparser.FullOuterJoin {
+		for ri, rr := range right {
 			if rightMatched[ri] {
 				continue
 			}
-			row := make(sqltypes.Row, 0, out.width)
-			for i := 0; i < left.width; i++ {
+			row := make(sqltypes.Row, 0, c.width)
+			for i := 0; i < lw; i++ {
 				row = append(row, sqltypes.Null())
 			}
 			row = append(row, rr...)
-			out.rows = append(out.rows, row)
+			out = append(out, row)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // outputColumn is a projection target: a single attribute or a coalesce
@@ -445,19 +598,20 @@ func naturalPairs(n *qtree.Node) [][2]qtree.AttrRef {
 	return out
 }
 
-func (p *Plan) project(r *rel) (*Result, error) {
-	cols := p.projColumns()
+func (p *Plan) project(cp *compiledPlan, rows []sqltypes.Row) (*Result, error) {
 	res := &Result{}
-	for _, c := range cols {
+	for _, c := range cp.proj {
 		res.Cols = append(res.Cols, c.name)
 	}
-	for _, row := range r.rows {
-		lookup := r.lookupFn(row)
-		out := make(sqltypes.Row, len(cols))
-		for i, c := range cols {
+	for _, row := range rows {
+		out := make(sqltypes.Row, len(cp.projIdx))
+		for i, idx := range cp.projIdx {
 			v := sqltypes.Null()
-			for _, a := range c.attrs {
-				if cv := lookup(a); !cv.IsNull() {
+			for j, ci := range idx {
+				if ci < 0 {
+					panic(fmt.Sprintf("engine: attribute %s not in scope", cp.proj[i].attrs[j]))
+				}
+				if cv := row[ci]; !cv.IsNull() {
 					v = cv
 					break
 				}
@@ -485,7 +639,7 @@ func dedupRows(rows []sqltypes.Row) []sqltypes.Row {
 	return out
 }
 
-func (p *Plan) aggregate(r *rel) (*Result, error) {
+func (p *Plan) aggregate(cp *compiledPlan, rows []sqltypes.Row) (*Result, error) {
 	spec := p.Query.Agg
 	res := &Result{}
 	for _, g := range spec.GroupBy {
@@ -500,11 +654,13 @@ func (p *Plan) aggregate(r *rel) (*Result, error) {
 	}
 	groups := map[string]*group{}
 	var order []string
-	for _, row := range r.rows {
-		lookup := r.lookupFn(row)
-		key := make(sqltypes.Row, len(spec.GroupBy))
-		for i, g := range spec.GroupBy {
-			key[i] = lookup(g)
+	for _, row := range rows {
+		key := make(sqltypes.Row, len(cp.groupIdx))
+		for i, gi := range cp.groupIdx {
+			if gi < 0 {
+				panic(fmt.Sprintf("engine: attribute %s not in scope", spec.GroupBy[i]))
+			}
+			key[i] = row[gi]
 		}
 		k := key.Key()
 		g, ok := groups[k]
@@ -526,10 +682,10 @@ func (p *Plan) aggregate(r *rel) (*Result, error) {
 	}
 	for _, k := range order {
 		g := groups[k]
-		out := make(sqltypes.Row, 0, len(spec.GroupBy)+len(p.Aggs))
+		out := make(sqltypes.Row, 0, len(cp.groupIdx)+len(p.Aggs))
 		out = append(out, g.key...)
-		for _, c := range p.Aggs {
-			v, err := evalAgg(c, g.rows, r)
+		for i, c := range p.Aggs {
+			v, err := evalAgg(c, g.rows, cp.aggIdx[i])
 			if err != nil {
 				return nil, err
 			}
@@ -547,12 +703,11 @@ func aggEmpty(c qtree.AggCall) sqltypes.Value {
 	return sqltypes.Null()
 }
 
-func evalAgg(c qtree.AggCall, rows []sqltypes.Row, r *rel) (sqltypes.Value, error) {
+func evalAgg(c qtree.AggCall, rows []sqltypes.Row, idx int) (sqltypes.Value, error) {
 	if c.Star {
 		return sqltypes.NewInt(int64(len(rows))), nil
 	}
-	idx, ok := r.cols[c.Arg]
-	if !ok {
+	if idx < 0 {
 		return sqltypes.Value{}, fmt.Errorf("engine: aggregate argument %s not in scope", c.Arg)
 	}
 	var vals []sqltypes.Value

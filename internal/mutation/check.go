@@ -3,8 +3,11 @@ package mutation
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/qtree"
@@ -22,27 +25,191 @@ type Report struct {
 	Killed [][]bool
 }
 
+// EvalOptions configure kill-matrix evaluation.
+type EvalOptions struct {
+	// Parallelism is the number of worker goroutines evaluating
+	// (mutant plan, dataset) cells. <= 0 selects runtime.GOMAXPROCS(0);
+	// 1 evaluates sequentially. The Report is identical for every
+	// value.
+	Parallelism int
+}
+
+// EvalError reports a query-execution failure during kill-matrix
+// evaluation, naming both the mutant (empty for the original query) and
+// the dataset it ran on.
+type EvalError struct {
+	Mutant  string // mutant description; "" when the original query failed
+	Dataset int    // dataset index within the evaluated suite
+	Purpose string // dataset purpose label
+	Err     error
+}
+
+func (e *EvalError) Error() string {
+	who := "original query"
+	if e.Mutant != "" {
+		who = "mutant " + e.Mutant
+	}
+	return fmt.Sprintf("mutation: %s on dataset %d (%s): %v", who, e.Dataset, e.Purpose, e.Err)
+}
+
+func (e *EvalError) Unwrap() error { return e.Err }
+
 // Evaluate runs the original query and every mutant on every dataset.
 // A mutant is killed by a dataset when the two results differ as
-// multisets (the paper's definition).
+// multisets (the paper's definition). It evaluates with default options
+// (all CPUs); see EvaluateOpts for explicit control.
 func Evaluate(q *qtree.Query, mutants []*Mutant, datasets []*schema.Dataset) (*Report, error) {
+	return EvaluateOpts(q, mutants, datasets, EvalOptions{})
+}
+
+// planSignature returns a canonical execution identity for a plan: two
+// plans with equal signatures produce multiset-equal results on every
+// dataset (Canon folds commutative inner-join orders and right-to-left
+// outer-join symmetry; projection and aggregation depend only on the
+// query, the predicate list and the aggregate list).
+func planSignature(p *engine.Plan) string {
+	var sb strings.Builder
+	if p.Tree != nil {
+		sb.WriteString(Canon(p.Tree))
+	}
+	for _, pr := range p.Preds {
+		sb.WriteByte('|')
+		sb.WriteString(pr.String())
+	}
+	for _, a := range p.Aggs {
+		sb.WriteByte('|')
+		sb.WriteString(a.String())
+	}
+	return sb.String()
+}
+
+// EvaluateOpts is Evaluate with explicit options. The evaluation is a
+// parallel pipeline over (unique plan, dataset) cells:
+//
+//   - the original query's result is computed once per dataset (lazily,
+//     guarded by sync.Once) and shared by every cell of that dataset —
+//     its multiset is memoized inside engine.Result, so each comparison
+//     is a map walk, not a rebuild;
+//   - mutant plans are deduplicated by plan signature before any cell
+//     runs: distinct join orders frequently compile to the same
+//     canonical tree (e.g. the written tree's mutant re-derived from a
+//     reordered equivalent), and each unique plan executes once per
+//     dataset, with the kill bit broadcast to every mutant sharing the
+//     signature.
+//
+// Kill bits are pure functions of (plan, dataset), so the Report is
+// deterministic regardless of worker count or scheduling.
+func EvaluateOpts(q *qtree.Query, mutants []*Mutant, datasets []*schema.Dataset, opts EvalOptions) (*Report, error) {
 	rep := &Report{Query: q, Mutants: mutants, Datasets: datasets, Killed: make([][]bool, len(mutants))}
 	for i := range rep.Killed {
 		rep.Killed[i] = make([]bool, len(datasets))
 	}
-	orig := engine.NewPlan(q)
-	for di, ds := range datasets {
-		want, err := orig.Run(ds)
-		if err != nil {
-			return nil, fmt.Errorf("mutation: original query on dataset %d (%s): %w", di, ds.Purpose, err)
+	if len(mutants) == 0 || len(datasets) == 0 {
+		return rep, nil
+	}
+
+	// Deduplicate mutant plans by execution signature.
+	planOf := make([]int, len(mutants)) // mutant index -> unique plan index
+	var plans []*engine.Plan
+	var planDesc []string // representative mutant description per plan
+	sigIdx := map[string]int{}
+	for mi, m := range mutants {
+		sig := planSignature(m.Plan)
+		ui, ok := sigIdx[sig]
+		if !ok {
+			ui = len(plans)
+			sigIdx[sig] = ui
+			plans = append(plans, m.Plan)
+			planDesc = append(planDesc, m.Desc)
 		}
-		for mi, m := range mutants {
-			got, err := m.Plan.Run(ds)
+		planOf[mi] = ui
+	}
+
+	// Original-query results, one per dataset, computed lazily by
+	// whichever cell needs them first (hoisted out of every retry/mutant
+	// path: exactly one run per dataset).
+	origPlan := engine.NewPlan(q)
+	wants := make([]*engine.Result, len(datasets))
+	wantErrs := make([]error, len(datasets))
+	wantOnce := make([]sync.Once, len(datasets))
+	getWant := func(di int) (*engine.Result, error) {
+		wantOnce[di].Do(func() {
+			res, err := origPlan.Run(datasets[di])
 			if err != nil {
-				return nil, fmt.Errorf("mutation: mutant %s on dataset %d: %w", m.Desc, di, err)
+				wantErrs[di] = &EvalError{Dataset: di, Purpose: datasets[di].Purpose, Err: err}
+				return
 			}
-			rep.Killed[mi][di] = !want.Equal(got)
+			wants[di] = res
+		})
+		return wants[di], wantErrs[di]
+	}
+
+	// Evaluate one (unique plan, dataset) cell.
+	killedU := make([][]bool, len(plans))
+	for ui := range killedU {
+		killedU[ui] = make([]bool, len(datasets))
+	}
+	nCells := len(plans) * len(datasets)
+	cellErrs := make([]error, nCells)
+	runCell := func(ci int) error {
+		di, ui := ci/len(plans), ci%len(plans)
+		want, err := getWant(di)
+		if err != nil {
+			return err
 		}
+		got, err := plans[ui].Run(datasets[di])
+		if err != nil {
+			return &EvalError{Mutant: planDesc[ui], Dataset: di, Purpose: datasets[di].Purpose, Err: err}
+		}
+		killedU[ui][di] = !want.Equal(got)
+		return nil
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nCells {
+		workers = nCells
+	}
+	if workers <= 1 {
+		for ci := 0; ci < nCells; ci++ {
+			if err := runCell(ci); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var next int64 = -1
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(atomic.AddInt64(&next, 1))
+					if ci >= nCells || failed.Load() {
+						return
+					}
+					if err := runCell(ci); err != nil {
+						cellErrs[ci] = err
+						failed.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range cellErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Broadcast unique-plan kill bits to every mutant sharing the plan.
+	for mi := range mutants {
+		copy(rep.Killed[mi], killedU[planOf[mi]])
 	}
 	return rep, nil
 }

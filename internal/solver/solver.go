@@ -255,6 +255,22 @@ func (s *Solver) NewVar(name string, domain []int64) VarID {
 // NumVars returns the number of declared variables.
 func (s *Solver) NumVars() int { return len(s.domains) }
 
+// NumCons returns the number of asserted constraints.
+func (s *Solver) NumCons() int { return len(s.cons) }
+
+// ProblemSize returns the number of asserted constraints plus the total
+// candidate-domain cardinality over all variables: a deterministic
+// measure of problem size (wall time tracks it, noisily). Input-database
+// constraints grow the domains rather than the constraint count, so
+// both terms are needed for the §VI-C.3 growth shape.
+func (s *Solver) ProblemSize() int64 {
+	n := int64(len(s.cons))
+	for _, d := range s.domains {
+		n += int64(len(d))
+	}
+	return n
+}
+
 // Name returns a variable's diagnostic name.
 func (s *Solver) Name(v VarID) string { return s.names[v] }
 

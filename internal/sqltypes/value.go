@@ -10,6 +10,7 @@ package sqltypes
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -466,6 +467,66 @@ func (r Row) Key() string {
 		}
 	}
 	return sb.String()
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns a 64-bit FNV-1a hash of the row's canonical encoding:
+// the cheap replacement for Key() on the result-comparison hot path,
+// where building a fresh string per row dominated profile time. The
+// encoding mirrors Key() exactly — NULLs hash distinctly from every
+// literal, integral floats hash identically to the equal integer, and
+// every value is tagged and fixed-width or terminated, so the byte
+// stream is prefix-free and Hash(a) == Hash(b) whenever Key(a) ==
+// Key(b) (and collides otherwise only with FNV's ~2^-64 probability).
+func (r Row) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range r {
+		if v.null {
+			h = (h ^ 0xff) * fnvPrime64
+			continue
+		}
+		switch v.kind {
+		case KindInt:
+			h = (h ^ 'i') * fnvPrime64
+			h = hashUint64(h, uint64(v.i))
+		case KindFloat:
+			// Integral floats encode as ints so numeric-equal rows
+			// compare identical (matching Key()).
+			if v.f == float64(int64(v.f)) {
+				h = (h ^ 'i') * fnvPrime64
+				h = hashUint64(h, uint64(int64(v.f)))
+			} else {
+				h = (h ^ 'f') * fnvPrime64
+				h = hashUint64(h, math.Float64bits(v.f))
+			}
+		case KindString:
+			h = (h ^ 's') * fnvPrime64
+			for i := 0; i < len(v.s); i++ {
+				h = (h ^ uint64(v.s[i])) * fnvPrime64
+			}
+			h = (h ^ 0x1f) * fnvPrime64 // terminator: prefix-freedom
+		case KindBool:
+			if v.b {
+				h = (h ^ 'T') * fnvPrime64
+			} else {
+				h = (h ^ 'F') * fnvPrime64
+			}
+		}
+	}
+	return h
+}
+
+func hashUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
 }
 
 // Clone returns a copy of the row.

@@ -62,6 +62,11 @@ type Options struct {
 	InputTuples int
 	// ForceInputTuples additionally constrains tuples to the input DB.
 	ForceInputTuples bool
+	// Parallelism is the worker count for both dataset generation and
+	// kill-matrix evaluation (0 = all CPUs, 1 = sequential). Every
+	// reported number is identical for every value; only wall-clock
+	// timings change.
+	Parallelism int
 }
 
 // runCell measures one (query, fkCount) cell.
@@ -74,6 +79,7 @@ func runCell(bq university.BenchQuery, fk int, opts Options) (Row, error) {
 	}
 
 	genOpts := core.DefaultOptions()
+	genOpts.Parallelism = opts.Parallelism
 	if opts.InputTuples > 0 {
 		genOpts.InputDB = university.SampleDB(sch, opts.InputTuples)
 		genOpts.ForceInputTuples = opts.ForceInputTuples
@@ -107,7 +113,7 @@ func runCell(bq university.BenchQuery, fk int, opts Options) (Row, error) {
 		if err != nil {
 			return row, fmt.Errorf("%s: %w", bq.Name, err)
 		}
-		rep, err := mutation.Evaluate(q, ms, suite.All())
+		rep, err := mutation.EvaluateOpts(q, ms, suite.All(), mutation.EvalOptions{Parallelism: opts.Parallelism})
 		if err != nil {
 			return row, fmt.Errorf("%s: %w", bq.Name, err)
 		}
@@ -173,6 +179,11 @@ type InputDBRow struct {
 	InputTuples int // tuples per relation (0 = no input database)
 	Datasets    int
 	Time        time.Duration
+	// SolverProblemSize is the cell's total constraint-plus-domain
+	// size. Unlike Time it is deterministic, so tests assert the
+	// paper's growth-with-input-size shape on it without wall-clock
+	// flakiness.
+	SolverProblemSize int64
 }
 
 // RunInputDB regenerates the §VI-C.3 experiment on the paper's subject
@@ -197,7 +208,12 @@ func RunInputDB(sizes []int) ([]InputDBRow, error) {
 		if err != nil {
 			return rows, err
 		}
-		rows = append(rows, InputDBRow{InputTuples: n, Datasets: len(suite.Datasets), Time: time.Since(t0)})
+		rows = append(rows, InputDBRow{
+			InputTuples:       n,
+			Datasets:          len(suite.Datasets),
+			Time:              time.Since(t0),
+			SolverProblemSize: suite.Stats.SolverProblemSize,
+		})
 	}
 	return rows, nil
 }
@@ -255,8 +271,10 @@ func RunBaseline(opts Options) ([]BaselineRow, error) {
 		}
 		blTime := time.Since(t0)
 
+		genOpts := core.DefaultOptions()
+		genOpts.Parallelism = opts.Parallelism
 		t1 := time.Now()
-		suite, err := core.NewGenerator(q, core.DefaultOptions()).Generate()
+		suite, err := core.NewGenerator(q, genOpts).Generate()
 		if err != nil {
 			return rows, err
 		}
@@ -273,12 +291,13 @@ func RunBaseline(opts Options) ([]BaselineRow, error) {
 				return rows, err
 			}
 			row.MutantsTotal = len(ms)
-			blRep, err := mutation.Evaluate(q, ms, bl)
+			evalOpts := mutation.EvalOptions{Parallelism: opts.Parallelism}
+			blRep, err := mutation.EvaluateOpts(q, ms, bl, evalOpts)
 			if err != nil {
 				return rows, err
 			}
 			row.BaselineKilled = blRep.KilledCount()
-			xRep, err := mutation.Evaluate(q, ms, suite.All())
+			xRep, err := mutation.EvaluateOpts(q, ms, suite.All(), evalOpts)
 			if err != nil {
 				return rows, err
 			}

@@ -69,6 +69,8 @@ type (
 	Mutant = mutation.Mutant
 	// MutationOptions configure the mutant space.
 	MutationOptions = mutation.Options
+	// EvalOptions configure kill-matrix evaluation (worker count).
+	EvalOptions = mutation.EvalOptions
 	// Report is the kill matrix of a mutant space against a suite.
 	Report = mutation.Report
 	// Result is a query result (a bag of rows).
@@ -118,13 +120,25 @@ func Mutants(q *Query, opts MutationOptions) ([]*Mutant, error) {
 }
 
 // Analyze generates the kill matrix: which datasets of the suite kill
-// which mutants of the space.
+// which mutants of the space. Evaluation runs on all CPUs; use
+// AnalyzeParallel for an explicit worker count.
 func Analyze(q *Query, suite *Suite, opts MutationOptions) (*Report, error) {
 	ms, err := mutation.Space(q, opts)
 	if err != nil {
 		return nil, err
 	}
 	return mutation.Evaluate(q, ms, suite.All())
+}
+
+// AnalyzeParallel is Analyze with an explicit kill-matrix worker count
+// (<= 0 selects all CPUs, 1 evaluates sequentially). The Report is
+// identical for every worker count.
+func AnalyzeParallel(q *Query, suite *Suite, opts MutationOptions, workers int) (*Report, error) {
+	ms, err := mutation.Space(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return mutation.EvaluateOpts(q, ms, suite.All(), mutation.EvalOptions{Parallelism: workers})
 }
 
 // Execute runs the original query against a dataset using the built-in
