@@ -1,0 +1,165 @@
+// Command randql drives the randomized differential-testing subsystem
+// from the command line, sharing the exact entry points (NewCase,
+// DiffOne, CheckCompleteness) the test harnesses use, so a seed that
+// fails in CI replays identically here.
+//
+// Usage:
+//
+//	randql -mode diff -seed 1 -n 200          # differential oracle soak
+//	randql -mode complete -seed 10001 -q 50   # suite-completeness soak
+//	randql -mode show -seed 10518             # print one case (DDL+SQL+data)
+//	randql -mode diff -config completeness    # restrict to the paper's class
+//
+// Modes:
+//
+//	diff      generate n cases (seed, seed+1, …), run -datasets random
+//	          datasets per case through the engine and the reference
+//	          evaluator, and diff a sample of each case's mutants too.
+//	complete  generate q cases and assert the paper's guarantee on each:
+//	          the constraint-based suite kills every non-equivalent
+//	          mutant (survivors are vetted by the random equivalence
+//	          checker and reported with runnable reproducers).
+//	show      print one case as a self-contained reproducer: DDL, query
+//	          SQL, and -datasets random datasets as INSERT statements.
+//
+// Exit status is 0 when every case passes, 1 on any failure (with the
+// reproducer on stderr), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/randql"
+)
+
+func main() {
+	mode := flag.String("mode", "diff", "diff, complete, or show")
+	seed := flag.Int64("seed", 1, "first seed; case i uses seed+i")
+	n := flag.Int("n", 100, "diff mode: number of cases")
+	q := flag.Int("q", 25, "complete mode: number of cases")
+	datasets := flag.Int("datasets", 3, "random datasets per case (diff/show modes)")
+	configName := flag.String("config", "", "grammar preset: default (full engine surface) or completeness (the paper's guaranteed class); complete mode always uses completeness")
+	verbose := flag.Bool("v", false, "log every case, not just failures")
+	flag.Parse()
+
+	cfg, err := chooseConfig(*mode, *configName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "diff":
+		runDiff(cfg, *seed, *n, *datasets, *verbose)
+	case "complete":
+		runComplete(cfg, *seed, *q, *verbose)
+	case "show":
+		runShow(cfg, *seed, *datasets)
+	default:
+		fmt.Fprintf(os.Stderr, "randql: unknown -mode %q (want diff, complete, or show)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func chooseConfig(mode, name string) (randql.Config, error) {
+	switch name {
+	case "":
+		if mode == "complete" {
+			return randql.CompletenessConfig(), nil
+		}
+		return randql.DefaultConfig(), nil
+	case "default":
+		return randql.DefaultConfig(), nil
+	case "completeness":
+		return randql.CompletenessConfig(), nil
+	}
+	return randql.Config{}, fmt.Errorf("randql: unknown -config %q (want default or completeness)", name)
+}
+
+func runDiff(cfg randql.Config, seed int64, n, datasets int, verbose bool) {
+	failures := 0
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		c, err := randql.NewCase(s, cfg)
+		if err != nil {
+			fatalf("seed %d: %v", s, err)
+		}
+		for d := 0; d < datasets; d++ {
+			ds, err := c.NextDataset()
+			if err != nil {
+				fatalf("seed %d: dataset %d: %v", s, d, err)
+			}
+			if err := randql.DiffOne(c, ds); err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
+			}
+		}
+		if verbose {
+			fmt.Printf("seed %d ok: %s\n", s, c.SQL)
+		}
+	}
+	fmt.Printf("diff: %d cases x %d datasets, %d failures\n", n, datasets, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func runComplete(cfg randql.Config, seed int64, q int, verbose bool) {
+	failures, budget := 0, 0
+	mutants, killed := 0, 0
+	for i := 0; i < q; i++ {
+		s := seed + int64(i)
+		c, err := randql.NewCase(s, cfg)
+		if err != nil {
+			fatalf("seed %d: %v", s, err)
+		}
+		res, err := randql.CheckCompleteness(c, s*31+7)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
+			continue
+		}
+		if res.BudgetExceeded {
+			budget++
+			fmt.Printf("seed %d: solver budget exceeded, skipped\n", s)
+			continue
+		}
+		mutants += res.Mutants
+		killed += res.Killed
+		for _, surv := range res.NonEquivalent {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d: non-equivalent mutant survived:\n%s\n", s, surv)
+		}
+		if verbose {
+			fmt.Printf("seed %d ok: %d mutants, %d killed, %d suspected equivalent: %s\n",
+				s, res.Mutants, res.Killed, len(res.SuspectedEquivalent), c.SQL)
+		}
+	}
+	fmt.Printf("complete: %d cases, %d mutants, %d killed, %d budget-skipped, %d failures\n",
+		q, mutants, killed, budget, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func runShow(cfg randql.Config, seed int64, datasets int) {
+	c, err := randql.NewCase(seed, cfg)
+	if err != nil {
+		fatalf("seed %d: %v", seed, err)
+	}
+	fmt.Print(c.Repro(nil))
+	for d := 0; d < datasets; d++ {
+		ds, err := c.NextDataset()
+		if err != nil {
+			fatalf("seed %d: dataset %d: %v", seed, d, err)
+		}
+		fmt.Printf("-- dataset %d (%s)\n%s", d+1, ds.Purpose, ds.SQLInserts(c.Schema))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "randql: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestArithmeticOffsetDomainClosure is a regression test for a
+// finite-domain gap found by the randql soak (seed 10518): a comparison
+// constant c contributes boundary values c±1 to the value pool, but if
+// the query routes that boundary through an arithmetic join condition
+// (a.x + k = b.y), the partner column needs (c±1)±k — two hops from any
+// collected constant. The pool used to contain only one-level pairwise
+// sums/differences, so salary > 6 AND id = salary + 1 had no
+// satisfying assignment inside the pool (8 = (6+1)+1 was missing) and
+// the generator wrongly declared the original query unsatisfiable,
+// silently skipping every kill dataset with it.
+func TestArithmeticOffsetDomainClosure(t *testing.T) {
+	q := buildQuery(t, ddlNoFK,
+		"SELECT i.id, t.course_id FROM instructor AS i JOIN teaches AS t "+
+			"ON i.salary + 1 = t.id WHERE i.salary > 6 AND t.course_id <= t.id")
+	suite, err := NewGenerator(q, DefaultOptions()).Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if suite.Original == nil {
+		t.Fatalf("no dataset satisfying the original query was generated; "+
+			"skips: %v", suite.Skipped)
+	}
+	if err := q.Schema.CheckDataset(suite.Original); err != nil {
+		t.Fatalf("original dataset violates schema: %v", err)
+	}
+	res, err := engine.NewPlan(q).Run(suite.Original)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatalf("original dataset yields an empty result")
+	}
+}

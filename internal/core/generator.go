@@ -121,10 +121,10 @@ func NewGenerator(q *qtree.Query, opts Options) *Generator {
 
 	intSet := map[int64]bool{}
 	strSet := map[string]bool{}
-	var consts []int64
+	var consts, arithOffsets []int64
 	for _, p := range q.Preds {
 		for _, s := range []*qtree.Scalar{p.L, p.R} {
-			collectScalarConsts(s, &consts, strSet)
+			collectScalarConsts(s, &consts, &arithOffsets, strSet)
 		}
 	}
 	for _, c := range consts {
@@ -140,6 +140,27 @@ func NewGenerator(q *qtree.Query, opts Options) *Generator {
 	}
 	for i := 0; i < opts.FreshValues; i++ {
 		intSet[int64(i)] = true
+	}
+	// Close the pool under the arithmetic offsets appearing inside
+	// SArith scalars (join conditions like a.x + k = b.y). A comparison
+	// constant c admits boundary values c±1; if the query then chains
+	// that boundary through an arithmetic join, the partner column
+	// needs (c±1)±k — two hops from any collected constant, which the
+	// one-level sums/differences above miss. Without this round the
+	// finite domain wrongly declares such queries UNSAT and comparison
+	// kills are silently skipped (found by randql seed 10518:
+	// t2_id > 6 AND t0_id = t2_id + 1 needs 8 = (6+1)+1 in the pool).
+	if len(arithOffsets) > 0 {
+		base := make([]int64, 0, len(intSet))
+		for v := range intSet {
+			base = append(base, v)
+		}
+		for _, v := range base {
+			for _, k := range arithOffsets {
+				intSet[v+k] = true
+				intSet[v-k] = true
+			}
+		}
 	}
 	if opts.InputDB != nil {
 		for _, t := range opts.InputDB.TableNames() {
@@ -169,7 +190,12 @@ func NewGenerator(q *qtree.Query, opts Options) *Generator {
 // Query returns the generator's query.
 func (g *Generator) Query() *qtree.Query { return g.q }
 
-func collectScalarConsts(s *qtree.Scalar, ints *[]int64, strs map[string]bool) {
+// collectScalarConsts gathers the integer and string constants of a
+// scalar. Integer constants that appear as operands of an arithmetic
+// node are additionally recorded in arith: they act as offsets between
+// column values, and the value pool must be closed under adding and
+// subtracting them (see NewGenerator).
+func collectScalarConsts(s *qtree.Scalar, ints, arith *[]int64, strs map[string]bool) {
 	switch s.Kind {
 	case qtree.SConst:
 		switch s.Const.Kind() {
@@ -181,8 +207,12 @@ func collectScalarConsts(s *qtree.Scalar, ints *[]int64, strs map[string]bool) {
 			strs[s.Const.Str()] = true
 		}
 	case qtree.SArith:
-		collectScalarConsts(s.L, ints, strs)
-		collectScalarConsts(s.R, ints, strs)
+		for _, side := range []*qtree.Scalar{s.L, s.R} {
+			if side.Kind == qtree.SConst && side.Const.Kind() == sqltypes.KindInt {
+				*arith = append(*arith, side.Const.Int())
+			}
+			collectScalarConsts(side, ints, arith, strs)
+		}
 	}
 }
 

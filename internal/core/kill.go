@@ -301,15 +301,37 @@ func (g *Generator) comparisonOperatorGoals() []killGoal {
 func (g *Generator) killComparisonVariant(suite *Suite, pi int, pr *qtree.Pred, op sqltypes.CmpOp, sign int) error {
 	purpose := fmt.Sprintf("kill comparison mutants: dataset with (%s) %s (%s)", pr.L, op, pr.R)
 	violating := !pr.Op.HoldsSign(sign)
-	ds, err := g.buildDataset(suite, purpose, 1, violating, func(p *problem) error {
+	// Single-occurrence predicates quantify the variant (or its
+	// violation) over EVERY tuple of the base relation below, which can
+	// require distinct foreign-key targets per tuple — so they always
+	// need the referenced-tuple repair capacity, not just the violating
+	// variants.
+	needRepair := violating || len(pr.Occs) == 1
+	ds, err := g.buildDataset(suite, purpose, 1, needRepair, func(p *problem) error {
 		c, err := p.predCon(pr, op, 0)
 		if err != nil {
 			return err
 		}
 		p.s.Assert(c)
-		if violating && len(pr.Occs) == 1 {
-			if err := p.notExistsPred(pr, pr.Occs[0], 0); err != nil {
-				return err
+		if len(pr.Occs) == 1 {
+			if violating {
+				if err := p.notExistsPred(pr, pr.Occs[0], 0); err != nil {
+					return err
+				}
+			} else {
+				// §V-E soundness under repeated relations: this dataset
+				// kills exactly the operator variants that are false at
+				// sign, and that argument needs their mutants to select
+				// NO tuple — so no tuple of the base relation (in
+				// particular, none feeding another occurrence of the
+				// same relation) may satisfy the complement of the
+				// variant. Found by the randql completeness soak: with a
+				// free sibling-occurrence tuple, the '>' dataset for
+				// "e <> 'u'" let the '<' mutant match that tuple and
+				// produce an identical grouped result.
+				if err := p.notExistsPredOp(pr, op.Negate(), pr.Occs[0], 0); err != nil {
+					return err
+				}
 			}
 		}
 		return p.assertQueryConds(0, nil, map[int]bool{pi: true})

@@ -191,12 +191,26 @@ func (g *Generator) newProblem(tupleSets int, needRepair bool) (*problem, error)
 		}
 	}
 
+	// Base slots are a hard requirement: occurrence j of a base relation
+	// is mapped to slots j*tupleSets .. j*tupleSets+tupleSets-1 below, so
+	// the cap may trim repair capacity but never below occurrences ×
+	// tupleSets (three occurrences of one relation in an aggregation
+	// dataset already need 9 > maxSlotsPerRelation slots).
+	baseSlots := map[string]int{}
+	for _, occ := range g.q.Occs {
+		baseSlots[occ.Rel.Name] += tupleSets
+	}
+
 	// Allocate slots and variables (referenced-first for readability).
 	for i := len(order) - 1; i >= 0; i-- {
 		rel := order[i]
 		n := counts[rel.Name]
-		if n > maxSlotsPerRelation {
-			n = maxSlotsPerRelation
+		limit := maxSlotsPerRelation
+		if baseSlots[rel.Name] > limit {
+			limit = baseSlots[rel.Name]
+		}
+		if n > limit {
+			n = limit
 		}
 		for k := 0; k < n; k++ {
 			sl := &slot{rel: rel, idx: k}
@@ -473,10 +487,19 @@ func (p *problem) notExistsValue(rel *schema.Relation, attr string, val solver.L
 // relation satisfies the predicate when substituted for occ (other
 // occurrences keep their dedicated slots).
 func (p *problem) notExistsPred(pr *qtree.Pred, occ string, set int) error {
+	return p.notExistsPredOp(pr, pr.Op, occ, set)
+}
+
+// notExistsPredOp is notExistsPred with the comparison operator replaced:
+// no slot of occ's base relation satisfies (pred.L op pred.R). The §V-E
+// comparison datasets use it to quantify an operator variant over every
+// tuple of the base relation, so that repeated occurrences of the same
+// relation cannot accidentally re-satisfy a mutated predicate.
+func (p *problem) notExistsPredOp(pr *qtree.Pred, op sqltypes.CmpOp, occ string, set int) error {
 	sl := p.occSlot[occSet{occ, set}]
 	var bodies []solver.Con
 	for _, cand := range p.slots[sl.rel.Name] {
-		c, err := p.predConWithSlot(pr, occ, cand, set)
+		c, err := p.predConWithSlot(pr, op, occ, cand, set)
 		if err != nil {
 			return err
 		}
@@ -487,8 +510,8 @@ func (p *problem) notExistsPred(pr *qtree.Pred, occ string, set int) error {
 }
 
 // predConWithSlot compiles a predicate with occurrence occ's attributes
-// redirected to the given slot.
-func (p *problem) predConWithSlot(pr *qtree.Pred, occ string, sl *slot, set int) (solver.Con, error) {
+// redirected to the given slot and the comparison operator replaced by op.
+func (p *problem) predConWithSlot(pr *qtree.Pred, op sqltypes.CmpOp, occ string, sl *slot, set int) (solver.Con, error) {
 	redirect := func(s *qtree.Scalar) (solver.Lin, error) {
 		return p.linOfRedirect(s, occ, sl, set)
 	}
@@ -500,7 +523,7 @@ func (p *problem) predConWithSlot(pr *qtree.Pred, occ string, sl *slot, set int)
 	if err != nil {
 		return nil, err
 	}
-	return solver.NewCmp(pr.Op, l, r), nil
+	return solver.NewCmp(op, l, r), nil
 }
 
 func (p *problem) linOfRedirect(s *qtree.Scalar, occ string, sl *slot, set int) (solver.Lin, error) {

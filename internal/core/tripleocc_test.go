@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestAggregationWithTripleSelfJoin is a regression test for a slot
+// allocation crash found by the randql soak: an aggregated query with
+// three occurrences of the same base relation needs 3 occurrences × 3
+// tuple sets = 9 slots, which the per-relation slot cap (8) used to trim
+// below the occurrence mapping's requirement, panicking with an
+// out-of-range slot index inside newProblem. The cap may trim FK repair
+// capacity but never base occurrence slots.
+func TestAggregationWithTripleSelfJoin(t *testing.T) {
+	q := buildQuery(t, ddlNoFK,
+		"SELECT i1.dept_name, i2.dept_name, i3.dept_name, MIN(i1.salary) "+
+			"FROM instructor AS i1, instructor AS i2, instructor AS i3 "+
+			"WHERE i1.dept_name = i2.dept_name AND i2.salary = i3.salary "+
+			"GROUP BY i1.dept_name, i2.dept_name, i3.dept_name")
+	suite, err := NewGenerator(q, DefaultOptions()).Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if suite.Original == nil {
+		t.Fatalf("no dataset satisfying the original query was generated")
+	}
+	if err := q.Schema.CheckDataset(suite.Original); err != nil {
+		t.Fatalf("original dataset violates schema: %v", err)
+	}
+}

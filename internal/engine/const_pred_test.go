@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// Regression tests for constant WHERE conjuncts (predicates that reference
+// no attribute, e.g. WHERE 1 = 2). They hold for every row or for none, so
+// a non-true constant must empty the WHOLE result — not just the leftmost
+// leaf, which was the old behaviour and leaked null-padded rows through
+// RIGHT/FULL outer joins sitting above that leaf.
+
+func constPredDataset() *schema.Dataset {
+	ds := schema.NewDataset("const-pred")
+	ds.Insert("r1", ints(1, 10))
+	ds.Insert("r2", ints(1, 10))
+	ds.Insert("r2", ints(2, 20))
+	return ds
+}
+
+func TestConstantFalseWhereUnderOuterJoin(t *testing.T) {
+	for _, sql := range []string{
+		// The old code emptied r1 (the leftmost leaf); under a RIGHT
+		// OUTER JOIN this produced null-padded r2 rows even though the
+		// WHERE clause rejects every row.
+		"SELECT * FROM r1 RIGHT OUTER JOIN r2 ON r1.x = r2.x WHERE 1 = 2",
+		"SELECT * FROM r1 LEFT OUTER JOIN r2 ON r1.x = r2.x WHERE 1 = 2",
+		"SELECT * FROM r1, r2 WHERE r1.x = r2.x AND 1 = 2",
+	} {
+		res := run(t, q(t, sql), constPredDataset())
+		if len(res.Rows) != 0 {
+			t.Errorf("%s: got %d rows, want 0:\n%s", sql, len(res.Rows), res)
+		}
+	}
+}
+
+func TestConstantTrueWhereKeepsRows(t *testing.T) {
+	sql := "SELECT * FROM r1 RIGHT OUTER JOIN r2 ON r1.x = r2.x WHERE 1 = 1"
+	res := run(t, q(t, sql), constPredDataset())
+	if len(res.Rows) != 2 {
+		t.Fatalf("%s: got %d rows, want 2:\n%s", sql, len(res.Rows), res)
+	}
+}
+
+func TestConstantFalseWhereWithGlobalAggregate(t *testing.T) {
+	// Global aggregation over the (now empty) input still yields one row:
+	// COUNT = 0, other aggregates NULL.
+	sql := "SELECT COUNT(*), MAX(r2.y) FROM r1 RIGHT OUTER JOIN r2 ON r1.x = r2.x WHERE 2 < 1"
+	res := run(t, q(t, sql), constPredDataset())
+	if len(res.Rows) != 1 {
+		t.Fatalf("%s: got %d rows, want 1:\n%s", sql, len(res.Rows), res)
+	}
+	if got := res.Rows[0][0]; got.IsNull() || got.Int() != 0 {
+		t.Errorf("COUNT(*) = %s, want 0", got)
+	}
+	if !res.Rows[0][1].IsNull() {
+		t.Errorf("MAX over empty input = %s, want NULL", res.Rows[0][1])
+	}
+}

@@ -175,6 +175,16 @@ func (r *Result) String() string {
 type compiledPlan struct {
 	root *cnode
 
+	// empty is set when a constant predicate (a WHERE conjunct referencing
+	// no attribute, e.g. 1 = 2) evaluated to non-true: the conjunct fails
+	// for every row, so the query result is empty regardless of the join
+	// tree. Constant conjuncts used to empty the leftmost leaf instead,
+	// which is wrong under RIGHT/FULL outer joins above that leaf: the
+	// other side's rows survive as null-padded output even though the
+	// WHERE clause rejects every row (found by the randql differential
+	// oracle design review; see TestConstantFalseWhereUnderOuterJoin).
+	empty bool
+
 	// Non-aggregate projection: output columns plus, per column, the
 	// root-layout indices of its coalesce attributes. An index of -1
 	// (attribute missing from the root layout) only surfaces when a row
@@ -196,10 +206,9 @@ type cnode struct {
 	width    int
 
 	// Leaf fields.
-	leaf       bool
-	relName    string
-	sels       []*qtree.Pred
-	constEmpty bool // a constant predicate evaluated to non-true here
+	leaf    bool
+	relName string
+	sels    []*qtree.Pred
 
 	// Join fields.
 	jt          sqlparser.JoinType
@@ -219,6 +228,18 @@ func (p *Plan) compile() (*compiledPlan, error) {
 
 func (p *Plan) doCompile() (*compiledPlan, error) {
 	applied := make([]bool, len(p.Preds))
+	// Constant predicates (no attribute references) are WHERE conjuncts
+	// that hold for every row or for none; they are decided once, for the
+	// whole plan, before the tree is compiled.
+	constEmpty := false
+	for i, pr := range p.Preds {
+		if len(pr.Occs) == 0 {
+			applied[i] = true
+			if pr.Eval(func(qtree.AttrRef) sqltypes.Value { return sqltypes.Null() }) != sqltypes.True {
+				constEmpty = true
+			}
+		}
+	}
 	root := p.compileNode(p.Tree, applied)
 	// Any predicate not placed inside the tree (possible only if its
 	// occurrences never co-occur, which build rejects) would be a bug.
@@ -227,7 +248,7 @@ func (p *Plan) doCompile() (*compiledPlan, error) {
 			return nil, fmt.Errorf("engine: predicate %s was never applied", p.Preds[i])
 		}
 	}
-	cp := &compiledPlan{root: root}
+	cp := &compiledPlan{root: root, empty: constEmpty}
 	if p.Query.Agg != nil {
 		spec := p.Query.Agg
 		cp.groupIdx = make([]int, len(spec.GroupBy))
@@ -283,20 +304,12 @@ func (p *Plan) compileLeaf(occ *qtree.Occurrence, applied []bool) *cnode {
 		c.cols[qtree.AttrRef{Occ: occ.Name, Attr: a.Name}] = i
 	}
 	// Selections on this occurrence are applied at the leaf (paper §II:
-	// selections pushed to the lowest level).
+	// selections pushed to the lowest level). Constant predicates were
+	// already decided plan-wide in doCompile.
 	for i, pr := range p.Preds {
 		if len(pr.Occs) == 1 && pr.Occs[0] == occ.Name {
 			c.sels = append(c.sels, pr)
 			applied[i] = true
-		} else if len(pr.Occs) == 0 && !applied[i] {
-			// Constant predicate: evaluated once, at the first leaf
-			// compiled after it becomes pending. A non-true constant
-			// empties that leaf's relation, killing the branch.
-			applied[i] = true
-			if pr.Eval(func(qtree.AttrRef) sqltypes.Value { return sqltypes.Null() }) != sqltypes.True {
-				c.constEmpty = true
-				return c
-			}
 		}
 	}
 	return c
@@ -390,7 +403,10 @@ func (p *Plan) Run(ds *schema.Dataset) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := cp.root.run(ds)
+	var rows []sqltypes.Row
+	if !cp.empty {
+		rows = cp.root.run(ds)
+	}
 	if p.Query.Agg != nil {
 		return p.aggregate(cp, rows)
 	}
@@ -415,9 +431,6 @@ func colAt(cols map[qtree.AttrRef]int, a qtree.AttrRef) int {
 }
 
 func (c *cnode) runLeaf(ds *schema.Dataset) []sqltypes.Row {
-	if c.constEmpty {
-		return nil
-	}
 	src := ds.Rows(c.relName)
 	if len(c.sels) == 0 {
 		// No selection: the dataset's row slice is shared read-only.

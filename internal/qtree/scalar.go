@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/schema"
 	"repro/internal/sqltypes"
 )
 
@@ -30,7 +31,11 @@ type AttrRef struct {
 }
 
 // String renders occ.attr.
-func (a AttrRef) String() string { return a.Occ + "." + a.Attr }
+// String renders the reference in SQL form, quoting either part if it
+// would not lex back as a plain identifier. For ordinary (bare,
+// non-keyword) names this is just occ.attr, so the rendering doubles as
+// the canonical key used in diagnostics and signatures.
+func (a AttrRef) String() string { return schema.QuoteIdent(a.Occ) + "." + schema.QuoteIdent(a.Attr) }
 
 // Less orders AttrRefs lexicographically.
 func (a AttrRef) Less(b AttrRef) bool {

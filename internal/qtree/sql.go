@@ -1,0 +1,281 @@
+package qtree
+
+import (
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// This file renders normalized queries back to executable SQL. The
+// printer is the reproducer half of the randomized-testing subsystem
+// (internal/randql): every failing case is reported as SQL that can be
+// fed straight back to BuildSQL, and the parser round-trip fuzz target
+// checks parse → print → reparse stability.
+//
+// The printed placement of join conditions need not match the original
+// text: the normalized Query pools ON and WHERE conjuncts together
+// (selections are applied at the leaves, join conditions at the earliest
+// node covering their occurrences), so any placement that rebuilds the
+// same equivalence classes and predicate pool round-trips to an
+// identical Query. The printer puts each condition at the earliest join
+// node whose subtree covers it — which also satisfies the grammar's
+// requirement that outer joins carry an ON clause — and everything else
+// (selections, constant conjuncts, conditions owned by NATURAL nodes)
+// in WHERE.
+
+// SQLString renders the query as a runnable single-block SELECT
+// equivalent to the original text: reparsing the result with BuildSQL
+// yields the same normalized query (same tree, classes, predicates,
+// aggregation and projection attributes).
+func (q *Query) SQLString() string {
+	var calls []AggCall
+	if q.Agg != nil {
+		calls = q.Agg.Calls
+	}
+	return RenderSQL(q, q.Root, q.Preds, calls)
+}
+
+// RenderSQL renders a (possibly mutated) variant of q: tree replaces the
+// join tree, preds the predicate pool, and aggs the aggregate calls
+// (ignored when q has no aggregation). The mutation packages use it to
+// report mutants as runnable SQL; q.SQLString is the identity case.
+func RenderSQL(q *Query, tree *Node, preds []*Pred, aggs []AggCall) string {
+	r := &sqlRenderer{q: q, tree: tree, nodeConds: map[*Node][]string{}}
+	r.placeClassConds()
+	r.placePreds(preds)
+
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	sb.WriteString(r.selectList(aggs))
+	sb.WriteString(" FROM ")
+	sb.WriteString(r.renderNode(tree, false))
+	if len(r.where) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(r.where, " AND "))
+	}
+	if q.Agg != nil && len(q.Agg.GroupBy) > 0 {
+		gb := make([]string, len(q.Agg.GroupBy))
+		for i, g := range q.Agg.GroupBy {
+			gb[i] = g.String()
+		}
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(gb, ", "))
+	}
+	return sb.String()
+}
+
+type sqlRenderer struct {
+	q         *Query
+	tree      *Node
+	nodeConds map[*Node][]string
+	where     []string
+}
+
+// placeClassConds emits equality conditions that rebuild every
+// equivalence class. At each non-NATURAL join node where a class has
+// members on both sides, the two sides' representatives are equated (a
+// spanning chain over the class, one edge per node — exactly the
+// earliest-node placement the engine uses). Members still unconnected
+// afterwards (several members inside one occurrence, or links implied
+// only under NATURAL nodes of a mutated tree) are chained up in WHERE
+// through cross-occurrence partners, since same-occurrence equalities
+// would reparse as selections rather than class merges.
+func (r *sqlRenderer) placeClassConds() {
+	for _, ec := range r.q.Classes {
+		uf := newUnionFind()
+		for _, m := range ec.Members {
+			uf.find(m)
+		}
+		// Unions implied by NATURAL join nodes in the tree being printed.
+		for _, n := range r.tree.Nodes(nil) {
+			if !n.Natural {
+				continue
+			}
+			la, ra := availableAttrs(n.Left), availableAttrs(n.Right)
+			for name, ls := range la {
+				rs, ok := ra[name]
+				if !ok || len(ls) != 1 || len(rs) != 1 {
+					continue
+				}
+				if ec.Contains(ls[0]) && ec.Contains(rs[0]) {
+					uf.union(ls[0], rs[0])
+				}
+			}
+		}
+		r.emitClassAtNodes(ec, r.tree, uf)
+		r.connectLeftovers(ec, uf)
+	}
+}
+
+// emitClassAtNodes walks the tree bottom-up; at each non-NATURAL join
+// node with class members on both sides it equates the sides'
+// representatives. Returns the members under the node.
+func (r *sqlRenderer) emitClassAtNodes(ec *EquivClass, n *Node, uf *unionFind) []AttrRef {
+	if n.IsLeaf() {
+		var out []AttrRef
+		for _, m := range ec.Members {
+			if m.Occ == n.Occ.Name {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	lm := r.emitClassAtNodes(ec, n.Left, uf)
+	rm := r.emitClassAtNodes(ec, n.Right, uf)
+	if len(lm) > 0 && len(rm) > 0 && !n.Natural {
+		l, rt := lm[0], rm[0]
+		if uf.find(l) != uf.find(rt) {
+			r.nodeConds[n] = append(r.nodeConds[n], l.String()+" = "+rt.String())
+			uf.union(l, rt)
+		}
+	}
+	return append(lm, rm...)
+}
+
+// connectLeftovers adds WHERE equalities until the whole class is one
+// component, always pairing members of different occurrences (a class is
+// only ever built from cross-occurrence equalities, so such a partner
+// exists whenever components remain).
+func (r *sqlRenderer) connectLeftovers(ec *EquivClass, uf *unionFind) {
+	for {
+		merged := false
+		for i := 0; i < len(ec.Members) && !merged; i++ {
+			for j := i + 1; j < len(ec.Members); j++ {
+				a, b := ec.Members[i], ec.Members[j]
+				if a.Occ != b.Occ && uf.find(a) != uf.find(b) {
+					r.where = append(r.where, a.String()+" = "+b.String())
+					uf.union(a, b)
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// placePreds assigns each predicate to the earliest join node covering
+// its occurrence set; selections, constant conjuncts, and predicates
+// whose earliest node is NATURAL (which cannot carry ON) go to WHERE.
+func (r *sqlRenderer) placePreds(preds []*Pred) {
+	for _, p := range preds {
+		s := p.String()
+		if p.IsSelection() {
+			r.where = append(r.where, s)
+			continue
+		}
+		n := earliestCovering(r.tree, p.Occs)
+		if n == nil || n.Natural {
+			r.where = append(r.where, s)
+			continue
+		}
+		r.nodeConds[n] = append(r.nodeConds[n], s)
+	}
+}
+
+// earliestCovering returns the lowest node whose occurrence set covers
+// occs, or nil.
+func earliestCovering(n *Node, occs []string) *Node {
+	if n == nil || n.IsLeaf() {
+		return nil
+	}
+	for _, side := range []*Node{n.Left, n.Right} {
+		if covers(side, occs) {
+			return earliestCovering(side, occs)
+		}
+	}
+	if covers(n, occs) {
+		return n
+	}
+	return nil
+}
+
+func covers(n *Node, occs []string) bool {
+	set := n.OccSet()
+	for _, o := range occs {
+		if !set[o] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *sqlRenderer) renderNode(n *Node, paren bool) string {
+	if n.IsLeaf() {
+		if n.Occ.Name != n.Occ.Rel.Name {
+			return schema.QuoteIdent(n.Occ.Rel.Name) + " AS " + schema.QuoteIdent(n.Occ.Name)
+		}
+		return schema.QuoteIdent(n.Occ.Rel.Name)
+	}
+	kw := n.Type.String()
+	conds := r.nodeConds[n]
+	switch {
+	case n.Natural:
+		kw = "NATURAL " + kw
+	case len(conds) == 0:
+		// The grammar requires ON for non-natural outer joins; the
+		// builder guarantees every outer node has a join condition, so a
+		// condition-less node here is an inner join.
+		kw = "CROSS JOIN"
+	}
+	s := r.renderNode(n.Left, true) + " " + kw + " " + r.renderNode(n.Right, true)
+	if !n.Natural && len(conds) > 0 {
+		s += " ON " + strings.Join(conds, " AND ")
+	}
+	if paren {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// selectList renders the projection: aggregate queries list GROUP BY
+// attributes then the calls; plain queries print * when the projection
+// is the full attribute list of every occurrence (so star expansion
+// reparses identically), else the explicit attribute list.
+func (r *sqlRenderer) selectList(aggs []AggCall) string {
+	q := r.q
+	if q.Agg != nil {
+		items := make([]string, 0, len(q.Agg.GroupBy)+len(aggs))
+		for _, g := range q.Agg.GroupBy {
+			items = append(items, g.String())
+		}
+		for _, c := range aggs {
+			items = append(items, c.String())
+		}
+		return strings.Join(items, ", ")
+	}
+	if q.Proj.Star && r.starIsExact() {
+		return "*"
+	}
+	items := make([]string, len(q.Proj.Attrs))
+	for i, a := range q.Proj.Attrs {
+		items[i] = a.String()
+	}
+	return strings.Join(items, ", ")
+}
+
+// starIsExact reports whether SELECT * would expand to exactly
+// Proj.Attrs on reparse — false when occurrences were added by subquery
+// decorrelation (their attributes are projected away).
+func (r *sqlRenderer) starIsExact() bool {
+	var all []AttrRef
+	for _, occ := range r.q.Occs {
+		for _, a := range occ.Rel.Attrs {
+			all = append(all, AttrRef{Occ: occ.Name, Attr: a.Name})
+		}
+	}
+	if len(all) != len(r.q.Proj.Attrs) {
+		return false
+	}
+	for i, a := range all {
+		if r.q.Proj.Attrs[i] != a {
+			return false
+		}
+	}
+	return true
+}

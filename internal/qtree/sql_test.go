@@ -1,0 +1,141 @@
+package qtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparser"
+)
+
+// normalForm renders the placement-independent content of a normalized
+// query: tree shape, classes, sorted predicate pool, aggregation,
+// projection attributes, DISTINCT. Two queries with equal normal forms
+// are the same query for every algorithm in this repo.
+func normalForm(q *Query) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tree=%s\n", q.Root)
+	for _, ec := range q.Classes {
+		fmt.Fprintf(&sb, "class=%s\n", ec)
+	}
+	preds := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		preds[i] = p.String()
+	}
+	sort.Strings(preds)
+	fmt.Fprintf(&sb, "preds=%s\n", strings.Join(preds, " AND "))
+	if q.Agg != nil {
+		gb := make([]string, len(q.Agg.GroupBy))
+		for i, g := range q.Agg.GroupBy {
+			gb[i] = g.String()
+		}
+		calls := make([]string, len(q.Agg.Calls))
+		for i, c := range q.Agg.Calls {
+			calls[i] = c.String()
+		}
+		fmt.Fprintf(&sb, "agg=[%s] groupby [%s]\n", strings.Join(calls, ", "), strings.Join(gb, ", "))
+	}
+	proj := make([]string, len(q.Proj.Attrs))
+	for i, a := range q.Proj.Attrs {
+		proj[i] = a.String()
+	}
+	fmt.Fprintf(&sb, "proj=%s distinct=%v\n", strings.Join(proj, ", "), q.Distinct)
+	return sb.String()
+}
+
+func TestSQLStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM instructor",
+		"SELECT name FROM instructor WHERE salary > 50000",
+		"SELECT * FROM instructor, department WHERE instructor.dept_name = department.dept_name",
+		"SELECT * FROM instructor JOIN department ON instructor.dept_name = department.dept_name WHERE budget >= 100",
+		"SELECT * FROM instructor LEFT OUTER JOIN teaches ON instructor.id = teaches.id",
+		"SELECT * FROM instructor RIGHT OUTER JOIN teaches ON instructor.id = teaches.id WHERE course_id <> 3",
+		"SELECT instructor.id, teaches.course_id, course.title FROM instructor FULL OUTER JOIN teaches ON instructor.id = teaches.id JOIN course ON teaches.course_id = course.course_id",
+		"SELECT * FROM instructor NATURAL JOIN teaches",
+		"SELECT * FROM instructor NATURAL LEFT OUTER JOIN teaches",
+		"SELECT a.x, b.y FROM abc_a a, abc_b b WHERE a.x = b.x AND a.y < b.y",
+		"SELECT a.x FROM abc_a a, abc_b b, abc_c c WHERE a.x = b.x AND b.x = c.x",
+		// Transitive class with two members in one occurrence: the
+		// printer must rebuild it via cross-occurrence links only.
+		"SELECT a.x FROM abc_a a, abc_b b WHERE a.x = b.x AND b.x = a.y",
+		// Non-equi join predicate spanning three occurrences.
+		"SELECT a.x FROM abc_a a JOIN abc_b b ON a.x = b.x JOIN abc_c c ON a.y + b.y = c.y",
+		"SELECT dept_name, COUNT(*), AVG(salary) FROM instructor GROUP BY dept_name",
+		"SELECT COUNT(DISTINCT dept_name) FROM instructor WHERE salary >= 2 * 100",
+		"SELECT instructor.dept_name, MIN(budget) FROM instructor NATURAL JOIN department GROUP BY instructor.dept_name",
+		"SELECT DISTINCT name FROM instructor, teaches WHERE instructor.id = teaches.id",
+		// Decorrelated subquery: star must print as an explicit list.
+		"SELECT * FROM instructor WHERE instructor.dept_name IN (SELECT department.dept_name FROM department WHERE budget > 5)",
+		"SELECT name FROM instructor WHERE EXISTS (SELECT * FROM teaches WHERE teaches.id = instructor.id)",
+		// Constant conjunct.
+		"SELECT * FROM instructor WHERE 1 = 2 AND salary > 0",
+		// Aliased repeated relation.
+		"SELECT i1.name FROM instructor AS i1, instructor AS i2 WHERE i1.salary > i2.salary AND i1.dept_name = i2.dept_name",
+	}
+	sch, err := sqlparser.ParseSchema(testDDL)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	for _, sql := range queries {
+		q, err := BuildSQL(sch, sql)
+		if err != nil {
+			t.Fatalf("BuildSQL(%q): %v", sql, err)
+		}
+		printed := q.SQLString()
+		q2, err := BuildSQL(sch, printed)
+		if err != nil {
+			t.Fatalf("reparse of printed SQL failed\n  original: %s\n  printed:  %s\n  error:    %v", sql, printed, err)
+		}
+		if nf, nf2 := normalForm(q), normalForm(q2); nf != nf2 {
+			t.Errorf("round trip changed the query\n  original: %s\n  printed:  %s\n  before:\n%s  after:\n%s", sql, printed, nf, nf2)
+		}
+		// Printing must be a fixpoint: print(reparse(print(q))) == print(q).
+		if printed2 := q2.SQLString(); printed2 != printed {
+			t.Errorf("printer not a fixpoint\n  first:  %s\n  second: %s", printed, printed2)
+		}
+	}
+}
+
+func TestRenderSQLMutatedPredicates(t *testing.T) {
+	q := buildQ(t, "SELECT a.x FROM abc_a a JOIN abc_b b ON a.x = b.x WHERE a.y < 5")
+	// Flip the selection operator, as the comparison mutation space does.
+	preds := make([]*Pred, len(q.Preds))
+	copy(preds, q.Preds)
+	for i, p := range preds {
+		if p.IsSelection() {
+			preds[i] = p.WithOp(p.Op.Flip())
+		}
+	}
+	sql := RenderSQL(q, q.Root, preds, nil)
+	sch, err := sqlparser.ParseSchema(testDDL)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	q2, err := BuildSQL(sch, sql)
+	if err != nil {
+		t.Fatalf("mutant SQL %q does not reparse: %v", sql, err)
+	}
+	if !strings.Contains(sql, "a.y > 5") {
+		t.Errorf("mutant SQL %q lost the flipped operator", sql)
+	}
+	if len(q2.Classes) != 1 || len(q2.Preds) != 1 {
+		t.Errorf("mutant reparse: classes=%d preds=%d, want 1/1", len(q2.Classes), len(q2.Preds))
+	}
+}
+
+func TestRenderSQLMutatedTree(t *testing.T) {
+	q := buildQ(t, "SELECT * FROM instructor JOIN teaches ON instructor.id = teaches.id")
+	// Join-type mutant: INNER → LEFT OUTER on the same tree.
+	mt := q.Root.Clone()
+	mt.Type = sqlparser.LeftOuterJoin
+	sql := RenderSQL(q, mt, q.Preds, nil)
+	if !strings.Contains(sql, "LEFT OUTER JOIN") || !strings.Contains(sql, "ON") {
+		t.Fatalf("mutated tree rendered without ON-carrying outer join: %s", sql)
+	}
+	sch, _ := sqlparser.ParseSchema(testDDL)
+	if _, err := BuildSQL(sch, sql); err != nil {
+		t.Fatalf("mutant SQL %q does not reparse: %v", sql, err)
+	}
+}

@@ -1,0 +1,69 @@
+package randql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+)
+
+// Case is one random (schema, query, datasets) triple, fully determined
+// by (Seed, Cfg): a single math/rand stream seeded with Seed generates
+// the schema, then the query, then each dataset in NextDataset order.
+// Two Cases with equal seed and config are byte-for-byte identical,
+// including every dataset, no matter which harness created them.
+type Case struct {
+	Seed   int64
+	Cfg    Config
+	Schema *schema.Schema
+	SQL    string
+	Query  *qtree.Query
+
+	rng       *rand.Rand
+	nDatasets int
+}
+
+// NewCase derives the schema and query for seed. Errors are internal
+// generator bugs (the query grammar retries until the builder accepts),
+// never bad luck.
+func NewCase(seed int64, cfg Config) (*Case, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sch, err := randomSchema(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sql, q, err := randomQuery(rng, cfg, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &Case{Seed: seed, Cfg: cfg, Schema: sch, SQL: sql, Query: q, rng: rng}, nil
+}
+
+// NextDataset draws the next random dataset from the case's stream. The
+// i-th call returns the same dataset for every run with this seed.
+func (c *Case) NextDataset() (*schema.Dataset, error) {
+	c.nDatasets++
+	return randomDataset(c.rng, c.Cfg, c.Schema, fmt.Sprintf("seed %d dataset %d", c.Seed, c.nDatasets))
+}
+
+// Repro renders a self-contained reproducer for a failure on this case:
+// runnable DDL, the query SQL, the offending dataset as INSERT
+// statements, and the one-command re-run line. Every harness failure
+// message embeds this so a CI artifact alone is enough to replay the
+// case locally.
+func (c *Case) Repro(ds *schema.Dataset) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- randql reproducer: seed %d\n", c.Seed)
+	fmt.Fprintf(&sb, "-- rerun: go test ./internal/randql -run 'TestDifferentialOracle|TestSuiteCompleteness' -randql.seed=%d -randql.n=1 -randql.q=1\n", c.Seed)
+	sb.WriteString(c.Schema.String())
+	if !strings.HasSuffix(sb.String(), "\n") {
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "-- query\n%s;\n", c.SQL)
+	if ds != nil {
+		fmt.Fprintf(&sb, "-- dataset (%s)\n%s", ds.Purpose, ds.SQLInserts(c.Schema))
+	}
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+// Package randql is the randomized differential-testing subsystem: a
+// seeded, deterministic generator of (schema, query, input data) triples
+// covering the paper's query class, plus the harnesses that cross-check
+// the execution engine against the independent reference evaluator
+// (internal/refeval) and assert the paper's suite-completeness guarantee
+// end-to-end (core.Generate → mutation.Evaluate kills every
+// non-equivalent mutant).
+//
+// Determinism rules: every random artifact of a Case is derived from a
+// single int64 seed through one math/rand stream consumed in a fixed
+// order (schema first, then query, then each dataset in index order).
+// Re-running with the same seed — from the tests, the nightly soak, or
+// the cmd/randql CLI — reproduces the identical case byte for byte.
+package randql
+
+import (
+	"math/rand"
+)
+
+// Config bounds the random grammar. Two presets matter: DefaultConfig
+// exercises the full engine surface (NULLs, floats, booleans, outer and
+// natural joins, DISTINCT, constant conjuncts) for the differential
+// oracle, while CompletenessConfig restricts to the class the
+// constraint-based generator guarantees completeness for (§IV-V:
+// integer/string attributes, NOT NULL columns, no constant conjuncts).
+type Config struct {
+	// Schema shape.
+	MaxRelations  int     // relations per schema (≥ 2)
+	MaxDataCols   int     // non-key columns per relation
+	FKProb        float64 // probability a relation gains an FK to an earlier one
+	CompositeProb float64 // probability a relation uses a composite primary key
+	AllowFloats   bool    // FLOAT data columns
+	AllowBools    bool    // BOOLEAN data columns
+	AllowNullable bool    // data columns without NOT NULL
+
+	// Query shape.
+	MaxOccs        int     // relation occurrences per query (≥ 1)
+	AllowOuter     bool    // LEFT/RIGHT/FULL OUTER JOIN
+	AllowNatural   bool    // NATURAL JOIN
+	AllowAgg       bool    // GROUP BY + aggregates
+	AllowDistinct  bool    // SELECT DISTINCT
+	AllowConstPred bool    // constant conjuncts like 1 = 2
+	MaxSelections  int     // extra WHERE conjuncts
+	AggProb        float64 // probability a query aggregates
+	// RequireConnected rejects queries whose join graph has more than
+	// one component. The mutant space (and hence the completeness
+	// guarantee) is only defined over connected queries; the
+	// differential oracle happily exercises cross products.
+	RequireConnected bool
+	// AggVisibility forces aggregated multi-occurrence queries to group
+	// by at least one attribute of EVERY occurrence. This is the
+	// aggregation analogue of the paper's visibility assumptions
+	// (A6–A8): a join-type mutant that pads one side with NULLs is only
+	// observable through GROUP BY if some grouping attribute exposes
+	// the padded side — otherwise the padded rows merge into existing
+	// groups and NULL-ignoring aggregates (MIN, SUM, …) hide them, so
+	// no dataset can kill the mutant and the completeness guarantee
+	// does not extend to such heads. (randql seed 10009 is the
+	// counterexample that pinned this down.)
+	AggVisibility bool
+
+	// Dataset shape.
+	MaxRows  int     // rows per relation
+	NullProb float64 // probability of NULL in a nullable column
+}
+
+// DefaultConfig is the differential-oracle grammar: everything the
+// engine supports, NULL-prone data included.
+func DefaultConfig() Config {
+	return Config{
+		MaxRelations:  4,
+		MaxDataCols:   3,
+		FKProb:        0.5,
+		CompositeProb: 0.25,
+		AllowFloats:   true,
+		AllowBools:    true,
+		AllowNullable: true,
+		MaxOccs:       3,
+		AllowOuter:    true,
+		AllowNatural:  true,
+		AllowAgg:      true,
+		AllowDistinct: true,
+
+		AllowConstPred: true,
+		MaxSelections:  3,
+		AggProb:        0.3,
+		MaxRows:        4,
+		NullProb:       0.25,
+	}
+}
+
+// CompletenessConfig is the grammar of the paper's completeness
+// guarantee: the constraint solver works over integer-coded domains
+// (assumption A4 admits only integer/string comparisons), data columns
+// are NOT NULL (A2), and constant conjuncts and DISTINCT are outside the
+// killed mutation space.
+func CompletenessConfig() Config {
+	c := DefaultConfig()
+	c.AllowFloats = false
+	c.AllowBools = false
+	c.AllowNullable = false
+	c.AllowDistinct = false
+	c.AllowConstPred = false
+	c.MaxRelations = 3
+	c.MaxOccs = 3
+	c.MaxSelections = 2
+	c.RequireConnected = true
+	c.AggVisibility = true
+	return c
+}
+
+// chance reports true with probability p.
+func chance(rng *rand.Rand, p float64) bool { return rng.Float64() < p }
+
+// pick returns a uniformly random element.
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }

@@ -1,0 +1,105 @@
+package randql
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+// Dataset value pools. Integers and strings deliberately overlap the
+// predicate constant pools (predInts/predStrings in query.go) with a
+// one-off margin on each side, so comparisons land on all three of
+// below/at/above the constant.
+var (
+	intPool   = []int64{-1, 0, 1, 2, 3, 4, 5, 6, 7}
+	strPool   = []string{"t", "u", "v", "w", "x", "y"}
+	floatPool = []float64{-0.5, 0, 1, 2.5, 3, 4.5}
+)
+
+// randomDataset generates a dataset for sch that satisfies every schema
+// constraint by construction: relations are filled in t0..tn order
+// (randomSchema only points FKs backwards, so that order is topological),
+// FK columns copy values out of a previously generated referenced row,
+// and rows whose primary key collides with an earlier row are re-rolled
+// a few times then dropped. The result is validated with CheckDataset —
+// an error here is a randql bug, not bad luck.
+func randomDataset(rng *rand.Rand, cfg Config, sch *schema.Schema, purpose string) (*schema.Dataset, error) {
+	ds := schema.NewDataset(purpose)
+	for _, rel := range orderedRelations(sch) {
+		nRows := 0
+		if !chance(rng, 0.1) { // occasionally leave a relation empty
+			nRows = 1 + rng.Intn(cfg.MaxRows)
+		}
+		seenPK := map[string]bool{}
+		for i := 0; i < nRows; i++ {
+			for try := 0; try < 6; try++ {
+				row, ok := randomRow(rng, cfg, sch, rel, ds)
+				if !ok {
+					break // referenced relation is empty: no legal row exists
+				}
+				key, hasPK := pkOf(rel, row)
+				if hasPK && seenPK[key] {
+					continue // PK collision: re-roll
+				}
+				seenPK[key] = true
+				ds.Insert(rel.Name, row)
+				break
+			}
+		}
+	}
+	if err := sch.CheckDataset(ds); err != nil {
+		return nil, fmt.Errorf("randql: generated dataset violates schema: %w", err)
+	}
+	return ds, nil
+}
+
+// randomRow builds one row of rel: random typed values first (NULL with
+// NullProb in nullable columns), then FK columns overwritten from a
+// random row of each referenced relation.
+func randomRow(rng *rand.Rand, cfg Config, sch *schema.Schema, rel *schema.Relation, ds *schema.Dataset) (sqltypes.Row, bool) {
+	row := make(sqltypes.Row, len(rel.Attrs))
+	for i, a := range rel.Attrs {
+		if !a.NotNull && chance(rng, cfg.NullProb) {
+			row[i] = sqltypes.Null()
+			continue
+		}
+		switch a.Type {
+		case sqltypes.KindInt:
+			row[i] = sqltypes.NewInt(pick(rng, intPool))
+		case sqltypes.KindString:
+			row[i] = sqltypes.NewString(pick(rng, strPool))
+		case sqltypes.KindFloat:
+			row[i] = sqltypes.NewFloat(pick(rng, floatPool))
+		case sqltypes.KindBool:
+			row[i] = sqltypes.NewBool(chance(rng, 0.5))
+		default:
+			row[i] = sqltypes.Null()
+		}
+	}
+	for _, fk := range rel.ForeignKeys {
+		refRows := ds.Rows(fk.RefTable)
+		if len(refRows) == 0 {
+			return nil, false
+		}
+		ref := refRows[rng.Intn(len(refRows))]
+		refRel := sch.Relation(fk.RefTable)
+		for k, c := range fk.Columns {
+			row[rel.AttrPos(c)] = ref[refRel.AttrPos(fk.RefColumns[k])]
+		}
+	}
+	return row, true
+}
+
+func pkOf(rel *schema.Relation, row sqltypes.Row) (string, bool) {
+	if len(rel.PrimaryKey) == 0 {
+		return "", false
+	}
+	key := ""
+	for _, c := range rel.PrimaryKey {
+		v := row[rel.AttrPos(c)]
+		key += v.String() + "\x00"
+	}
+	return key, true
+}

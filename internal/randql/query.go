@@ -1,0 +1,419 @@
+package randql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+// Predicate constant pools. The dataset generator draws values from the
+// same neighbourhoods (intPool / strPool in dataset.go) so random data
+// actually straddles the predicate boundaries instead of trivially
+// satisfying or falsifying every conjunct.
+var (
+	predInts    = []int{-2, -1, 0, 1, 2, 3, 4, 5, 6}
+	predStrings = []string{"u", "v", "w", "x"}
+	cmpOps      = []string{"=", "<>", "<", "<=", ">", ">="}
+)
+
+// occ is one FROM-clause occurrence of a relation under an alias.
+type occ struct {
+	alias string
+	rel   *schema.Relation
+}
+
+// randomQuery generates a random single-block SELECT over sch as SQL
+// text, building it through qtree.BuildSQL so every structural
+// restriction the builder enforces (outer-join connectivity, FULL OUTER
+// visibility A7/A8, natural-join ambiguity) is applied by construction:
+// candidates the builder rejects are simply re-rolled. The retry loop is
+// bounded; the final fallback "SELECT * FROM t0" is always legal because
+// randomSchema always emits t0.
+func randomQuery(rng *rand.Rand, cfg Config, sch *schema.Schema) (string, *qtree.Query, error) {
+	for attempt := 0; attempt < 400; attempt++ {
+		sql, ok := trySQL(rng, cfg, sch)
+		if !ok {
+			continue
+		}
+		q, err := qtree.BuildSQL(sch, sql)
+		if err != nil {
+			continue
+		}
+		if cfg.RequireConnected && !joinConnected(q) {
+			continue
+		}
+		return sql, q, nil
+	}
+	sql := "SELECT * FROM t0"
+	q, err := qtree.BuildSQL(sch, sql)
+	if err != nil {
+		return "", nil, fmt.Errorf("randql: fallback query rejected: %w", err)
+	}
+	return sql, q, nil
+}
+
+// trySQL assembles one candidate query. It may bail out (ok=false) when
+// a random choice paints it into a corner (e.g. no legal join condition).
+func trySQL(rng *rand.Rand, cfg Config, sch *schema.Schema) (string, bool) {
+	rels := orderedRelations(sch)
+	if len(rels) == 0 {
+		return "", false
+	}
+
+	// Pick occurrences (with replacement) and assign aliases: the bare
+	// relation name when it appears once, rel_N suffixes otherwise.
+	k := 1
+	if cfg.MaxOccs > 1 {
+		k = 1 + rng.Intn(cfg.MaxOccs)
+	}
+	chosen := make([]*schema.Relation, k)
+	count := map[string]int{}
+	for i := range chosen {
+		chosen[i] = pick(rng, rels)
+		count[chosen[i].Name]++
+	}
+	seen := map[string]int{}
+	occs := make([]occ, k)
+	for i, r := range chosen {
+		alias := r.Name
+		if count[r.Name] > 1 {
+			seen[r.Name]++
+			alias = fmt.Sprintf("%s_%d", r.Name, seen[r.Name])
+		}
+		occs[i] = occ{alias: alias, rel: r}
+	}
+
+	var from string
+	var whereConds []string
+	if k == 1 || chance(rng, 0.4) {
+		// Comma style: cross product in FROM, join conditions in WHERE.
+		parts := make([]string, k)
+		for i, o := range occs {
+			parts[i] = fromItem(o)
+		}
+		from = strings.Join(parts, ", ")
+		for i := 1; i < k; i++ {
+			if chance(rng, 0.8) {
+				if cond, ok := joinCond(rng, occs[:i], occs[i], false); ok {
+					whereConds = append(whereConds, cond...)
+				}
+			}
+		}
+	} else {
+		// Left-deep join chain with explicit join types.
+		from = fromItem(occs[0])
+		for i := 1; i < k; i++ {
+			jt := joinType(rng, cfg)
+			natural := cfg.AllowNatural && chance(rng, 0.3) && naturalOK(occs[:i], occs[i])
+			if natural {
+				from = fmt.Sprintf("%s NATURAL %s %s", from, jt, fromItem(occs[i]))
+				continue
+			}
+			outer := jt != "JOIN"
+			cond, ok := joinCond(rng, occs[:i], occs[i], outer)
+			if !ok {
+				if outer {
+					return "", false // outer joins require an ON condition
+				}
+				from = fmt.Sprintf("%s CROSS JOIN %s", from, fromItem(occs[i]))
+				continue
+			}
+			from = fmt.Sprintf("%s %s %s ON %s", from, jt, fromItem(occs[i]), strings.Join(cond, " AND "))
+		}
+	}
+
+	// Selections.
+	if cfg.MaxSelections > 0 {
+		for i, n := 0, rng.Intn(cfg.MaxSelections+1); i < n; i++ {
+			if s, ok := selection(rng, occs); ok {
+				whereConds = append(whereConds, s)
+			}
+		}
+	}
+	if cfg.AllowConstPred && chance(rng, 0.1) {
+		whereConds = append(whereConds, pick(rng, []string{"1 = 2", "1 = 1", "3 > 2", "2 < 1"}))
+	}
+
+	sel := selectClause(rng, cfg, occs)
+
+	var sb strings.Builder
+	sb.WriteString(sel.list)
+	sb.WriteString(" FROM ")
+	sb.WriteString(from)
+	if len(whereConds) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(whereConds, " AND "))
+	}
+	if sel.groupBy != "" {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(sel.groupBy)
+	}
+	return sb.String(), true
+}
+
+// orderedRelations returns t0, t1, … in index order (not lexicographic,
+// which would misplace t10). Relations not matching the tN convention
+// are appended in name order.
+func orderedRelations(sch *schema.Schema) []*schema.Relation {
+	var out []*schema.Relation
+	for i := 0; ; i++ {
+		r := sch.Relation(fmt.Sprintf("t%d", i))
+		if r == nil {
+			break
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		out = sch.Relations()
+	}
+	return out
+}
+
+func fromItem(o occ) string {
+	if o.alias == o.rel.Name {
+		return o.rel.Name
+	}
+	return fmt.Sprintf("%s AS %s", o.rel.Name, o.alias)
+}
+
+func joinType(rng *rand.Rand, cfg Config) string {
+	if cfg.AllowOuter && chance(rng, 0.45) {
+		return pick(rng, []string{"LEFT OUTER JOIN", "RIGHT OUTER JOIN", "FULL OUTER JOIN"})
+	}
+	return "JOIN"
+}
+
+// naturalOK reports whether a NATURAL join of the accumulated left side
+// with right is unambiguous: at least one shared attribute name, and no
+// shared name exposed more than once on the left.
+func naturalOK(left []occ, right occ) bool {
+	leftCount := map[string]int{}
+	for _, o := range left {
+		for _, a := range o.rel.Attrs {
+			leftCount[a.Name]++
+		}
+	}
+	common := 0
+	for _, a := range right.rel.Attrs {
+		switch leftCount[a.Name] {
+		case 0:
+		case 1:
+			common++
+		default:
+			return false // ambiguous on the left side
+		}
+	}
+	return common > 0
+}
+
+// joinCond builds the ON (or WHERE, comma-style) conjuncts connecting
+// right to one of the left occurrences. FK column pairs are preferred
+// (composite FKs emit one equality per column pair, keeping referential
+// joins aligned with the schema); otherwise a random same-kind column
+// pair is equated. Inner joins occasionally get a non-equi or arithmetic
+// condition instead; outer joins always get plain equalities so the
+// builder's connectivity requirement is met.
+func joinCond(rng *rand.Rand, left []occ, right occ, outer bool) ([]string, bool) {
+	type fkPair struct {
+		l, r         occ
+		lcols, rcols []string
+	}
+	var fks []fkPair
+	for _, lo := range left {
+		for _, fk := range right.rel.ForeignKeys {
+			if fk.RefTable == lo.rel.Name {
+				fks = append(fks, fkPair{l: lo, r: right, lcols: fk.RefColumns, rcols: fk.Columns})
+			}
+		}
+		for _, fk := range lo.rel.ForeignKeys {
+			if fk.RefTable == right.rel.Name {
+				fks = append(fks, fkPair{l: lo, r: right, lcols: fk.Columns, rcols: fk.RefColumns})
+			}
+		}
+	}
+	if len(fks) > 0 && chance(rng, 0.7) {
+		p := pick(rng, fks)
+		conds := make([]string, len(p.lcols))
+		for i := range p.lcols {
+			conds[i] = fmt.Sprintf("%s.%s = %s.%s", p.l.alias, p.lcols[i], p.r.alias, p.rcols[i])
+		}
+		return conds, true
+	}
+
+	// Random same-kind column pair.
+	lo := pick(rng, left)
+	type pair struct {
+		lc, rc string
+		kind   sqltypes.Kind
+	}
+	var pairs []pair
+	for _, la := range lo.rel.Attrs {
+		for _, ra := range right.rel.Attrs {
+			if la.Type == ra.Type && la.Type != sqltypes.KindBool {
+				pairs = append(pairs, pair{lc: la.Name, rc: ra.Name, kind: la.Type})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, false
+	}
+	p := pick(rng, pairs)
+	if !outer && p.kind == sqltypes.KindInt {
+		if chance(rng, 0.12) {
+			op := pick(rng, []string{"<", "<=", ">", ">=", "<>"})
+			return []string{fmt.Sprintf("%s.%s %s %s.%s", lo.alias, p.lc, op, right.alias, p.rc)}, true
+		}
+		if chance(rng, 0.1) {
+			return []string{fmt.Sprintf("%s.%s + %d = %s.%s", lo.alias, p.lc, 1+rng.Intn(2), right.alias, p.rc)}, true
+		}
+	}
+	return []string{fmt.Sprintf("%s.%s = %s.%s", lo.alias, p.lc, right.alias, p.rc)}, true
+}
+
+// selection builds one WHERE conjunct local to a single occurrence:
+// column OP constant on int/float/string columns, or occasionally a
+// same-occurrence column comparison. Boolean columns are skipped (the
+// comparison grammar is A4's int/string class plus floats for the
+// differential oracle).
+func selection(rng *rand.Rand, occs []occ) (string, bool) {
+	o := pick(rng, occs)
+	var cols []schema.Attribute
+	for _, a := range o.rel.Attrs {
+		if a.Type != sqltypes.KindBool {
+			cols = append(cols, a)
+		}
+	}
+	if len(cols) == 0 {
+		return "", false
+	}
+	c := cols[rng.Intn(len(cols))]
+	// Same-occurrence column-column comparison.
+	if chance(rng, 0.2) {
+		var mates []schema.Attribute
+		for _, a := range cols {
+			if a.Name != c.Name && a.Type == c.Type {
+				mates = append(mates, a)
+			}
+		}
+		if len(mates) > 0 {
+			m := mates[rng.Intn(len(mates))]
+			return fmt.Sprintf("%s.%s %s %s.%s", o.alias, c.Name, pick(rng, cmpOps), o.alias, m.Name), true
+		}
+	}
+	op := pick(rng, cmpOps)
+	switch c.Type {
+	case sqltypes.KindString:
+		return fmt.Sprintf("%s.%s %s '%s'", o.alias, c.Name, op, pick(rng, predStrings)), true
+	default: // int, float: integer constants keep A4's linear form
+		return fmt.Sprintf("%s.%s %s %d", o.alias, c.Name, op, pick(rng, predInts)), true
+	}
+}
+
+type selectSpec struct {
+	list    string // "SELECT ..." prefix included
+	groupBy string
+}
+
+// selectClause picks the projection: an aggregate head with probability
+// AggProb, otherwise SELECT * / an explicit qualified column list,
+// optionally DISTINCT.
+func selectClause(rng *rand.Rand, cfg Config, occs []occ) selectSpec {
+	type col struct {
+		ref  string
+		kind sqltypes.Kind
+	}
+	var all []col
+	for _, o := range occs {
+		for _, a := range o.rel.Attrs {
+			all = append(all, col{ref: o.alias + "." + a.Name, kind: a.Type})
+		}
+	}
+
+	if cfg.AllowAgg && chance(rng, cfg.AggProb) {
+		var groups []string
+		if cfg.AggVisibility && len(occs) > 1 {
+			// One grouping attribute per occurrence: join-type mutants
+			// padding any side stay observable through the group keys.
+			for _, o := range occs {
+				a := o.rel.Attrs[rng.Intn(len(o.rel.Attrs))]
+				groups = append(groups, o.alias+"."+a.Name)
+			}
+		} else {
+			for i, n := 0, rng.Intn(3); i < n && len(all) > 0; i++ {
+				c := all[rng.Intn(len(all))]
+				dup := false
+				for _, g := range groups {
+					if g == c.ref {
+						dup = true
+					}
+				}
+				if !dup {
+					groups = append(groups, c.ref)
+				}
+			}
+		}
+		var numeric, ordered []col
+		for _, c := range all {
+			if c.kind == sqltypes.KindInt || c.kind == sqltypes.KindFloat {
+				numeric = append(numeric, c)
+			}
+			if c.kind != sqltypes.KindBool {
+				ordered = append(ordered, c) // MIN/MAX need a total order
+			}
+		}
+		var calls []string
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			distinct := ""
+			if cfg.AllowDistinct && chance(rng, 0.2) {
+				distinct = "DISTINCT "
+			}
+			switch rng.Intn(6) {
+			case 0:
+				calls = append(calls, "COUNT(*)")
+			case 1:
+				calls = append(calls, fmt.Sprintf("COUNT(%s%s)", distinct, all[rng.Intn(len(all))].ref))
+			case 2, 3:
+				if len(ordered) == 0 {
+					calls = append(calls, "COUNT(*)")
+					continue
+				}
+				fn := pick(rng, []string{"MIN", "MAX"})
+				calls = append(calls, fmt.Sprintf("%s(%s)", fn, ordered[rng.Intn(len(ordered))].ref))
+			default:
+				if len(numeric) == 0 {
+					calls = append(calls, "COUNT(*)")
+					continue
+				}
+				fn := pick(rng, []string{"SUM", "AVG"})
+				calls = append(calls, fmt.Sprintf("%s(%s%s)", fn, distinct, numeric[rng.Intn(len(numeric))].ref))
+			}
+		}
+		items := append(append([]string{}, groups...), calls...)
+		return selectSpec{
+			list:    "SELECT " + strings.Join(items, ", "),
+			groupBy: strings.Join(groups, ", "),
+		}
+	}
+
+	distinct := ""
+	if cfg.AllowDistinct && chance(rng, 0.3) {
+		distinct = "DISTINCT "
+	}
+	if distinct == "" && chance(rng, 0.5) {
+		return selectSpec{list: "SELECT *"}
+	}
+	n := 1 + rng.Intn(4)
+	if n > len(all) {
+		n = len(all)
+	}
+	perm := rng.Perm(len(all))
+	cols := make([]string, n)
+	for i := 0; i < n; i++ {
+		cols[i] = all[perm[i]].ref
+	}
+	return selectSpec{list: "SELECT " + distinct + strings.Join(cols, ", ")}
+}

@@ -1,0 +1,188 @@
+package randql
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+)
+
+// Shared flags: the tests, the nightly soak job and local reproduction
+// all use the same entry points. A failing CI run prints a seed; re-run
+// with -randql.seed=<seed> -randql.n=1 (or -randql.q=1) to replay just
+// that case.
+var (
+	flagSeed = flag.Int64("randql.seed", 1, "base seed for randql cases")
+	flagN    = flag.Int("randql.n", 70, "number of differential-oracle cases (3 datasets each)")
+	flagQ    = flag.Int("randql.q", 50, "number of suite-completeness cases")
+)
+
+// saveFailure writes a reproducer into $RANDQL_FAILURE_DIR (if set) so
+// CI can upload it as an artifact.
+func saveFailure(t *testing.T, seed int64, repro string) {
+	dir := os.Getenv("RANDQL_FAILURE_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("randql: cannot create failure dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed-%d.sql", seed))
+	if err := os.WriteFile(path, []byte(repro), 0o644); err != nil {
+		t.Logf("randql: cannot write failure artifact: %v", err)
+		return
+	}
+	t.Logf("randql: failure reproducer written to %s", path)
+}
+
+// TestDifferentialOracle cross-checks the execution engine against the
+// independent reference evaluator on randomized (query, dataset) pairs
+// drawn from the full grammar (outer and natural joins, NULL-prone
+// data, floats, booleans, DISTINCT, aggregates, constant conjuncts).
+// Any multiset divergence fails with a runnable reproducer.
+func TestDifferentialOracle(t *testing.T) {
+	cfg := DefaultConfig()
+	const datasetsPerCase = 3
+	pairs := 0
+	for i := 0; i < *flagN; i++ {
+		seed := *flagSeed + int64(i)
+		c, err := NewCase(seed, cfg)
+		if err != nil {
+			t.Fatalf("NewCase(%d): %v", seed, err)
+		}
+		for d := 0; d < datasetsPerCase; d++ {
+			ds, err := c.NextDataset()
+			if err != nil {
+				t.Fatalf("seed %d dataset %d: %v", seed, d, err)
+			}
+			if err := DiffOne(c, ds); err != nil {
+				saveFailure(t, seed, c.Repro(ds))
+				t.Fatalf("differential oracle divergence: %v", err)
+			}
+			pairs++
+		}
+	}
+	t.Logf("differential oracle: %d (query, dataset) pairs, zero divergences", pairs)
+	if pairs < 200 {
+		t.Errorf("only %d pairs exercised, want >= 200 (raise -randql.n)", pairs)
+	}
+}
+
+// TestSuiteCompleteness asserts the paper's guarantee end-to-end on
+// random queries from the completeness grammar (§IV–V assumptions:
+// int/string NOT NULL data columns, no DISTINCT, no constant
+// conjuncts): every mutant the generated suite leaves alive must be
+// equivalent to the original query. Survivors are cross-examined by the
+// randomized equivalence checker; a confirmed non-equivalent survivor
+// is a bug and fails with mutant SQL plus the witness dataset.
+func TestSuiteCompleteness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("completeness property is slow; skipped with -short")
+	}
+	cfg := CompletenessConfig()
+	totalMutants, totalKilled, totalSuspected, budgetExceeded := 0, 0, 0, 0
+	for i := 0; i < *flagQ; i++ {
+		seed := *flagSeed + 10000 + int64(i)
+		c, err := NewCase(seed, cfg)
+		if err != nil {
+			t.Fatalf("NewCase(%d): %v", seed, err)
+		}
+		res, err := CheckCompleteness(c, seed*31+7)
+		if err != nil {
+			saveFailure(t, seed, c.Repro(nil))
+			t.Fatalf("completeness check failed: %v", err)
+		}
+		if res.BudgetExceeded {
+			budgetExceeded++
+			t.Logf("seed %d: solver budget exceeded, case skipped: %s", seed, c.SQL)
+			continue
+		}
+		if len(res.NonEquivalent) > 0 {
+			saveFailure(t, seed, c.Repro(nil))
+			t.Fatalf("seed %d: %d non-equivalent mutants survived the generated suite:\n%s\nquery: %s\n%s",
+				seed, len(res.NonEquivalent), res.NonEquivalent[0], c.SQL, c.Repro(nil))
+		}
+		totalMutants += res.Mutants
+		totalKilled += res.Killed
+		totalSuspected += len(res.SuspectedEquivalent)
+	}
+	t.Logf("completeness: %d queries (%d skipped on solver budget), %d mutants, %d killed, %d suspected-equivalent survivors, 0 non-equivalent survivors",
+		*flagQ, budgetExceeded, totalMutants, totalKilled, totalSuspected)
+	if budgetExceeded*5 > *flagQ {
+		t.Errorf("%d of %d cases exceeded the solver budget — pathological instances should be rare", budgetExceeded, *flagQ)
+	}
+}
+
+// TestCaseDeterminism pins the determinism contract: the same seed
+// reproduces the identical schema, SQL and datasets byte for byte.
+func TestCaseDeterminism(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), CompletenessConfig()} {
+		a, err := NewCase(42, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewCase(42, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Schema.String() != b.Schema.String() {
+			t.Fatalf("schema not deterministic:\n%s\nvs\n%s", a.Schema, b.Schema)
+		}
+		if a.SQL != b.SQL {
+			t.Fatalf("query not deterministic:\n%s\nvs\n%s", a.SQL, b.SQL)
+		}
+		for i := 0; i < 3; i++ {
+			da, err := a.NextDataset()
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := b.NextDataset()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if da.SQLInserts(a.Schema) != db.SQLInserts(b.Schema) {
+				t.Fatalf("dataset %d not deterministic", i)
+			}
+		}
+	}
+}
+
+// TestSQLPrinterRoundTripRandom extends the hand-written printer tests
+// with random queries: printing a random query and re-building it must
+// yield a query the engine evaluates identically on a random dataset.
+func TestSQLPrinterRoundTripRandom(t *testing.T) {
+	cfg := DefaultConfig()
+	for i := 0; i < 40; i++ {
+		seed := *flagSeed + 20000 + int64(i)
+		c, err := NewCase(seed, cfg)
+		if err != nil {
+			t.Fatalf("NewCase(%d): %v", seed, err)
+		}
+		printed := c.Query.SQLString()
+		q2, err := qtree.BuildSQL(c.Schema, printed)
+		if err != nil {
+			t.Fatalf("seed %d: printed SQL does not rebuild: %v\noriginal: %s\nprinted:  %s", seed, err, c.SQL, printed)
+		}
+		ds, err := c.NextDataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := engine.NewPlan(c.Query).Run(ds)
+		if err != nil {
+			t.Fatalf("seed %d: run original: %v", seed, err)
+		}
+		r2, err := engine.NewPlan(q2).Run(ds)
+		if err != nil {
+			t.Fatalf("seed %d: run reprinted: %v\nprinted: %s", seed, err, printed)
+		}
+		if !multisetEqual(r1.Multiset(), r2.Multiset()) {
+			saveFailure(t, seed, c.Repro(ds))
+			t.Fatalf("seed %d: printed query evaluates differently\noriginal: %s\nprinted:  %s\n%s", seed, c.SQL, printed, c.Repro(ds))
+		}
+	}
+}

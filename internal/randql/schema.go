@@ -1,0 +1,135 @@
+package randql
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+// dataColNames is the global pool of non-key column names. A name's kind
+// is fixed once per schema, so the same name in two relations always has
+// the same type — which is what makes NATURAL joins over data columns
+// well-typed and lets the query generator match columns by kind.
+var dataColNames = []string{"a", "b", "c", "d", "e"}
+
+// randomSchema generates a random acyclic schema of 2..MaxRelations
+// relations named t0, t1, … with the paper's constraint repertoire (A1):
+//
+//   - single INT primary keys (ti_id) or, with CompositeProb, composite
+//     keys (ti_k1, ti_k2);
+//   - foreign keys from later relations to earlier ones, either via
+//     dedicated columns named after the target's key (so NATURAL joins
+//     align with FK joins) or — for single keys — by declaring the
+//     relation's own primary key as the FK, which is what produces the
+//     transitive key chains of §V-B (t2_id → t1_id → t0_id closes to
+//     t2_id → t0_id);
+//   - composite FKs whenever the target's key is composite;
+//   - data columns drawn from a shared name pool with per-schema kinds.
+//
+// Relations only reference earlier relations, so t0..tn is already a
+// topological order (referenced relations first) — the dataset generator
+// relies on it.
+func randomSchema(rng *rand.Rand, cfg Config) (*schema.Schema, error) {
+	n := 2
+	if cfg.MaxRelations > 2 {
+		n = 2 + rng.Intn(cfg.MaxRelations-1)
+	}
+
+	// Fix the kind of every data-column name for this schema.
+	kinds := []sqltypes.Kind{sqltypes.KindInt, sqltypes.KindInt, sqltypes.KindString}
+	if cfg.AllowFloats {
+		kinds = append(kinds, sqltypes.KindFloat)
+	}
+	if cfg.AllowBools {
+		kinds = append(kinds, sqltypes.KindBool)
+	}
+	colKind := map[string]sqltypes.Kind{}
+	for _, name := range dataColNames {
+		colKind[name] = pick(rng, kinds)
+	}
+
+	sch := schema.New()
+	type keyInfo struct{ cols []string } // primary-key columns of ti
+	keys := make([]keyInfo, 0, n)
+
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		var attrs []schema.Attribute
+		var pk []string
+		var fks []schema.ForeignKey
+		used := map[string]bool{}
+
+		if chance(rng, cfg.CompositeProb) {
+			pk = []string{fmt.Sprintf("t%d_k1", i), fmt.Sprintf("t%d_k2", i)}
+		} else {
+			pk = []string{fmt.Sprintf("t%d_id", i)}
+		}
+		for _, c := range pk {
+			attrs = append(attrs, schema.Attribute{Name: c, Type: sqltypes.KindInt, NotNull: true})
+			used[c] = true
+		}
+
+		// Foreign keys to earlier relations.
+		if i > 0 && chance(rng, cfg.FKProb) {
+			j := rng.Intn(i)
+			target := keys[j]
+			if len(pk) == 1 && len(target.cols) == 1 && chance(rng, 0.4) {
+				// §V-B transitive chain: our own key references the
+				// target's key.
+				fks = append(fks, schema.ForeignKey{Columns: pk, RefTable: fmt.Sprintf("t%d", j), RefColumns: target.cols})
+			} else {
+				// Dedicated FK columns named after the target's key
+				// (composite when the target's key is composite).
+				cols := make([]string, len(target.cols))
+				clash := false
+				for k, rc := range target.cols {
+					cols[k] = rc
+					if used[rc] {
+						clash = true
+					}
+				}
+				if !clash {
+					for _, c := range cols {
+						attrs = append(attrs, schema.Attribute{Name: c, Type: sqltypes.KindInt, NotNull: true})
+						used[c] = true
+					}
+					fks = append(fks, schema.ForeignKey{Columns: cols, RefTable: fmt.Sprintf("t%d", j), RefColumns: target.cols})
+				}
+			}
+		}
+
+		// Data columns.
+		nData := 1
+		if cfg.MaxDataCols > 1 {
+			nData = 1 + rng.Intn(cfg.MaxDataCols)
+		}
+		perm := rng.Perm(len(dataColNames))
+		for _, pi := range perm[:nData] {
+			c := dataColNames[pi]
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			notNull := true
+			if cfg.AllowNullable {
+				notNull = chance(rng, 0.5)
+			}
+			attrs = append(attrs, schema.Attribute{Name: c, Type: colKind[c], NotNull: notNull})
+		}
+
+		rel, err := schema.NewRelation(name, attrs, pk, fks)
+		if err != nil {
+			return nil, fmt.Errorf("randql: relation %s: %w", name, err)
+		}
+		if err := sch.AddRelation(rel); err != nil {
+			return nil, err
+		}
+		keys = append(keys, keyInfo{cols: pk})
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("randql: generated schema invalid: %w", err)
+	}
+	return sch, nil
+}

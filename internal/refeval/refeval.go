@@ -1,0 +1,499 @@
+// Package refeval is a naive tuple-at-a-time reference evaluator for the
+// paper's query class, written independently of internal/engine to serve
+// as the oracle half of the randomized differential tests
+// (internal/randql). Where the engine compiles plans to positional row
+// layouts with hoisted lookups and hashed multisets, refeval keeps every
+// intermediate tuple as an attribute→value binding map and evaluates
+// each condition directly with the three-valued comparison semantics of
+// internal/sqltypes. Nothing is cached, compiled, or hashed; clarity
+// over speed is the point — an engine bug and a refeval bug would have
+// to coincide exactly for a divergence to go unnoticed.
+//
+// The shared semantic contract (the repo's executable reading of the
+// paper, §II) is:
+//
+//   - selections (single-occurrence conjuncts) filter their occurrence's
+//     rows before any join, so outer-join padding is not subject to them;
+//   - constant conjuncts (no attributes) are WHERE conditions over zero
+//     columns: a non-true one empties the whole result;
+//   - every equality implied by an equivalence class, and every other
+//     multi-occurrence conjunct, is applied at the earliest join node
+//     whose subtree covers its occurrences;
+//   - outer joins pad the unmatched side with NULLs; NULL join keys
+//     never match (TriCompare yields Unknown);
+//   - SELECT * over natural joins coalesces common attributes;
+//   - aggregates ignore NULL inputs; a global aggregate over an empty
+//     input yields one row (COUNT 0, everything else NULL).
+package refeval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Local names for the parser-level enums (the only shared vocabulary
+// besides sqltypes; the engine is deliberately not imported).
+const (
+	leftOuter  = sqlparser.LeftOuterJoin
+	rightOuter = sqlparser.RightOuterJoin
+	fullOuter  = sqlparser.FullOuterJoin
+	aggCount   = sqlparser.AggCount
+	aggSum     = sqlparser.AggSum
+	aggMin     = sqlparser.AggMin
+	aggMax     = sqlparser.AggMax
+)
+
+// Result is a bag of output rows.
+type Result struct {
+	Cols []string
+	Rows []sqltypes.Row
+}
+
+// Multiset returns the canonical row-key multiset of the result, the
+// representation the differential oracle compares against the engine's.
+func (r *Result) Multiset() map[string]int {
+	m := make(map[string]int, len(r.Rows))
+	for _, row := range r.Rows {
+		m[row.Key()]++
+	}
+	return m
+}
+
+// String renders the result as a small table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Cols, " | "))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		sb.WriteString(strings.Join(cells, " | "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Eval evaluates the query against the dataset.
+func Eval(q *qtree.Query, ds *schema.Dataset) (*Result, error) {
+	var aggs []qtree.AggCall
+	if q.Agg != nil {
+		aggs = q.Agg.Calls
+	}
+	return EvalPlan(q, q.Root, q.Preds, aggs, ds)
+}
+
+// EvalPlan evaluates a (possibly mutated) variant of the query: tree
+// replaces the join tree, preds the predicate pool, aggs the aggregate
+// calls (ignored when the query has no aggregation).
+func EvalPlan(q *qtree.Query, tree *qtree.Node, preds []*qtree.Pred, aggs []qtree.AggCall, ds *schema.Dataset) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("refeval: %v", p)
+		}
+	}()
+	e := &evaluator{q: q, ds: ds, placement: map[*qtree.Node][]*qtree.Pred{}}
+	empty := false
+	for _, pr := range preds {
+		switch len(pr.Occs) {
+		case 0:
+			// Constant conjunct: decided once for the whole query.
+			if pr.Eval(func(qtree.AttrRef) sqltypes.Value { return sqltypes.Null() }) != sqltypes.True {
+				empty = true
+			}
+		case 1:
+			e.selections = append(e.selections, pr)
+		default:
+			n := earliestCovering(tree, pr.Occs)
+			if n == nil {
+				return nil, fmt.Errorf("refeval: predicate %s is not covered by the join tree", pr)
+			}
+			e.placement[n] = append(e.placement[n], pr)
+		}
+	}
+	var tuples []binding
+	if !empty {
+		tuples = e.evalNode(tree)
+	}
+	if q.Agg != nil {
+		return e.aggregate(aggs, tuples)
+	}
+	return e.project(tuples)
+}
+
+// binding maps every in-scope attribute to its value (possibly NULL).
+type binding map[qtree.AttrRef]sqltypes.Value
+
+func (b binding) lookup(a qtree.AttrRef) sqltypes.Value {
+	v, ok := b[a]
+	if !ok {
+		panic(fmt.Sprintf("attribute %s not in scope", a))
+	}
+	return v
+}
+
+type evaluator struct {
+	q          *qtree.Query
+	ds         *schema.Dataset
+	selections []*qtree.Pred
+	placement  map[*qtree.Node][]*qtree.Pred
+}
+
+// earliestCovering returns the lowest tree node whose occurrence set
+// covers occs.
+func earliestCovering(n *qtree.Node, occs []string) *qtree.Node {
+	if n == nil || n.IsLeaf() {
+		return nil
+	}
+	for _, side := range []*qtree.Node{n.Left, n.Right} {
+		set := side.OccSet()
+		all := true
+		for _, o := range occs {
+			if !set[o] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return earliestCovering(side, occs)
+		}
+	}
+	set := n.OccSet()
+	for _, o := range occs {
+		if !set[o] {
+			return nil
+		}
+	}
+	return n
+}
+
+func (e *evaluator) evalNode(n *qtree.Node) []binding {
+	if n.IsLeaf() {
+		return e.evalLeaf(n.Occ)
+	}
+	left := e.evalNode(n.Left)
+	right := e.evalNode(n.Right)
+	return e.evalJoin(n, left, right)
+}
+
+func (e *evaluator) evalLeaf(occ *qtree.Occurrence) []binding {
+	var out []binding
+	for _, row := range e.ds.Rows(occ.Rel.Name) {
+		b := make(binding, len(occ.Rel.Attrs))
+		for i, a := range occ.Rel.Attrs {
+			b[qtree.AttrRef{Occ: occ.Name, Attr: a.Name}] = row[i]
+		}
+		keep := true
+		for _, pr := range e.selections {
+			if pr.Occs[0] != occ.Name {
+				continue
+			}
+			if pr.Eval(b.lookup) != sqltypes.True {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// joinConds evaluates the node's join condition over a merged binding:
+// every equivalence-class equality whose two members sit on opposite
+// sides of the node, plus every predicate placed here.
+func (e *evaluator) joinConds(n *qtree.Node, lset, rset map[string]bool, b binding) bool {
+	for _, ec := range e.q.Classes {
+		for _, m1 := range ec.Members {
+			if !lset[m1.Occ] {
+				continue
+			}
+			for _, m2 := range ec.Members {
+				if !rset[m2.Occ] {
+					continue
+				}
+				if sqltypes.TriCompare(sqltypes.OpEQ, b.lookup(m1), b.lookup(m2)) != sqltypes.True {
+					return false
+				}
+			}
+		}
+	}
+	for _, pr := range e.placement[n] {
+		if pr.Eval(b.lookup) != sqltypes.True {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *evaluator) evalJoin(n *qtree.Node, left, right []binding) []binding {
+	lset, rset := n.Left.OccSet(), n.Right.OccSet()
+	nullLeft := e.nullBinding(n.Left)
+	nullRight := e.nullBinding(n.Right)
+
+	var out []binding
+	rightMatched := make([]bool, len(right))
+	for _, lb := range left {
+		matched := false
+		for ri, rb := range right {
+			merged := mergeBindings(lb, rb)
+			if e.joinConds(n, lset, rset, merged) {
+				matched = true
+				rightMatched[ri] = true
+				out = append(out, merged)
+			}
+		}
+		if !matched && (n.Type == leftOuter || n.Type == fullOuter) {
+			out = append(out, mergeBindings(lb, nullRight))
+		}
+	}
+	if n.Type == rightOuter || n.Type == fullOuter {
+		for ri, rb := range right {
+			if !rightMatched[ri] {
+				out = append(out, mergeBindings(nullLeft, rb))
+			}
+		}
+	}
+	return out
+}
+
+func (e *evaluator) nullBinding(n *qtree.Node) binding {
+	b := binding{}
+	for _, occ := range n.Leaves(nil) {
+		for _, a := range occ.Rel.Attrs {
+			b[qtree.AttrRef{Occ: occ.Name, Attr: a.Name}] = sqltypes.Null()
+		}
+	}
+	return b
+}
+
+func mergeBindings(a, b binding) binding {
+	m := make(binding, len(a)+len(b))
+	for k, v := range a {
+		m[k] = v
+	}
+	for k, v := range b {
+		m[k] = v
+	}
+	return m
+}
+
+// project renders the non-aggregate select list. SELECT * over natural
+// joins coalesces each group of common attributes into one column whose
+// value is the first non-NULL member (members in sorted order).
+func (e *evaluator) project(tuples []binding) (*Result, error) {
+	cols := e.outputColumns()
+	res := &Result{}
+	for _, c := range cols {
+		res.Cols = append(res.Cols, c.name)
+	}
+	for _, b := range tuples {
+		row := make(sqltypes.Row, len(cols))
+		for i, c := range cols {
+			v := sqltypes.Null()
+			for _, a := range c.attrs {
+				if av := b.lookup(a); !av.IsNull() {
+					v = av
+					break
+				}
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if e.q.Distinct {
+		seen := map[string]bool{}
+		var dedup []sqltypes.Row
+		for _, r := range res.Rows {
+			k := r.Key()
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, r)
+			}
+		}
+		res.Rows = dedup
+	}
+	return res, nil
+}
+
+type outputColumn struct {
+	name  string
+	attrs []qtree.AttrRef
+}
+
+func (e *evaluator) outputColumns() []outputColumn {
+	q := e.q
+	if !q.Proj.Star {
+		out := make([]outputColumn, len(q.Proj.Attrs))
+		for i, a := range q.Proj.Attrs {
+			out[i] = outputColumn{name: a.String(), attrs: []qtree.AttrRef{a}}
+		}
+		return out
+	}
+	// Union-find over the common-attribute pairs of every NATURAL node of
+	// the original tree; each component becomes one coalesced column.
+	parent := map[qtree.AttrRef]qtree.AttrRef{}
+	var find func(a qtree.AttrRef) qtree.AttrRef
+	find = func(a qtree.AttrRef) qtree.AttrRef {
+		p, ok := parent[a]
+		if !ok || p == a {
+			return a
+		}
+		r := find(p)
+		parent[a] = r
+		return r
+	}
+	for _, n := range q.Root.Nodes(nil) {
+		if !n.Natural {
+			continue
+		}
+		lattrs := map[string]qtree.AttrRef{}
+		for _, occ := range n.Left.Leaves(nil) {
+			for _, a := range occ.Rel.Attrs {
+				lattrs[a.Name] = qtree.AttrRef{Occ: occ.Name, Attr: a.Name}
+			}
+		}
+		for _, occ := range n.Right.Leaves(nil) {
+			for _, a := range occ.Rel.Attrs {
+				if la, ok := lattrs[a.Name]; ok {
+					parent[find(qtree.AttrRef{Occ: occ.Name, Attr: a.Name})] = find(la)
+				}
+			}
+		}
+	}
+	members := map[qtree.AttrRef][]qtree.AttrRef{}
+	for _, a := range q.Proj.Attrs {
+		members[find(a)] = append(members[find(a)], a)
+	}
+	var out []outputColumn
+	done := map[qtree.AttrRef]bool{}
+	for _, a := range q.Proj.Attrs {
+		r := find(a)
+		if done[r] {
+			continue
+		}
+		done[r] = true
+		ms := members[r]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Less(ms[j]) })
+		name := a.String()
+		if len(ms) > 1 {
+			name = a.Attr
+		}
+		out = append(out, outputColumn{name: name, attrs: ms})
+	}
+	return out
+}
+
+func (e *evaluator) aggregate(aggs []qtree.AggCall, tuples []binding) (*Result, error) {
+	spec := e.q.Agg
+	res := &Result{}
+	for _, g := range spec.GroupBy {
+		res.Cols = append(res.Cols, g.String())
+	}
+	for _, c := range aggs {
+		res.Cols = append(res.Cols, c.String())
+	}
+	type group struct {
+		key    sqltypes.Row
+		tuples []binding
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, b := range tuples {
+		key := make(sqltypes.Row, len(spec.GroupBy))
+		for i, g := range spec.GroupBy {
+			key[i] = b.lookup(g)
+		}
+		k := key.Key()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{key: key}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		grp.tuples = append(grp.tuples, b)
+	}
+	if len(groups) == 0 && len(spec.GroupBy) == 0 {
+		// Global aggregation over empty input: one row.
+		row := make(sqltypes.Row, 0, len(aggs))
+		for _, c := range aggs {
+			if c.Func == aggCount {
+				row = append(row, sqltypes.NewInt(0))
+			} else {
+				row = append(row, sqltypes.Null())
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		return res, nil
+	}
+	for _, k := range order {
+		grp := groups[k]
+		row := append(sqltypes.Row{}, grp.key...)
+		for _, c := range aggs {
+			row = append(row, evalAggregate(c, grp.tuples))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func evalAggregate(c qtree.AggCall, tuples []binding) sqltypes.Value {
+	if c.Star {
+		return sqltypes.NewInt(int64(len(tuples)))
+	}
+	// Aggregates ignore NULL inputs (SQL semantics).
+	var vals []sqltypes.Value
+	for _, b := range tuples {
+		if v := b.lookup(c.Arg); !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	if c.Distinct {
+		seen := map[string]bool{}
+		var d []sqltypes.Value
+		for _, v := range vals {
+			k := (sqltypes.Row{v}).Key()
+			if !seen[k] {
+				seen[k] = true
+				d = append(d, v)
+			}
+		}
+		vals = d
+	}
+	switch c.Func {
+	case aggCount:
+		return sqltypes.NewInt(int64(len(vals)))
+	case aggMin, aggMax:
+		if len(vals) == 0 {
+			return sqltypes.Null()
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp := sqltypes.Compare(v, best)
+			if (c.Func == aggMin && cmp < 0) || (c.Func == aggMax && cmp > 0) {
+				best = v
+			}
+		}
+		return best
+	default: // SUM / AVG
+		if len(vals) == 0 {
+			return sqltypes.Null()
+		}
+		sum := sqltypes.NewInt(0)
+		for _, v := range vals {
+			sum = sqltypes.Add(sum, v)
+		}
+		if c.Func == aggSum {
+			return sum
+		}
+		return sqltypes.NewFloat(sum.Float() / float64(len(vals)))
+	}
+}

@@ -1,0 +1,234 @@
+package refeval
+
+import (
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+const testDDL = `
+CREATE TABLE emp (
+	id INT PRIMARY KEY,
+	dept INT,
+	pay INT
+);
+CREATE TABLE dept (
+	id INT PRIMARY KEY,
+	budget INT
+);
+`
+
+func build(t *testing.T, sql string) *qtree.Query {
+	t.Helper()
+	sch, err := sqlparser.ParseSchema(testDDL)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	q, err := qtree.BuildSQL(sch, sql)
+	if err != nil {
+		t.Fatalf("BuildSQL(%q): %v", sql, err)
+	}
+	return q
+}
+
+func iv(v int64) sqltypes.Value { return sqltypes.NewInt(v) }
+
+func row(vals ...interface{}) sqltypes.Row {
+	out := make(sqltypes.Row, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			out[i] = sqltypes.NewInt(int64(x))
+		case nil:
+			out[i] = sqltypes.Null()
+		default:
+			panic("bad test value")
+		}
+	}
+	return out
+}
+
+func dataset(t *testing.T) *schema.Dataset {
+	ds := schema.NewDataset("ref-test")
+	ds.Insert("emp", row(1, 10, 100))
+	ds.Insert("emp", row(2, 20, 200))
+	ds.Insert("emp", row(3, nil, nil)) // NULL dept and pay
+	ds.Insert("dept", row(10, 1000))
+	ds.Insert("dept", row(30, 3000))
+	return ds
+}
+
+func eval(t *testing.T, sql string, ds *schema.Dataset) *Result {
+	t.Helper()
+	res, err := Eval(build(t, sql), ds)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestNullJoinKeysNeverMatch(t *testing.T) {
+	// emp row 3 has NULL dept: it must not join any dept row, and dept 30
+	// matches no emp.
+	res := eval(t, "SELECT emp.id, dept.id FROM emp, dept WHERE emp.dept = dept.id", dataset(t))
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1:\n%s", len(res.Rows), res)
+	}
+	if res.Rows[0][0].Int() != 1 || res.Rows[0][1].Int() != 10 {
+		t.Errorf("wrong join result:\n%s", res)
+	}
+}
+
+func TestOuterJoinPadding(t *testing.T) {
+	res := eval(t, "SELECT emp.id, dept.budget FROM emp LEFT OUTER JOIN dept ON emp.dept = dept.id", dataset(t))
+	// All three emp rows survive; rows 2 and 3 padded with NULL budget.
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3:\n%s", len(res.Rows), res)
+	}
+	nulls := 0
+	for _, r := range res.Rows {
+		if r[1].IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 2 {
+		t.Errorf("got %d NULL-padded rows, want 2:\n%s", nulls, res)
+	}
+}
+
+func TestFullOuterJoin(t *testing.T) {
+	res := eval(t, "SELECT emp.id, dept.id FROM emp FULL OUTER JOIN dept ON emp.dept = dept.id", dataset(t))
+	// 1 match + 2 left-padded + 1 right-padded (dept 30).
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4:\n%s", len(res.Rows), res)
+	}
+}
+
+func TestWhereNullIsNotTrue(t *testing.T) {
+	// pay > 150 is Unknown for the NULL-pay row: only emp 2 passes.
+	res := eval(t, "SELECT id FROM emp WHERE pay > 150", dataset(t))
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Fatalf("want exactly emp 2:\n%s", res)
+	}
+	// And its negation keeps only emp 1: NULLs satisfy neither side.
+	res = eval(t, "SELECT id FROM emp WHERE pay <= 150", dataset(t))
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("want exactly emp 1:\n%s", res)
+	}
+}
+
+func TestSelectionAppliedBeforeOuterPadding(t *testing.T) {
+	// The selection on dept filters dept rows BEFORE the outer join, so
+	// every emp row survives (padded), rather than being filtered after.
+	res := eval(t, "SELECT emp.id FROM emp LEFT OUTER JOIN dept ON emp.dept = dept.id WHERE dept.budget > 5000", dataset(t))
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (selection precedes padding):\n%s", len(res.Rows), res)
+	}
+}
+
+func TestAggregatesIgnoreNulls(t *testing.T) {
+	res := eval(t, "SELECT COUNT(*), COUNT(pay), SUM(pay), AVG(pay), MIN(pay), MAX(pay) FROM emp", dataset(t))
+	if len(res.Rows) != 1 {
+		t.Fatalf("want one row:\n%s", res)
+	}
+	r := res.Rows[0]
+	if r[0].Int() != 3 {
+		t.Errorf("COUNT(*) = %s, want 3", r[0])
+	}
+	if r[1].Int() != 2 {
+		t.Errorf("COUNT(pay) = %s, want 2 (NULL ignored)", r[1])
+	}
+	if r[2].Int() != 300 {
+		t.Errorf("SUM(pay) = %s, want 300", r[2])
+	}
+	if r[3].Float() != 150 {
+		t.Errorf("AVG(pay) = %s, want 150", r[3])
+	}
+	if r[4].Int() != 100 || r[5].Int() != 200 {
+		t.Errorf("MIN/MAX = %s/%s, want 100/200", r[4], r[5])
+	}
+}
+
+func TestAggregateOverAllNullInput(t *testing.T) {
+	ds := schema.NewDataset("all-null")
+	ds.Insert("emp", row(1, nil, nil))
+	ds.Insert("emp", row(2, nil, nil))
+	res := eval(t, "SELECT COUNT(pay), SUM(pay), MIN(pay) FROM emp", ds)
+	r := res.Rows[0]
+	if r[0].Int() != 0 {
+		t.Errorf("COUNT over all-NULL = %s, want 0", r[0])
+	}
+	if !r[1].IsNull() || !r[2].IsNull() {
+		t.Errorf("SUM/MIN over all-NULL = %s/%s, want NULL/NULL", r[1], r[2])
+	}
+}
+
+func TestGlobalAggregateOverEmptyInput(t *testing.T) {
+	res := eval(t, "SELECT COUNT(*), MAX(pay) FROM emp WHERE 1 = 2", dataset(t))
+	if len(res.Rows) != 1 {
+		t.Fatalf("global aggregate over empty input: want one row:\n%s", res)
+	}
+	if res.Rows[0][0].Int() != 0 || !res.Rows[0][1].IsNull() {
+		t.Errorf("want COUNT 0, MAX NULL:\n%s", res)
+	}
+}
+
+func TestGroupByGroupsNullsTogether(t *testing.T) {
+	ds := dataset(t)
+	ds.Insert("emp", row(4, nil, 400))
+	res := eval(t, "SELECT dept, COUNT(*) FROM emp GROUP BY dept", ds)
+	// Groups: 10, 20, NULL (two members).
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d groups, want 3:\n%s", len(res.Rows), res)
+	}
+	foundNullGroup := false
+	for _, r := range res.Rows {
+		if r[0].IsNull() {
+			foundNullGroup = true
+			if r[1].Int() != 2 {
+				t.Errorf("NULL group count = %s, want 2", r[1])
+			}
+		}
+	}
+	if !foundNullGroup {
+		t.Errorf("NULL group missing:\n%s", res)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	ds := dataset(t)
+	ds.Insert("emp", row(5, 10, 100))
+	res := eval(t, "SELECT COUNT(DISTINCT pay) FROM emp", ds)
+	if got := res.Rows[0][0].Int(); got != 2 {
+		t.Errorf("COUNT(DISTINCT pay) = %d, want 2", got)
+	}
+}
+
+func TestDistinctProjection(t *testing.T) {
+	ds := dataset(t)
+	ds.Insert("emp", row(6, 10, 100))
+	res := eval(t, "SELECT DISTINCT dept FROM emp", ds)
+	if len(res.Rows) != 3 { // 10, 20, NULL
+		t.Errorf("DISTINCT dept: got %d rows, want 3:\n%s", len(res.Rows), res)
+	}
+}
+
+func TestConstantFalseEmptiesOuterJoins(t *testing.T) {
+	res := eval(t, "SELECT * FROM emp RIGHT OUTER JOIN dept ON emp.dept = dept.id WHERE 1 = 2", dataset(t))
+	if len(res.Rows) != 0 {
+		t.Errorf("constant-false WHERE must empty the result:\n%s", res)
+	}
+}
+
+func TestMultisetCanonicalization(t *testing.T) {
+	// Integral floats and ints share a multiset key (AVG results compare
+	// against integer columns), NULLs are distinct from every literal.
+	a := Result{Rows: []sqltypes.Row{{sqltypes.NewFloat(2.0)}}}
+	b := Result{Rows: []sqltypes.Row{{iv(2)}}}
+	if a.Rows[0].Key() != b.Rows[0].Key() {
+		t.Errorf("2.0 and 2 should share a key")
+	}
+}

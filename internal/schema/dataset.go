@@ -98,11 +98,11 @@ func (d *Dataset) SQLInserts(s *Schema) string {
 			if rel != nil {
 				cols := make([]string, len(rel.Attrs))
 				for i, a := range rel.Attrs {
-					cols[i] = a.Name
+					cols[i] = QuoteIdent(a.Name)
 				}
-				fmt.Fprintf(&sb, "INSERT INTO %s (%s) VALUES (%s);\n", t, strings.Join(cols, ", "), strings.Join(vals, ", "))
+				fmt.Fprintf(&sb, "INSERT INTO %s (%s) VALUES (%s);\n", QuoteIdent(t), strings.Join(cols, ", "), strings.Join(vals, ", "))
 			} else {
-				fmt.Fprintf(&sb, "INSERT INTO %s VALUES (%s);\n", t, strings.Join(vals, ", "))
+				fmt.Fprintf(&sb, "INSERT INTO %s VALUES (%s);\n", QuoteIdent(t), strings.Join(vals, ", "))
 			}
 		}
 	}

@@ -30,10 +30,12 @@ type ForeignKey struct {
 	RefColumns []string
 }
 
-// String renders the constraint in DDL-ish form.
+// String renders the constraint in DDL-ish form, quoting identifiers
+// that would not lex back as plain identifiers.
 func (fk ForeignKey) String() string {
 	return fmt.Sprintf("FOREIGN KEY (%s) REFERENCES %s(%s)",
-		strings.Join(fk.Columns, ", "), fk.RefTable, strings.Join(fk.RefColumns, ", "))
+		strings.Join(quoteAll(fk.Columns), ", "), QuoteIdent(fk.RefTable),
+		strings.Join(quoteAll(fk.RefColumns), ", "))
 }
 
 // Relation is a table definition.
@@ -327,20 +329,20 @@ func (s *Schema) String() string {
 	for _, r := range s.Relations() {
 		var lines []string
 		for _, a := range r.Attrs {
-			l := "  " + a.Name + " " + a.Type.String()
+			l := "  " + QuoteIdent(a.Name) + " " + a.Type.String()
 			if a.NotNull {
 				l += " NOT NULL"
 			}
 			lines = append(lines, l)
 		}
 		if len(r.PrimaryKey) > 0 {
-			lines = append(lines, "  PRIMARY KEY ("+strings.Join(r.PrimaryKey, ", ")+")")
+			lines = append(lines, "  PRIMARY KEY ("+strings.Join(quoteAll(r.PrimaryKey), ", ")+")")
 		}
 		for _, fk := range r.ForeignKeys {
 			lines = append(lines, "  "+fk.String())
 		}
 		sb.WriteString("CREATE TABLE ")
-		sb.WriteString(r.Name)
+		sb.WriteString(QuoteIdent(r.Name))
 		sb.WriteString(" (\n")
 		sb.WriteString(strings.Join(lines, ",\n"))
 		sb.WriteString("\n);\n")

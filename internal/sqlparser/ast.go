@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/schema"
 	"repro/internal/sqltypes"
 )
 
@@ -100,12 +101,13 @@ type ColRef struct {
 
 func (c *ColRef) exprNode() {}
 
-// String renders the possibly-qualified name.
+// String renders the possibly-qualified name, quoting identifiers
+// that would not lex back as plain identifiers.
 func (c *ColRef) String() string {
 	if c.Qualifier != "" {
-		return c.Qualifier + "." + c.Column
+		return schema.QuoteIdent(c.Qualifier) + "." + schema.QuoteIdent(c.Column)
 	}
-	return c.Column
+	return schema.QuoteIdent(c.Column)
 }
 
 // NumLit is a numeric literal.
@@ -216,14 +218,14 @@ func (si SelectItem) String() string {
 	var s string
 	switch {
 	case si.Star && si.Qualifier != "":
-		s = si.Qualifier + ".*"
+		s = schema.QuoteIdent(si.Qualifier) + ".*"
 	case si.Star:
 		s = "*"
 	default:
 		s = si.Expr.String()
 	}
 	if si.Alias != "" {
-		s += " AS " + si.Alias
+		s += " AS " + schema.QuoteIdent(si.Alias)
 	}
 	return s
 }
@@ -245,9 +247,9 @@ func (t *TableRef) tableNode() {}
 // String renders table [alias].
 func (t *TableRef) String() string {
 	if t.Alias != "" {
-		return t.Table + " " + t.Alias
+		return schema.QuoteIdent(t.Table) + " " + schema.QuoteIdent(t.Alias)
 	}
-	return t.Table
+	return schema.QuoteIdent(t.Table)
 }
 
 // JoinExpr is an explicit join between two table expressions. Natural

@@ -1,0 +1,72 @@
+package sqlparser
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery checks the parser/printer pair on arbitrary input: any
+// string the parser accepts must print to SQL the parser accepts again,
+// and the second parse must print identically (printer fixpoint). The
+// committed corpus under testdata/fuzz/FuzzParseQuery covers every join
+// style (comma, INNER, LEFT/RIGHT/FULL OUTER, NATURAL, CROSS), every
+// comparison operator, aggregation, DISTINCT and subqueries, so even the
+// 30-second CI smoke run exercises the whole grammar.
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range []string{
+		"SELECT * FROM t",
+		"SELECT a.x, b.y FROM a, b WHERE a.x = b.y AND a.z <> 3",
+		"SELECT x FROM t WHERE x < 1 OR NOT (y > 2)",
+		"SELECT DISTINCT t.x FROM t JOIN u ON t.id = u.id WHERE u.v >= 'w'",
+		"SELECT c, COUNT(*), SUM(DISTINCT v) FROM t GROUP BY c",
+		"SELECT x FROM a NATURAL LEFT OUTER JOIN b",
+		"SELECT x FROM a FULL OUTER JOIN b ON a.i <= b.j CROSS JOIN c",
+		"SELECT x FROM t WHERE x IN (SELECT y FROM u WHERE u.k = 1)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := ParseQuery(src)
+		if err != nil {
+			return // rejecting garbage is fine; crashing or hanging is not
+		}
+		printed := stmt.String()
+		stmt2, err := ParseQuery(printed)
+		if err != nil {
+			t.Fatalf("printer emitted unparseable SQL\ninput:   %q\nprinted: %q\nerror:   %v", src, printed, err)
+		}
+		if again := stmt2.String(); again != printed {
+			t.Fatalf("printer is not a fixpoint\ninput: %q\nfirst:  %q\nsecond: %q", src, printed, again)
+		}
+	})
+}
+
+// FuzzParseDDL checks ParseSchema against the schema printer: any DDL the
+// parser accepts must produce a schema whose String() parses back to an
+// identical schema. The corpus covers single and composite primary keys,
+// every column type, NOT NULL, and single- and multi-column foreign keys.
+func FuzzParseDDL(f *testing.F) {
+	for _, s := range []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10) NOT NULL);",
+		"CREATE TABLE a (x INT, y INT, PRIMARY KEY (x, y));\n" +
+			"CREATE TABLE b (x INT, y INT, z FLOAT, FOREIGN KEY (x, y) REFERENCES a);",
+		"CREATE TABLE c (id INT PRIMARY KEY, ok BOOLEAN, f FLOAT NOT NULL, s VARCHAR(3));",
+		"CREATE TABLE p (id INT PRIMARY KEY);\n" +
+			"CREATE TABLE q (id INT PRIMARY KEY, p_id INT NOT NULL, FOREIGN KEY (p_id) REFERENCES p);",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sch, err := ParseSchema(src)
+		if err != nil {
+			return
+		}
+		printed := sch.String()
+		sch2, err := ParseSchema(printed)
+		if err != nil {
+			t.Fatalf("schema printer emitted unparseable DDL\ninput:   %q\nprinted: %q\nerror:   %v", src, printed, err)
+		}
+		if again := sch2.String(); again != printed {
+			t.Fatalf("schema printer is not a fixpoint\ninput: %q\nfirst:  %q\nsecond: %q", src, printed, again)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNonASCIIIdentifierRejected is the regression test for a lexer bug
+// found by FuzzParseQuery: the byte-wise scanner promoted each input
+// byte to a rune before unicode.IsLetter, so the lone byte 0xC0 (Latin-1
+// 'À') was accepted as an identifier — and strings.ToLower then rewrote
+// the invalid UTF-8 to U+FFFD, producing a canonical identifier the
+// lexer itself could not re-read. Identifiers are ASCII-only now; such
+// bytes must be rejected at lex time.
+func TestNonASCIIIdentifierRejected(t *testing.T) {
+	if _, err := ParseQuery("SELECT \xc0 FROM A0"); err == nil {
+		t.Fatalf("ParseQuery accepted a bare 0xC0 identifier byte")
+	}
+	if _, err := ParseQuery("SELECT à FROM t"); err == nil {
+		t.Fatalf("ParseQuery accepted a non-ASCII identifier")
+	}
+}
+
+// TestQuotedIdentifierRoundTrip checks that identifiers which do not lex
+// bare — spaces, reserved words, leading digits — survive a parse →
+// String → reparse cycle: the printers must re-quote them. Found by the
+// round-trip fuzz targets; before the fix the printers emitted every
+// identifier bare, so `SELECT "Weird Col" FROM r` printed as SQL that no
+// longer parsed.
+func TestQuotedIdentifierRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`SELECT "Weird Col" FROM r`,
+		`SELECT r."select" FROM r WHERE r."select" > 1`,
+		`SELECT x FROM "order" AS "2nd"`,
+		`SELECT "group", COUNT(*) FROM t GROUP BY "group"`,
+	} {
+		stmt, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", src, err)
+		}
+		printed := stmt.String()
+		stmt2, err := ParseQuery(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed from %q): %v", printed, src, err)
+		}
+		if again := stmt2.String(); again != printed {
+			t.Errorf("not a fixpoint: %q -> %q -> %q", src, printed, again)
+		}
+	}
+}
+
+// TestQuotedIdentifierDDLRoundTrip does the same for the schema printer:
+// CREATE TABLE statements with quoted (spacey or reserved) names must
+// print back to parseable DDL describing the same schema.
+func TestQuotedIdentifierDDLRoundTrip(t *testing.T) {
+	src := `CREATE TABLE "order" ("group" INT PRIMARY KEY, "unit price" FLOAT NOT NULL);` + "\n" +
+		`CREATE TABLE line ("group" INT NOT NULL, FOREIGN KEY ("group") REFERENCES "order");`
+	sch, err := ParseSchema(src)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	printed := sch.String()
+	if !strings.Contains(printed, `"order"`) || !strings.Contains(printed, `"unit price"`) {
+		t.Fatalf("schema printer did not quote reserved/spacey names:\n%s", printed)
+	}
+	sch2, err := ParseSchema(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed DDL: %v\n%s", err, printed)
+	}
+	if again := sch2.String(); again != printed {
+		t.Errorf("schema printer not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, again)
+	}
+}

@@ -13,7 +13,8 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
-	"unicode"
+
+	"repro/internal/schema"
 )
 
 // tokenKind classifies lexical tokens.
@@ -42,23 +43,9 @@ func (t token) String() string {
 }
 
 // keywords recognized by the lexer. Anything else alphanumeric is an
-// identifier.
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
-	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
-	"OUTER": true, "NATURAL": true, "CROSS": true,
-	"DISTINCT": true, "ALL": true, "NULL": true, "IS": true, "IN": true, "EXISTS": true,
-	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true, "VALUES": true, "PRIMARY": true, "KEY": true,
-	"FOREIGN": true, "REFERENCES": true, "UNIQUE": true, "CHECK": true,
-	"INT": true, "INTEGER": true, "SMALLINT": true, "BIGINT": true,
-	"VARCHAR": true, "CHAR": true, "TEXT": true,
-	"FLOAT": true, "REAL": true, "DOUBLE": true, "PRECISION": true,
-	"NUMERIC": true, "DECIMAL": true, "BOOLEAN": true,
-	"HAVING": true, "ORDER": true, "LIMIT": true, // recognized to reject clearly
-	"TRUE": true, "FALSE": true,
-}
+// identifier. The set lives in the schema package so the SQL printers
+// can quote identifiers that would otherwise lex as keywords.
+var keywords = schema.ReservedWords
 
 // lex tokenizes the input. It returns an error for unterminated strings
 // or illegal characters.
@@ -165,10 +152,17 @@ func lex(input string) ([]token, error) {
 	return toks, nil
 }
 
+// Identifiers are ASCII-only. The lexer scans byte-wise, so accepting
+// unicode.IsLetter here would treat each byte of a multi-byte rune (or a
+// bare Latin-1 byte like 0xC0) as its own letter; strings.ToLower then
+// rewrites such invalid UTF-8 to U+FFFD and the canonicalized identifier
+// no longer lexes — found by FuzzParseQuery (corpus entry
+// non_ascii_ident_rejected: `SELECT \xc0 FROM A0` parsed but its printed
+// form did not).
 func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
 }
 
 func isIdentPart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	return isIdentStart(r) || (r >= '0' && r <= '9')
 }
