@@ -8,17 +8,36 @@
 //
 //	mutcheck -schema schema.sql -query "SELECT * FROM r, s WHERE r.x = s.x"
 //	mutcheck -schema schema.sql -query ... -matrix -equiv
+//
+// Budgets and interruption: -timeout bounds the whole run, -goal-timeout
+// and -goal-nodes bound each kill goal during suite generation.
+// SIGINT/SIGTERM stop the run gracefully: the kill matrix of whatever
+// was generated so far is still reported, along with the incomplete kill
+// goals.
+//
+// Exit codes: 0 complete run; 1 fatal error or a non-equivalent mutant
+// surviving the complete suite (a kill failure); 2 usage error; 3
+// partial suite (some kill goals incomplete after budgets or
+// interruption — survivor counts are then only a lower bound).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	schemaPath := flag.String("schema", "", "path to a DDL file (required)")
 	query := flag.String("query", "", "the SQL query to analyze (required)")
 	matrix := flag.Bool("matrix", false, "print the full mutant x dataset kill matrix")
@@ -26,11 +45,14 @@ func main() {
 	trials := flag.Int("trials", 120, "randomized trials per surviving mutant")
 	fullOuter := flag.Bool("full-outer", false, "include mutations to FULL OUTER JOIN (the paper's tables exclude them)")
 	parallel := flag.Int("parallel", 0, "workers for generation and kill-matrix evaluation (0 = all CPUs, 1 = sequential); output is identical for every value")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited); on expiry the partial results are reported and the exit code is 3")
+	goalTimeout := flag.Duration("goal-timeout", 0, "wall-clock budget per kill goal (0 = unlimited)")
+	goalNodes := flag.Int64("goal-nodes", 0, "solver node budget per kill goal, with escalating 1x/4x/16x retries (0 = unlimited)")
 	flag.Parse()
 
 	if *schemaPath == "" || *query == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	ddl, err := os.ReadFile(*schemaPath)
 	if err != nil {
@@ -45,11 +67,27 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	genOpts := xdata.DefaultOptions()
 	genOpts.Parallelism = *parallel
-	suite, err := xdata.Generate(q, genOpts)
+	genOpts.GoalTimeout = *goalTimeout
+	genOpts.GoalNodeLimit = *goalNodes
+	suite, err := xdata.GenerateContext(ctx, q, genOpts)
+	partial := false
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, xdata.ErrPartialSuite) && suite != nil {
+			partial = true
+			fmt.Fprintln(os.Stderr, "mutcheck:", err)
+		} else {
+			fatal(err)
+		}
 	}
 	mopts := xdata.DefaultMutationOptions()
 	mopts.IncludeFullOuter = *fullOuter
@@ -57,13 +95,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := xdata.AnalyzeParallel(q, suite, mopts, *parallel)
+	// The kill matrix over a partial suite still evaluates cleanly; it
+	// just reports a lower bound on kills. Use a fresh context so an
+	// expired -timeout doesn't suppress the partial report.
+	evalCtx := ctx
+	if partial && ctx.Err() != nil {
+		evalCtx = context.Background()
+	}
+	rep, err := xdata.AnalyzeContext(evalCtx, q, suite, mopts, *parallel)
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("query: %s\n", *query)
 	fmt.Printf("datasets: %d (+original), skipped as equivalent: %d\n", len(suite.Datasets), len(suite.Skipped))
+	if len(suite.Incomplete) > 0 {
+		fmt.Printf("incomplete kill goals: %d (kill counts are a lower bound)\n", len(suite.Incomplete))
+		for _, f := range suite.Incomplete {
+			fmt.Printf("  %s\n", f.String())
+		}
+	}
 	fmt.Print(rep)
 
 	if *matrix {
@@ -84,6 +135,7 @@ func main() {
 		}
 	}
 
+	killFailure := false
 	survivors := rep.Survivors()
 	if len(survivors) > 0 {
 		fmt.Printf("\nsurviving mutants: %d\n", len(survivors))
@@ -98,11 +150,22 @@ func main() {
 					fmt.Printf("    -> equivalent (randomized testing, %d trials)\n", *trials)
 				} else {
 					fmt.Printf("    -> NOT equivalent! witness:\n%s\n", witness)
+					killFailure = true
 				}
 			}
 		}
 	} else {
 		fmt.Println("\nall mutants killed")
+	}
+	switch {
+	case partial:
+		return 3
+	case killFailure:
+		// A demonstrably non-equivalent mutant survived the complete
+		// suite: the completeness guarantee failed.
+		return 1
+	default:
+		return 0
 	}
 }
 

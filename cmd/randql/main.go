@@ -22,19 +22,33 @@
 //	show      print one case as a self-contained reproducer: DDL, query
 //	          SQL, and -datasets random datasets as INSERT statements.
 //
+// Budgets and interruption: -goal-timeout bounds each kill goal in
+// complete mode (exhausted cases are counted as budget-skipped, not
+// failed) and -timeout bounds the whole soak. SIGINT/SIGTERM stop the
+// soak between cases and print the summary of the cases finished so
+// far.
+//
 // Exit status is 0 when every case passes, 1 on any failure (with the
-// reproducer on stderr), 2 on usage errors.
+// reproducer on stderr), 2 on usage errors, 3 when interrupted or timed
+// out before all cases ran (the partial summary is still printed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/randql"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	mode := flag.String("mode", "diff", "diff, complete, or show")
 	seed := flag.Int64("seed", 1, "first seed; case i uses seed+i")
 	n := flag.Int("n", 100, "diff mode: number of cases")
@@ -42,24 +56,35 @@ func main() {
 	datasets := flag.Int("datasets", 3, "random datasets per case (diff/show modes)")
 	configName := flag.String("config", "", "grammar preset: default (full engine surface) or completeness (the paper's guaranteed class); complete mode always uses completeness")
 	verbose := flag.Bool("v", false, "log every case, not just failures")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the soak (0 = unlimited); on expiry the partial summary is printed and the exit code is 3")
+	goalTimeout := flag.Duration("goal-timeout", 0, "complete mode: wall-clock budget per kill goal (0 = unlimited); exhausted cases count as budget-skipped")
 	flag.Parse()
 
 	cfg, err := chooseConfig(*mode, *configName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+	randql.GoalTimeout = *goalTimeout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	switch *mode {
 	case "diff":
-		runDiff(cfg, *seed, *n, *datasets, *verbose)
+		return runDiff(ctx, cfg, *seed, *n, *datasets, *verbose)
 	case "complete":
-		runComplete(cfg, *seed, *q, *verbose)
+		return runComplete(ctx, cfg, *seed, *q, *verbose)
 	case "show":
-		runShow(cfg, *seed, *datasets)
+		return runShow(cfg, *seed, *datasets)
 	default:
 		fmt.Fprintf(os.Stderr, "randql: unknown -mode %q (want diff, complete, or show)\n", *mode)
-		os.Exit(2)
+		return 2
 	}
 }
 
@@ -78,44 +103,52 @@ func chooseConfig(mode, name string) (randql.Config, error) {
 	return randql.Config{}, fmt.Errorf("randql: unknown -config %q (want default or completeness)", name)
 }
 
-func runDiff(cfg randql.Config, seed int64, n, datasets int, verbose bool) {
-	failures := 0
-	for i := 0; i < n; i++ {
+func runDiff(ctx context.Context, cfg randql.Config, seed int64, n, datasets int, verbose bool) int {
+	failures, ran := 0, 0
+	for i := 0; i < n && ctx.Err() == nil; i++ {
 		s := seed + int64(i)
 		c, err := randql.NewCase(s, cfg)
 		if err != nil {
-			fatalf("seed %d: %v", s, err)
+			return fatalf("seed %d: %v", s, err)
 		}
 		for d := 0; d < datasets; d++ {
 			ds, err := c.NextDataset()
 			if err != nil {
-				fatalf("seed %d: dataset %d: %v", s, d, err)
+				return fatalf("seed %d: dataset %d: %v", s, d, err)
 			}
 			if err := randql.DiffOne(c, ds); err != nil {
 				failures++
 				fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
 			}
 		}
+		ran++
 		if verbose {
 			fmt.Printf("seed %d ok: %s\n", s, c.SQL)
 		}
 	}
-	fmt.Printf("diff: %d cases x %d datasets, %d failures\n", n, datasets, failures)
-	if failures > 0 {
-		os.Exit(1)
+	fmt.Printf("diff: %d cases x %d datasets, %d failures\n", ran, datasets, failures)
+	switch {
+	case failures > 0:
+		return 1
+	case ran < n:
+		fmt.Fprintf(os.Stderr, "randql: interrupted after %d of %d cases\n", ran, n)
+		return 3
+	default:
+		return 0
 	}
 }
 
-func runComplete(cfg randql.Config, seed int64, q int, verbose bool) {
-	failures, budget := 0, 0
+func runComplete(ctx context.Context, cfg randql.Config, seed int64, q int, verbose bool) int {
+	failures, budget, ran := 0, 0, 0
 	mutants, killed := 0, 0
-	for i := 0; i < q; i++ {
+	for i := 0; i < q && ctx.Err() == nil; i++ {
 		s := seed + int64(i)
 		c, err := randql.NewCase(s, cfg)
 		if err != nil {
-			fatalf("seed %d: %v", s, err)
+			return fatalf("seed %d: %v", s, err)
 		}
 		res, err := randql.CheckCompleteness(c, s*31+7)
+		ran++
 		if err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
@@ -138,28 +171,35 @@ func runComplete(cfg randql.Config, seed int64, q int, verbose bool) {
 		}
 	}
 	fmt.Printf("complete: %d cases, %d mutants, %d killed, %d budget-skipped, %d failures\n",
-		q, mutants, killed, budget, failures)
-	if failures > 0 {
-		os.Exit(1)
+		ran, mutants, killed, budget, failures)
+	switch {
+	case failures > 0:
+		return 1
+	case ran < q:
+		fmt.Fprintf(os.Stderr, "randql: interrupted after %d of %d cases\n", ran, q)
+		return 3
+	default:
+		return 0
 	}
 }
 
-func runShow(cfg randql.Config, seed int64, datasets int) {
+func runShow(cfg randql.Config, seed int64, datasets int) int {
 	c, err := randql.NewCase(seed, cfg)
 	if err != nil {
-		fatalf("seed %d: %v", seed, err)
+		return fatalf("seed %d: %v", seed, err)
 	}
 	fmt.Print(c.Repro(nil))
 	for d := 0; d < datasets; d++ {
 		ds, err := c.NextDataset()
 		if err != nil {
-			fatalf("seed %d: dataset %d: %v", seed, d, err)
+			return fatalf("seed %d: dataset %d: %v", seed, d, err)
 		}
 		fmt.Printf("-- dataset %d (%s)\n%s", d+1, ds.Purpose, ds.SQLInserts(c.Schema))
 	}
+	return 0
 }
 
-func fatalf(format string, args ...any) {
+func fatalf(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "randql: "+format+"\n", args...)
-	os.Exit(1)
+	return 1
 }

@@ -9,36 +9,80 @@
 //
 // Flags tune thoroughness: -fast skips the slow "without unfolding"
 // column, -equiv verifies surviving mutants by randomized equivalence
-// testing.
+// testing. -timeout bounds the whole run.
+//
+// Interruption is graceful: on SIGINT/SIGTERM (or -timeout expiry) the
+// current cell stops cooperatively and every table prints the rows
+// completed so far before the process exits, instead of dying
+// mid-benchmark with nothing flushed.
+//
+// Exit codes: 0 complete run; 1 fatal error; 2 usage error; 3
+// interrupted or timed out (partial results printed).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/xbench"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	table := flag.String("table", "all", "which experiment to run: 1, 2, inputdb, baseline, all")
 	fast := flag.Bool("fast", false, "skip the quantified (without-unfolding) timing column")
 	equiv := flag.Bool("equiv", false, "verify surviving mutants by randomized equivalence testing")
 	trials := flag.Int("trials", 120, "randomized equivalence trials per surviving mutant")
 	parallel := flag.Int("parallel", 0, "workers for generation and kill-matrix evaluation (0 = all CPUs, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited); partial results are printed on expiry")
 	flag.Parse()
+
+	switch *table {
+	case "1", "2", "inputdb", "baseline", "all":
+	default:
+		flag.Usage()
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	opts := xbench.Options{
 		SkipQuantified:   *fast,
 		CheckEquivalence: *equiv,
 		EquivTrials:      *trials,
 		Parallelism:      *parallel,
+		Context:          ctx,
 	}
 
+	exit := 0
+	// run executes one experiment; the closure must print whatever rows
+	// it accumulated BEFORE returning an error, so interrupts flush
+	// partial results.
 	run := func(name string, f func() error) {
+		if exit == 3 {
+			return // already interrupted: don't start further tables
+		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "xbench: %s: %v\n", name, err)
-			os.Exit(1)
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				exit = 3
+				return
+			}
+			exit = 1
 		}
 	}
 
@@ -47,57 +91,46 @@ func main() {
 	if want("1") {
 		run("table 1", func() error {
 			rows, err := xbench.RunTableI(opts)
-			if err != nil {
-				return err
-			}
 			fmt.Println("=== Table I: inner-join queries ===")
 			fmt.Print(xbench.FormatTable(rows, false))
 			if *equiv {
 				printEquiv(rows)
 			}
 			fmt.Println()
-			return nil
+			return err
 		})
 	}
 	if want("2") {
 		run("table 2", func() error {
 			rows, err := xbench.RunTableII(opts)
-			if err != nil {
-				return err
-			}
 			fmt.Println("=== Table II: selection/aggregation queries ===")
 			fmt.Print(xbench.FormatTable(rows, true))
 			if *equiv {
 				printEquiv(rows)
 			}
 			fmt.Println()
-			return nil
+			return err
 		})
 	}
 	if want("inputdb") {
 		run("inputdb", func() error {
-			rows, err := xbench.RunInputDB([]int{0, 5, 9})
-			if err != nil {
-				return err
-			}
+			rows, err := xbench.RunInputDBContext(ctx, []int{0, 5, 9})
 			fmt.Println("=== §VI-C.3: input-database experiment (Q4, 0 FKs) ===")
 			fmt.Print(xbench.FormatInputDB(rows))
 			fmt.Println()
-			return nil
+			return err
 		})
 	}
 	if want("baseline") {
 		run("baseline", func() error {
 			rows, err := xbench.RunBaseline(opts)
-			if err != nil {
-				return err
-			}
 			fmt.Println("=== §VI-C.1: short-paper algorithm [14] vs X-Data (0 FKs) ===")
 			fmt.Print(xbench.FormatBaseline(rows))
 			fmt.Println()
-			return nil
+			return err
 		})
 	}
+	return exit
 }
 
 func printEquiv(rows []xbench.Row) {

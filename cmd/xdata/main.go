@@ -13,18 +13,35 @@
 // types, PRIMARY KEY, FOREIGN KEY ... REFERENCES, NOT NULL). Output is
 // one dataset per mutant group, as text tables (default) or INSERT
 // statements (-format sql).
+//
+// Budgets and interruption: -timeout bounds the whole run, -goal-timeout
+// and -goal-nodes bound each kill goal (exhausted goals are retried with
+// escalating budgets, then reported as incomplete). SIGINT/SIGTERM stop
+// generation gracefully: whatever datasets were already produced are
+// printed, followed by an incomplete-goals report.
+//
+// Exit codes: 0 complete suite; 1 fatal error; 2 usage error; 3 partial
+// suite (some kill goals incomplete after budgets or interruption).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	schemaPath := flag.String("schema", "", "path to a DDL file with CREATE TABLE statements (required)")
 	query := flag.String("query", "", "the SQL query to generate test data for")
 	queryFile := flag.String("queryfile", "", "file containing the SQL query (alternative to -query)")
@@ -35,11 +52,14 @@ func main() {
 	forceInput := flag.Bool("force-input-tuples", false, "constrain generated tuples to come from the input database")
 	minimize := flag.Bool("minimize", false, "prune datasets whose kills are covered by others (greedy set cover)")
 	parallel := flag.Int("parallel", 0, "kill-goal solver workers (0 = all CPUs, 1 = sequential); output is identical for every value")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for generation (0 = unlimited); on expiry the partial suite is printed and the exit code is 3")
+	goalTimeout := flag.Duration("goal-timeout", 0, "wall-clock budget per kill goal (0 = unlimited)")
+	goalNodes := flag.Int64("goal-nodes", 0, "solver node budget per kill goal, with escalating 1x/4x/16x retries (0 = unlimited)")
 	flag.Parse()
 
 	if *schemaPath == "" || (*query == "" && *queryFile == "") {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	ddl, err := os.ReadFile(*schemaPath)
 	if err != nil {
@@ -65,6 +85,8 @@ func main() {
 	opts := xdata.DefaultOptions()
 	opts.Unfold = !*noUnfold
 	opts.Parallelism = *parallel
+	opts.GoalTimeout = *goalTimeout
+	opts.GoalNodeLimit = *goalNodes
 	if *inputDB != "" {
 		ds, err := loadInserts(sch, *inputDB)
 		if err != nil {
@@ -74,9 +96,25 @@ func main() {
 		opts.ForceInputTuples = *forceInput
 	}
 
-	suite, err := xdata.Generate(q, opts)
+	// SIGINT/SIGTERM cancel generation cooperatively; already-generated
+	// datasets are still printed below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	suite, err := xdata.GenerateContext(ctx, q, opts)
+	partial := false
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, xdata.ErrPartialSuite) && suite != nil {
+			partial = true
+			fmt.Fprintln(os.Stderr, "xdata:", err)
+		} else {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("-- query: %s\n", strings.Join(strings.Fields(sql), " "))
@@ -106,8 +144,22 @@ func main() {
 			fmt.Printf("  %s\n    -> %s\n", sk.Purpose, sk.Reason)
 		}
 	}
+	if len(suite.Incomplete) > 0 {
+		fmt.Println("=== incomplete kill goals ===")
+		for _, f := range suite.Incomplete {
+			fmt.Printf("  %s\n", f.String())
+		}
+	}
 	fmt.Printf("\n-- solver: %d calls, %d unsat, %v total solve time\n",
 		suite.Stats.SolverCalls, suite.Stats.UnsatCount, suite.Stats.SolveTime)
+	if suite.Stats.RetryCount > 0 || suite.Stats.LimitCount > 0 || suite.Stats.PanicCount > 0 {
+		fmt.Printf("-- robustness: %d retries, %d budget exhaustions, %d recovered panics\n",
+			suite.Stats.RetryCount, suite.Stats.LimitCount, suite.Stats.PanicCount)
+	}
+	if partial {
+		return 3
+	}
+	return 0
 }
 
 func fatal(err error) {

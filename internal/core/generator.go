@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -45,6 +47,21 @@ type Options struct {
 	// byte-identical for every value: goals are enumerated up front and
 	// their results merged in enumeration order.
 	Parallelism int
+	// GoalTimeout bounds the total wall time spent on one kill goal
+	// across all of its solver calls and retry attempts (0 = none).
+	// When it expires the goal is recorded in Suite.Incomplete and
+	// generation continues with the remaining goals.
+	GoalTimeout time.Duration
+	// GoalNodeLimit, when positive, bounds solver search nodes per
+	// solver call of a kill goal's first attempt and arms the
+	// escalating-retry ladder: a goal whose solve exhausts the budget is
+	// retried with the limit grown 4x per attempt (3 attempts: 1x, 4x,
+	// 16x), plus — when Unfold is off — one final fallback attempt in
+	// unfolded mode, the strategy the paper shows to be dramatically
+	// cheaper. If every attempt exhausts its budget the goal lands in
+	// Suite.Incomplete instead of failing the run. SolverNodeLimit, when
+	// also set, remains a hard per-call ceiling.
+	GoalNodeLimit int64
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -69,6 +86,16 @@ type Stats struct {
 	// §VI-C.3 experiment, where search nodes can shrink as the extra
 	// constraints improve propagation).
 	SolverProblemSize int64
+	// LimitCount counts kill goals abandoned after exhausting their
+	// node/time budget (every such goal has a Suite.Incomplete entry).
+	LimitCount int
+	// RetryCount counts escalating retry attempts performed after a
+	// budget-exhausted solve, whether or not the goal eventually
+	// succeeded.
+	RetryCount int
+	// PanicCount counts kill-goal panics recovered into
+	// Suite.Incomplete entries (fault isolation).
+	PanicCount int
 }
 
 // Skip records a dataset that was not generated because its constraints
@@ -79,13 +106,81 @@ type Skip struct {
 	Reason  string
 }
 
+// Failure reasons recorded in Suite.Incomplete entries.
+const (
+	// ReasonBudget: the goal exhausted its node/time budget on every
+	// attempt (Options.GoalNodeLimit / GoalTimeout / SolverNodeLimit /
+	// SolverTimeout).
+	ReasonBudget = "node/time budget exhausted"
+	// ReasonPanic: the goal's worker panicked; the panic was recovered
+	// and isolated to this goal (see Failure.Err, a *GoalError carrying
+	// the stack).
+	ReasonPanic = "panic (recovered)"
+	// ReasonCanceled: the surrounding context was canceled before or
+	// while the goal ran.
+	ReasonCanceled = "canceled"
+)
+
+// Failure records a kill goal the generator had to abandon — budget
+// exhaustion, a recovered panic, or cancellation — instead of failing
+// the whole run. The mutants the goal targeted may survive the partial
+// suite; everything else is unaffected.
+type Failure struct {
+	// Purpose is the goal's diagnostic label.
+	Purpose string
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Attempts is how many solve attempts were made (>1 when the
+	// escalating-retry ladder ran).
+	Attempts int
+	// Nodes is the total solver search nodes spent across attempts.
+	Nodes int64
+	// Elapsed is the wall time spent on the goal across attempts.
+	Elapsed time.Duration
+	// Err is the final underlying error: a wrapped solver.ErrLimit, a
+	// *GoalError (panic), or a wrapped solver.ErrCanceled.
+	Err error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s: %s after %d attempt(s), %d nodes, %v", f.Purpose, f.Reason, f.Attempts, f.Nodes, f.Elapsed.Round(time.Millisecond))
+}
+
+// GoalError is a kill-goal panic converted into an error by the worker
+// pool's recovery handler: fault isolation turns one crashing goal into
+// one Suite.Incomplete entry instead of a crashed process.
+type GoalError struct {
+	// Purpose is the goal whose worker panicked.
+	Purpose string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *GoalError) Error() string {
+	return fmt.Sprintf("core: kill goal %q panicked: %v", e.Purpose, e.Value)
+}
+
+// ErrPartialSuite is returned (wrapped) by Generate when at least one
+// kill goal was abandoned: the Suite is still valid and usable — every
+// dataset in it is correct and deterministic — but the goals listed in
+// Suite.Incomplete produced no dataset, so their targeted mutants may
+// survive. Callers distinguish full from degraded completeness with
+// errors.Is(err, ErrPartialSuite).
+var ErrPartialSuite = errors.New("core: partial suite: some kill goals incomplete")
+
 // Suite is a generated test suite: the dataset exercising the original
 // query plus one dataset per killable mutant group.
 type Suite struct {
 	Original *schema.Dataset
 	Datasets []*schema.Dataset
 	Skipped  []Skip
-	Stats    Stats
+	// Incomplete lists kill goals abandoned on budget exhaustion,
+	// recovered panic, or cancellation, in goal-enumeration order. When
+	// non-empty, Generate returned ErrPartialSuite.
+	Incomplete []Failure
+	Stats      Stats
 }
 
 // All returns the original dataset followed by the kill datasets.
@@ -300,8 +395,32 @@ func (g *Generator) decodeValue(k sqltypes.Kind, code int64) sqltypes.Value {
 // instances. Results are merged in enumeration order, so the returned
 // Suite is identical for every worker count.
 func (g *Generator) Generate() (*Suite, error) {
+	return g.GenerateContext(context.Background())
+}
+
+// GenerateContext is Generate with cooperative cancellation and fault
+// isolation. Robustness contract:
+//
+//   - ctx cancellation propagates into every in-flight solver call
+//     (checked every ~1024 search nodes) and returns promptly; goals
+//     finished before the cancellation stay in the Suite, the rest are
+//     recorded in Suite.Incomplete with ReasonCanceled.
+//   - a goal exhausting its budget (Options.GoalNodeLimit with the
+//     escalating-retry ladder, Options.GoalTimeout, or the per-call
+//     SolverNodeLimit/SolverTimeout) is recorded in Suite.Incomplete
+//     with ReasonBudget; generation continues.
+//   - a panicking goal worker is recovered, converted into a *GoalError
+//     (purpose + stack) and recorded with ReasonPanic; generation
+//     continues.
+//
+// When Suite.Incomplete is non-empty the returned error wraps
+// ErrPartialSuite (and the context error, if cancellation caused it);
+// the Suite is still returned and safe to use. Hard errors — an
+// unsupported query construct, an invalid extracted dataset — remain
+// fatal and return a nil suite.
+func (g *Generator) GenerateContext(ctx context.Context) (*Suite, error) {
 	start := time.Now()
-	subs, err := g.runGoals(g.enumerateGoals())
+	subs, err := g.runGoals(ctx, g.enumerateGoals())
 	if err != nil {
 		return nil, err
 	}
@@ -310,23 +429,34 @@ func (g *Generator) Generate() (*Suite, error) {
 		mergeInto(suite, sub)
 	}
 	suite.Stats.TotalTime = time.Since(start)
+	if len(suite.Incomplete) > 0 {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return suite, fmt.Errorf("%w: %w", ErrPartialSuite, ctxErr)
+		}
+		return suite, fmt.Errorf("%w (%d of %d goals)", ErrPartialSuite, len(suite.Incomplete), len(subs))
+	}
 	return suite, nil
 }
 
 // buildDataset constructs a problem, applies build, asserts the database
 // constraints, and solves. A nil dataset with nil error means UNSAT (an
 // equivalent mutant group), which is recorded on the suite.
-func (g *Generator) buildDataset(suite *Suite, purpose string, tupleSets int, needRepair bool, build func(*problem) error) (*schema.Dataset, error) {
-	ds, err := g.tryBuild(suite, purpose, tupleSets, needRepair, g.opts.ForceInputTuples, build)
+func (g *Generator) buildDataset(gb *goalBudget, suite *Suite, purpose string, tupleSets int, needRepair bool, build func(*problem) error) (*schema.Dataset, error) {
+	ds, err := g.tryBuild(gb, suite, purpose, tupleSets, needRepair, g.opts.ForceInputTuples, build)
 	if err == nil && ds == nil && g.opts.ForceInputTuples {
 		// §VI-A: input-database constraints can be inconsistent with the
 		// kill constraints; retry without them.
-		return g.tryBuild(suite, purpose+" (input-db constraints relaxed)", tupleSets, needRepair, false, build)
+		return g.tryBuild(gb, suite, purpose+" (input-db constraints relaxed)", tupleSets, needRepair, false, build)
 	}
 	return ds, err
 }
 
-func (g *Generator) tryBuild(suite *Suite, purpose string, tupleSets int, needRepair, forceInput bool, build func(*problem) error) (*schema.Dataset, error) {
+func (g *Generator) tryBuild(gb *goalBudget, suite *Suite, purpose string, tupleSets int, needRepair, forceInput bool, build func(*problem) error) (*schema.Dataset, error) {
+	// Fast-fail before constructing the constraint system when the goal
+	// (or the whole run) has already been canceled or timed out.
+	if err := gb.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w (%w)", purpose, solver.ErrCanceled, err)
+	}
 	p, err := g.newProblem(tupleSets, needRepair)
 	if err != nil {
 		return nil, err
@@ -340,7 +470,7 @@ func (g *Generator) tryBuild(suite *Suite, purpose string, tupleSets int, needRe
 	p.assertDBConstraints()
 
 	t0 := time.Now()
-	m, err := p.solve()
+	m, err := p.solve(gb, purpose)
 	suite.Stats.SolveTime += time.Since(t0)
 	suite.Stats.SolverCalls++
 	st := p.s.LastStats()
@@ -351,7 +481,7 @@ func (g *Generator) tryBuild(suite *Suite, purpose string, tupleSets int, needRe
 	case err == nil:
 		suite.Stats.SatCount++
 		return p.extract(m, purpose)
-	case err == solver.ErrUnsat:
+	case errors.Is(err, solver.ErrUnsat):
 		suite.Stats.UnsatCount++
 		suite.Skipped = append(suite.Skipped, Skip{Purpose: purpose, Reason: "constraints unsatisfiable: targeted mutants are equivalent"})
 		return nil, nil

@@ -16,7 +16,11 @@ import (
 // tuples. This dataset also kills any mutant whose result is empty on
 // every legal database.
 func (g *Generator) GenerateOriginal(suite *Suite) (*schema.Dataset, error) {
-	return g.buildDataset(suite, "satisfies the original query (non-empty result)", 1, false, func(p *problem) error {
+	return g.generateOriginal(backgroundBudget(), suite)
+}
+
+func (g *Generator) generateOriginal(gb *goalBudget, suite *Suite) (*schema.Dataset, error) {
+	return g.buildDataset(gb, suite, "satisfies the original query (non-empty result)", 1, false, func(p *problem) error {
 		return p.assertQueryConds(0, nil, nil)
 	})
 }
@@ -39,8 +43,8 @@ func (g *Generator) equivalenceClassGoals() []killGoal {
 			ec, e := ec, e
 			goals = append(goals, killGoal{
 				purpose: fmt.Sprintf("nullify %s on class %s", e, ec),
-				run: func(g *Generator, sub *Suite) error {
-					return g.killClassMember(sub, ec, e)
+				run: func(g *Generator, gb *goalBudget, sub *Suite) error {
+					return g.killClassMember(gb, sub, ec, e)
 				},
 			})
 		}
@@ -49,7 +53,7 @@ func (g *Generator) equivalenceClassGoals() []killGoal {
 }
 
 // killClassMember solves one Algorithm 2 nullification goal.
-func (g *Generator) killClassMember(suite *Suite, ec *qtree.EquivClass, e qtree.AttrRef) error {
+func (g *Generator) killClassMember(gb *goalBudget, suite *Suite, ec *qtree.EquivClass, e qtree.AttrRef) error {
 	S, P := g.splitClassByFK(ec, e)
 	purpose := fmt.Sprintf("kill join-type mutants: nullify %s on class %s", attrList(S), ec)
 	if len(P) == 0 {
@@ -57,7 +61,7 @@ func (g *Generator) killClassMember(suite *Suite, ec *qtree.EquivClass, e qtree.
 		// column is nullable, a NULL foreign key provides the
 		// unmatched tuple that nullifying the referenced
 		// attribute cannot.
-		done, err := g.nullableFKFallback(suite, ec, e, S)
+		done, err := g.nullableFKFallback(gb, suite, ec, e, S)
 		if err != nil {
 			return err
 		}
@@ -69,15 +73,25 @@ func (g *Generator) killClassMember(suite *Suite, ec *qtree.EquivClass, e qtree.
 		}
 		return nil
 	}
-	ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
+	ds, err := g.buildDataset(gb, suite, purpose, 1, true, func(p *problem) error {
 		// P members join with each other...
-		for _, c := range p.classCons(P, 0) {
+		cons, err := p.classCons(P, 0)
+		if err != nil {
+			return err
+		}
+		for _, c := range cons {
 			p.s.Assert(c)
 		}
 		// ...but no tuple of any S relation matches them.
-		pivot := solver.V(p.varOf(P[0], 0))
+		pv, err := p.varOf(P[0], 0)
+		if err != nil {
+			return err
+		}
+		pivot := solver.V(pv)
 		for _, ra := range dedupeRelAttrs(g.q, S) {
-			p.notExistsValue(ra.rel, ra.attr, pivot)
+			if err := p.notExistsValue(ra.rel, ra.attr, pivot); err != nil {
+				return err
+			}
 		}
 		// All other classes and all predicates hold, so the
 		// difference propagates to the root.
@@ -98,7 +112,7 @@ func (g *Generator) killClassMember(suite *Suite, ec *qtree.EquivClass, e qtree.
 // that column — an f-tuple with no join partner, killing the same
 // join-type mutants the ordinary nullification would. Reports whether a
 // dataset was generated.
-func (g *Generator) nullableFKFallback(suite *Suite, ec *qtree.EquivClass, e qtree.AttrRef, S []qtree.AttrRef) (bool, error) {
+func (g *Generator) nullableFKFallback(gb *goalBudget, suite *Suite, ec *qtree.EquivClass, e qtree.AttrRef, S []qtree.AttrRef) (bool, error) {
 	var f qtree.AttrRef
 	found := false
 	for _, m := range S {
@@ -130,16 +144,30 @@ func (g *Generator) nullableFKFallback(suite *Suite, ec *qtree.EquivClass, e qtr
 		}
 	}
 	purpose := fmt.Sprintf("kill join-type mutants: NULL foreign key %s on class %s (§V-H, nullable FK)", f, ec)
-	ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
-		for _, c := range p.classCons(rest, 0) {
+	ds, err := g.buildDataset(gb, suite, purpose, 1, true, func(p *problem) error {
+		cons, err := p.classCons(rest, 0)
+		if err != nil {
+			return err
+		}
+		for _, c := range cons {
 			p.s.Assert(c)
 		}
 		for _, m := range nullMembers {
-			p.patchNull(p.occSlot[occSet{m.Occ, 0}], m.Attr)
+			sl, ok := p.occSlot[occSet{m.Occ, 0}]
+			if !ok {
+				return fmt.Errorf("core: no slot for occurrence %s (set 0)", m.Occ)
+			}
+			p.patchNull(sl, m.Attr)
 		}
 		// No other tuple of f's relation may join in f's place.
 		if len(rest) > 0 {
-			p.notExistsValue(fRel, f.Attr, solver.V(p.varOf(rest[0], 0)))
+			rv, err := p.varOf(rest[0], 0)
+			if err != nil {
+				return err
+			}
+			if err := p.notExistsValue(fRel, f.Attr, solver.V(rv)); err != nil {
+				return err
+			}
 		}
 		skip := map[*qtree.EquivClass]bool{ec: true}
 		return p.assertQueryConds(0, skip, nil)
@@ -229,8 +257,8 @@ func (g *Generator) otherPredicateGoals() []killGoal {
 			pi, pr, occ := i, pr, occ
 			goals = append(goals, killGoal{
 				purpose: fmt.Sprintf("nullify %s on predicate %s", occ, pr),
-				run: func(g *Generator, sub *Suite) error {
-					return g.killPredOccurrence(sub, pi, pr, occ)
+				run: func(g *Generator, gb *goalBudget, sub *Suite) error {
+					return g.killPredOccurrence(gb, sub, pi, pr, occ)
 				},
 			})
 		}
@@ -240,9 +268,9 @@ func (g *Generator) otherPredicateGoals() []killGoal {
 
 // killPredOccurrence solves one Algorithm 3 goal: no tuple of occ's base
 // relation satisfies predicate pi against the other relations' tuples.
-func (g *Generator) killPredOccurrence(suite *Suite, pi int, pr *qtree.Pred, occ string) error {
+func (g *Generator) killPredOccurrence(gb *goalBudget, suite *Suite, pi int, pr *qtree.Pred, occ string) error {
 	purpose := fmt.Sprintf("kill join-type mutants: nullify %s on predicate %s", occ, pr)
-	ds, err := g.buildDataset(suite, purpose, 1, true, func(p *problem) error {
+	ds, err := g.buildDataset(gb, suite, purpose, 1, true, func(p *problem) error {
 		if err := p.notExistsPred(pr, occ, 0); err != nil {
 			return err
 		}
@@ -287,8 +315,8 @@ func (g *Generator) comparisonOperatorGoals() []killGoal {
 			pi, pr, dop := i, pr, dop
 			goals = append(goals, killGoal{
 				purpose: fmt.Sprintf("comparison dataset (%s) %s (%s)", pr.L, dop.op, pr.R),
-				run: func(g *Generator, sub *Suite) error {
-					return g.killComparisonVariant(sub, pi, pr, dop.op, dop.sign)
+				run: func(g *Generator, gb *goalBudget, sub *Suite) error {
+					return g.killComparisonVariant(gb, sub, pi, pr, dop.op, dop.sign)
 				},
 			})
 		}
@@ -298,7 +326,7 @@ func (g *Generator) comparisonOperatorGoals() []killGoal {
 
 // killComparisonVariant solves one §V-E goal: a dataset on which
 // predicate pi's comparison holds with the given operator variant.
-func (g *Generator) killComparisonVariant(suite *Suite, pi int, pr *qtree.Pred, op sqltypes.CmpOp, sign int) error {
+func (g *Generator) killComparisonVariant(gb *goalBudget, suite *Suite, pi int, pr *qtree.Pred, op sqltypes.CmpOp, sign int) error {
 	purpose := fmt.Sprintf("kill comparison mutants: dataset with (%s) %s (%s)", pr.L, op, pr.R)
 	violating := !pr.Op.HoldsSign(sign)
 	// Single-occurrence predicates quantify the variant (or its
@@ -307,7 +335,7 @@ func (g *Generator) killComparisonVariant(suite *Suite, pi int, pr *qtree.Pred, 
 	// need the referenced-tuple repair capacity, not just the violating
 	// variants.
 	needRepair := violating || len(pr.Occs) == 1
-	ds, err := g.buildDataset(suite, purpose, 1, needRepair, func(p *problem) error {
+	ds, err := g.buildDataset(gb, suite, purpose, 1, needRepair, func(p *problem) error {
 		c, err := p.predCon(pr, op, 0)
 		if err != nil {
 			return err
@@ -396,8 +424,8 @@ func (g *Generator) aggregateGoals() []killGoal {
 		ci, call := ci, call
 		goals = append(goals, killGoal{
 			purpose: fmt.Sprintf("aggregate mutations of %s", call),
-			run: func(g *Generator, sub *Suite) error {
-				return g.killAggregateCall(sub, ci, call)
+			run: func(g *Generator, gb *goalBudget, sub *Suite) error {
+				return g.killAggregateCall(gb, sub, ci, call)
 			},
 		})
 	}
@@ -406,7 +434,7 @@ func (g *Generator) aggregateGoals() []killGoal {
 
 // killAggregateCall solves one Algorithm 4 goal, walking the relaxation
 // ladder until a constraint set is satisfiable.
-func (g *Generator) killAggregateCall(suite *Suite, ci int, call qtree.AggCall) error {
+func (g *Generator) killAggregateCall(gb *goalBudget, suite *Suite, ci int, call qtree.AggCall) error {
 	numeric := g.q.AttrType(call.Arg).Numeric()
 	generated := false
 	for _, relax := range aggRelaxations {
@@ -421,7 +449,7 @@ func (g *Generator) killAggregateCall(suite *Suite, ci int, call qtree.AggCall) 
 			purpose += " (dropped " + strings.Join(dropped, ",") + ")"
 		}
 		cc := call
-		ds, err := g.buildDataset(suite, purpose, 3, true, func(p *problem) error {
+		ds, err := g.buildDataset(gb, suite, purpose, 3, true, func(p *problem) error {
 			// S0: every tuple set satisfies the query; group-by
 			// values agree across the three sets.
 			for set := 0; set < 3; set++ {
@@ -429,19 +457,44 @@ func (g *Generator) killAggregateCall(suite *Suite, ci int, call qtree.AggCall) 
 					return err
 				}
 			}
-			for _, gb := range g.q.Agg.GroupBy {
-				p.s.Assert(solver.Eq(solver.V(p.varOf(gb, 0)), solver.V(p.varOf(gb, 1))))
-				p.s.Assert(solver.Eq(solver.V(p.varOf(gb, 1)), solver.V(p.varOf(gb, 2))))
+			for _, gbAttr := range g.q.Agg.GroupBy {
+				v0, err := p.varOf(gbAttr, 0)
+				if err != nil {
+					return err
+				}
+				v1, err := p.varOf(gbAttr, 1)
+				if err != nil {
+					return err
+				}
+				v2, err := p.varOf(gbAttr, 2)
+				if err != nil {
+					return err
+				}
+				p.s.Assert(solver.Eq(solver.V(v0), solver.V(v1)))
+				p.s.Assert(solver.Eq(solver.V(v1), solver.V(v2)))
 			}
-			a0 := solver.V(p.varOf(cc.Arg, 0))
-			a1 := solver.V(p.varOf(cc.Arg, 1))
-			a2 := solver.V(p.varOf(cc.Arg, 2))
+			av0, err := p.varOf(cc.Arg, 0)
+			if err != nil {
+				return err
+			}
+			av1, err := p.varOf(cc.Arg, 1)
+			if err != nil {
+				return err
+			}
+			av2, err := p.varOf(cc.Arg, 2)
+			if err != nil {
+				return err
+			}
+			a0, a1, a2 := solver.V(av0), solver.V(av1), solver.V(av2)
 			if relax[0] { // S1
 				p.s.Assert(solver.Eq(a0, a1))
 				if numeric {
 					p.s.Assert(solver.NewCmp(sqltypes.OpNE, a0, solver.C(0)))
 				}
-				diff := p.tupleSetsDiffer(cc.Arg, g.q.Agg.GroupBy)
+				diff, err := p.tupleSetsDiffer(cc.Arg, g.q.Agg.GroupBy)
+				if err != nil {
+					return err
+				}
 				if diff == nil {
 					// No attribute outside G and A exists, so "differ
 					// in at least one other attribute" is infeasible:
@@ -454,12 +507,18 @@ func (g *Generator) killAggregateCall(suite *Suite, ci int, call qtree.AggCall) 
 				p.s.Assert(solver.NewCmp(sqltypes.OpNE, a2, a0))
 			}
 			if relax[2] { // S3
-				p.assertGroupIsolation()
+				if err := p.assertGroupIsolation(); err != nil {
+					return err
+				}
 			}
 			if relax[3] && numeric { // S4 (§V-F extension)
 				for set := 0; set < 3; set++ {
+					av, err := p.varOf(cc.Arg, set)
+					if err != nil {
+						return err
+					}
 					p.s.Assert(solver.NewCmp(sqltypes.OpGE,
-						solver.V(p.varOf(cc.Arg, set)), solver.C(4)))
+						solver.V(av), solver.C(4)))
 				}
 			}
 			return nil
@@ -481,56 +540,4 @@ func (g *Generator) killAggregateCall(suite *Suite, ci int, call qtree.AggCall) 
 		})
 	}
 	return nil
-}
-
-// tupleSetsDiffer builds S1's "differ in at least one other attribute":
-// a disjunction over every occurrence attribute outside the aggregated
-// attribute and the group-by set, requiring tuple sets 0 and 1 to differ
-// somewhere. Returns nil when there is no such attribute (then the chase
-// decides, and S1 is likely inconsistent).
-func (p *problem) tupleSetsDiffer(agg qtree.AttrRef, groupBy []qtree.AttrRef) solver.Con {
-	excluded := map[qtree.AttrRef]bool{agg: true}
-	for _, gb := range groupBy {
-		excluded[gb] = true
-	}
-	var disj []solver.Con
-	for _, occ := range p.g.q.Occs {
-		for _, a := range occ.Rel.Attrs {
-			ar := qtree.AttrRef{Occ: occ.Name, Attr: a.Name}
-			if excluded[ar] {
-				continue
-			}
-			disj = append(disj, solver.NewCmp(sqltypes.OpNE,
-				solver.V(p.varOf(ar, 0)), solver.V(p.varOf(ar, 1))))
-		}
-	}
-	if len(disj) == 0 {
-		return nil
-	}
-	return solver.NewOr(disj...)
-}
-
-// assertGroupIsolation builds S3: the group-by values of the three tuple
-// sets must not occur in any other tuple of the corresponding relations,
-// so no stray tuples join into the group.
-func (p *problem) assertGroupIsolation() {
-	for _, gb := range p.g.q.Agg.GroupBy {
-		own := map[*slot]bool{}
-		for set := 0; set < 3; set++ {
-			own[p.occSlot[occSet{gb.Occ, set}]] = true
-		}
-		rel := p.g.q.Occ(gb.Occ).Rel
-		pos := rel.AttrPos(gb.Attr)
-		pivot := solver.V(p.varOf(gb, 0))
-		var bodies []solver.Con
-		for _, sl := range p.slots[rel.Name] {
-			if own[sl] {
-				continue
-			}
-			bodies = append(bodies, solver.Eq(solver.V(sl.vars[pos]), pivot))
-		}
-		if len(bodies) > 0 {
-			p.s.Assert(solver.NotExists(bodies...))
-		}
-	}
 }

@@ -276,17 +276,20 @@ func (g *Generator) relationOrder() ([]*schema.Relation, error) {
 }
 
 // varOf returns the solver variable for an attribute of an occurrence in
-// a given tuple set.
-func (p *problem) varOf(a qtree.AttrRef, set int) solver.VarID {
+// a given tuple set. Unknown occurrences or attributes — which indicate a
+// malformed query tree rather than a programming bug here — are reported
+// as errors with enough context to identify the offending reference, so
+// one bad kill goal degrades gracefully instead of panicking the worker.
+func (p *problem) varOf(a qtree.AttrRef, set int) (solver.VarID, error) {
 	sl, ok := p.occSlot[occSet{a.Occ, set}]
 	if !ok {
-		panic(fmt.Sprintf("core: no slot for occurrence %s set %d", a.Occ, set))
+		return 0, fmt.Errorf("core: no slot for occurrence %s (tuple set %d) while compiling %s", a.Occ, set, a)
 	}
 	pos := sl.rel.AttrPos(a.Attr)
 	if pos < 0 {
-		panic(fmt.Sprintf("core: relation %s has no attribute %s", sl.rel.Name, a.Attr))
+		return 0, fmt.Errorf("core: relation %s has no attribute %s (occurrence %s, tuple set %d)", sl.rel.Name, a.Attr, a.Occ, set)
 	}
-	return sl.vars[pos]
+	return sl.vars[pos], nil
 }
 
 // linOf translates a scalar into a solver linear expression, with string
@@ -294,7 +297,11 @@ func (p *problem) varOf(a qtree.AttrRef, set int) solver.VarID {
 func (p *problem) linOf(s *qtree.Scalar, set int) (solver.Lin, error) {
 	switch s.Kind {
 	case qtree.SAttr:
-		return solver.V(p.varOf(s.Attr, set)), nil
+		v, err := p.varOf(s.Attr, set)
+		if err != nil {
+			return solver.Lin{}, err
+		}
+		return solver.V(v), nil
 	case qtree.SConst:
 		switch s.Const.Kind() {
 		case sqltypes.KindInt:
@@ -321,7 +328,11 @@ func (p *problem) linOf(s *qtree.Scalar, set int) (solver.Lin, error) {
 		}
 		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Less(attrs[j]) })
 		for _, a := range attrs {
-			out = out.Plus(solver.V(p.varOf(a, set)).Times(lin.Coeffs[a]))
+			v, err := p.varOf(a, set)
+			if err != nil {
+				return solver.Lin{}, err
+			}
+			out = out.Plus(solver.V(v).Times(lin.Coeffs[a]))
 		}
 		return out, nil
 	}
@@ -343,12 +354,20 @@ func (p *problem) predCon(pr *qtree.Pred, op sqltypes.CmpOp, set int) (solver.Co
 
 // classCons returns the equality chain for an equivalence class's members
 // (generateEqConds of the paper), restricted to the given members.
-func (p *problem) classCons(members []qtree.AttrRef, set int) []solver.Con {
+func (p *problem) classCons(members []qtree.AttrRef, set int) ([]solver.Con, error) {
 	var out []solver.Con
 	for i := 0; i+1 < len(members); i++ {
-		out = append(out, solver.Eq(solver.V(p.varOf(members[i], set)), solver.V(p.varOf(members[i+1], set))))
+		a, err := p.varOf(members[i], set)
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.varOf(members[i+1], set)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, solver.Eq(solver.V(a), solver.V(b)))
 	}
-	return out
+	return out, nil
 }
 
 // assertQueryConds asserts all equivalence classes and predicates for the
@@ -359,7 +378,11 @@ func (p *problem) assertQueryConds(set int, skipClass map[*qtree.EquivClass]bool
 		if skipClass[ec] {
 			continue
 		}
-		for _, c := range p.classCons(ec.Members, set) {
+		cons, err := p.classCons(ec.Members, set)
+		if err != nil {
+			return err
+		}
+		for _, c := range cons {
 			p.s.Assert(c)
 		}
 	}
@@ -474,13 +497,17 @@ func (p *problem) assertInputTuples() {
 
 // notExistsValue asserts the paper's nullification constraint: no slot of
 // base relation rel has attribute attr equal to the given expression.
-func (p *problem) notExistsValue(rel *schema.Relation, attr string, val solver.Lin) {
+func (p *problem) notExistsValue(rel *schema.Relation, attr string, val solver.Lin) error {
 	pos := rel.AttrPos(attr)
+	if pos < 0 {
+		return fmt.Errorf("core: relation %s has no attribute %s (nullification target)", rel.Name, attr)
+	}
 	var bodies []solver.Con
 	for _, sl := range p.slots[rel.Name] {
 		bodies = append(bodies, solver.Eq(solver.V(sl.vars[pos]), val))
 	}
 	p.s.Assert(solver.NotExists(bodies...))
+	return nil
 }
 
 // notExistsPred asserts genNotExists(pred, occ): no slot of occ's base
@@ -496,7 +523,10 @@ func (p *problem) notExistsPred(pr *qtree.Pred, occ string, set int) error {
 // tuple of the base relation, so that repeated occurrences of the same
 // relation cannot accidentally re-satisfy a mutated predicate.
 func (p *problem) notExistsPredOp(pr *qtree.Pred, op sqltypes.CmpOp, occ string, set int) error {
-	sl := p.occSlot[occSet{occ, set}]
+	sl, ok := p.occSlot[occSet{occ, set}]
+	if !ok {
+		return fmt.Errorf("core: no slot for occurrence %s (tuple set %d) while quantifying %s", occ, set, pr)
+	}
 	var bodies []solver.Con
 	for _, cand := range p.slots[sl.rel.Name] {
 		c, err := p.predConWithSlot(pr, op, occ, cand, set)
@@ -531,9 +561,16 @@ func (p *problem) linOfRedirect(s *qtree.Scalar, occ string, sl *slot, set int) 
 	case qtree.SAttr:
 		if s.Attr.Occ == occ {
 			pos := sl.rel.AttrPos(s.Attr.Attr)
+			if pos < 0 {
+				return solver.Lin{}, fmt.Errorf("core: relation %s has no attribute %s (occurrence %s)", sl.rel.Name, s.Attr.Attr, occ)
+			}
 			return solver.V(sl.vars[pos]), nil
 		}
-		return solver.V(p.varOf(s.Attr, set)), nil
+		v, err := p.varOf(s.Attr, set)
+		if err != nil {
+			return solver.Lin{}, err
+		}
+		return solver.V(v), nil
 	case qtree.SConst:
 		return p.linOf(s, set)
 	default:
@@ -575,13 +612,94 @@ func (p *problem) relNames() []string {
 	return out
 }
 
-// solve invokes the constraint solver with the generator's options.
-func (p *problem) solve() (solver.Model, error) {
-	return p.s.Solve(solver.Options{
+// solve invokes the constraint solver with the generator's options,
+// tightened by the goal budget: the budget's node limit applies when it
+// is stricter than (or stands in for) Options.SolverNodeLimit, the
+// budget's unfold override replaces Options.Unfold (the quantified-mode
+// fallback attempt), and the budget's context provides cooperative
+// cancellation. label travels to the solver for fault injection and
+// diagnostics.
+func (p *problem) solve(gb *goalBudget, label string) (solver.Model, error) {
+	opts := solver.Options{
 		Unfold:    p.g.opts.Unfold,
 		NodeLimit: p.g.opts.SolverNodeLimit,
 		Timeout:   p.g.opts.SolverTimeout,
-	})
+		Label:     label,
+	}
+	if gb.nodeLimit > 0 && (opts.NodeLimit <= 0 || gb.nodeLimit < opts.NodeLimit) {
+		opts.NodeLimit = gb.nodeLimit
+	}
+	if gb.unfold != nil {
+		opts.Unfold = *gb.unfold
+	}
+	return p.s.SolveContext(gb.ctx, opts)
+}
+
+// tupleSetsDiffer builds S1's "differ in at least one other attribute":
+// a disjunction over every occurrence attribute outside the aggregated
+// attribute and the group-by set, requiring tuple sets 0 and 1 to differ
+// somewhere. Returns nil when there is no such attribute (then the chase
+// decides, and S1 is likely inconsistent).
+func (p *problem) tupleSetsDiffer(agg qtree.AttrRef, groupBy []qtree.AttrRef) (solver.Con, error) {
+	excluded := map[qtree.AttrRef]bool{agg: true}
+	for _, gbAttr := range groupBy {
+		excluded[gbAttr] = true
+	}
+	var disj []solver.Con
+	for _, occ := range p.g.q.Occs {
+		for _, a := range occ.Rel.Attrs {
+			ar := qtree.AttrRef{Occ: occ.Name, Attr: a.Name}
+			if excluded[ar] {
+				continue
+			}
+			v0, err := p.varOf(ar, 0)
+			if err != nil {
+				return nil, err
+			}
+			v1, err := p.varOf(ar, 1)
+			if err != nil {
+				return nil, err
+			}
+			disj = append(disj, solver.NewCmp(sqltypes.OpNE, solver.V(v0), solver.V(v1)))
+		}
+	}
+	if len(disj) == 0 {
+		return nil, nil
+	}
+	return solver.NewOr(disj...), nil
+}
+
+// assertGroupIsolation builds S3: the group-by values of the three tuple
+// sets must not occur in any other tuple of the corresponding relations,
+// so no stray tuples join into the group.
+func (p *problem) assertGroupIsolation() error {
+	for _, gbAttr := range p.g.q.Agg.GroupBy {
+		own := map[*slot]bool{}
+		for set := 0; set < 3; set++ {
+			own[p.occSlot[occSet{gbAttr.Occ, set}]] = true
+		}
+		rel := p.g.q.Occ(gbAttr.Occ).Rel
+		pos := rel.AttrPos(gbAttr.Attr)
+		if pos < 0 {
+			return fmt.Errorf("core: relation %s has no attribute %s (group-by)", rel.Name, gbAttr.Attr)
+		}
+		pv, err := p.varOf(gbAttr, 0)
+		if err != nil {
+			return err
+		}
+		pivot := solver.V(pv)
+		var bodies []solver.Con
+		for _, sl := range p.slots[rel.Name] {
+			if own[sl] {
+				continue
+			}
+			bodies = append(bodies, solver.Eq(solver.V(sl.vars[pos]), pivot))
+		}
+		if len(bodies) > 0 {
+			p.s.Assert(solver.NotExists(bodies...))
+		}
+	}
+	return nil
 }
 
 // extract turns a model into a dataset, de-duplicating rows that the

@@ -1,0 +1,91 @@
+package mutation
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+// bulkDataset builds a dataset with n matching instructor/teaches rows,
+// big enough that one kill-matrix cell takes measurable time.
+func bulkDataset(n int) *schema.Dataset {
+	ds := schema.NewDataset("bulk")
+	for i := 0; i < n; i++ {
+		id := int64(i)
+		ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(id), sqltypes.NewString("n"), sqltypes.NewInt(50000 + id)})
+		ds.Insert("teaches", sqltypes.Row{sqltypes.NewInt(id), sqltypes.NewInt(id % 7)})
+	}
+	return ds
+}
+
+func TestEvaluateContextPreCanceled(t *testing.T) {
+	query := q(t, testDDL, `SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50000`)
+	ms, err := Space(query, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Space: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		rep, err := EvaluateContext(ctx, query, ms, []*schema.Dataset{bulkDataset(4)}, EvalOptions{Parallelism: par})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: pre-canceled evaluate: got %v, want context.Canceled", par, err)
+		}
+		if rep != nil {
+			t.Fatalf("parallelism %d: canceled evaluate must not return a report", par)
+		}
+	}
+}
+
+// TestEvaluateContextCancelMidRun cancels a large evaluation shortly
+// after it starts and asserts prompt, leak-free return. The workload —
+// every mutant plan against many bulk datasets — takes far longer than
+// the cancellation delay, so the cancel always lands mid-run. Run under
+// -race in CI.
+func TestEvaluateContextCancelMidRun(t *testing.T) {
+	query := q(t, testDDL, `SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50000`)
+	ms, err := Space(query, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Space: %v", err)
+	}
+	datasets := make([]*schema.Dataset, 64)
+	for i := range datasets {
+		datasets[i] = bulkDataset(400)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = EvaluateContext(ctx, query, ms, datasets, EvalOptions{Parallelism: 8})
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled mid-run: got %v, want context.Canceled (after %v)", err, elapsed)
+	}
+	// The context is checked before every cell, so the return is prompt:
+	// at most one in-flight cell per worker after the cancel.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation not prompt: EvaluateContext took %v", elapsed)
+	}
+
+	// All workers must be joined: no goroutines outlive the call.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before EvaluateContext, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package mutation
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -62,6 +63,16 @@ func Evaluate(q *qtree.Query, mutants []*Mutant, datasets []*schema.Dataset) (*R
 	return EvaluateOpts(q, mutants, datasets, EvalOptions{})
 }
 
+// EvaluateContext is EvaluateOpts with cooperative cancellation: the
+// context is checked before every (plan, dataset) cell, in the sequential
+// loop and in every worker, so a canceled evaluation returns promptly
+// (within one cell execution) with the context's error and no report.
+// Workers are always joined before returning; no goroutines outlive the
+// call.
+func EvaluateContext(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets []*schema.Dataset, opts EvalOptions) (*Report, error) {
+	return evaluate(ctx, q, mutants, datasets, opts)
+}
+
 // planSignature returns a canonical execution identity for a plan: two
 // plans with equal signatures produce multiset-equal results on every
 // dataset (Canon folds commutative inner-join orders and right-to-left
@@ -100,6 +111,10 @@ func planSignature(p *engine.Plan) string {
 // Kill bits are pure functions of (plan, dataset), so the Report is
 // deterministic regardless of worker count or scheduling.
 func EvaluateOpts(q *qtree.Query, mutants []*Mutant, datasets []*schema.Dataset, opts EvalOptions) (*Report, error) {
+	return evaluate(context.Background(), q, mutants, datasets, opts)
+}
+
+func evaluate(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets []*schema.Dataset, opts EvalOptions) (*Report, error) {
 	rep := &Report{Query: q, Mutants: mutants, Datasets: datasets, Killed: make([][]bool, len(mutants))}
 	for i := range rep.Killed {
 		rep.Killed[i] = make([]bool, len(datasets))
@@ -152,6 +167,9 @@ func EvaluateOpts(q *qtree.Query, mutants []*Mutant, datasets []*schema.Dataset,
 	nCells := len(plans) * len(datasets)
 	cellErrs := make([]error, nCells)
 	runCell := func(ci int) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("mutation: evaluation canceled: %w", err)
+		}
 		di, ui := ci/len(plans), ci%len(plans)
 		want, err := getWant(di)
 		if err != nil {

@@ -21,6 +21,14 @@ import (
 // keeps large mutant spaces cheap while still exercising every kind.
 const maxDiffMutants = 12
 
+// GoalTimeout is the per-kill-goal wall-clock budget applied by
+// CheckCompleteness (0 = unlimited; the per-solve node/time budgets
+// still apply). The nightly soak sets it (via the -randql.goal-timeout
+// test flag or the randql CLI's -goal-timeout flag) so one pathological
+// goal bounds a case instead of stalling the whole run; exhausted goals
+// are counted as BudgetExceeded, like per-solve limits.
+var GoalTimeout time.Duration
+
 // DiffOne is the differential oracle for one (case, dataset) pair: the
 // query — and a deterministic sample of its mutant plans — is evaluated
 // by both the execution engine and the independent reference evaluator,
@@ -159,9 +167,21 @@ func CheckCompleteness(c *Case, equivSeed int64) (*CompletenessResult, error) {
 	opts := core.DefaultOptions()
 	opts.SolverNodeLimit = 2_000_000
 	opts.SolverTimeout = 10 * time.Second
+	opts.GoalTimeout = GoalTimeout
 	suite, err := core.NewGenerator(c.Query, opts).Generate()
 	if err != nil {
 		if errors.Is(err, solver.ErrLimit) {
+			return &CompletenessResult{BudgetExceeded: true}, nil
+		}
+		if errors.Is(err, core.ErrPartialSuite) && suite != nil {
+			// Goal budgets exhausted: a deliberate skip, exactly like the
+			// per-solve ErrLimit path — unless a goal actually panicked,
+			// which is a real bug the soak must surface.
+			for _, f := range suite.Incomplete {
+				if f.Reason == core.ReasonPanic {
+					return nil, fmt.Errorf("randql: seed %d: generate: goal panicked: %w\n%s", c.Seed, f.Err, c.Repro(nil))
+				}
+			}
 			return &CompletenessResult{BudgetExceeded: true}, nil
 		}
 		return nil, fmt.Errorf("randql: seed %d: generate: %w\n%s", c.Seed, err, c.Repro(nil))

@@ -19,6 +19,11 @@ var (
 	flagSeed = flag.Int64("randql.seed", 1, "base seed for randql cases")
 	flagN    = flag.Int("randql.n", 70, "number of differential-oracle cases (3 datasets each)")
 	flagQ    = flag.Int("randql.q", 50, "number of suite-completeness cases")
+	// flagGoalTimeout bounds each kill goal of a completeness case, so one
+	// pathological solver instance bounds that case (counted as
+	// budget-skipped) instead of stalling the whole soak. The nightly job
+	// sets it explicitly; 0 keeps goals unbounded for local runs.
+	flagGoalTimeout = flag.Duration("randql.goal-timeout", 0, "per-kill-goal wall-clock budget for completeness cases (0 = unlimited)")
 )
 
 // saveFailure writes a reproducer into $RANDQL_FAILURE_DIR (if set) so
@@ -85,6 +90,9 @@ func TestSuiteCompleteness(t *testing.T) {
 		t.Skip("completeness property is slow; skipped with -short")
 	}
 	cfg := CompletenessConfig()
+	prev := GoalTimeout
+	GoalTimeout = *flagGoalTimeout
+	defer func() { GoalTimeout = prev }()
 	totalMutants, totalKilled, totalSuspected, budgetExceeded := 0, 0, 0, 0
 	for i := 0; i < *flagQ; i++ {
 		seed := *flagSeed + 10000 + int64(i)

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"math/rand"
 	"time"
 
@@ -15,7 +16,8 @@ type state struct {
 	nodes    int64
 	limit    int64
 	deadline time.Time
-	checked  int64 // deadline check throttle
+	done     <-chan struct{} // cooperative cancellation (nil = none)
+	checked  int64           // deadline/cancellation check throttle
 }
 
 func (st *state) budget() error {
@@ -24,10 +26,32 @@ func (st *state) budget() error {
 		return ErrLimit
 	}
 	st.checked++
-	if !st.deadline.IsZero() && st.checked%1024 == 0 && time.Now().After(st.deadline) {
-		return ErrLimit
+	if st.checked%1024 == 0 {
+		if st.done != nil {
+			select {
+			case <-st.done:
+				return ErrCanceled
+			default:
+			}
+		}
+		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			return ErrLimit
+		}
 	}
 	return nil
+}
+
+// canceled reports whether the done channel has fired (nil = never).
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // linBounds computes [lo, hi] for a linear expression under the current
@@ -105,7 +129,7 @@ func evalCmpBounds(op sqltypes.CmpOp, lo, hi int64) sqltypes.Tristate {
 // constraints — foreign keys, NOT-EXISTS nullifications, input-database
 // tuple constraints — which is exactly the overhead that unfolding all
 // quantifiers up front (the paper's optimization) eliminates.
-func (s *Solver) solveQuantified(limit int64, deadline time.Time) (Model, error) {
+func (s *Solver) solveQuantified(done <-chan struct{}, limit int64, deadline time.Time) (Model, error) {
 	var ground, quantified []Con
 	var split func(c Con)
 	split = func(c Con) {
@@ -143,12 +167,17 @@ func (s *Solver) solveQuantified(limit int64, deadline time.Time) (Model, error)
 	// existential ones. Each body is added at most once, so the loop
 	// terminates after at most total-instance-count rounds.
 	for {
+		// Cooperative cancellation between lazy-instantiation rounds (the
+		// in-round DFS checks st.done itself).
+		if canceled(done) {
+			return nil, ErrCanceled
+		}
 		remaining := limit - s.last.Nodes
 		if remaining <= 0 {
 			return nil, ErrLimit
 		}
 		sub := &Solver{domains: s.domains, names: s.names, cons: active}
-		m, err := sub.solveUnfolded(remaining, deadline)
+		m, err := sub.solveUnfolded(done, remaining, deadline)
 		s.last.Nodes += sub.last.Nodes
 		if err != nil {
 			// UNSAT of a subset of the implied constraints is UNSAT of
@@ -432,7 +461,7 @@ func (t *trail) undo(st *state, mark int) {
 	t.entries = t.entries[:mark]
 }
 
-func (s *Solver) solveUnfolded(limit int64, deadline time.Time) (Model, error) {
+func (s *Solver) solveUnfolded(done <-chan struct{}, limit int64, deadline time.Time) (Model, error) {
 	// Flatten quantifiers and split top-level conjunctions into raw
 	// conjunct constraints.
 	var conjuncts []Con
@@ -548,6 +577,11 @@ func (s *Solver) solveUnfolded(limit int64, deadline time.Time) (Model, error) {
 	rng := rand.New(rand.NewSource(0x9e3779b9))
 	baseDomains := domains
 	for attempt := 0; ; attempt++ {
+		// Cooperative cancellation between restarts (the DFS itself
+		// checks st.done every ~1024 nodes).
+		if canceled(done) {
+			return nil, ErrCanceled
+		}
 		cur := baseDomains
 		if attempt > 0 {
 			cur = make([][]int64, len(baseDomains))
@@ -564,6 +598,7 @@ func (s *Solver) solveUnfolded(limit int64, deadline time.Time) (Model, error) {
 			value:    make([]int64, len(s.domains)),
 			limit:    restartBudget,
 			deadline: deadline,
+			done:     done,
 		}
 		copy(st.domains, cur)
 		for _, v := range nonReps {
@@ -598,7 +633,7 @@ func (s *Solver) solveUnfolded(limit int64, deadline time.Time) (Model, error) {
 			return Model(st.value), nil
 		case err == nil:
 			return nil, ErrUnsat // search space exhausted
-		case err == ErrLimit && usedNodes < limit && (deadline.IsZero() || time.Now().Before(deadline)):
+		case errors.Is(err, ErrLimit) && usedNodes < limit && (deadline.IsZero() || time.Now().Before(deadline)):
 			restartBudget *= 2 // restart with shuffled value order
 		default:
 			return nil, err

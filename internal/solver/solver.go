@@ -23,6 +23,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -195,13 +196,22 @@ type Options struct {
 	NodeLimit int64
 	// Timeout bounds wall time (0 = none).
 	Timeout time.Duration
+	// Label is a diagnostic name for the solve (the caller's goal
+	// purpose). It appears in injected-fault messages and lets the
+	// fault-injection hook target specific solves deterministically.
+	Label string
 }
 
 // Errors distinguishing "no model exists" (an equivalent mutation, in
-// X-Data terms) from resource exhaustion.
+// X-Data terms) from resource exhaustion and cooperative cancellation.
 var (
 	ErrUnsat = errors.New("solver: unsatisfiable")
 	ErrLimit = errors.New("solver: node or time limit exceeded")
+	// ErrCanceled reports that the solve observed context cancellation
+	// (cooperatively, inside the search loop) and stopped early. The
+	// caller distinguishes user cancellation from a per-goal deadline by
+	// inspecting its own contexts.
+	ErrCanceled = errors.New("solver: canceled")
 )
 
 // Model maps variables to values.
@@ -283,7 +293,22 @@ func (s *Solver) Assert(c Con) {
 
 // Solve searches for a model of all asserted constraints.
 func (s *Solver) Solve(opts Options) (Model, error) {
+	return s.SolveContext(context.Background(), opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the search checks
+// ctx periodically (every ~1024 nodes in the unfolded DFS, and at every
+// lazy-instantiation round in quantified mode) and returns ErrCanceled
+// once ctx is done. Cancellation is prompt — bounded by one check
+// interval — and leaves the solver reusable.
+func (s *Solver) SolveContext(ctx context.Context, opts Options) (Model, error) {
 	s.last = Stats{}
+	if m, err, injected := injectFault(ctx, opts); injected {
+		return m, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ErrCanceled
+	}
 	limit := opts.NodeLimit
 	if limit == 0 {
 		limit = 50_000_000
@@ -292,10 +317,11 @@ func (s *Solver) Solve(opts Options) (Model, error) {
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
+	done := ctx.Done()
 	if opts.Unfold {
-		return s.solveUnfolded(limit, deadline)
+		return s.solveUnfolded(done, limit, deadline)
 	}
-	return s.solveQuantified(limit, deadline)
+	return s.solveQuantified(done, limit, deadline)
 }
 
 // flatten expands Quant nodes into And/Or recursively.

@@ -6,6 +6,7 @@
 package xbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -67,6 +68,19 @@ type Options struct {
 	// reported number is identical for every value; only wall-clock
 	// timings change.
 	Parallelism int
+	// Context, when non-nil, cancels the experiment cooperatively
+	// between and inside cells: runners return the rows completed so
+	// far together with the cancellation error, so partial benchmark
+	// results survive an interrupt.
+	Context context.Context
+}
+
+// ctx returns the run's context (Background when unset).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // runCell measures one (query, fkCount) cell.
@@ -85,8 +99,9 @@ func runCell(bq university.BenchQuery, fk int, opts Options) (Row, error) {
 		genOpts.ForceInputTuples = opts.ForceInputTuples
 	}
 
+	ctx := opts.ctx()
 	t0 := time.Now()
-	suite, err := core.NewGenerator(q, genOpts).Generate()
+	suite, err := core.NewGenerator(q, genOpts).GenerateContext(ctx)
 	if err != nil {
 		return row, fmt.Errorf("%s (unfolded): %w", bq.Name, err)
 	}
@@ -99,7 +114,7 @@ func runCell(bq university.BenchQuery, fk int, opts Options) (Row, error) {
 		qOpts := genOpts
 		qOpts.Unfold = false
 		t1 := time.Now()
-		qSuite, err := core.NewGenerator(q, qOpts).Generate()
+		qSuite, err := core.NewGenerator(q, qOpts).GenerateContext(ctx)
 		if err != nil {
 			return row, fmt.Errorf("%s (quantified): %w", bq.Name, err)
 		}
@@ -113,7 +128,7 @@ func runCell(bq university.BenchQuery, fk int, opts Options) (Row, error) {
 		if err != nil {
 			return row, fmt.Errorf("%s: %w", bq.Name, err)
 		}
-		rep, err := mutation.EvaluateOpts(q, ms, suite.All(), mutation.EvalOptions{Parallelism: opts.Parallelism})
+		rep, err := mutation.EvaluateContext(ctx, q, ms, suite.All(), mutation.EvalOptions{Parallelism: opts.Parallelism})
 		if err != nil {
 			return row, fmt.Errorf("%s: %w", bq.Name, err)
 		}
@@ -190,6 +205,12 @@ type InputDBRow struct {
 // (the 4-join query with no foreign keys), with tuples constrained to
 // come from input databases of increasing size.
 func RunInputDB(sizes []int) ([]InputDBRow, error) {
+	return RunInputDBContext(context.Background(), sizes)
+}
+
+// RunInputDBContext is RunInputDB with cooperative cancellation: the
+// rows completed before cancellation are returned with the error.
+func RunInputDBContext(ctx context.Context, sizes []int) ([]InputDBRow, error) {
 	bq := university.TableIQueries()[3] // Q4: 4 joins, 5 relations
 	var rows []InputDBRow
 	for _, n := range sizes {
@@ -204,7 +225,7 @@ func RunInputDB(sizes []int) ([]InputDBRow, error) {
 			genOpts.ForceInputTuples = true
 		}
 		t0 := time.Now()
-		suite, err := core.NewGenerator(q, genOpts).Generate()
+		suite, err := core.NewGenerator(q, genOpts).GenerateContext(ctx)
 		if err != nil {
 			return rows, err
 		}
@@ -254,6 +275,7 @@ func RunBaseline(opts Options) ([]BaselineRow, error) {
 	for _, bq := range university.TableIIQueries() {
 		cells = append(cells, cell{bq, bq.FKCounts[0]})
 	}
+	ctx := opts.ctx()
 	var rows []BaselineRow
 	for _, c := range cells {
 		bq := c.bq
@@ -274,7 +296,7 @@ func RunBaseline(opts Options) ([]BaselineRow, error) {
 		genOpts := core.DefaultOptions()
 		genOpts.Parallelism = opts.Parallelism
 		t1 := time.Now()
-		suite, err := core.NewGenerator(q, genOpts).Generate()
+		suite, err := core.NewGenerator(q, genOpts).GenerateContext(ctx)
 		if err != nil {
 			return rows, err
 		}
@@ -292,12 +314,12 @@ func RunBaseline(opts Options) ([]BaselineRow, error) {
 			}
 			row.MutantsTotal = len(ms)
 			evalOpts := mutation.EvalOptions{Parallelism: opts.Parallelism}
-			blRep, err := mutation.EvaluateOpts(q, ms, bl, evalOpts)
+			blRep, err := mutation.EvaluateContext(ctx, q, ms, bl, evalOpts)
 			if err != nil {
 				return rows, err
 			}
 			row.BaselineKilled = blRep.KilledCount()
-			xRep, err := mutation.EvaluateOpts(q, ms, suite.All(), evalOpts)
+			xRep, err := mutation.EvaluateContext(ctx, q, ms, suite.All(), evalOpts)
 			if err != nil {
 				return rows, err
 			}

@@ -32,6 +32,8 @@
 package xdata
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mutation"
@@ -75,7 +77,18 @@ type (
 	Report = mutation.Report
 	// Result is a query result (a bag of rows).
 	Result = engine.Result
+	// Failure records a kill goal abandoned for budget, panic or
+	// cancellation reasons (Suite.Incomplete).
+	Failure = core.Failure
+	// GoalError wraps a panic recovered inside one kill goal.
+	GoalError = core.GoalError
 )
+
+// ErrPartialSuite is returned (wrapped) by GenerateContext alongside a
+// usable partial suite when some kill goals were abandoned for budget,
+// panic or cancellation reasons; the abandoned goals are listed in
+// Suite.Incomplete. Test with errors.Is.
+var ErrPartialSuite = core.ErrPartialSuite
 
 // Value constructors.
 var (
@@ -110,6 +123,15 @@ func Generate(q *Query, opts Options) (*Suite, error) {
 	return core.NewGenerator(q, opts).Generate()
 }
 
+// GenerateContext is Generate with cooperative cancellation and graceful
+// degradation: kill goals abandoned for budget, panic or cancellation
+// reasons are recorded in Suite.Incomplete and the call returns the
+// partial suite alongside an error wrapping ErrPartialSuite. Per-goal
+// budgets are configured by Options.GoalTimeout and Options.GoalNodeLimit.
+func GenerateContext(ctx context.Context, q *Query, opts Options) (*Suite, error) {
+	return core.NewGenerator(q, opts).GenerateContext(ctx)
+}
+
 // DefaultMutationOptions matches the paper's experiments: all equivalent
 // join orders, full-outer-join mutations excluded.
 func DefaultMutationOptions() MutationOptions { return mutation.DefaultOptions() }
@@ -139,6 +161,17 @@ func AnalyzeParallel(q *Query, suite *Suite, opts MutationOptions, workers int) 
 		return nil, err
 	}
 	return mutation.EvaluateOpts(q, ms, suite.All(), mutation.EvalOptions{Parallelism: workers})
+}
+
+// AnalyzeContext is AnalyzeParallel with cooperative cancellation: a
+// canceled context aborts the kill-matrix evaluation promptly and
+// returns the context's error.
+func AnalyzeContext(ctx context.Context, q *Query, suite *Suite, opts MutationOptions, workers int) (*Report, error) {
+	ms, err := mutation.Space(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return mutation.EvaluateContext(ctx, q, ms, suite.All(), mutation.EvalOptions{Parallelism: workers})
 }
 
 // Execute runs the original query against a dataset using the built-in
