@@ -20,6 +20,9 @@
 // generation gracefully: whatever datasets were already produced are
 // printed, followed by an incomplete-goals report.
 //
+// -cpuprofile/-memprofile write runtime/pprof profiles of the run for
+// use with `go tool pprof`.
+//
 // Exit codes: 0 complete suite; 1 fatal error; 2 usage error; 3 partial
 // suite (some kill goals incomplete after budgets or interruption).
 package main
@@ -31,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -55,11 +60,38 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for generation (0 = unlimited); on expiry the partial suite is printed and the exit code is 3")
 	goalTimeout := flag.Duration("goal-timeout", 0, "wall-clock budget per kill goal (0 = unlimited)")
 	goalNodes := flag.Int64("goal-nodes", 0, "solver node budget per kill goal, with escalating 1x/4x/16x retries (0 = unlimited)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *schemaPath == "" || (*query == "" && *queryFile == "") {
 		flag.Usage()
 		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xdata: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "xdata: -memprofile:", err)
+			}
+		}()
 	}
 	ddl, err := os.ReadFile(*schemaPath)
 	if err != nil {

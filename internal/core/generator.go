@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/qtree"
@@ -62,6 +63,26 @@ type Options struct {
 	// Suite.Incomplete instead of failing the run. SolverNodeLimit, when
 	// also set, remains a hard per-call ceiling.
 	GoalNodeLimit int64
+
+	// The four No* flags below disable individual solver-microarchitecture
+	// optimizations FOR ABLATION AND DEBUGGING ONLY; the zero value (all
+	// optimizations on) is the supported configuration. They only matter
+	// in unfolded mode — quantified solves always take the legacy path.
+
+	// NoSolverHeuristics disables the bitset search kernel's MRV+degree
+	// variable ordering and least-constraining-value ordering
+	// (solver.Options.Heuristics).
+	NoSolverHeuristics bool
+	// NoDecompose disables constraint-graph component decomposition
+	// (solver.Options.Decompose) and, with it, the component cache.
+	NoDecompose bool
+	// NoSharedCore disables the shared pre-propagated database-constraint
+	// core (solver.PrepareBase): every kill goal then re-asserts and
+	// re-propagates the PK/FK/domain constraints from scratch.
+	NoSharedCore bool
+	// NoComponentCache disables memoizing solved components across kill
+	// goals (solver.Options.Cache) while keeping decomposition itself.
+	NoComponentCache bool
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -96,6 +117,23 @@ type Stats struct {
 	// PanicCount counts kill-goal panics recovered into
 	// Suite.Incomplete entries (fault isolation).
 	PanicCount int
+	// ComponentCount is the number of connected components the kernel's
+	// constraint-graph decomposition produced, summed over all solver
+	// calls (0 when Options.NoDecompose or quantified mode).
+	ComponentCount int64
+	// ComponentCacheHits counts components answered from the
+	// per-generator component cache instead of being searched. The
+	// total is deterministic (singleflight computes each distinct
+	// component exactly once), though which goal pays the search nodes
+	// for a shared component depends on worker scheduling — the nodes
+	// total stays invariant because a hit costs zero nodes.
+	ComponentCacheHits int64
+	// BasePropagationNodes is the propagation work performed once per
+	// shared database-constraint core (solver.PrepareBase fixed points)
+	// and reused by every goal attached to it. Counted at build time,
+	// once per distinct core, so it measures work actually done — the
+	// work *saved* scales with SolverCalls.
+	BasePropagationNodes int64
 }
 
 // Skip records a dataset that was not generated because its constraints
@@ -199,6 +237,17 @@ type Generator struct {
 
 	intPool []int64
 	strPool *stringPool
+
+	// Solver-microarchitecture caches shared by every kill goal of this
+	// generator (and across Generate calls — a warm generator solves
+	// faster and reports lower work counters, but produces byte-identical
+	// suites). mu guards the two lazy maps; the component cache has its
+	// own internal synchronization. See problem.go for the layout/base
+	// construction.
+	mu      sync.Mutex
+	layouts map[layoutKey]*problemLayout
+	bases   map[baseKey]*solver.Base
+	comp    *solver.ComponentCache
 }
 
 // NewGenerator prepares a generator, building the interesting-value
@@ -279,6 +328,7 @@ func NewGenerator(q *qtree.Query, opts Options) *Generator {
 	sort.Slice(g.intPool, func(i, j int) bool { return g.intPool[i] < g.intPool[j] })
 
 	g.strPool = newStringPool(strSet, opts.FreshValues)
+	g.comp = solver.NewComponentCache()
 	return g
 }
 
@@ -320,6 +370,13 @@ func collectScalarConsts(s *qtree.Scalar, ints, arith *[]int64, strs map[string]
 // NOT-EXISTS nullifications and the aggregation constraint sets all want
 // distinct tuples — starting them apart avoids deep backtracking.
 func (g *Generator) domainFor(rel *schema.Relation, a schema.Attribute, slotIdx int) []int64 {
+	return rotateDomain(dedupeDomain(g.baseDomainFor(rel, a)), slotIdx)
+}
+
+// baseDomainFor is domainFor before rotation and deduplication: the
+// slot-independent preference order. buildLayout computes it (and its
+// dedup) once per (relation, attribute) instead of once per slot.
+func (g *Generator) baseDomainFor(rel *schema.Relation, a schema.Attribute) []int64 {
 	var dom []int64
 	if g.opts.InputDB != nil {
 		pos := rel.AttrPos(a.Name)
@@ -337,14 +394,60 @@ func (g *Generator) domainFor(rel *schema.Relation, a schema.Attribute, slotIdx 
 	default:
 		dom = append(dom, g.intPool...)
 	}
-	if slotIdx > 0 && len(dom) > 1 {
-		rot := slotIdx % len(dom)
-		rotated := make([]int64, 0, len(dom))
-		rotated = append(rotated, dom[rot:]...)
-		rotated = append(rotated, dom[:rot]...)
-		dom = rotated
-	}
 	return dom
+}
+
+// dedupeDomain removes duplicates preserving first-occurrence order
+// (rotation preserves uniqueness, so this runs once per attribute).
+// Small domains — the common case — are checked by quadratic scan and
+// returned unchanged (no map, no copy) when already unique; only wide
+// domains pay for a seen-map.
+func dedupeDomain(dom []int64) []int64 {
+	if len(dom) <= 32 {
+		var out []int64 // nil while dom is still duplicate-free
+		for i, v := range dom {
+			dup := false
+			for _, w := range dom[:i] {
+				if w == v {
+					dup = true
+					break
+				}
+			}
+			switch {
+			case dup && out == nil: // first duplicate: copy the clean prefix
+				out = append(make([]int64, 0, len(dom)-1), dom[:i]...)
+			case !dup && out != nil:
+				out = append(out, v)
+			}
+		}
+		if out == nil {
+			return dom
+		}
+		return out
+	}
+	seen := make(map[int64]bool, len(dom))
+	out := make([]int64, 0, len(dom))
+	for _, v := range dom {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// rotateDomain returns dom rotated left by slotIdx (a fresh slice when
+// rotation applies; the input otherwise), so sibling tuples of one
+// relation try distinct values first — see domainFor.
+func rotateDomain(dom []int64, slotIdx int) []int64 {
+	if slotIdx <= 0 || len(dom) < 2 {
+		return dom
+	}
+	rot := slotIdx % len(dom)
+	rotated := make([]int64, 0, len(dom))
+	rotated = append(rotated, dom[rot:]...)
+	rotated = append(rotated, dom[:rot]...)
+	return rotated
 }
 
 // encodeValue maps a SQL value to its solver integer. Strings must be in
@@ -467,7 +570,25 @@ func (g *Generator) tryBuild(gb *goalBudget, suite *Suite, purpose string, tuple
 	if err := build(p); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", purpose, err)
 	}
-	p.assertDBConstraints()
+	// Shared-core path: when this attempt will run the bitset kernel and
+	// the goal did not disable any foreign key (patchNull), attach the
+	// pre-propagated database-constraint core instead of re-asserting —
+	// and re-flattening, re-compiling, re-propagating — it per goal. The
+	// constraints build(p) asserted become the goal's delta.
+	if g.useSharedCore(gb, p) {
+		b, built, err := g.baseFor(tupleSets, needRepair, forceInput)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", purpose, err)
+		}
+		if built {
+			// Accounted once per distinct core, by whichever goal built
+			// it; the suite-level sum is deterministic either way.
+			suite.Stats.BasePropagationNodes += b.PropagationNodes()
+		}
+		p.s.AttachBase(b)
+	} else {
+		p.assertDBConstraints()
+	}
 
 	t0 := time.Now()
 	m, err := p.solve(gb, purpose)
@@ -477,6 +598,8 @@ func (g *Generator) tryBuild(gb *goalBudget, suite *Suite, purpose string, tuple
 	suite.Stats.SolverNodes += st.Nodes
 	suite.Stats.SolverRestarts += st.Restarts
 	suite.Stats.SolverProblemSize += p.s.ProblemSize()
+	suite.Stats.ComponentCount += st.ComponentCount
+	suite.Stats.ComponentCacheHits += st.ComponentCacheHits
 	switch {
 	case err == nil:
 		suite.Stats.SatCount++
@@ -488,6 +611,25 @@ func (g *Generator) tryBuild(gb *goalBudget, suite *Suite, purpose string, tuple
 	default:
 		return nil, fmt.Errorf("core: %s: %w", purpose, err)
 	}
+}
+
+// useSharedCore reports whether this attempt should attach the shared
+// pre-propagated database-constraint core instead of asserting the
+// constraints per goal. Requirements: the feature is enabled, the goal
+// did not suppress any foreign key (skipFK goals assert a filtered
+// constraint set the core does not match), and the attempt will solve
+// with the bitset kernel — the legacy paths ignore an attached base
+// (the solver refuses with an error rather than miscompute, see
+// solver.AttachBase).
+func (g *Generator) useSharedCore(gb *goalBudget, p *problem) bool {
+	if g.opts.NoSharedCore || p.skipFK != nil {
+		return false
+	}
+	unfold := g.opts.Unfold
+	if gb.unfold != nil {
+		unfold = *gb.unfold
+	}
+	return unfold && (!g.opts.NoSolverHeuristics || !g.opts.NoDecompose)
 }
 
 // addIfGenerated appends a dataset when generation succeeded.

@@ -303,6 +303,10 @@ func addStats(a, b Stats) Stats {
 		LimitCount:        a.LimitCount + b.LimitCount,
 		RetryCount:        a.RetryCount + b.RetryCount,
 		PanicCount:        a.PanicCount + b.PanicCount,
+
+		ComponentCount:       a.ComponentCount + b.ComponentCount,
+		ComponentCacheHits:   a.ComponentCacheHits + b.ComponentCacheHits,
+		BasePropagationNodes: a.BasePropagationNodes + b.BasePropagationNodes,
 	}
 }
 

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/qtree"
@@ -148,7 +149,40 @@ func (p *stringPool) decode(c int64) string {
 	return p.vals[c]
 }
 
-// newProblem allocates tuple slots and variables for a dataset.
+// layoutKey identifies a variable layout: every problem with the same
+// slot shape (tuple sets × repair capacity) declares the identical
+// variable space, so it is declared once and shared.
+type layoutKey struct {
+	tupleSets  int
+	needRepair bool
+}
+
+// problemLayout is the immutable, shareable part of a problem: the
+// declared solver variable space (domains + names) plus the slot arrays
+// and the occurrence-to-slot mapping. Built once per layoutKey by
+// Generator.layoutFor; problems alias it via solver.NewShared and never
+// mutate it (slots and vars are written only during construction; the
+// per-goal mutable state — skipFK, nullPatches, forceInput, asserted
+// constraints — lives on the problem and its own solver).
+type problemLayout struct {
+	s       *solver.Solver
+	slots   map[string][]*slot
+	occSlot map[occSet]*slot
+}
+
+// baseKey identifies a shared constraint core: the layout shape plus
+// whether the §VI-A input-tuple constraints are included. Goals that
+// suppress foreign keys (skipFK) never attach a core.
+type baseKey struct {
+	tupleSets  int
+	needRepair bool
+	forceInput bool
+}
+
+// newProblem allocates tuple slots and variables for a dataset, sharing
+// the variable layout across all goals with the same shape (the
+// per-goal solver aliases the layout's domains without copying — the
+// variable declaration loop used to be ~25% of generation time).
 //
 // tupleSets is 1 for ordinary datasets, 3 for aggregation datasets.
 // needRepair adds the paper's referenced-tuple repair capacity: for every
@@ -157,12 +191,84 @@ func (p *stringPool) decode(c int64) string {
 // (§V-B). Transitively referenced relations outside the query are always
 // included so the dataset is a legal database instance.
 func (g *Generator) newProblem(tupleSets int, needRepair bool) (*problem, error) {
-	p := &problem{
+	g.mu.Lock()
+	pl, err := g.layoutForLocked(tupleSets, needRepair)
+	g.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &problem{
 		g:       g,
+		s:       solver.NewShared(pl.s),
+		slots:   pl.slots,
+		occSlot: pl.occSlot,
+		strs:    g.strPool,
+	}, nil
+}
+
+// layoutForLocked returns (building and caching on first use) the
+// shared layout for a problem shape. Caller holds g.mu.
+func (g *Generator) layoutForLocked(tupleSets int, needRepair bool) (*problemLayout, error) {
+	key := layoutKey{tupleSets: tupleSets, needRepair: needRepair}
+	if pl, ok := g.layouts[key]; ok {
+		return pl, nil
+	}
+	pl, err := g.buildLayout(tupleSets, needRepair)
+	if err != nil {
+		return nil, err
+	}
+	if g.layouts == nil {
+		g.layouts = map[layoutKey]*problemLayout{}
+	}
+	g.layouts[key] = pl
+	return pl, nil
+}
+
+// baseFor returns (building and caching on first use) the shared
+// pre-propagated database-constraint core for a problem shape. built
+// reports whether this call performed the build, so the caller can
+// account the propagation work exactly once per distinct core. Builds
+// are serialized under g.mu: concurrent goals needing the same core
+// wait for one build instead of duplicating it, keeping the suite's
+// BasePropagationNodes total deterministic.
+func (g *Generator) baseFor(tupleSets int, needRepair, forceInput bool) (*solver.Base, bool, error) {
+	key := baseKey{tupleSets: tupleSets, needRepair: needRepair, forceInput: forceInput}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b, ok := g.bases[key]; ok {
+		return b, false, nil
+	}
+	pl, err := g.layoutForLocked(tupleSets, needRepair)
+	if err != nil {
+		return nil, false, err
+	}
+	// Collect the core's constraints by asserting the database
+	// constraints on a throwaway problem over the shared layout — the
+	// exact set assertDBConstraints would add per goal (skipFK nil).
+	tmp := &problem{
+		g:          g,
+		s:          solver.NewShared(pl.s),
+		slots:      pl.slots,
+		occSlot:    pl.occSlot,
+		strs:       g.strPool,
+		forceInput: forceInput,
+	}
+	tmp.assertDBConstraints()
+	b := solver.PrepareBase(pl.s, tmp.s.Constraints())
+	if g.bases == nil {
+		g.bases = map[baseKey]*solver.Base{}
+	}
+	g.bases[key] = b
+	return b, true, nil
+}
+
+// buildLayout performs the slot and variable allocation (the body of
+// the former newProblem).
+func (g *Generator) buildLayout(tupleSets int, needRepair bool) (*problemLayout, error) {
+	p := &problemLayout{
 		s:       solver.New(),
 		slots:   map[string][]*slot{},
 		occSlot: map[occSet]*slot{},
-		strs:    g.strPool,
 	}
 
 	// Count base slots per relation.
@@ -202,6 +308,10 @@ func (g *Generator) newProblem(tupleSets int, needRepair bool) (*problem, error)
 	}
 
 	// Allocate slots and variables (referenced-first for readability).
+	// Each attribute's preference domain is built and deduplicated once
+	// per relation; per-slot rotation preserves uniqueness, so the
+	// variables skip the solver's dedup pass (variable declaration used
+	// to be ~25% of generation time).
 	for i := len(order) - 1; i >= 0; i-- {
 		rel := order[i]
 		n := counts[rel.Name]
@@ -212,11 +322,15 @@ func (g *Generator) newProblem(tupleSets int, needRepair bool) (*problem, error)
 		if n > limit {
 			n = limit
 		}
+		base := make([][]int64, len(rel.Attrs))
+		for ai, a := range rel.Attrs {
+			base[ai] = dedupeDomain(g.baseDomainFor(rel, a))
+		}
 		for k := 0; k < n; k++ {
-			sl := &slot{rel: rel, idx: k}
-			for _, a := range rel.Attrs {
-				dom := g.domainFor(rel, a, k)
-				sl.vars = append(sl.vars, p.s.NewVar(fmt.Sprintf("%s[%d].%s", rel.Name, k, a.Name), dom))
+			sl := &slot{rel: rel, idx: k, vars: make([]solver.VarID, 0, len(rel.Attrs))}
+			prefix := rel.Name + "[" + strconv.Itoa(k) + "]."
+			for ai, a := range rel.Attrs {
+				sl.vars = append(sl.vars, p.s.NewVarUnique(prefix+a.Name, rotateDomain(base[ai], k)))
 			}
 			p.slots[rel.Name] = append(p.slots[rel.Name], sl)
 		}
@@ -625,6 +739,14 @@ func (p *problem) solve(gb *goalBudget, label string) (solver.Model, error) {
 		NodeLimit: p.g.opts.SolverNodeLimit,
 		Timeout:   p.g.opts.SolverTimeout,
 		Label:     label,
+		// Solver microarchitecture: on by default, individually
+		// disabled by the ablation flags (see Options). Quantified
+		// solves ignore them.
+		Heuristics: !p.g.opts.NoSolverHeuristics,
+		Decompose:  !p.g.opts.NoDecompose,
+	}
+	if opts.Decompose && !p.g.opts.NoComponentCache {
+		opts.Cache = p.g.comp
 	}
 	if gb.nodeLimit > 0 && (opts.NodeLimit <= 0 || gb.nodeLimit < opts.NodeLimit) {
 		opts.NodeLimit = gb.nodeLimit

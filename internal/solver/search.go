@@ -25,6 +25,18 @@ func (st *state) budget() error {
 	if st.nodes > st.limit {
 		return ErrLimit
 	}
+	return st.tick()
+}
+
+// tick advances the shared deadline/cancellation throttle counter and,
+// every 1024 ticks, performs the (comparatively expensive) checks. It
+// is called once per search node by budget AND once per watched-clause
+// visit by the propagation loop: before the counter was hoisted here,
+// a solve dominated by propagation (few search nodes, huge implication
+// chains) could overshoot its deadline by the full length of one
+// propagation fixed-point, because only budget() ever advanced the
+// counter (deadline-check starvation).
+func (st *state) tick() error {
 	st.checked++
 	if st.checked%1024 == 0 {
 		if st.done != nil {
@@ -574,7 +586,10 @@ func (s *Solver) solveUnfolded(done <-chan struct{}, limit int64, deadline time.
 	// preference order so easy instances yield intuitive datasets.
 	restartBudget := int64(4096)
 	var usedNodes int64
-	rng := rand.New(rand.NewSource(0x9e3779b9))
+	// The rng only feeds restart shuffles, and the overwhelming majority
+	// of solves succeed on attempt 0 — seeding it eagerly showed up as
+	// ~13% of generation CPU in profiles, so it is created lazily.
+	var rng *rand.Rand
 	baseDomains := domains
 	for attempt := 0; ; attempt++ {
 		// Cooperative cancellation between restarts (the DFS itself
@@ -584,6 +599,9 @@ func (s *Solver) solveUnfolded(done <-chan struct{}, limit int64, deadline time.
 		}
 		cur := baseDomains
 		if attempt > 0 {
+			if rng == nil {
+				rng = rand.New(rand.NewSource(0x9e3779b9))
+			}
 			cur = make([][]int64, len(baseDomains))
 			copy(cur, baseDomains)
 			for _, v := range reps {
@@ -755,8 +773,8 @@ func (s *Solver) dfsUnfolded(st *state, clauses []clause, watch [][]int32, tr *t
 	for _, val := range vals {
 		mark := tr.mark()
 		var implied []VarID
-		conflict := propagate(st, clauses, watch, tr, best, val, &implied)
-		if !conflict {
+		conflict, perr := propagate(st, clauses, watch, tr, best, val, &implied)
+		if perr == nil && !conflict {
 			ok, err := s.dfsUnfolded(st, clauses, watch, tr, reps)
 			if err != nil {
 				return false, err
@@ -770,14 +788,20 @@ func (s *Solver) dfsUnfolded(st *state, clauses []clause, watch [][]int32, tr *t
 		}
 		st.assigned[best] = false
 		tr.undo(st, mark)
+		if perr != nil {
+			return false, perr
+		}
 	}
 	return false, nil
 }
 
 // propagate assigns v=val and runs a propagation loop: watched clauses
 // are evaluated and pruned; domains narrowed to a single value trigger
-// implied assignments which propagate in turn. It reports conflict.
-func propagate(st *state, clauses []clause, watch [][]int32, tr *trail, v VarID, val int64, implied *[]VarID) bool {
+// implied assignments which propagate in turn. It reports conflict, and
+// surfaces deadline/cancellation errors: each watched-clause visit ticks
+// the shared throttle so a long implication chain cannot starve the
+// deadline check (see state.tick).
+func propagate(st *state, clauses []clause, watch [][]int32, tr *trail, v VarID, val int64, implied *[]VarID) (bool, error) {
 	st.assigned[v] = true
 	st.value[v] = val
 	queue := []VarID{v}
@@ -785,13 +809,16 @@ func propagate(st *state, clauses []clause, watch [][]int32, tr *trail, v VarID,
 		cur := queue[0]
 		queue = queue[1:]
 		for _, ci := range watch[cur] {
+			if err := st.tick(); err != nil {
+				return false, err
+			}
 			cl := clauses[ci]
 			if cl.eval(st) == sqltypes.False {
-				return true
+				return true, nil
 			}
 			before := tr.mark()
 			if cl.prune(st, tr) {
-				return true
+				return true, nil
 			}
 			// Implied assignments: domains narrowed to singletons.
 			for _, e := range tr.entries[before:] {
@@ -804,5 +831,5 @@ func propagate(st *state, clauses []clause, watch [][]int32, tr *trail, v VarID,
 			}
 		}
 	}
-	return false
+	return false, nil
 }

@@ -72,7 +72,52 @@ func (l Lin) Times(k int64) Lin {
 	return out.normalize()
 }
 
+// normalize merges duplicate variables, drops zero coefficients and
+// sorts terms by variable id. Linear expressions in this codebase are
+// tiny (join and comparison conditions: one to three terms), so the
+// common cases avoid the map + sort.Slice closure entirely — normalize
+// runs on every Plus/Minus/Times and was ~10% of generation time.
 func (l Lin) normalize() Lin {
+	switch len(l.Terms) {
+	case 0:
+		return Lin{Const: l.Const}
+	case 1:
+		if l.Terms[0].Coef == 0 {
+			return Lin{Const: l.Const}
+		}
+		return Lin{Const: l.Const, Terms: []Term{l.Terms[0]}}
+	}
+	if len(l.Terms) <= 8 {
+		// Insertion sort-merge into a small slice: O(n²) with n ≤ 8.
+		terms := make([]Term, 0, len(l.Terms))
+		for _, t := range l.Terms {
+			pos := len(terms)
+			dup := false
+			for i, u := range terms {
+				if u.V == t.V {
+					terms[i].Coef += t.Coef
+					dup = true
+					break
+				}
+				if u.V > t.V {
+					pos = i
+					break
+				}
+			}
+			if !dup {
+				terms = append(terms, Term{})
+				copy(terms[pos+1:], terms[pos:])
+				terms[pos] = t
+			}
+		}
+		out := Lin{Const: l.Const, Terms: terms[:0]}
+		for _, t := range terms {
+			if t.Coef != 0 {
+				out.Terms = append(out.Terms, t)
+			}
+		}
+		return out
+	}
 	sum := map[VarID]int64{}
 	for _, t := range l.Terms {
 		sum[t.V] += t.Coef
@@ -200,7 +245,26 @@ type Options struct {
 	// purpose). It appears in injected-fault messages and lets the
 	// fault-injection hook target specific solves deterministically.
 	Label string
+	// Heuristics selects the bitset search kernel: uint64-word domain
+	// stores with a word-granular copy-on-write trail, MRV + degree
+	// variable ordering, least-constraining-value ordering, and
+	// compiled-clause reuse. Unfolded mode only; the legacy list-based
+	// kernel remains the default (and the metamorphic-test oracle).
+	Heuristics bool
+	// Decompose partitions the (preprocessed) constraint graph into
+	// connected components and solves them independently,
+	// smallest-first, so a tiny UNSAT component fails the whole solve
+	// in microseconds. Implies the bitset kernel.
+	Decompose bool
+	// Cache, when non-nil and Decompose is set, memoizes solved
+	// components by canonical key so identical sub-problems shared
+	// across kill goals (and across datasets) are solved once. Safe
+	// for concurrent use; see ComponentCache.
+	Cache *ComponentCache
 }
+
+// kernel reports whether the solve should use the bitset search kernel.
+func (o Options) kernel() bool { return o.Unfold && (o.Heuristics || o.Decompose) }
 
 // Errors distinguishing "no model exists" (an equivalent mutation, in
 // X-Data terms) from resource exhaustion and cooperative cancellation.
@@ -227,6 +291,18 @@ type Stats struct {
 	// Restarts is the number of lazy-instantiation rounds beyond the
 	// first solve (always 0 in unfolded mode).
 	Restarts int64
+	// ComponentCount is the number of connected components the
+	// constraint graph decomposed into (0 unless Options.Decompose).
+	// Isolated variables count as singleton components.
+	ComponentCount int64
+	// ComponentCacheHits counts components answered from
+	// Options.Cache instead of being searched.
+	ComponentCacheHits int64
+	// BasePropagationNodes is the propagation work the attached shared
+	// base saved this solve: the fixed-point pruning performed once in
+	// PrepareBase and reused here instead of being recomputed (0 when
+	// no base is attached).
+	BasePropagationNodes int64
 }
 
 // Solver accumulates variables and constraints.
@@ -235,6 +311,10 @@ type Solver struct {
 	names   []string
 	cons    []Con
 	last    Stats
+	// base, when non-nil, is a shared pre-propagated constraint core
+	// (see PrepareBase): the asserted cons are the goal's delta on top
+	// of it. Only the bitset kernel consumes it.
+	base *Base
 }
 
 // LastStats returns the work counters of the most recent Solve call.
@@ -243,21 +323,51 @@ func (s *Solver) LastStats() Stats { return s.last }
 // New returns an empty solver.
 func New() *Solver { return &Solver{} }
 
+// NewShared returns a solver whose variables (domains and names) alias
+// those of layout, without copying: the caller declares the variable
+// space once — typically per dataset-layout key — and attaches it to
+// many per-goal solvers. The solver never mutates domain slices in
+// place, so the shared layout stays immutable. Asserting constraints
+// on the returned solver does not affect layout.
+func NewShared(layout *Solver) *Solver {
+	return &Solver{domains: layout.domains, names: layout.names}
+}
+
+// AttachBase attaches a shared pre-propagated constraint core (see
+// PrepareBase) built over the same variable layout. Constraints
+// asserted on s are then treated as the goal-specific delta: the
+// solve starts from the base's fixed-point domain store and its
+// precompiled clauses instead of re-flattening, re-compiling and
+// re-propagating the core. Requires the bitset kernel
+// (Options.Heuristics or Options.Decompose) and unfolded mode; the
+// legacy paths ignore the base, so callers must assert the base
+// constraints themselves when they intend to solve without it.
+func (s *Solver) AttachBase(b *Base) { s.base = b }
+
 // NewVar declares a variable with the given (non-empty, deduplicated,
 // order-preserved) candidate domain. The name is for diagnostics.
 func (s *Solver) NewVar(name string, domain []int64) VarID {
-	seen := map[int64]bool{}
-	var d []int64
+	seen := make(map[int64]bool, len(domain))
+	d := make([]int64, 0, len(domain))
 	for _, v := range domain {
 		if !seen[v] {
 			seen[v] = true
 			d = append(d, v)
 		}
 	}
-	if len(d) == 0 {
-		d = []int64{0}
+	return s.NewVarUnique(name, d)
+}
+
+// NewVarUnique is NewVar for a domain the caller guarantees is already
+// duplicate-free: it skips the deduplication pass (which dominates
+// variable declaration when domains are large and, as in core's value
+// pools, already unique). The solver keeps the slice; the caller must
+// not mutate it afterwards.
+func (s *Solver) NewVarUnique(name string, domain []int64) VarID {
+	if len(domain) == 0 {
+		domain = []int64{0}
 	}
-	s.domains = append(s.domains, d)
+	s.domains = append(s.domains, domain)
 	s.names = append(s.names, name)
 	return VarID(len(s.domains) - 1)
 }
@@ -275,6 +385,11 @@ func (s *Solver) NumCons() int { return len(s.cons) }
 // both terms are needed for the §VI-C.3 growth shape.
 func (s *Solver) ProblemSize() int64 {
 	n := int64(len(s.cons))
+	if s.base != nil {
+		// The shared core's constraints are part of this problem even
+		// though they are not re-asserted per goal.
+		n += int64(s.base.ncons)
+	}
 	for _, d := range s.domains {
 		n += int64(len(d))
 	}
@@ -290,6 +405,12 @@ func (s *Solver) Assert(c Con) {
 		s.cons = append(s.cons, c)
 	}
 }
+
+// Constraints returns the asserted constraints. The returned slice is
+// owned by the solver and must not be mutated; it exists so a caller
+// can lift one solver's assertions into a shared core (PrepareBase)
+// for many others over the same layout.
+func (s *Solver) Constraints() []Con { return s.cons }
 
 // Solve searches for a model of all asserted constraints.
 func (s *Solver) Solve(opts Options) (Model, error) {
@@ -309,6 +430,11 @@ func (s *Solver) SolveContext(ctx context.Context, opts Options) (Model, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, ErrCanceled
 	}
+	if s.base != nil && !opts.kernel() {
+		// The legacy paths would silently ignore the base's constraints
+		// and return models violating them; refuse instead.
+		return nil, fmt.Errorf("solver: attached base requires the bitset kernel (Unfold with Heuristics or Decompose)")
+	}
 	limit := opts.NodeLimit
 	if limit == 0 {
 		limit = 50_000_000
@@ -318,6 +444,9 @@ func (s *Solver) SolveContext(ctx context.Context, opts Options) (Model, error) 
 		deadline = time.Now().Add(opts.Timeout)
 	}
 	done := ctx.Done()
+	if opts.kernel() {
+		return s.solveKernel(done, limit, deadline, opts)
+	}
 	if opts.Unfold {
 		return s.solveUnfolded(done, limit, deadline)
 	}

@@ -1,0 +1,350 @@
+package solver
+
+import (
+	"math/bits"
+
+	"repro/internal/sqltypes"
+)
+
+// This file implements the bitset domain store used by the kernel search
+// path (Options.Heuristics / Options.Decompose) and the shared-core
+// Base: the original query's constraint system pre-flattened, compiled
+// and propagated to a fixed point exactly once, so that each of the
+// O(joins x operators) kill goals starts from the propagated store (one
+// memcopy of []uint64 words) instead of re-doing the whole front end.
+
+// kstore is a packed bitset domain store over a fixed variable layout.
+// Variable v's candidate values live in cand[v] (declaration order ==
+// the caller's preference order); bit i of the words at off[v] is set
+// iff cand[v][i] is still live. The cand/off layout is immutable and
+// shared; only words is per-solve state.
+type kstore struct {
+	cand  [][]int64
+	off   []int32
+	words []uint64
+}
+
+// newKstoreLayout builds the layout (cand/off and a fully-set words
+// template) for a variable space.
+func newKstoreLayout(domains [][]int64) kstore {
+	ks := kstore{cand: domains, off: make([]int32, len(domains)+1)}
+	total := int32(0)
+	for v, d := range domains {
+		ks.off[v] = total
+		total += int32((len(d) + 63) / 64)
+	}
+	ks.off[len(domains)] = total
+	ks.words = make([]uint64, total)
+	for v, d := range domains {
+		fillWords(ks.words[ks.off[v]:ks.off[v+1]], len(d))
+	}
+	return ks
+}
+
+// fillWords sets the first n bits across the word span.
+func fillWords(w []uint64, n int) {
+	for i := range w {
+		if n >= 64 {
+			w[i] = ^uint64(0)
+			n -= 64
+		} else {
+			w[i] = (uint64(1) << uint(n)) - 1
+			n = 0
+		}
+	}
+}
+
+func popcountWords(w []uint64) int32 {
+	var n int
+	for _, x := range w {
+		n += bits.OnesCount64(x)
+	}
+	return int32(n)
+}
+
+// kpin is a value pin extracted from a top-level var = const conjunct.
+type kpin struct {
+	v   VarID
+	val int64
+}
+
+// Base is a pre-propagated shared constraint core over a variable
+// layout: the flattened, equality-preprocessed, compiled and fixed-point
+// propagated form of the base (original-query + database) constraints
+// that every kill goal of a Generate run shares. Goals attach it via
+// Solver.AttachBase and assert only their mutation-specific delta; the
+// kernel then clones the propagated word store instead of repeating the
+// front-end work. A Base is immutable after PrepareBase and safe for
+// concurrent use by any number of solves.
+type Base struct {
+	store    kstore  // words hold the propagated fixed point
+	count    []int32 // live candidates per variable at the fixed point
+	uf       []VarID // union-find parents after base equality merges (flat)
+	assigned []bool  // variables fixed by base propagation (singletons)
+	value    []int64
+	clauses  []kclause
+	cvars    [][]VarID // variables per clause (deduped, rep ids)
+	// watch holds the precomputed per-rep watch lists over the base
+	// clauses, shrink-wrapped to exact capacity so attached solves can
+	// share the slices: any append (delta clauses, merge folds)
+	// reallocates instead of mutating them.
+	watch [][]int32
+	// propNodes is the number of watched-clause propagation visits the
+	// fixed-point computation performed: the work each attached solve
+	// reuses instead of recomputing.
+	propNodes int64
+	ncons     int
+	unsat     bool
+}
+
+// PropagationNodes reports the fixed-point propagation work performed
+// once in PrepareBase and reused by every attached solve.
+func (b *Base) PropagationNodes() int64 { return b.propNodes }
+
+// Unsat reports whether the base constraints alone are unsatisfiable
+// (every attached solve is then immediately UNSAT).
+func (b *Base) Unsat() bool { return b.unsat }
+
+// PrepareBase flattens, equality-preprocesses, compiles and propagates
+// the given constraints over layout's variable space, producing a Base
+// that kernel solves (Options.Heuristics/Decompose with unfolded mode)
+// start from. cons must be a subset of what the caller would otherwise
+// assert per goal; ncons (= len(cons)) keeps ProblemSize consistent
+// with the un-shared formulation.
+func PrepareBase(layout *Solver, cons []Con) *Base {
+	b := &Base{ncons: len(cons)}
+
+	// Flatten quantifiers and split top-level conjunctions.
+	var conjuncts []Con
+	var split func(c Con)
+	split = func(c Con) {
+		if a, ok := c.(*And); ok {
+			for _, x := range a.Cs {
+				split(x)
+			}
+			return
+		}
+		conjuncts = append(conjuncts, c)
+	}
+	for _, c := range cons {
+		split(flatten(c))
+	}
+
+	// Equality preprocessing over the bitset store: var = var conjuncts
+	// merge via union-find (intersecting candidate sets by value),
+	// var = const conjuncts pin.
+	uf := newVarUF(len(layout.domains))
+	ks := newKstoreLayout(layout.domains)
+	count := make([]int32, len(layout.domains))
+	for v := range layout.domains {
+		count[v] = int32(len(layout.domains[v]))
+	}
+	var remaining []Con
+	for _, c := range conjuncts {
+		eq, pin, kind := classifyEq(c, uf)
+		switch kind {
+		case eqUnsat:
+			b.unsat = true
+			return b
+		case eqPin:
+			if pinStore(&ks, count, pin.v, pin.val) == 0 {
+				b.unsat = true
+				return b
+			}
+		case eqMerge:
+			if mergeStore(&ks, count, uf, eq[0], eq[1]) == 0 {
+				b.unsat = true
+				return b
+			}
+		case eqTrivial:
+			// constant-true conjunct: drop
+		default:
+			remaining = append(remaining, c)
+		}
+	}
+
+	// Compile the remainder with variables substituted to their base
+	// representatives (delta merges performed later are handled by the
+	// kernel's rep indirection on top of these ids).
+	rep := make([]VarID, len(layout.domains))
+	for v := range rep {
+		rep[v] = uf.find(VarID(v))
+	}
+	b.uf = rep
+	for _, c := range remaining {
+		cl, vars := kcompile(c, rep)
+		b.clauses = append(b.clauses, cl)
+		b.cvars = append(b.cvars, vars)
+	}
+
+	// Fixed-point propagation over the whole base: prune every clause
+	// once, auto-assign singleton domains, propagate changed variables
+	// to quiescence. The trail is write-only here — base prunings are
+	// permanent.
+	st := &kstate{
+		cand:     ks.cand,
+		off:      ks.off,
+		words:    ks.words,
+		count:    count,
+		rep:      rep,
+		assigned: make([]bool, len(layout.domains)),
+		value:    make([]int64, len(layout.domains)),
+		clauses:  b.clauses,
+		cvars:    b.cvars,
+	}
+	st.buildWatch()
+	conflict, err := st.setupPropagate(0, nil)
+	b.propNodes = st.propVisits
+	if err != nil {
+		// No deadline and no cancellation channel: cannot happen.
+		conflict = true
+	}
+	if conflict {
+		b.unsat = true
+		return b
+	}
+	// The fixed point — words, counts and derived assignments — is what
+	// each goal clones (three memcopies) instead of re-propagating.
+	b.store = ks
+	b.count = count
+	b.assigned = st.assigned
+	b.value = st.value
+	// Shrink-wrap the watch lists (len == cap) so attached solves can
+	// alias them safely: their appends reallocate.
+	b.watch = make([][]int32, len(st.watch))
+	for v, w := range st.watch {
+		if len(w) == 0 {
+			continue
+		}
+		exact := make([]int32, len(w))
+		copy(exact, w)
+		b.watch[v] = exact
+	}
+	return b
+}
+
+// eqKind classifies a flattened conjunct for equality preprocessing.
+type eqKind int
+
+const (
+	eqNone    eqKind = iota // not an exploitable equality: compile it
+	eqTrivial               // constant-true: drop
+	eqUnsat                 // constant-false: whole problem UNSAT
+	eqPin                   // var = const
+	eqMerge                 // var = var
+)
+
+// classifyEq inspects a flattened conjunct: a var=var equality (returned
+// as the two vars), a var=const pin, trivially true/unsat, or neither.
+func classifyEq(c Con, uf *varUF) (eq [2]VarID, pin kpin, kind eqKind) {
+	cmp, ok := c.(*Cmp)
+	if !ok || cmp.Op != sqltypes.OpEQ {
+		return eq, pin, eqNone
+	}
+	d := cmp.L.Minus(cmp.R)
+	switch {
+	case len(d.Terms) == 0:
+		if d.Const != 0 {
+			return eq, pin, eqUnsat
+		}
+		return eq, pin, eqTrivial
+	case len(d.Terms) == 1 && (d.Terms[0].Coef == 1 || d.Terms[0].Coef == -1):
+		return eq, kpin{v: uf.find(d.Terms[0].V), val: -d.Const / d.Terms[0].Coef}, eqPin
+	case len(d.Terms) == 2 && d.Const == 0 && d.Terms[0].Coef == -d.Terms[1].Coef &&
+		(d.Terms[0].Coef == 1 || d.Terms[0].Coef == -1):
+		return [2]VarID{uf.find(d.Terms[0].V), uf.find(d.Terms[1].V)}, pin, eqMerge
+	}
+	return eq, pin, eqNone
+}
+
+// pinStore narrows v's candidate set to {val}; returns the new count.
+func pinStore(ks *kstore, count []int32, v VarID, val int64) int32 {
+	w := ks.words[ks.off[v]:ks.off[v+1]]
+	cand := ks.cand[v]
+	var kept int32
+	for wi := range w {
+		word := w[wi]
+		var nw uint64
+		for word != 0 {
+			bit := uint(bits.TrailingZeros64(word))
+			word &^= 1 << bit
+			if cand[wi*64+int(bit)] == val {
+				nw |= 1 << bit
+				kept++
+			}
+		}
+		w[wi] = nw
+	}
+	count[v] = kept
+	return kept
+}
+
+// mergeStore unions a and b (already roots or not; find applied) and
+// intersects the surviving candidate sets by value onto the new root.
+// Returns the root's resulting count (0 = conflict). No-op when a == b.
+func mergeStore(ks *kstore, count []int32, uf *varUF, a, b VarID) int32 {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return count[ra]
+	}
+	root := uf.union(ra, rb)
+	other := ra
+	if other == root {
+		other = rb
+	}
+	// Keep only the root's candidates whose value survives in other.
+	// Small surviving sets (the common case: per-attribute domains) go
+	// through a stack-allocated array and linear membership scans; the
+	// map is the fallback for wide domains only.
+	ow := ks.words[ks.off[other]:ks.off[other+1]]
+	ocand := ks.cand[other]
+	var small [64]int64
+	var nsmall int
+	var live map[int64]bool
+	if count[other] > int32(len(small)) {
+		live = make(map[int64]bool, count[other])
+	}
+	for wi := range ow {
+		word := ow[wi]
+		for word != 0 {
+			bit := uint(bits.TrailingZeros64(word))
+			word &^= 1 << bit
+			val := ocand[wi*64+int(bit)]
+			if live != nil {
+				live[val] = true
+			} else {
+				small[nsmall] = val
+				nsmall++
+			}
+		}
+	}
+	isLive := func(val int64) bool {
+		if live != nil {
+			return live[val]
+		}
+		for _, x := range small[:nsmall] {
+			if x == val {
+				return true
+			}
+		}
+		return false
+	}
+	w := ks.words[ks.off[root]:ks.off[root+1]]
+	cand := ks.cand[root]
+	var kept int32
+	for wi := range w {
+		word := w[wi]
+		var nw uint64
+		for word != 0 {
+			bit := uint(bits.TrailingZeros64(word))
+			word &^= 1 << bit
+			if isLive(cand[wi*64+int(bit)]) {
+				nw |= 1 << bit
+				kept++
+			}
+		}
+		w[wi] = nw
+	}
+	count[root] = kept
+	return kept
+}

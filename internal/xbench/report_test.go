@@ -1,0 +1,68 @@
+package xbench
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestUniversityBenchReport runs the headline benchmark for a couple of
+// iterations and checks the report invariants the BENCH_<n>.json
+// trajectory depends on: deterministic work counters, live solver-
+// microarchitecture counters, and a faithful JSON round trip.
+func TestUniversityBenchReport(t *testing.T) {
+	b, err := RunUniversityBench(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "university_generation" || b.Iters != 2 {
+		t.Fatalf("benchmark identity: %+v", b)
+	}
+	if b.NsPerOp <= 0 || b.TotalNs < b.NsPerOp {
+		t.Fatalf("timing incoherent: ns/op=%d total=%d", b.NsPerOp, b.TotalNs)
+	}
+	if b.Datasets <= 0 || b.SolverCalls <= 0 || b.SolverNodes <= 0 {
+		t.Fatalf("work counters must be positive: %+v", b)
+	}
+	if b.ComponentCount <= 0 || b.ComponentCacheHits <= 0 || b.BasePropagationNodes <= 0 {
+		t.Fatalf("microarchitecture counters must be positive on the university workload: %+v", b)
+	}
+
+	r := NewReport(1)
+	r.Benchmarks = append(r.Benchmarks, b)
+	r.SetBaseline("BENCH_3", 2*b.NsPerOp, "university_generation")
+	if r.Baseline == nil || r.Baseline.Speedup < 1.99 || r.Baseline.Speedup > 2.01 {
+		t.Fatalf("baseline speedup: %+v", r.Baseline)
+	}
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != ReportSchemaVersion {
+		t.Fatalf("schema version: %d", back.SchemaVersion)
+	}
+	if len(back.Benchmarks) != 1 || back.Benchmarks[0] != b {
+		t.Fatalf("benchmark did not round-trip: %+v vs %+v", back.Benchmarks, b)
+	}
+	if back.Baseline == nil || *back.Baseline != *r.Baseline {
+		t.Fatalf("baseline did not round-trip: %+v vs %+v", back.Baseline, r.Baseline)
+	}
+}
+
+// TestSetBaselineGuards locks the no-op conditions.
+func TestSetBaselineGuards(t *testing.T) {
+	r := NewReport(0)
+	r.SetBaseline("x", 0, "university_generation") // zero ns: no-op
+	if r.Baseline != nil {
+		t.Fatal("zero baseline must be ignored")
+	}
+	r.SetBaseline("x", 100, "missing_bench") // unknown bench: no-op
+	if r.Baseline != nil {
+		t.Fatal("baseline for a missing benchmark must be ignored")
+	}
+}

@@ -19,33 +19,41 @@ import (
 )
 
 // Row is one table row: a (query, foreign-key count) cell with the
-// measurements the paper reports.
+// measurements the paper reports. JSON field names are part of the
+// BENCH_<n>.json schema documented in EXPERIMENTS.md; durations
+// serialize as integer nanoseconds.
 type Row struct {
-	Query     string
-	Joins     int
-	Relations int
-	Sels      int
-	Aggs      int
-	FKs       int
+	Query     string `json:"query"`
+	Joins     int    `json:"joins"`
+	Relations int    `json:"relations"`
+	Sels      int    `json:"sels"`
+	Aggs      int    `json:"aggs"`
+	FKs       int    `json:"fks"`
 
-	Datasets      int // generated kill datasets (original excluded, as in the paper)
-	Skipped       int // unsatisfiable dataset attempts (equivalent mutant groups)
-	MutantsTotal  int // de-duplicated mutant space size
-	MutantsKilled int
-	Survivors     int
+	Datasets      int `json:"datasets"`       // generated kill datasets (original excluded, as in the paper)
+	Skipped       int `json:"skipped"`        // unsatisfiable dataset attempts (equivalent mutant groups)
+	MutantsTotal  int `json:"mutants_total"`  // de-duplicated mutant space size
+	MutantsKilled int `json:"mutants_killed"` //
+	Survivors     int `json:"survivors"`      //
 	// SurvivorsEquivalent counts survivors confirmed (by randomized
 	// testing) to be equivalent mutants; with complete generation it
 	// equals Survivors.
-	SurvivorsEquivalent int
+	SurvivorsEquivalent int `json:"survivors_equivalent"`
 
-	TimeWithoutUnfold time.Duration
-	TimeWithUnfold    time.Duration
+	TimeWithoutUnfold time.Duration `json:"time_without_unfold_ns"`
+	TimeWithUnfold    time.Duration `json:"time_with_unfold_ns"`
 	// Solver work counters: the implementation-independent view of the
 	// unfolding ablation (search nodes visited; instantiation restarts
 	// occur only without unfolding).
-	NodesWithoutUnfold    int64
-	NodesWithUnfold       int64
-	RestartsWithoutUnfold int64
+	NodesWithoutUnfold    int64 `json:"nodes_without_unfold"`
+	NodesWithUnfold       int64 `json:"nodes_with_unfold"`
+	RestartsWithoutUnfold int64 `json:"restarts_without_unfold"`
+	// Solver-microarchitecture counters for the unfolded run: connected
+	// components solved, component-cache hits across kill goals, and
+	// shared-base fixed-point propagation work performed once.
+	ComponentCount       int64 `json:"component_count"`
+	ComponentCacheHits   int64 `json:"component_cache_hits"`
+	BasePropagationNodes int64 `json:"base_propagation_nodes"`
 }
 
 // Options tune experiment runs.
@@ -109,6 +117,9 @@ func runCell(bq university.BenchQuery, fk int, opts Options) (Row, error) {
 	row.Datasets = len(suite.Datasets)
 	row.Skipped = len(suite.Skipped)
 	row.NodesWithUnfold = suite.Stats.SolverNodes
+	row.ComponentCount = suite.Stats.ComponentCount
+	row.ComponentCacheHits = suite.Stats.ComponentCacheHits
+	row.BasePropagationNodes = suite.Stats.BasePropagationNodes
 
 	if !opts.SkipQuantified {
 		qOpts := genOpts
@@ -191,14 +202,14 @@ func RunTableII(opts Options) ([]Row, error) {
 // InputDBRow is one cell of the §VI-C.3 experiment: generation time as a
 // function of input-database size.
 type InputDBRow struct {
-	InputTuples int // tuples per relation (0 = no input database)
-	Datasets    int
-	Time        time.Duration
+	InputTuples int           `json:"input_tuples"` // tuples per relation (0 = no input database)
+	Datasets    int           `json:"datasets"`
+	Time        time.Duration `json:"time_ns"`
 	// SolverProblemSize is the cell's total constraint-plus-domain
 	// size. Unlike Time it is deterministic, so tests assert the
 	// paper's growth-with-input-size shape on it without wall-clock
 	// flakiness.
-	SolverProblemSize int64
+	SolverProblemSize int64 `json:"solver_problem_size"`
 }
 
 // RunInputDB regenerates the §VI-C.3 experiment on the paper's subject
@@ -242,16 +253,16 @@ func RunInputDBContext(ctx context.Context, sizes []int) ([]InputDBRow, error) {
 // BaselineRow is one cell of the §VI-C.1 comparison between the
 // short-paper algorithm [14] and the current algorithm.
 type BaselineRow struct {
-	Query            string
-	FKs              int
-	Joins            int
-	BaselineDatasets int
-	BaselineKilled   int
-	BaselineTime     time.Duration
-	XDataDatasets    int
-	XDataKilled      int
-	XDataTime        time.Duration
-	MutantsTotal     int
+	Query            string        `json:"query"`
+	FKs              int           `json:"fks"`
+	Joins            int           `json:"joins"`
+	BaselineDatasets int           `json:"baseline_datasets"`
+	BaselineKilled   int           `json:"baseline_killed"`
+	BaselineTime     time.Duration `json:"baseline_time_ns"`
+	XDataDatasets    int           `json:"xdata_datasets"`
+	XDataKilled      int           `json:"xdata_killed"`
+	XDataTime        time.Duration `json:"xdata_time_ns"`
+	MutantsTotal     int           `json:"mutants_total"`
 }
 
 // RunBaseline regenerates the §VI-C.1 comparison. As in the paper, the

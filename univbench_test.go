@@ -1,0 +1,53 @@
+// BenchmarkUniversityGeneration measures single-threaded kill-goal
+// generation over the full university workload (every Table I and
+// Table II cell, unfolded mode): the solver-bound core of the paper's
+// evaluation and the headline number tracked in the BENCH_<n>.json
+// trajectory. Parallelism is pinned to 1 so the metric isolates solver
+// microarchitecture improvements from worker-pool scaling.
+package xdata_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qtree"
+	"repro/internal/university"
+)
+
+func BenchmarkUniversityGeneration(b *testing.B) {
+	type cell struct {
+		q    *qtree.Query
+		name string
+	}
+	var cells []cell
+	for _, set := range [][]university.BenchQuery{university.TableIQueries(), university.TableIIQueries()} {
+		for _, bq := range set {
+			for _, fk := range bq.FKCounts {
+				sch := university.Schema(fk)
+				q, err := qtree.BuildSQL(sch, bq.SQL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = append(cells, cell{q: q, name: bq.Name})
+			}
+		}
+	}
+	var nodes, datasets int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes, datasets = 0, 0
+		for _, c := range cells {
+			opts := core.DefaultOptions()
+			opts.Parallelism = 1
+			suite, err := core.NewGenerator(c.q, opts).Generate()
+			if err != nil {
+				b.Fatalf("%s: %v", c.name, err)
+			}
+			nodes += suite.Stats.SolverNodes
+			datasets += int64(len(suite.Datasets))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(nodes), "solver-nodes")
+	b.ReportMetric(float64(datasets), "datasets")
+}
