@@ -50,7 +50,7 @@ func main() {
 }
 
 func run() int {
-	table := flag.String("table", "all", "which experiment to run: 1, 2, inputdb, baseline, bench, all")
+	table := flag.String("table", "all", "which experiment to run: 1, 2, inputdb, baseline, bench, service, all")
 	fast := flag.Bool("fast", false, "skip the quantified (without-unfolding) timing column")
 	equiv := flag.Bool("equiv", false, "verify surviving mutants by randomized equivalence testing")
 	trials := flag.Int("trials", 120, "randomized equivalence trials per surviving mutant")
@@ -59,13 +59,15 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report (see EXPERIMENTS.md) instead of text tables")
 	iters := flag.Int("iters", 50, "iterations for -table bench (the headline single-thread benchmark)")
 	baseNs := flag.Int64("baseline-ns", 0, "previous pinned headline ns/op to embed as the trajectory baseline (0 = none)")
+	svcClients := flag.Int("service-clients", 8, "client goroutines for -table service")
+	svcRequests := flag.Int("service-requests", 32, "total requests for -table service")
 	baseLabel := flag.String("baseline-label", "", "label for -baseline-ns (e.g. BENCH_3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	switch *table {
-	case "1", "2", "inputdb", "baseline", "bench", "all":
+	case "1", "2", "inputdb", "baseline", "bench", "service", "all":
 	default:
 		flag.Usage()
 		return 2
@@ -202,6 +204,24 @@ func run() int {
 				fmt.Println("=== headline: university workload, single thread ===")
 				fmt.Printf("%s: %d iters, %d ns/op, %d datasets, %d solver nodes, %d components (%d cache hits), %d base propagation nodes\n\n",
 					b.Name, b.Iters, b.NsPerOp, b.Datasets, b.SolverNodes, b.ComponentCount, b.ComponentCacheHits, b.BasePropagationNodes)
+			}
+			return nil
+		})
+	}
+
+	if want("service") {
+		run("service", func() error {
+			sb, err := xbench.RunServiceBench(ctx, *svcClients, *svcRequests)
+			if err != nil {
+				return err
+			}
+			report.Service = &sb
+			if text {
+				fmt.Println("=== daemon path: /v1/generate over xdatad's HTTP stack ===")
+				fmt.Printf("%s: %d requests x %d clients, %d ns/request (admitted %d, shed %d, completed %d, partial %d, panics %d, budget-expired %d, drained %d)\n\n",
+					sb.Name, sb.Requests, sb.Concurrency, sb.NsPerRequest,
+					sb.Counters.Admitted, sb.Counters.Shed, sb.Counters.Completed, sb.Counters.Partial,
+					sb.Counters.PanicsRecovered, sb.Counters.BudgetExpired, sb.Counters.Drained)
 			}
 			return nil
 		})

@@ -1,0 +1,127 @@
+// Command xdatad serves the X-Data generation pipeline over HTTP/JSON.
+//
+//	xdatad -addr :8080
+//
+// Endpoints (see internal/service for the wire schema and the full
+// status taxonomy):
+//
+//	POST /v1/generate  DDL + query + options → test suite
+//	POST /v1/analyze   DDL + query + options → suite + kill report
+//	GET  /healthz      liveness (always 200 while the process runs)
+//	GET  /readyz       readiness (503 while draining)
+//	GET  /statsz       service counters (admitted, shed, drained, ...)
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
+// new work (readyz flips to 503 so load balancers stop routing),
+// in-flight requests run to completion, and requests still running at
+// -drain-timeout are hard-cancelled so they budget-expire and flush
+// partial suites. A second signal exits immediately.
+//
+// Exit codes: 0 clean drain, 1 serve/listen failure, 2 flag errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/limits"
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("xdatad", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		maxConcurrent = fs.Int("max-concurrent", 0, "concurrent requests (0 = GOMAXPROCS)")
+		maxQueue      = fs.Int("max-queue", 0, "admission queue depth (0 = 2x max-concurrent)")
+		queueWait     = fs.Duration("queue-wait", 0, "max time a request waits for a slot (0 = 500ms)")
+		maxTimeout    = fs.Duration("max-timeout", 0, "whole-request budget ceiling (0 = 30s)")
+		maxGoalTime   = fs.Duration("max-goal-timeout", 0, "per-goal timeout ceiling (0 = max-timeout)")
+		maxGoalNodes  = fs.Int64("max-goal-nodes", 0, "per-goal solver node ceiling (0 = 4Mi)")
+		drainTimeout  = fs.Duration("drain-timeout", 0, "graceful drain deadline on SIGTERM (0 = 10s)")
+		unlimited     = fs.Bool("unlimited", false, "disable input resource limits (trusted callers only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "xdatad: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	cfg := service.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		MaxTimeout:     *maxTimeout,
+		MaxGoalTimeout: *maxGoalTime,
+		MaxGoalNodes:   *maxGoalNodes,
+		DrainTimeout:   *drainTimeout,
+	}
+	if *unlimited {
+		cfg.Limits = limits.Unlimited()
+	}
+	svc := service.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "xdatad: listening on %s (max-concurrent %d, queue %d)\n",
+		*addr, svc.Config().MaxConcurrent, svc.Config().MaxQueue)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "xdatad: serve: %v\n", err)
+		return 1
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "xdatad: %v: draining (deadline %v; signal again to exit now)\n",
+			sig, svc.Config().DrainTimeout)
+	}
+
+	// Drain: stop routing (readyz 503, late arrivals 503), finish
+	// in-flight work, hard-cancel at the deadline. A second signal
+	// aborts immediately.
+	drainCtx, cancel := context.WithTimeout(context.Background(), svc.Config().DrainTimeout)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- svc.Drain(drainCtx) }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdatad: drain deadline hit, in-flight requests budget-expired: %v\n", err)
+		}
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "xdatad: %v: immediate exit\n", sig)
+		return 1
+	}
+
+	// In-flight responses are flushed; now close the listener and any
+	// idle connections.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "xdatad: shutdown: %v\n", err)
+		return 1
+	}
+	c := svc.Counters()
+	fmt.Fprintf(os.Stderr, "xdatad: drained cleanly (admitted %d, completed %d, partial %d, shed %d)\n",
+		c.Admitted, c.Completed, c.Partial, c.Shed)
+	return 0
+}

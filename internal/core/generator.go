@@ -53,6 +53,16 @@ type Options struct {
 	// When it expires the goal is recorded in Suite.Incomplete and
 	// generation continues with the remaining goals.
 	GoalTimeout time.Duration
+	// MaxDomainSize, when positive, caps the width of the generator's
+	// candidate-value pools (the integer pool built from query
+	// constants, boundaries, sums/differences, arithmetic-offset
+	// closure and input-database values; and the string pool). A pool
+	// over the ceiling aborts generation with an error wrapping
+	// limits.ErrResourceLimit before any solving starts: solver work
+	// grows superlinearly in domain width, so this is the resource-
+	// governance backstop against adversarial constant sets and huge
+	// input databases. 0 = uncapped (the library default).
+	MaxDomainSize int
 	// GoalNodeLimit, when positive, bounds solver search nodes per
 	// solver call of a kill goal's first attempt and arms the
 	// escalating-retry ladder: a goal whose solve exhausts the budget is
@@ -258,7 +268,10 @@ type Generator struct {
 // find a model whenever one exists over the integers (small-model
 // property of conjunctions of linear comparisons).
 func NewGenerator(q *qtree.Query, opts Options) *Generator {
-	if opts.FreshValues <= 0 {
+	// Only the zero value selects the default: a negative count is a
+	// caller bug, preserved here so Options.Validate (run by Generate/
+	// GenerateContext) can reject it with ErrBadOptions.
+	if opts.FreshValues == 0 {
 		opts.FreshValues = 8
 	}
 	g := &Generator{q: q, opts: opts}
@@ -522,6 +535,12 @@ func (g *Generator) Generate() (*Suite, error) {
 // unsupported query construct, an invalid extracted dataset — remain
 // fatal and return a nil suite.
 func (g *Generator) GenerateContext(ctx context.Context) (*Suite, error) {
+	if err := g.opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.checkDomainCeiling(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	subs, err := g.runGoals(ctx, g.enumerateGoals())
 	if err != nil {

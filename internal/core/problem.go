@@ -99,6 +99,10 @@ type stringPool struct {
 	pref []int64
 }
 
+// size is the number of distinct string values in the pool (the width
+// it contributes to string-typed candidate domains).
+func (p *stringPool) size() int { return len(p.vals) }
+
 func newStringPool(consts map[string]bool, fresh int) *stringPool {
 	set := make(map[string]bool, len(consts))
 	for s := range consts {

@@ -3,13 +3,13 @@ package core
 import (
 	"context"
 	"errors"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/mutation"
 	"repro/internal/solver"
+	"repro/internal/testutil"
 )
 
 // robustQuery is the two-relation query used by the fault-injection
@@ -275,7 +275,7 @@ func TestGenerateContextCancelNoLeaks(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Parallelism = 8
 
-	before := runtime.NumGoroutine()
+	before := testutil.GoroutineSnapshot()
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(30 * time.Millisecond)
@@ -316,18 +316,9 @@ func TestGenerateContextCancelNoLeaks(t *testing.T) {
 		}
 	}
 
-	// Worker-goroutine leak check: allow the runtime a moment to reap
-	// finished goroutines (the canceler above also needs to exit).
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak: %d before GenerateContext, %d after", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// Worker-goroutine leak check: slack 1 for the canceler goroutine
+	// above, which may not have exited yet.
+	testutil.RequireNoGoroutineLeak(t, before, 1)
 }
 
 // TestGenerateContextPreCanceled: a context canceled before the call

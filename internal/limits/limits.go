@@ -1,0 +1,100 @@
+// Package limits is the resource-governance layer shared by the
+// network-facing daemon (internal/service, cmd/xdatad) and the CLIs: a
+// single bundle of ceilings on the size of untrusted inputs — DDL and
+// query byte counts, parser recursion depth, schema cardinalities, and
+// the solver's candidate-domain width — with one typed sentinel error,
+// ErrResourceLimit, that every layer maps onto its own rejection channel
+// (HTTP 422 in the daemon, exit code 1 in the CLIs).
+//
+// The point of the layer is that adversarial inputs are rejected by
+// *counting*, before they consume solver budget: a 10 MB DDL, a
+// 10 000-deep parenthesized expression, or a 500-relation schema is
+// refused in microseconds at the parse/validate boundary instead of
+// inflating a constraint system and burning the per-goal budgets
+// downstream ("Parser Knows Best": grammar-level hardening).
+package limits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrResourceLimit is the sentinel wrapped by every limit violation.
+// Test with errors.Is; violations are client errors (the input is too
+// large), not server faults.
+var ErrResourceLimit = errors.New("resource limit exceeded")
+
+// Exceeded builds a limit-violation error wrapping ErrResourceLimit.
+func Exceeded(what string, got, max int) error {
+	return fmt.Errorf("%s: %d exceeds limit %d: %w", what, got, max, ErrResourceLimit)
+}
+
+// Default ceilings. They are deliberately generous — far beyond anything
+// the paper's workloads or the randomized test generator produce — so
+// only genuinely adversarial inputs hit them.
+const (
+	// DefaultMaxInputBytes caps the byte size of one parsed input (a
+	// DDL file, a query, an INSERT set).
+	DefaultMaxInputBytes = 1 << 20 // 1 MiB
+	// DefaultMaxParseDepth caps parser recursion: nested parentheses,
+	// chained NOTs, unary minus towers, nested subqueries and
+	// parenthesized join trees all count against it.
+	DefaultMaxParseDepth = 200
+	// DefaultMaxRelations caps the number of relations in a schema.
+	DefaultMaxRelations = 256
+	// DefaultMaxAttributes caps the attributes of any one relation.
+	DefaultMaxAttributes = 512
+	// DefaultMaxFKClosure caps the size of the schema's transitive
+	// foreign-key closure (attribute-level edges): dense FK meshes make
+	// the closure — and the chase constraints built from it — quadratic
+	// or worse in the schema size.
+	DefaultMaxFKClosure = 4096
+	// DefaultMaxDomainSize caps the per-variable candidate-domain width
+	// the generator may build (query constants, boundaries, pairwise
+	// sums/differences, arithmetic-offset closure, input-DB values).
+	// Solver work grows superlinearly in it.
+	DefaultMaxDomainSize = 100_000
+)
+
+// Limits bundles the resource ceilings. The zero value of a field means
+// "unlimited" for that dimension; Default returns the recommended
+// production ceilings.
+type Limits struct {
+	// MaxInputBytes caps the byte length of one parsed input.
+	MaxInputBytes int
+	// MaxParseDepth caps parser recursion depth.
+	MaxParseDepth int
+	// MaxRelations caps schema relation count.
+	MaxRelations int
+	// MaxAttributes caps per-relation attribute count.
+	MaxAttributes int
+	// MaxFKClosure caps the attribute-level FK transitive-closure size.
+	MaxFKClosure int
+	// MaxDomainSize caps the generator's candidate-domain width.
+	MaxDomainSize int
+}
+
+// Default returns the production ceilings.
+func Default() Limits {
+	return Limits{
+		MaxInputBytes: DefaultMaxInputBytes,
+		MaxParseDepth: DefaultMaxParseDepth,
+		MaxRelations:  DefaultMaxRelations,
+		MaxAttributes: DefaultMaxAttributes,
+		MaxFKClosure:  DefaultMaxFKClosure,
+		MaxDomainSize: DefaultMaxDomainSize,
+	}
+}
+
+// Unlimited returns a Limits with every ceiling disabled; the library
+// default for in-process callers, who are trusted with their own
+// inputs.
+func Unlimited() Limits { return Limits{} }
+
+// CheckInput enforces MaxInputBytes on a raw input string.
+func (l Limits) CheckInput(what string, input string) error {
+	if l.MaxInputBytes > 0 && len(input) > l.MaxInputBytes {
+		return Exceeded(what+" size (bytes)", len(input), l.MaxInputBytes)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package limits
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqltypes"
+)
+
+func TestExceededWrapsSentinel(t *testing.T) {
+	err := Exceeded("widgets", 10, 3)
+	if !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("Exceeded must wrap ErrResourceLimit, got %v", err)
+	}
+	for _, want := range []string{"widgets", "10", "3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
+	}
+}
+
+func TestCheckInput(t *testing.T) {
+	l := Limits{MaxInputBytes: 4}
+	if err := l.CheckInput("query", "abcd"); err != nil {
+		t.Fatalf("at the limit: %v", err)
+	}
+	if err := l.CheckInput("query", "abcde"); !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("over the limit: got %v, want ErrResourceLimit", err)
+	}
+	// Zero means unlimited.
+	if err := Unlimited().CheckInput("query", strings.Repeat("x", 1<<21)); err != nil {
+		t.Fatalf("unlimited: %v", err)
+	}
+}
+
+func mustRel(t *testing.T, name string, attrs []schema.Attribute, pk []string, fks []schema.ForeignKey) *schema.Relation {
+	t.Helper()
+	r, err := schema.NewRelation(name, attrs, pk, fks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCheckSchemaRelations(t *testing.T) {
+	s := schema.New()
+	for i := 0; i < 3; i++ {
+		s.MustAddRelation(mustRel(t, fmt.Sprintf("t%d", i),
+			[]schema.Attribute{{Name: "id", Type: sqltypes.KindInt}}, nil, nil))
+	}
+	if err := (Limits{MaxRelations: 3}).CheckSchema(s); err != nil {
+		t.Fatalf("at the limit: %v", err)
+	}
+	if err := (Limits{MaxRelations: 2}).CheckSchema(s); !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("over the limit: got %v, want ErrResourceLimit", err)
+	}
+}
+
+func TestCheckSchemaAttributes(t *testing.T) {
+	attrs := make([]schema.Attribute, 5)
+	for i := range attrs {
+		attrs[i] = schema.Attribute{Name: fmt.Sprintf("a%d", i), Type: sqltypes.KindInt}
+	}
+	s := schema.New()
+	s.MustAddRelation(mustRel(t, "wide", attrs, nil, nil))
+	if err := (Limits{MaxAttributes: 5}).CheckSchema(s); err != nil {
+		t.Fatalf("at the limit: %v", err)
+	}
+	if err := (Limits{MaxAttributes: 4}).CheckSchema(s); !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("over the limit: got %v, want ErrResourceLimit", err)
+	}
+}
+
+func TestCheckSchemaFKClosure(t *testing.T) {
+	// A chain t0 <- t1 <- t2 <- t3: the single-column closure has
+	// 3 + 2 + 1 = 6 edges.
+	s := schema.New()
+	s.MustAddRelation(mustRel(t, "t0", []schema.Attribute{{Name: "id", Type: sqltypes.KindInt}}, []string{"id"}, nil))
+	for i := 1; i < 4; i++ {
+		s.MustAddRelation(mustRel(t, fmt.Sprintf("t%d", i),
+			[]schema.Attribute{{Name: "id", Type: sqltypes.KindInt}}, []string{"id"},
+			[]schema.ForeignKey{{Columns: []string{"id"}, RefTable: fmt.Sprintf("t%d", i-1), RefColumns: []string{"id"}}}))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Limits{MaxFKClosure: 6}).CheckSchema(s); err != nil {
+		t.Fatalf("at the limit: %v", err)
+	}
+	if err := (Limits{MaxFKClosure: 5}).CheckSchema(s); !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("over the limit: got %v, want ErrResourceLimit", err)
+	}
+}
+
+func TestDefaultsArePositive(t *testing.T) {
+	d := Default()
+	for name, v := range map[string]int{
+		"MaxInputBytes": d.MaxInputBytes,
+		"MaxParseDepth": d.MaxParseDepth,
+		"MaxRelations":  d.MaxRelations,
+		"MaxAttributes": d.MaxAttributes,
+		"MaxFKClosure":  d.MaxFKClosure,
+		"MaxDomainSize": d.MaxDomainSize,
+	} {
+		if v <= 0 {
+			t.Errorf("Default().%s = %d, want positive", name, v)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package limits
+
+import (
+	"repro/internal/schema"
+)
+
+// CheckSchema enforces the schema-cardinality ceilings: relation count,
+// per-relation attribute count, and the size of the attribute-level
+// foreign-key transitive closure. The FK-closure ceiling matters most:
+// a dense FK mesh makes the closure (and the chase constraints built
+// from it by Algorithm 1's preprocessing) blow up combinatorially even
+// when the DDL itself is small.
+func (l Limits) CheckSchema(s *schema.Schema) error {
+	rels := s.Relations()
+	if l.MaxRelations > 0 && len(rels) > l.MaxRelations {
+		return Exceeded("schema relations", len(rels), l.MaxRelations)
+	}
+	if l.MaxAttributes > 0 {
+		for _, r := range rels {
+			if r.Arity() > l.MaxAttributes {
+				return Exceeded("relation "+r.Name+" attributes", r.Arity(), l.MaxAttributes)
+			}
+		}
+	}
+	if l.MaxFKClosure > 0 {
+		if n := len(s.FKClosure()); n > l.MaxFKClosure {
+			return Exceeded("foreign-key closure edges", n, l.MaxFKClosure)
+		}
+	}
+	return nil
+}

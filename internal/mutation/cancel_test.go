@@ -3,12 +3,12 @@ package mutation
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/schema"
 	"repro/internal/sqltypes"
+	"repro/internal/testutil"
 )
 
 // bulkDataset builds a dataset with n matching instructor/teaches rows,
@@ -58,7 +58,7 @@ func TestEvaluateContextCancelMidRun(t *testing.T) {
 		datasets[i] = bulkDataset(400)
 	}
 
-	before := runtime.NumGoroutine()
+	before := testutil.GoroutineSnapshot()
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(10 * time.Millisecond)
@@ -77,15 +77,7 @@ func TestEvaluateContextCancelMidRun(t *testing.T) {
 		t.Fatalf("cancellation not prompt: EvaluateContext took %v", elapsed)
 	}
 
-	// All workers must be joined: no goroutines outlive the call.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak: %d before EvaluateContext, %d after", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// All workers must be joined: no goroutines outlive the call
+	// (slack 1 for the canceler goroutine above).
+	testutil.RequireNoGoroutineLeak(t, before, 1)
 }

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/testutil"
+)
+
+// Chaos-soak queries. The fault hook matches goal labels by the
+// comparison constant, so each faulted behavior gets its own constant
+// that no other query's goals mention.
+const (
+	chaosClean1 = `SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50`
+	chaosClean2 = `SELECT t.course_id FROM teaches t WHERE t.course_id > 3`
+	chaosPanicQ = `SELECT * FROM instructor i WHERE i.salary > 77` // "< (77)" goal panics
+	chaosSlowQ  = `SELECT * FROM instructor i WHERE i.salary > 88` // "< (88)" goal hangs
+	chaosDrainQ = `SELECT * FROM instructor i WHERE i.salary > 99` // "< (99)" goal hangs (drain phase)
+)
+
+type chaosResult struct {
+	query        string
+	status       int
+	body         GenerateResponse
+	err          error
+	disconnected bool
+}
+
+// TestChaosSoak is the PR's acceptance soak: 32 concurrent clients
+// hammer the daemon while the solver fault hook injects panics and
+// hangs into targeted kill goals and some clients disconnect
+// mid-request. Afterwards the server must drain within its deadline
+// (hard-cancelling the deliberately hung requests into 207s), no
+// goroutines may leak, no request may be lost (every non-disconnected
+// client got a terminal HTTP status), and every 200 must carry a suite
+// byte-identical to the library path under the same clamped options.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	before := testutil.GoroutineSnapshot()
+
+	s := New(Config{
+		MaxConcurrent:  4,
+		MaxQueue:       256,
+		QueueWait:      10 * time.Second,
+		MaxTimeout:     20 * time.Second,
+		MaxGoalTimeout: 5 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	client := &http.Client{}
+
+	// Expected 200 bodies, computed through the library path BEFORE the
+	// fault hook goes in.
+	expect := map[string]GenerateResponse{
+		chaosClean1: libraryExpect(t, s, testDDL, chaosClean1),
+		chaosClean2: libraryExpect(t, s, testDDL, chaosClean2),
+	}
+
+	defer solver.SetFaultHook(nil)
+	solver.SetFaultHook(func(label string, call int64) solver.Fault {
+		switch {
+		case strings.Contains(label, "< (77)"):
+			return solver.FaultPanic
+		case strings.Contains(label, "< (88)"):
+			return solver.FaultSlow
+		case strings.Contains(label, "< (99)"):
+			return solver.FaultSlow
+		}
+		return solver.FaultNone
+	})
+
+	// --- Storm phase: 32 clients, 3 requests each. Every 8th client
+	// disconnects mid-request.
+	const clients, perClient = 32, 3
+	queries := []string{chaosClean1, chaosClean2, chaosPanicQ, chaosSlowQ}
+	var (
+		mu      sync.Mutex
+		results []chaosResult
+		wg      sync.WaitGroup
+	)
+	doRequest := func(query string, timeoutMS int64, disconnect bool) chaosResult {
+		req := GenerateRequest{DDL: testDDL, Query: query, Options: RequestOptions{GoalTimeoutMS: timeoutMS}}
+		raw, _ := json.Marshal(req)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		if disconnect {
+			go func() {
+				time.Sleep(time.Duration(2+len(query)%5) * time.Millisecond)
+				cancel()
+			}()
+		}
+		hr, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/generate", bytes.NewReader(raw))
+		hr.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hr)
+		if err != nil {
+			return chaosResult{query: query, err: err, disconnected: disconnect}
+		}
+		defer resp.Body.Close()
+		res := chaosResult{query: query, status: resp.StatusCode, disconnected: disconnect}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusMultiStatus {
+			res.err = json.Unmarshal(data, &res.body)
+		}
+		return res
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				query := queries[(c+i)%len(queries)]
+				var goalMS int64
+				if query == chaosSlowQ {
+					goalMS = 100 // bound the injected hang per goal
+				}
+				res := doRequest(query, goalMS, c%8 == 7)
+				mu.Lock()
+				results = append(results, res)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// --- Validate the storm: no lost requests, correct statuses,
+	// byte-identical complete suites.
+	var sawPanic, sawSlow bool
+	for _, r := range results {
+		if r.err != nil {
+			if r.disconnected {
+				continue // deliberate mid-request disconnect
+			}
+			t.Fatalf("lost request (%s): %v", r.query, r.err)
+		}
+		switch r.query {
+		case chaosClean1, chaosClean2:
+			if r.status != http.StatusOK {
+				t.Fatalf("clean query %q: status %d, want 200", r.query, r.status)
+			}
+			requireSameSuite(t, r.body, expect[r.query])
+		case chaosPanicQ:
+			if r.status != http.StatusMultiStatus {
+				t.Fatalf("panic query: status %d, want 207", r.status)
+			}
+			for _, f := range r.body.Incomplete {
+				if f.Reason == core.ReasonPanic {
+					sawPanic = true
+				}
+			}
+		case chaosSlowQ:
+			if r.status != http.StatusMultiStatus {
+				t.Fatalf("slow query: status %d, want 207", r.status)
+			}
+			if len(r.body.Incomplete) == 0 {
+				t.Fatal("slow query 207 without incomplete goals")
+			}
+			sawSlow = true
+		}
+	}
+	if !sawPanic {
+		t.Fatal("no recovered panic surfaced in any 207 body")
+	}
+	if !sawSlow {
+		t.Fatal("no budget-expired slow goal surfaced")
+	}
+
+	// --- Drain phase: three requests hang on an injected slow goal
+	// (bounded only by the 5s goal ceiling); Drain's 400ms deadline
+	// must hard-cancel them into flushed 207s and return promptly.
+	drainResults := make(chan chaosResult, 3)
+	for i := 0; i < 3; i++ {
+		go func() { drainResults <- doRequest(chaosDrainQ, 0, false) }()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Counters().InFlight < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("drain-phase requests never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	drainStart := time.Now()
+	err := s.Drain(drainCtx)
+	drainElapsed := time.Since(drainStart)
+	if err == nil {
+		t.Fatal("drain with hung requests must take the hard-cancel path")
+	}
+	if drainElapsed > 3*time.Second {
+		t.Fatalf("drain took %v, must complete promptly after its 400ms deadline", drainElapsed)
+	}
+	for i := 0; i < 3; i++ {
+		r := <-drainResults
+		if r.err != nil {
+			t.Fatalf("drained request lost: %v", r.err)
+		}
+		if r.status != http.StatusMultiStatus {
+			t.Fatalf("hard-cancelled request: status %d, want 207 partial flush", r.status)
+		}
+		if len(r.body.Incomplete) == 0 {
+			t.Fatal("hard-cancelled request flushed no incomplete goals")
+		}
+	}
+
+	// --- Post-mortem: counters consistent, nothing leaked.
+	c := s.Counters()
+	if c.InFlight != 0 {
+		t.Fatalf("in-flight after drain: %d", c.InFlight)
+	}
+	if c.PanicsRecovered == 0 {
+		t.Error("panics_recovered counter never moved")
+	}
+	if c.Drained < 3 {
+		t.Errorf("drained counter %d, want >= 3", c.Drained)
+	}
+	if c.Admitted == 0 || c.Completed == 0 || c.Partial == 0 {
+		t.Errorf("implausible counters after soak: %+v", c)
+	}
+	if got := c.Admitted - (c.Completed + c.Partial + c.Failed + c.Rejected + c.ClientDisconnects); got > 0 {
+		// Every admitted request must have reached a terminal bucket
+		// (disconnected clients may race the classification, hence the
+		// one-sided check).
+		t.Errorf("%d admitted requests unaccounted for: %+v", got, c)
+	}
+
+	solver.SetFaultHook(nil)
+	client.CloseIdleConnections()
+	ts.Close()
+	testutil.RequireNoGoroutineLeak(t, before, 2)
+}

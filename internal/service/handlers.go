@@ -1,0 +1,259 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+
+	"repro/internal/core"
+	"repro/internal/limits"
+	"repro/internal/mutation"
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+)
+
+// maxBodyBytes bounds request bodies before JSON decoding; the DDL and
+// query inside are additionally capped by Config.Limits.MaxInputBytes.
+const maxBodyBytes = 8 << 20
+
+// writeJSON encodes v with the given status. Encoding errors at this
+// point mean the client went away; they are counted, not retried.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.ctr.disconnects.Add(1)
+	}
+}
+
+// writeError maps a pipeline error to the HTTP taxonomy (see the
+// package comment) and writes the ErrorResponse body.
+func (s *Server) writeError(w http.ResponseWriter, status int, kind string, err error) {
+	if status >= 500 {
+		s.ctr.failed.Add(1)
+	} else {
+		s.ctr.rejected.Add(1)
+	}
+	s.writeJSON(w, status, ErrorResponse{Kind: kind, Error: err.Error()})
+}
+
+// classify maps a generation-pipeline error to (status, kind). It
+// mirrors the CLI's exit-code taxonomy: caller errors (bad SQL,
+// resource limits, bad options) are 422, everything unexpected is 500.
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, limits.ErrResourceLimit):
+		return http.StatusUnprocessableEntity, "resource-limit"
+	case errors.Is(err, core.ErrBadOptions):
+		return http.StatusUnprocessableEntity, "bad-options"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// admitOrReject runs the shared request preamble: drain refusal (via
+// beginRequest, which also registers the request with the drain
+// WaitGroup) followed by admission control. On ok the caller must
+// defer both s.inflight.Done and s.finish(w, release), in that order,
+// so the finish recover fires before the Done.
+func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	s.ctr.received.Add(1)
+	if !s.beginRequest() {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		s.writeError(w, http.StatusServiceUnavailable, "draining", errors.New("service: draining, not accepting new work"))
+		return nil, false
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.inflight.Done()
+		if errors.Is(err, errShed) {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			s.writeError(w, http.StatusTooManyRequests, "shed", err)
+		} else { // client went away while queued
+			s.ctr.disconnects.Add(1)
+			s.writeError(w, http.StatusRequestTimeout, "disconnected", err)
+		}
+		return nil, false
+	}
+	return release, true
+}
+
+// finish runs the shared request postamble under defer: slot release,
+// drain accounting, and last-resort panic recovery (one crashing
+// handler costs one 500, never the process). The caller defers
+// inflight.Done separately, registered before finish so it runs after
+// the recover.
+func (s *Server) finish(w http.ResponseWriter, release func()) {
+	if v := recover(); v != nil {
+		s.ctr.panics.Add(1)
+		s.writeError(w, http.StatusInternalServerError, "internal",
+			fmt.Errorf("service: handler panicked: %v\n%s", v, debug.Stack()))
+	}
+	if s.draining.Load() {
+		s.ctr.drained.Add(1)
+	}
+	release()
+}
+
+// decode reads and parses the JSON body into req.
+func decode(r *http.Request, w http.ResponseWriter, req any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(req)
+}
+
+// prepare parses the DDL and query under the server's resource limits
+// and builds the qtree. Returned errors are caller errors (422).
+func (s *Server) prepare(ddl, query string) (*schema.Schema, *qtree.Query, error) {
+	sch, err := sqlparser.ParseSchemaLimits(ddl, s.cfg.Limits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ddl: %w", err)
+	}
+	stmt, err := sqlparser.ParseQueryLimits(query, s.cfg.Limits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: %w", err)
+	}
+	q, err := qtree.Build(sch, stmt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: %w", err)
+	}
+	return sch, q, nil
+}
+
+// generate runs the clamped pipeline and maps the outcome onto the
+// response taxonomy, writing the response itself. It returns the suite
+// and schema for /v1/analyze to extend (nil when a response was
+// already written as an error).
+func (s *Server) generate(w http.ResponseWriter, r *http.Request, greq GenerateRequest, extend func(ctx context.Context, q *qtree.Query, suite *core.Suite, resp GenerateResponse) (any, error)) {
+	sch, q, err := s.prepare(greq.DDL, greq.Query)
+	if err != nil {
+		status, kind := http.StatusUnprocessableEntity, "parse"
+		if errors.Is(err, limits.ErrResourceLimit) {
+			kind = "resource-limit"
+		}
+		s.writeError(w, status, kind, err)
+		return
+	}
+	budget, opts := s.clamp(greq.Options)
+	ctx, cancel := s.requestContext(r, budget)
+	defer cancel()
+
+	suite, err := core.NewGenerator(q, opts).GenerateContext(ctx)
+	if ctx.Err() != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.ctr.budgetExpired.Add(1)
+	}
+	if r.Context().Err() != nil && s.hardCtx.Err() == nil {
+		s.ctr.disconnects.Add(1)
+	}
+	switch {
+	case err == nil:
+		// complete: fall through
+	case errors.Is(err, core.ErrPartialSuite):
+		// degraded but valid: flush what we have as 207. Recovered
+		// kill-goal panics are surfaced in the counters.
+		for _, f := range suite.Incomplete {
+			if f.Reason == core.ReasonPanic {
+				s.ctr.panics.Add(1)
+			}
+		}
+		s.ctr.partial.Add(1)
+		s.writeJSON(w, http.StatusMultiStatus, encodeSuite(suite, sch))
+		return
+	default:
+		status, kind := classify(err)
+		s.writeError(w, status, kind, err)
+		return
+	}
+
+	resp := encodeSuite(suite, sch)
+	body := any(resp)
+	if extend != nil {
+		body, err = extend(ctx, q, suite, resp)
+		if err != nil {
+			status, kind := classify(err)
+			s.writeError(w, status, kind, err)
+			return
+		}
+	}
+	s.ctr.completed.Add(1)
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitOrReject(w, r)
+	if !ok {
+		return
+	}
+	defer s.inflight.Done()
+	defer s.finish(w, release)
+
+	var req GenerateRequest
+	if err := decode(r, w, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "malformed", err)
+		return
+	}
+	s.generate(w, r, req, nil)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitOrReject(w, r)
+	if !ok {
+		return
+	}
+	defer s.inflight.Done()
+	defer s.finish(w, release)
+
+	var req AnalyzeRequest
+	if err := decode(r, w, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "malformed", err)
+		return
+	}
+	mopts := mutation.DefaultOptions()
+	mopts.IncludeFullOuter = req.IncludeFullOuter
+	mopts.AllJoinOrders = !req.NoAllJoinOrders
+	s.generate(w, r, req.GenerateRequest, func(ctx context.Context, q *qtree.Query, suite *core.Suite, resp GenerateResponse) (any, error) {
+		mutants, err := mutation.Space(q, mopts)
+		if err != nil {
+			return nil, fmt.Errorf("mutation space: %w", err)
+		}
+		report, err := mutation.EvaluateContext(ctx, q, mutants, suite.All(), mutation.EvalOptions{Parallelism: 1})
+		if err != nil {
+			return nil, fmt.Errorf("kill matrix: %w", err)
+		}
+		a := AnalyzeResponse{
+			GenerateResponse: resp,
+			Mutants:          len(mutants),
+			Killed:           report.KilledCount(),
+		}
+		for _, mi := range report.Survivors() {
+			a.Survivors = append(a.Survivors, mutants[mi].Desc)
+		}
+		for _, kind := range []mutation.Kind{mutation.KindJoinType, mutation.KindComparison, mutation.KindAggregate} {
+			if kk, ok := report.KillsByKind()[kind]; ok {
+				a.ByKind = append(a.ByKind, KindKillsJSON{Kind: string(kind), Killed: kk[0], Total: kk[1]})
+			}
+		}
+		return a, nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Counters())
+}

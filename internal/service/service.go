@@ -1,0 +1,356 @@
+// Package service implements xdatad, the HTTP/JSON generation daemon:
+// POST /v1/generate turns DDL + query + options into a test suite,
+// POST /v1/analyze additionally runs the mutation kill matrix, and
+// /healthz, /readyz, /statsz expose liveness, drain state, and service
+// counters. The server wraps the library pipeline (sqlparser → qtree →
+// core → mutation) in the robustness machinery a long-running multi-
+// tenant process needs and the library deliberately does not impose:
+//
+//   - Bounded admission: at most Config.MaxConcurrent requests solve at
+//     once (semaphore sized from GOMAXPROCS by default) with a bounded
+//     wait queue behind it. Overflow is shed immediately with 429 +
+//     Retry-After — never queued forever — so saturation degrades
+//     latency for admitted work, not availability.
+//   - Server-side budget clamping: client-supplied timeouts and node
+//     budgets are clamped onto the operator's hard ceilings before they
+//     reach core.Options, so no request can monopolize a worker.
+//   - Per-request deadlines: the clamped budget becomes a context
+//     deadline flowing into solver.SolveContext; client disconnects
+//     cancel the same context.
+//   - Resource governance: limits.Limits (byte caps, parse depth,
+//     schema cardinality, domain width) reject adversarial inputs with
+//     422 before any solver budget is spent.
+//   - Fault isolation: kill-goal panics are already confined to
+//     Suite.Incomplete entries by core; the handler adds a last-resort
+//     recover so even a handler-level panic costs one 500, not the
+//     process.
+//   - Graceful drain: Drain flips /readyz to 503, lets in-flight
+//     requests finish until the drain deadline, then hard-cancels them
+//     so they budget-expire and flush partial suites (207).
+//
+// The HTTP status taxonomy mirrors the xdata CLI's exit codes
+// (0 complete, 1 fatal, 2 usage, 3 partial):
+//
+//	200 complete suite            (CLI exit 0)
+//	207 partial suite flushed     (CLI exit 3, ErrPartialSuite)
+//	400 malformed request JSON    (HTTP-only)
+//	422 caller error: SQL parse, limits.ErrResourceLimit,
+//	    core.ErrBadOptions        (CLI exit 2)
+//	429 admission shed, Retry-After set (HTTP-only)
+//	500 internal fault            (CLI exit 1)
+//	503 draining                  (HTTP-only, /readyz and late arrivals)
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/limits"
+)
+
+// Config tunes the daemon. The zero value of any field selects the
+// documented default; Normalize applies them.
+type Config struct {
+	// MaxConcurrent is the number of requests allowed to run the
+	// generation pipeline simultaneously (0 = runtime.GOMAXPROCS(0)).
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for an execution slot
+	// (0 = 2*MaxConcurrent). A request arriving with the queue full is
+	// shed immediately with 429.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot
+	// before being shed with 429 (0 = 500ms).
+	QueueWait time.Duration
+	// MaxTimeout is the hard ceiling on the whole-request budget; the
+	// client's timeout_ms is clamped onto it (0 = 30s).
+	MaxTimeout time.Duration
+	// MaxGoalTimeout caps the client's per-goal timeout
+	// (0 = MaxTimeout).
+	MaxGoalTimeout time.Duration
+	// MaxGoalNodes caps the client's per-goal solver node budget
+	// (0 = 1<<22).
+	MaxGoalNodes int64
+	// MaxSolverNodes caps the client's hard per-call node ceiling
+	// (0 = 1<<24).
+	MaxSolverNodes int64
+	// MaxParallelism caps the client's per-request worker count
+	// (0 = MaxConcurrent: one saturated request may use every slot's
+	// worth of CPU, but admission keeps the aggregate bounded).
+	MaxParallelism int
+	// Limits govern input resources: byte caps, parser recursion
+	// depth, schema cardinality, candidate-domain width. The zero
+	// value selects limits.Default(); use limits.Unlimited() only for
+	// trusted single-tenant deployments.
+	Limits limits.Limits
+	// DrainTimeout bounds Drain's wait for in-flight requests before
+	// hard-cancelling them (0 = 10s). Kept as the default used by
+	// cmd/xdatad; Drain itself takes a context.
+	DrainTimeout time.Duration
+}
+
+// Normalize fills zero fields with their documented defaults and
+// returns the result.
+func (c Config) Normalize() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 500 * time.Millisecond
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxGoalTimeout <= 0 {
+		c.MaxGoalTimeout = c.MaxTimeout
+	}
+	if c.MaxGoalNodes <= 0 {
+		c.MaxGoalNodes = 1 << 22
+	}
+	if c.MaxSolverNodes <= 0 {
+		c.MaxSolverNodes = 1 << 24
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = c.MaxConcurrent
+	}
+	if c.Limits == (limits.Limits{}) {
+		c.Limits = limits.Default()
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Counters is a point-in-time snapshot of the service counters exposed
+// at /statsz and consumed by the xbench trajectory. All fields are
+// monotonic over a server's lifetime.
+type Counters struct {
+	// Received counts requests that reached /v1/generate or
+	// /v1/analyze (including those later shed or rejected).
+	Received int64 `json:"received"`
+	// Admitted counts requests that acquired an execution slot.
+	Admitted int64 `json:"admitted"`
+	// Shed counts requests rejected 429 by admission control.
+	Shed int64 `json:"shed"`
+	// Rejected counts caller errors (400/422).
+	Rejected int64 `json:"rejected"`
+	// Completed counts 200 responses (complete suites).
+	Completed int64 `json:"completed"`
+	// Partial counts 207 responses (partial suites flushed).
+	Partial int64 `json:"partial"`
+	// Failed counts 500 responses.
+	Failed int64 `json:"failed"`
+	// PanicsRecovered counts kill-goal panics isolated into
+	// Suite.Incomplete entries plus handler-level panics recovered
+	// into 500s.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// BudgetExpired counts requests whose clamped whole-request budget
+	// expired (deadline exceeded) before the suite completed.
+	BudgetExpired int64 `json:"budget_expired"`
+	// ClientDisconnects counts requests whose client went away before
+	// the response was written.
+	ClientDisconnects int64 `json:"client_disconnects"`
+	// Drained counts in-flight requests that completed while the
+	// server was draining.
+	Drained int64 `json:"drained"`
+	// Draining reports whether the server is currently draining
+	// (mirrors /readyz).
+	Draining bool `json:"draining"`
+	// InFlight is the number of requests currently holding an
+	// execution slot.
+	InFlight int64 `json:"in_flight"`
+}
+
+// counters is the live atomic backing for Counters.
+type counters struct {
+	received, admitted, shed, rejected atomic.Int64
+	completed, partial, failed         atomic.Int64
+	panics, budgetExpired, disconnects atomic.Int64
+	drained, inFlight                  atomic.Int64
+}
+
+// Server is the xdatad HTTP service. Create with New, mount via
+// Handler, stop via Drain.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	sem    chan struct{} // execution slots; len == in-flight
+	queued atomic.Int64  // requests waiting behind the semaphore
+
+	// drainMu orders request registration against Drain: beginRequest
+	// holds the read lock across {draining check, inflight.Add}, Drain
+	// sets draining under the write lock, so no request can slip into
+	// the WaitGroup after Drain starts waiting (the documented
+	// Add-from-zero-concurrent-with-Wait misuse).
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	// hardCtx is cancelled by Drain once the drain deadline passes:
+	// every in-flight request context is linked to it, so cancellation
+	// budget-expires the remaining goals and the handlers flush 207s.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	ctr counters
+}
+
+// New builds a Server from cfg (normalized copy; cfg is not retained).
+func New(cfg Config) *Server {
+	cfg = cfg.Normalize()
+	s := &Server{
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		sem: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Config returns the normalized configuration the server runs with.
+func (s *Server) Config() Config { return s.cfg }
+
+// Counters snapshots the service counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Received:          s.ctr.received.Load(),
+		Admitted:          s.ctr.admitted.Load(),
+		Shed:              s.ctr.shed.Load(),
+		Rejected:          s.ctr.rejected.Load(),
+		Completed:         s.ctr.completed.Load(),
+		Partial:           s.ctr.partial.Load(),
+		Failed:            s.ctr.failed.Load(),
+		PanicsRecovered:   s.ctr.panics.Load(),
+		BudgetExpired:     s.ctr.budgetExpired.Load(),
+		ClientDisconnects: s.ctr.disconnects.Load(),
+		Drained:           s.ctr.drained.Load(),
+		Draining:          s.draining.Load(),
+		InFlight:          s.ctr.inFlight.Load(),
+	}
+}
+
+// errShed is returned by admit when the request must be rejected 429.
+var errShed = fmt.Errorf("service: overloaded, request shed")
+
+// beginRequest registers the request with the drain machinery: it
+// refuses (false) when the server is draining, otherwise adds the
+// request to the in-flight WaitGroup. The read lock makes the
+// check-and-add atomic with respect to Drain. Every true return must
+// be paired with exactly one inflight.Done.
+func (s *Server) beginRequest() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// admit acquires an execution slot. The fast path is non-blocking; if
+// every slot is busy the request joins the bounded wait queue and
+// blocks up to Config.QueueWait. A full queue or an expired wait sheds
+// the request immediately (errShed → 429 + Retry-After); a cancelled
+// ctx returns its error. The returned release function must be called
+// exactly once after the request finishes.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	release = func() {
+		s.ctr.inFlight.Add(-1)
+		<-s.sem
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case s.sem <- struct{}{}:
+		s.ctr.admitted.Add(1)
+		s.ctr.inFlight.Add(1)
+		return release, nil
+	default:
+	}
+	// Bounded queue: shed instead of waiting when it is full. The
+	// acceptance bar is an immediate 429 (well under 100ms) at
+	// saturation — no unbounded queueing.
+	if n := s.queued.Add(1); n > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.ctr.shed.Add(1)
+		return nil, errShed
+	}
+	defer s.queued.Add(-1)
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.ctr.admitted.Add(1)
+		s.ctr.inFlight.Add(1)
+		return release, nil
+	case <-timer.C:
+		s.ctr.shed.Add(1)
+		return nil, errShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// requestContext derives the per-request context: the clamped whole-
+// request budget becomes a deadline on top of the client's own request
+// context (so disconnects cancel it), and the server's drain hard-
+// cancel is linked in via context.AfterFunc. The returned cancel
+// releases everything and must be deferred.
+func (s *Server) requestContext(r *http.Request, budget time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// retryAfterSeconds is the Retry-After hint attached to 429 responses:
+// the queue wait rounded up to a whole second.
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.QueueWait / time.Second)
+	if s.cfg.QueueWait%time.Second != 0 || secs == 0 {
+		secs++
+	}
+	return strconv.Itoa(secs)
+}
+
+// Drain gracefully shuts the service down: new generate/analyze
+// requests are refused with 503 (and /readyz flips to 503 so load
+// balancers stop routing), in-flight requests run to completion, and
+// when ctx expires first the remaining requests are hard-cancelled so
+// they budget-expire and flush partial suites. Drain returns once
+// every in-flight request has finished; the returned error is ctx's
+// error when the hard-cancel path was taken, nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.hardCancel()
+		<-done // bounded: every request context is now cancelled
+		return ctx.Err()
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/sqltypes"
+	"repro/internal/testutil"
 )
 
 // pigeonhole builds an UNSAT problem whose refutation requires real
@@ -49,6 +50,7 @@ func TestSolveContextCancelMidSearch(t *testing.T) {
 			// Large enough that the UNSAT proof takes far longer than
 			// the cancellation delay on any machine.
 			s := pigeonhole(12)
+			before := testutil.GoroutineSnapshot()
 			ctx, cancel := context.WithCancel(context.Background())
 			go func() {
 				time.Sleep(30 * time.Millisecond)
@@ -66,6 +68,9 @@ func TestSolveContextCancelMidSearch(t *testing.T) {
 			if elapsed > 5*time.Second {
 				t.Fatalf("cancellation not prompt: took %v", elapsed)
 			}
+			// The solve runs on the calling goroutine; nothing may
+			// outlive it (slack 1 for the canceler above).
+			testutil.RequireNoGoroutineLeak(t, before, 1)
 		})
 	}
 }

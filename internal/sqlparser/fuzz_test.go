@@ -1,6 +1,7 @@
 package sqlparser
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -21,6 +22,15 @@ func FuzzParseQuery(f *testing.F) {
 		"SELECT x FROM a NATURAL LEFT OUTER JOIN b",
 		"SELECT x FROM a FULL OUTER JOIN b ON a.i <= b.j CROSS JOIN c",
 		"SELECT x FROM t WHERE x IN (SELECT y FROM u WHERE u.k = 1)",
+		// Adversarial-depth regression entries (PR 5 hardening): each
+		// must be rejected with limits.ErrResourceLimit — never a stack
+		// overflow, a hang, or an accepted statement whose printed form
+		// fails to re-parse.
+		"SELECT x FROM t WHERE " + strings.Repeat("(", 512) + "x = 1" + strings.Repeat(")", 512),
+		"SELECT x FROM t WHERE " + strings.Repeat("NOT ", 512) + "x = 1",
+		"SELECT x FROM t WHERE x = " + strings.Repeat("- ", 512) + "1",
+		"SELECT x FROM " + strings.Repeat("(", 512) + "a JOIN b ON a.x = b.x" + strings.Repeat(")", 512),
+		"SELECT x FROM t WHERE " + strings.Repeat("x = 1 AND ", 512) + "x = 1",
 	} {
 		f.Add(s)
 	}
@@ -52,6 +62,24 @@ func FuzzParseDDL(f *testing.F) {
 		"CREATE TABLE c (id INT PRIMARY KEY, ok BOOLEAN, f FLOAT NOT NULL, s VARCHAR(3));",
 		"CREATE TABLE p (id INT PRIMARY KEY);\n" +
 			"CREATE TABLE q (id INT PRIMARY KEY, p_id INT NOT NULL, FOREIGN KEY (p_id) REFERENCES p);",
+		// Adversarial-size regression entry (PR 5 hardening): a wide
+		// column list stays within the default ceilings and must keep
+		// round-tripping; the byte/cardinality caps are exercised by
+		// the unit tests (fuzz seeds above the caps would only pin the
+		// rejection path, which CheckInput makes unreachable for
+		// interesting mutations).
+		func() string {
+			var sb strings.Builder
+			sb.WriteString("CREATE TABLE wide (id INT PRIMARY KEY")
+			for i := 0; i < 64; i++ {
+				sb.WriteString(", c")
+				sb.WriteString(strings.Repeat("x", i%7))
+				sb.WriteByte('0' + byte(i%10))
+				sb.WriteString(" INT")
+			}
+			sb.WriteString(");")
+			return sb.String()
+		}(),
 	} {
 		f.Add(s)
 	}

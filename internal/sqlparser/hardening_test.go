@@ -1,0 +1,144 @@
+package sqlparser
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/limits"
+)
+
+// nestedParens builds "SELECT x FROM t WHERE (((...(x = 1)...)))".
+func nestedParens(depth int) string {
+	return "SELECT x FROM t WHERE " + strings.Repeat("(", depth) + "x = 1" + strings.Repeat(")", depth)
+}
+
+func TestParseQueryDepthLimitParens(t *testing.T) {
+	deep := nestedParens(limits.DefaultMaxParseDepth + 10)
+	_, err := ParseQuery(deep)
+	if !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("deeply nested parens: got %v, want ErrResourceLimit", err)
+	}
+	// Well within the limit: accepted (parens collapse in the AST, so
+	// only the recursion guard is in play).
+	if _, err := ParseQuery(nestedParens(limits.DefaultMaxParseDepth / 4)); err != nil {
+		t.Fatalf("moderately nested parens rejected: %v", err)
+	}
+	// Unlimited restores the old behavior for trusted callers.
+	if _, err := ParseQueryLimits(deep, limits.Unlimited()); err != nil {
+		t.Fatalf("unlimited parse of nested parens: %v", err)
+	}
+}
+
+func TestParseQueryDepthLimitNotTower(t *testing.T) {
+	src := "SELECT x FROM t WHERE " + strings.Repeat("NOT ", limits.DefaultMaxParseDepth+10) + "x = 1"
+	if _, err := ParseQuery(src); !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("NOT tower: got %v, want ErrResourceLimit", err)
+	}
+}
+
+func TestParseQueryDepthLimitUnaryMinus(t *testing.T) {
+	// Spaces between the minus signs: adjacent "--" would lex as a line
+	// comment.
+	src := "SELECT x FROM t WHERE x = " + strings.Repeat("- ", limits.DefaultMaxParseDepth+10) + "1"
+	if _, err := ParseQuery(src); !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("unary-minus tower: got %v, want ErrResourceLimit", err)
+	}
+}
+
+func TestParseQueryDepthLimitJoinParens(t *testing.T) {
+	d := limits.DefaultMaxParseDepth + 10
+	src := "SELECT x FROM " + strings.Repeat("(", d) + "a JOIN b ON a.x = b.x" + strings.Repeat(")", d)
+	if _, err := ParseQuery(src); !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("nested join parens: got %v, want ErrResourceLimit", err)
+	}
+}
+
+// TestParseQueryStructuralDepthChain: a flat AND chain parses with O(1)
+// recursion but builds a left-deep AST one level per conjunct; the
+// structural check caps it at half the recursion guard so the printed
+// (fully parenthesized) form always re-parses. This is the invariant
+// the fuzz round-trip relies on.
+func TestParseQueryStructuralDepthChain(t *testing.T) {
+	chain := func(n int) string {
+		terms := make([]string, n)
+		for i := range terms {
+			terms[i] = fmt.Sprintf("x = %d", i)
+		}
+		return "SELECT x FROM t WHERE " + strings.Join(terms, " AND ")
+	}
+	if _, err := ParseQuery(chain(limits.DefaultMaxParseDepth)); !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("over-long AND chain: got %v, want ErrResourceLimit", err)
+	}
+	// A chain inside the structural ceiling must parse AND round-trip
+	// through the printer.
+	stmt, err := ParseQuery(chain(limits.DefaultMaxParseDepth/2 - 2))
+	if err != nil {
+		t.Fatalf("chain inside ceiling rejected: %v", err)
+	}
+	printed := stmt.String()
+	if _, err := ParseQuery(printed); err != nil {
+		t.Fatalf("printed form of accepted chain must re-parse, got: %v", err)
+	}
+}
+
+func TestParseQueryByteCap(t *testing.T) {
+	big := "SELECT x FROM t -- " + strings.Repeat("x", limits.DefaultMaxInputBytes)
+	if _, err := ParseQuery(big); !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("oversized query: got %v, want ErrResourceLimit", err)
+	}
+	if _, err := ParseQueryLimits(big, limits.Unlimited()); err != nil {
+		t.Fatalf("unlimited parse of big query: %v", err)
+	}
+}
+
+func TestParseSchemaByteCap(t *testing.T) {
+	big := "CREATE TABLE t (id INT PRIMARY KEY); -- " + strings.Repeat("x", limits.DefaultMaxInputBytes)
+	if _, err := ParseSchema(big); !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("oversized DDL: got %v, want ErrResourceLimit", err)
+	}
+}
+
+func TestParseSchemaCardinality(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&sb, "CREATE TABLE t%d (id INT PRIMARY KEY);\n", i)
+	}
+	l := limits.Limits{MaxRelations: 3}
+	if _, err := ParseSchemaLimits(sb.String(), l); !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("schema over relation cap: got %v, want ErrResourceLimit", err)
+	}
+	if _, err := ParseSchema(sb.String()); err != nil {
+		t.Fatalf("4 relations under the default cap rejected: %v", err)
+	}
+}
+
+func TestParseInsertsByteCap(t *testing.T) {
+	sch, err := ParseSchema("CREATE TABLE t (id INT PRIMARY KEY);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t VALUES (1); -- ")
+	sb.WriteString(strings.Repeat("x", limits.DefaultMaxInputBytes))
+	if _, err := ParseInserts(sch, sb.String()); !errors.Is(err, limits.ErrResourceLimit) {
+		t.Fatalf("oversized INSERT set: got %v, want ErrResourceLimit", err)
+	}
+}
+
+// TestParseQueryLegitimateUnaffected pins that the hardening defaults
+// leave every ordinary query untouched.
+func TestParseQueryLegitimateUnaffected(t *testing.T) {
+	for _, src := range []string{
+		"SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50",
+		"SELECT c, COUNT(*) FROM t GROUP BY c",
+		"SELECT x FROM a NATURAL LEFT OUTER JOIN b",
+		"SELECT x FROM t WHERE NOT (x > 1 OR (y < 2 AND z = 3))",
+		"SELECT x FROM t WHERE x IN (SELECT y FROM u WHERE u.k = 1)",
+	} {
+		if _, err := ParseQuery(src); err != nil {
+			t.Errorf("hardened ParseQuery rejected legitimate query %q: %v", src, err)
+		}
+	}
+}

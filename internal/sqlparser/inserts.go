@@ -3,6 +3,7 @@ package sqlparser
 import (
 	"fmt"
 
+	"repro/internal/limits"
 	"repro/internal/schema"
 	"repro/internal/sqltypes"
 )
@@ -14,8 +15,17 @@ import (
 //	INSERT INTO t (a, b) VALUES (1, 'x');
 //
 // Values are numeric or string literals, or NULL.
+//
+// The input is subject to the default hardening ceilings
+// (limits.Default(): byte cap, nesting depth); ParseInsertsLimits takes
+// explicit ceilings.
 func ParseInserts(sch *schema.Schema, input string) (*schema.Dataset, error) {
-	p, err := newParser(input)
+	return ParseInsertsLimits(sch, input, limits.Default())
+}
+
+// ParseInsertsLimits is ParseInserts under explicit resource ceilings.
+func ParseInsertsLimits(sch *schema.Schema, input string, l limits.Limits) (*schema.Dataset, error) {
+	p, err := newParser(input, "INSERT set", l)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,122 @@
+// Adversarial-input hardening for the parser ("Parser Knows Best":
+// reject pathological inputs at the grammar, before they reach the
+// solver). Two mechanisms, both surfacing limits.ErrResourceLimit:
+//
+//  1. A byte cap on every parsed input (query, DDL, INSERT set),
+//     checked before lexing.
+//  2. A nesting-depth limit enforced twice: a recursion guard during
+//     parsing (each nested paren, NOT, unary minus, parenthesized join
+//     and subquery increments the depth counter, so `((((...` cannot
+//     overflow the goroutine stack), and a structural-depth check on
+//     the accepted AST at half the recursion limit. The second check is
+//     what keeps the parser/printer fuzz invariant airtight: flat
+//     chains like `a AND b AND ... AND z` parse with O(1) recursion but
+//     print with one paren pair per operator, so without it an accepted
+//     chain of N conjuncts could print to a form the parser then
+//     rejects at depth N. Capping AST depth at MaxParseDepth/2
+//     guarantees the printed form re-parses within the recursion limit.
+//
+// The plain ParseQuery/ParseSchema/ParseInserts entry points enforce
+// limits.Default(); the *Limits variants let the daemon tighten (or a
+// trusted caller lift, with limits.Unlimited) the ceilings.
+package sqlparser
+
+import (
+	"fmt"
+
+	"repro/internal/limits"
+)
+
+// enterNest increments the parser's nesting depth, failing with a
+// typed resource-limit error once the recursion guard is exceeded.
+// Every call must be paired with leaveNest on all exit paths (including
+// backtracks).
+func (p *parser) enterNest() error {
+	p.depth++
+	if p.maxDepth > 0 && p.depth > p.maxDepth {
+		return fmt.Errorf("sql: %w", limits.Exceeded("nesting depth", p.depth, p.maxDepth))
+	}
+	return nil
+}
+
+func (p *parser) leaveNest() { p.depth-- }
+
+// astLimit is the structural-depth ceiling applied to accepted
+// statements: half the recursion guard, so the printed (fully
+// parenthesized) form of any accepted statement re-parses within the
+// guard. 0 = unlimited.
+func astLimit(maxDepth int) int { return maxDepth / 2 }
+
+// checkStmtDepth rejects statements whose structure is deeper than the
+// AST ceiling. The walk itself aborts as soon as the budget is
+// exhausted, so its own recursion is bounded by the limit, not by the
+// (possibly enormous) chain depth of the input.
+func checkStmtDepth(stmt *SelectStmt, maxDepth int) error {
+	lim := astLimit(maxDepth)
+	if lim <= 0 {
+		return nil
+	}
+	if stmtTooDeep(stmt, lim) {
+		return fmt.Errorf("sql: %w", limits.Exceeded("statement nesting depth", lim+1, lim))
+	}
+	return nil
+}
+
+// stmtTooDeep reports whether any part of the statement nests deeper
+// than budget levels.
+func stmtTooDeep(stmt *SelectStmt, budget int) bool {
+	if stmt == nil {
+		return false
+	}
+	if budget <= 0 {
+		return true
+	}
+	for _, it := range stmt.Select {
+		if exprTooDeep(it.Expr, budget) {
+			return true
+		}
+	}
+	for _, te := range stmt.From {
+		if tableTooDeep(te, budget) {
+			return true
+		}
+	}
+	return exprTooDeep(stmt.Where, budget)
+}
+
+func exprTooDeep(e Expr, budget int) bool {
+	if e == nil {
+		return false
+	}
+	if budget <= 0 {
+		return true
+	}
+	switch n := e.(type) {
+	case *BinaryExpr:
+		return exprTooDeep(n.L, budget-1) || exprTooDeep(n.R, budget-1)
+	case *NotExpr:
+		return exprTooDeep(n.E, budget-1)
+	case *AggExpr:
+		return exprTooDeep(n.Arg, budget-1)
+	case *InSubquery:
+		return exprTooDeep(n.Expr, budget-1) || stmtTooDeep(n.Sub, budget-1)
+	case *ExistsSubquery:
+		return stmtTooDeep(n.Sub, budget-1)
+	default: // ColRef, NumLit, StrLit: leaves
+		return false
+	}
+}
+
+func tableTooDeep(te TableExpr, budget int) bool {
+	if te == nil {
+		return false
+	}
+	if budget <= 0 {
+		return true
+	}
+	if j, ok := te.(*JoinExpr); ok {
+		return tableTooDeep(j.Left, budget-1) || tableTooDeep(j.Right, budget-1) ||
+			exprTooDeep(j.On, budget-1)
+	}
+	return false // TableRef: leaf
+}

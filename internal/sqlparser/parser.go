@@ -5,22 +5,30 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/limits"
 	"repro/internal/schema"
 	"repro/internal/sqltypes"
 )
 
-// parser is a recursive-descent parser over the token stream.
+// parser is a recursive-descent parser over the token stream. depth is
+// the current nesting depth, bounded by maxDepth (0 = unlimited) — see
+// limits.go for the hardening model.
 type parser struct {
-	toks []token
-	pos  int
+	toks     []token
+	pos      int
+	depth    int
+	maxDepth int
 }
 
-func newParser(input string) (*parser, error) {
+func newParser(input string, what string, l limits.Limits) (*parser, error) {
+	if err := l.CheckInput(what, input); err != nil {
+		return nil, fmt.Errorf("sql: %w", err)
+	}
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
-	return &parser{toks: toks}, nil
+	return &parser{toks: toks, maxDepth: l.MaxParseDepth}, nil
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -77,9 +85,19 @@ func (p *parser) expectIdent() (string, error) {
 
 // ParseQuery parses a single-block SELECT statement. Constructs outside
 // the paper's query class (HAVING, ORDER BY, subqueries, IS NULL per
-// assumption A6) are rejected with explanatory errors.
+// assumption A6) are rejected with explanatory errors. Inputs breaching
+// the default hardening ceilings (limits.Default(): byte size, nesting
+// depth) are rejected with errors wrapping limits.ErrResourceLimit;
+// ParseQueryLimits takes explicit ceilings.
 func ParseQuery(input string) (*SelectStmt, error) {
-	p, err := newParser(input)
+	return ParseQueryLimits(input, limits.Default())
+}
+
+// ParseQueryLimits is ParseQuery under explicit resource ceilings
+// (limits.Unlimited() restores the unhardened behavior for trusted
+// in-process callers).
+func ParseQueryLimits(input string, l limits.Limits) (*SelectStmt, error) {
+	p, err := newParser(input, "query", l)
 	if err != nil {
 		return nil, err
 	}
@@ -91,10 +109,17 @@ func ParseQuery(input string) (*SelectStmt, error) {
 	if p.cur().kind != tkEOF {
 		return nil, fmt.Errorf("sql: unexpected trailing input at offset %d: %s", p.cur().pos, p.cur())
 	}
+	if err := checkStmtDepth(stmt, p.maxDepth); err != nil {
+		return nil, err
+	}
 	return stmt, nil
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.enterNest(); err != nil {
+		return nil, err
+	}
+	defer p.leaveNest()
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -268,6 +293,10 @@ func (p *parser) parseJoinKeyword(natural bool) (JoinType, bool, error) {
 
 func (p *parser) parseTablePrimary() (TableExpr, error) {
 	if p.acceptSymbol("(") {
+		if err := p.enterNest(); err != nil {
+			return nil, err
+		}
+		defer p.leaveNest()
 		te, err := p.parseTableExpr()
 		if err != nil {
 			return nil, err
@@ -331,6 +360,10 @@ func (p *parser) parseAndExpr() (Expr, error) {
 
 func (p *parser) parseNotExpr() (Expr, error) {
 	if p.acceptKeyword("NOT") {
+		if err := p.enterNest(); err != nil {
+			return nil, err
+		}
+		defer p.leaveNest()
 		e, err := p.parseNotExpr()
 		if err != nil {
 			return nil, err
@@ -368,14 +401,19 @@ func (p *parser) parseCmpExpr() (Expr, error) {
 	if p.peekSymbol("(") {
 		save := p.pos
 		p.pos++
+		if err := p.enterNest(); err != nil {
+			return nil, err
+		}
 		inner, err := p.parseOrExpr()
 		if err == nil && p.acceptSymbol(")") {
 			// If followed by a comparison/arithmetic operator this was a
 			// scalar grouping, so fall through to re-parse as arithmetic.
 			if !p.isCmpOrArith() {
+				p.leaveNest()
 				return inner, nil
 			}
 		}
+		p.leaveNest()
 		p.pos = save
 	}
 	l, err := p.parseAddExpr()
@@ -477,6 +515,10 @@ func (p *parser) parseMulExpr() (Expr, error) {
 
 func (p *parser) parseUnaryExpr() (Expr, error) {
 	if p.acceptSymbol("-") {
+		if err := p.enterNest(); err != nil {
+			return nil, err
+		}
+		defer p.leaveNest()
 		e, err := p.parseUnaryExpr()
 		if err != nil {
 			return nil, err
@@ -519,7 +561,11 @@ func (p *parser) parsePrimaryExpr() (Expr, error) {
 	case tkSymbol:
 		if t.text == "(" {
 			p.pos++
+			if err := p.enterNest(); err != nil {
+				return nil, err
+			}
 			e, err := p.parseAddExpr()
+			p.leaveNest()
 			if err != nil {
 				return nil, err
 			}
@@ -600,9 +646,17 @@ func (p *parser) parseColRef() (*ColRef, error) {
 	return &ColRef{Column: name}, nil
 }
 
-// ParseSchema parses a sequence of CREATE TABLE statements into a Schema.
+// ParseSchema parses a sequence of CREATE TABLE statements into a
+// Schema, under the default hardening ceilings (byte size, schema
+// cardinalities); breaches are rejected with errors wrapping
+// limits.ErrResourceLimit.
 func ParseSchema(input string) (*schema.Schema, error) {
-	p, err := newParser(input)
+	return ParseSchemaLimits(input, limits.Default())
+}
+
+// ParseSchemaLimits is ParseSchema under explicit resource ceilings.
+func ParseSchemaLimits(input string, l limits.Limits) (*schema.Schema, error) {
+	p, err := newParser(input, "DDL", l)
 	if err != nil {
 		return nil, err
 	}
@@ -630,6 +684,9 @@ func ParseSchema(input string) (*schema.Schema, error) {
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if err := l.CheckSchema(s); err != nil {
+		return nil, fmt.Errorf("sql: %w", err)
 	}
 	return s, nil
 }

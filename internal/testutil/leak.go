@@ -1,0 +1,41 @@
+// Package testutil holds helpers shared by the -race robustness tests
+// across internal/core, internal/solver, internal/mutation and
+// internal/service. It must only be imported from _test files.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// GoroutineSnapshot records the current goroutine count. Take it after
+// test setup (fixtures built, servers started) and pass it to
+// RequireNoGoroutineLeak after the operation under test returns.
+func GoroutineSnapshot() int { return runtime.NumGoroutine() }
+
+// RequireNoGoroutineLeak polls until the goroutine count drops back to
+// at most before+slack, failing the test if it has not within 2s. The
+// polling loop absorbs the runtime's asynchronous reaping of finished
+// goroutines (a worker that has returned may still be counted for a few
+// scheduler ticks); a real leak — a worker blocked forever — never
+// drops, so the 2s deadline converts it into a deterministic failure.
+//
+// slack covers goroutines the test itself still owns at check time
+// (e.g. a canceler goroutine that is about to exit); pass 1 for the
+// common cancel-goroutine pattern, 0 when the test spawned nothing.
+func RequireNoGoroutineLeak(t testing.TB, before, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after (slack %d)", before, n, slack)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -58,16 +58,20 @@ type BaselineRef struct {
 // Report is the root object of a BENCH_<n>.json file. Sections are
 // emitted only for the experiments that ran.
 type Report struct {
-	SchemaVersion int           `json:"schema_version"`
-	GeneratedAt   string        `json:"generated_at"` // RFC 3339, UTC
-	Environment   Environment   `json:"environment"`
-	Parallelism   int           `json:"parallelism"` // worker setting for table sections (0 = all CPUs)
-	Benchmarks    []Benchmark   `json:"benchmarks,omitempty"`
-	Baseline      *BaselineRef  `json:"baseline,omitempty"`
-	TableI        []Row         `json:"table1,omitempty"`
-	TableII       []Row         `json:"table2,omitempty"`
-	InputDB       []InputDBRow  `json:"inputdb,omitempty"`
-	BaselineCmp   []BaselineRow `json:"baseline_cmp,omitempty"`
+	SchemaVersion int         `json:"schema_version"`
+	GeneratedAt   string      `json:"generated_at"` // RFC 3339, UTC
+	Environment   Environment `json:"environment"`
+	Parallelism   int         `json:"parallelism"` // worker setting for table sections (0 = all CPUs)
+	Benchmarks    []Benchmark `json:"benchmarks,omitempty"`
+	// Service is the daemon-path measurement (see RunServiceBench):
+	// the workload through xdatad's HTTP stack plus the final /statsz
+	// counters, so the trajectory tracks service behavior too.
+	Service     *ServiceBench `json:"service,omitempty"`
+	Baseline    *BaselineRef  `json:"baseline,omitempty"`
+	TableI      []Row         `json:"table1,omitempty"`
+	TableII     []Row         `json:"table2,omitempty"`
+	InputDB     []InputDBRow  `json:"inputdb,omitempty"`
+	BaselineCmp []BaselineRow `json:"baseline_cmp,omitempty"`
 }
 
 // NewReport returns a Report stamped with the current time and machine.

@@ -1,0 +1,157 @@
+package xbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// ServiceBench is the daemon-path measurement pinned in BENCH_<n>.json
+// alongside the library-path headline: the same university-style
+// workload pushed through xdatad's full HTTP stack (admission,
+// clamping, JSON marshalling), with the /statsz counters snapshotted
+// at the end so the trajectory records service behavior (admitted,
+// shed, drained, panics recovered, budget expired) and not just wall
+// time.
+type ServiceBench struct {
+	Name string `json:"name"`
+	// Concurrency is the number of client goroutines.
+	Concurrency int `json:"concurrency"`
+	// Requests is the total number of /v1/generate requests issued.
+	Requests int `json:"requests"`
+	// NsPerRequest is mean wall time per request (whole-storm wall
+	// time divided by Requests; concurrent requests overlap).
+	NsPerRequest int64 `json:"ns_per_request"`
+	TotalNs      int64 `json:"total_ns"`
+	// Counters is the /statsz snapshot after the storm and drain.
+	Counters service.Counters `json:"counters"`
+}
+
+// serviceBenchDDL/SQL: the Example-2 style workload used by the
+// service benchmark (kept small so the number measures service
+// overhead plus a realistic solve, not a stress solve).
+const serviceBenchDDL = `
+CREATE TABLE instructor (
+	id INT PRIMARY KEY,
+	name VARCHAR(20) NOT NULL,
+	dept_name VARCHAR(20) NOT NULL,
+	salary INT NOT NULL
+);
+CREATE TABLE teaches (
+	id INT NOT NULL,
+	course_id INT NOT NULL,
+	PRIMARY KEY (id, course_id)
+);
+`
+
+const serviceBenchSQL = `SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50`
+
+// RunServiceBench starts an in-process xdatad on a loopback listener,
+// fires requests /v1/generate calls from concurrency client
+// goroutines, drains the server, and reports timing plus the final
+// counters. Any non-200 response fails the benchmark: the workload is
+// sized under the admission queue, so shed or partial responses
+// indicate a service regression.
+func RunServiceBench(ctx context.Context, concurrency, requests int) (ServiceBench, error) {
+	if concurrency <= 0 {
+		concurrency = 8
+	}
+	if requests <= 0 {
+		requests = 32
+	}
+	b := ServiceBench{Name: "service_generate", Concurrency: concurrency, Requests: requests}
+
+	svc := service.New(service.Config{
+		MaxQueue:  2 * requests, // never shed: this measures the happy path
+		QueueWait: time.Minute,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return b, fmt.Errorf("xbench: service listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = httpSrv.Serve(ln) }()
+	defer func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+		<-serveDone
+	}()
+
+	body, err := json.Marshal(map[string]string{"ddl": serviceBenchDDL, "query": serviceBenchSQL})
+	if err != nil {
+		return b, err
+	}
+	url := "http://" + ln.Addr().String() + "/v1/generate"
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	work := make(chan struct{}, requests)
+	for i := 0; i < requests; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				if ctx.Err() != nil {
+					fail(ctx.Err())
+					return
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					fail(err)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					fail(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("xbench: service benchmark request got %d, want 200", resp.StatusCode))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.TotalNs = time.Since(start).Nanoseconds()
+	b.NsPerRequest = b.TotalNs / int64(requests)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("xbench: service drain: %w", err)
+	}
+	b.Counters = svc.Counters()
+	return b, firstErr
+}

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/limits"
 	"repro/internal/mutation"
 	"repro/internal/qtree"
 	"repro/internal/schema"
@@ -82,6 +83,12 @@ type (
 	Failure = core.Failure
 	// GoalError wraps a panic recovered inside one kill goal.
 	GoalError = core.GoalError
+	// Limits are resource-governance ceilings for untrusted inputs:
+	// byte caps on DDL/query text, parser recursion depth, schema
+	// cardinality, and candidate-domain width. The zero value of a
+	// field means unlimited; DefaultLimits returns the production
+	// ceilings and UnlimitedLimits disables them all.
+	Limits = limits.Limits
 )
 
 // ErrPartialSuite is returned (wrapped) by GenerateContext alongside a
@@ -89,6 +96,41 @@ type (
 // panic or cancellation reasons; the abandoned goals are listed in
 // Suite.Incomplete. Test with errors.Is.
 var ErrPartialSuite = core.ErrPartialSuite
+
+// ErrBadOptions is the sentinel wrapped by every Options validation
+// failure (negative budgets, worker counts or ceilings, inconsistent
+// combinations): Generate and GenerateContext refuse to start rather
+// than silently coercing a caller bug. Test with errors.Is.
+var ErrBadOptions = core.ErrBadOptions
+
+// ErrResourceLimit is the sentinel wrapped by every resource-governance
+// rejection: oversized DDL/query text, excessive expression or join
+// nesting, schema cardinality over the ceiling, or a candidate-value
+// domain wider than Options.MaxDomainSize. Test with errors.Is.
+var ErrResourceLimit = limits.ErrResourceLimit
+
+// DefaultLimits returns the production resource-governance ceilings
+// applied by ParseSchema, ParseQuery and ParseInserts (generous enough
+// for every legitimate workload in the paper's experiments).
+func DefaultLimits() Limits { return limits.Default() }
+
+// UnlimitedLimits disables all resource governance, for trusted
+// callers; use with ParseSchemaLimits and ParseQueryLimits.
+func UnlimitedLimits() Limits { return limits.Unlimited() }
+
+// ParseSchemaLimits is ParseSchema under explicit resource ceilings.
+func ParseSchemaLimits(ddl string, l Limits) (*Schema, error) {
+	return sqlparser.ParseSchemaLimits(ddl, l)
+}
+
+// ParseQueryLimits is ParseQuery under explicit resource ceilings.
+func ParseQueryLimits(sch *Schema, sql string, l Limits) (*Query, error) {
+	stmt, err := sqlparser.ParseQueryLimits(sql, l)
+	if err != nil {
+		return nil, err
+	}
+	return qtree.Build(sch, stmt)
+}
 
 // Value constructors.
 var (
