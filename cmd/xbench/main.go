@@ -50,7 +50,7 @@ func main() {
 }
 
 func run() int {
-	table := flag.String("table", "all", "which experiment to run: 1, 2, inputdb, baseline, bench, service, all")
+	table := flag.String("table", "all", "which experiment to run: 1, 2, inputdb, baseline, bench, killmatrix, service, all")
 	fast := flag.Bool("fast", false, "skip the quantified (without-unfolding) timing column")
 	equiv := flag.Bool("equiv", false, "verify surviving mutants by randomized equivalence testing")
 	trials := flag.Int("trials", 120, "randomized equivalence trials per surviving mutant")
@@ -58,6 +58,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited); partial results are printed on expiry")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report (see EXPERIMENTS.md) instead of text tables")
 	iters := flag.Int("iters", 50, "iterations for -table bench (the headline single-thread benchmark)")
+	kmIters := flag.Int("killmatrix-iters", 10, "evaluation passes per executor for -table killmatrix")
 	baseNs := flag.Int64("baseline-ns", 0, "previous pinned headline ns/op to embed as the trajectory baseline (0 = none)")
 	svcClients := flag.Int("service-clients", 8, "client goroutines for -table service")
 	svcRequests := flag.Int("service-requests", 32, "total requests for -table service")
@@ -67,7 +68,7 @@ func run() int {
 	flag.Parse()
 
 	switch *table {
-	case "1", "2", "inputdb", "baseline", "bench", "service", "all":
+	case "1", "2", "inputdb", "baseline", "bench", "killmatrix", "service", "all":
 	default:
 		flag.Usage()
 		return 2
@@ -204,6 +205,26 @@ func run() int {
 				fmt.Println("=== headline: university workload, single thread ===")
 				fmt.Printf("%s: %d iters, %d ns/op, %d datasets, %d solver nodes, %d components (%d cache hits), %d base propagation nodes\n\n",
 					b.Name, b.Iters, b.NsPerOp, b.Datasets, b.SolverNodes, b.ComponentCount, b.ComponentCacheHits, b.BasePropagationNodes)
+			}
+			return nil
+		})
+	}
+
+	if want("killmatrix") {
+		run("killmatrix", func() error {
+			kb, err := xbench.RunKillMatrixBench(ctx, *kmIters)
+			if err != nil {
+				return err
+			}
+			report.KillMatrix = &kb
+			if text {
+				fmt.Println("=== kill matrix: compiled columnar engine vs reference interpreter ===")
+				fmt.Printf("%s: %d iters, %d cells (%d mutants x %d datasets = %d matrix cells)\n",
+					kb.Name, kb.Iters, kb.Cells, kb.Mutants, kb.Datasets, kb.MatrixCells)
+				fmt.Printf("compiled %d ns/op, interpreted %d ns/op, speedup %.2fx\n",
+					kb.CompiledNsPerOp, kb.InterpretedNsPerOp, kb.Speedup)
+				fmt.Printf("exec: %d compiled runs, %d batches, %d hash joins, %d small joins, %d nested-loop joins, %d prefix-cache hits, %d result-memo hits\n\n",
+					kb.Exec.CompiledRuns, kb.Exec.CompiledBatches, kb.Exec.HashJoins, kb.Exec.SmallJoins, kb.Exec.NestedLoopJoins, kb.Exec.FamilyPrefixHits, kb.Exec.ResultMemoHits)
 			}
 			return nil
 		})

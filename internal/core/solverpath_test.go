@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/mutation"
 	"repro/internal/solver"
 )
 
@@ -40,14 +41,51 @@ func TestSolverMicroarchStats(t *testing.T) {
 }
 
 // TestAblationFlagAgreement runs the same query under all 16
-// combinations of the four ablation flags and checks the observable
-// contract: identical goal structure (same dataset purposes in the
-// same order), schema-valid datasets, and identical SAT/UNSAT
+// combinations of the four solver ablation flags and checks the
+// observable contract: identical goal structure (same dataset purposes
+// in the same order), schema-valid datasets, and identical SAT/UNSAT
 // outcomes per goal. Dataset contents may differ between search
 // strategies (any valid witness kills the mutant); the suite shape
-// must not.
+// must not. The grid is extended with the executor ablation: every
+// generated suite's kill matrix must be cell-identical whether scored
+// by the compiled columnar executor or the reference interpreter
+// (NoCompiledEngine), closing the loop between solver-side and
+// engine-side ablations.
 func TestAblationFlagAgreement(t *testing.T) {
 	q := buildQuery(t, ddlFK, microarchSQL)
+
+	ms, err := mutation.Space(q, mutation.DefaultOptions())
+	if err != nil {
+		t.Fatalf("mutant space: %v", err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("empty mutant space")
+	}
+	// checkEngines scores a suite's kill matrix under both executors and
+	// fails on any cell difference.
+	checkEngines := func(mask int, suite *Suite) {
+		t.Helper()
+		datasets := suite.All()
+		if len(datasets) == 0 {
+			return
+		}
+		compiled, err := mutation.EvaluateOpts(q, ms, datasets, mutation.EvalOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("mask %04b: compiled evaluation: %v", mask, err)
+		}
+		interp, err := mutation.EvaluateOpts(q, ms, datasets, mutation.EvalOptions{Parallelism: 1, NoCompiledEngine: true})
+		if err != nil {
+			t.Fatalf("mask %04b: interpreted evaluation: %v", mask, err)
+		}
+		for mi := range ms {
+			for di := range datasets {
+				if compiled.Killed[mi][di] != interp.Killed[mi][di] {
+					t.Errorf("mask %04b: kill-matrix disagreement: mutant %q dataset %d: compiled=%v interpreted=%v",
+						mask, ms[mi].Desc, di, compiled.Killed[mi][di], interp.Killed[mi][di])
+				}
+			}
+		}
+	}
 
 	purposes := func(s *Suite) []string {
 		out := make([]string, 0, len(s.Datasets)+len(s.Skipped))
@@ -98,6 +136,7 @@ func TestAblationFlagAgreement(t *testing.T) {
 		if opts.NoSharedCore && suite.Stats.BasePropagationNodes != 0 {
 			t.Errorf("mask %04b: BasePropagationNodes = %d with NoSharedCore", mask, suite.Stats.BasePropagationNodes)
 		}
+		checkEngines(mask, suite)
 	}
 }
 

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/qtree"
+	"repro/internal/sqltypes"
+)
+
+// Compiled scalar expressions and predicates: qtree forms with every
+// attribute reference resolved to a row-layout index at compile time.
+// The interpreter previously resolved attributes through a map lookup
+// per attribute per row (the colAt closure); both executors now index
+// straight into the row or batch. Resolution failures keep the lazy
+// panic semantics of the interpreter: a -1 index panics only when a row
+// actually reaches the predicate.
+
+// cscalar is a compiled qtree.Scalar.
+type cscalar struct {
+	kind  qtree.ScalarKind
+	col   int            // SAttr: resolved layout index (-1 = not in scope)
+	attr  qtree.AttrRef  // SAttr: original reference, for diagnostics
+	konst sqltypes.Value // SConst
+	op    byte           // SArith
+	l, r  *cscalar       // SArith
+}
+
+func compileScalar(s *qtree.Scalar, cols map[qtree.AttrRef]int) *cscalar {
+	switch s.Kind {
+	case qtree.SAttr:
+		return &cscalar{kind: qtree.SAttr, col: colIndex(cols, s.Attr), attr: s.Attr}
+	case qtree.SConst:
+		return &cscalar{kind: qtree.SConst, konst: s.Const}
+	default:
+		return &cscalar{kind: qtree.SArith, op: s.Op,
+			l: compileScalar(s.L, cols), r: compileScalar(s.R, cols)}
+	}
+}
+
+func (s *cscalar) colOrPanic() int {
+	if s.col < 0 {
+		panic(fmt.Sprintf("engine: attribute %s not in scope", s.attr))
+	}
+	return s.col
+}
+
+// eval evaluates against a row in the compiled layout.
+func (s *cscalar) eval(row sqltypes.Row) sqltypes.Value {
+	switch s.kind {
+	case qtree.SAttr:
+		return row[s.colOrPanic()]
+	case qtree.SConst:
+		return s.konst
+	default:
+		return arithOp(s.op, s.l.eval(row), s.r.eval(row))
+	}
+}
+
+// evalB evaluates against row i of a columnar batch.
+func (s *cscalar) evalB(b *batch, i int) sqltypes.Value {
+	switch s.kind {
+	case qtree.SAttr:
+		return b.value(s.colOrPanic(), i)
+	case qtree.SConst:
+		return s.konst
+	default:
+		return arithOp(s.op, s.l.evalB(b, i), s.r.evalB(b, i))
+	}
+}
+
+// evalPair evaluates against the virtual concatenation of left row li
+// and right row ri (columns [0,lw) come from lb, the rest from rb),
+// without materializing the joined row.
+func (s *cscalar) evalPair(lb, rb *batch, lw int, li, ri int32) sqltypes.Value {
+	switch s.kind {
+	case qtree.SAttr:
+		c := s.colOrPanic()
+		if c < lw {
+			return lb.value(c, int(li))
+		}
+		return rb.value(c-lw, int(ri))
+	case qtree.SConst:
+		return s.konst
+	default:
+		return arithOp(s.op, s.l.evalPair(lb, rb, lw, li, ri), s.r.evalPair(lb, rb, lw, li, ri))
+	}
+}
+
+func arithOp(op byte, l, r sqltypes.Value) sqltypes.Value {
+	switch op {
+	case '+':
+		return sqltypes.Add(l, r)
+	case '-':
+		return sqltypes.Sub(l, r)
+	case '*':
+		return sqltypes.Mul(l, r)
+	case '/':
+		return sqltypes.Div(l, r)
+	}
+	panic(fmt.Sprintf("engine: bad arithmetic op %c", op))
+}
+
+// cpred is a compiled qtree.Pred. src is kept for node signatures and
+// diagnostics.
+type cpred struct {
+	op   sqltypes.CmpOp
+	l, r *cscalar
+	src  *qtree.Pred
+}
+
+func compilePred(p *qtree.Pred, cols map[qtree.AttrRef]int) cpred {
+	return cpred{op: p.Op, l: compileScalar(p.L, cols), r: compileScalar(p.R, cols), src: p}
+}
+
+func (p *cpred) eval(row sqltypes.Row) sqltypes.Tristate {
+	return sqltypes.TriCompare(p.op, p.l.eval(row), p.r.eval(row))
+}
+
+func (p *cpred) evalB(b *batch, i int) sqltypes.Tristate {
+	return sqltypes.TriCompare(p.op, p.l.evalB(b, i), p.r.evalB(b, i))
+}
+
+func (p *cpred) evalPair(lb, rb *batch, lw int, li, ri int32) sqltypes.Tristate {
+	return sqltypes.TriCompare(p.op, p.l.evalPair(lb, rb, lw, li, ri), p.r.evalPair(lb, rb, lw, li, ri))
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/qtree"
 	"repro/internal/schema"
@@ -128,6 +129,11 @@ func (r *Result) hashedMultiset() map[uint64]int {
 // sqltypes.Row.Hash); a false positive requires an FNV collision inside
 // one result pair, with probability ~2^-64 per comparison.
 func (r *Result) Equal(o *Result) bool {
+	if r == o {
+		// The kill-matrix evaluator's result memo serves one shared
+		// *Result for provably identical executions.
+		return true
+	}
 	if len(r.Rows) != len(o.Rows) {
 		return false
 	}
@@ -138,6 +144,50 @@ func (r *Result) Equal(o *Result) bool {
 	// the output width are decided without hashing a single row.
 	if len(r.Rows[0]) != len(o.Rows[0]) {
 		return false
+	}
+	// Small other side: compare its row hashes against the memoized
+	// multiset directly, without building (or memoizing) a second map.
+	// This is the kill-matrix shape — the original's result is compared
+	// against every mutant of the space, but each mutant's result is
+	// compared exactly once — and it makes the comparison
+	// allocation-free (the hash scratch stays on the stack). Quadratic
+	// in len(o.Rows), bounded by 16. o's memoized map, even if already
+	// built, is deliberately not consulted: reading it outside its
+	// sync.Once would race with a concurrent memoization.
+	if n := len(o.Rows); n <= 16 {
+		var buf [16]uint64
+		hs := buf[:n]
+		for i, row := range o.Rows {
+			hs[i] = row.Hash()
+		}
+		a := r.hashedMultiset()
+		distinct := 0
+		for i := 0; i < n; i++ {
+			h := hs[i]
+			dup := false
+			for j := 0; j < i; j++ {
+				if hs[j] == h {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			c := 1
+			for j := i + 1; j < n; j++ {
+				if hs[j] == h {
+					c++
+				}
+			}
+			distinct++
+			if a[h] != c {
+				return false
+			}
+		}
+		// Counts match on o's support and total row counts are equal,
+		// so the multisets are equal iff their supports have equal size.
+		return distinct == len(a)
 	}
 	a, b := r.hashedMultiset(), o.hashedMultiset()
 	if len(a) != len(b) {
@@ -193,6 +243,24 @@ type compiledPlan struct {
 	proj    []outputColumn
 	projIdx [][]int
 
+	// simpleProj is the common projection shape — every output column
+	// is exactly one resolved root-layout index, no coalescing and no
+	// unresolved attributes — flattened for the columnar executor's
+	// fast path. nil when any column needs the general loop.
+	simpleProj []int
+
+	// colNames is the output header, rendered once at compile time and
+	// shared (read-only) by every Result the columnar executor builds.
+	colNames []string
+
+	// projID is the interned id of the full projection/aggregation
+	// signature (resolved indices, call shapes, header, DISTINCT). A
+	// SharedCache keys whole results by (projID, root batch content
+	// id): equal keys guarantee identical output, so a mutant whose
+	// root batch unifies with the original's is decided without
+	// projecting — or comparing — anything.
+	projID int32
+
 	// Aggregation: group-by and argument indices in the root layout
 	// (-1 for COUNT(*) or unresolved arguments).
 	groupIdx []int
@@ -205,16 +273,34 @@ type cnode struct {
 	nullable map[qtree.AttrRef]bool // attrs under an outer join's null-padded side
 	width    int
 
+	// opID is the interned id of this node's local operation signature:
+	// relation name plus selections for a leaf; join type, pair shape
+	// and predicates for a join — the children deliberately excluded.
+	// A SharedCache keys a node evaluation by (opID, child batch
+	// content ids), so two nodes share a batch whenever they apply the
+	// same operation to observably identical inputs, whether those
+	// inputs come from identical subtrees (family prefix sharing) or
+	// from mutated subtrees that happen to produce the same rows on
+	// this dataset (confluence sharing).
+	opID int32
+	// subID is the interned id of the whole subtree rooted here (opID
+	// plus the children's subIDs). It short-circuits the cache walk:
+	// a subtree the cache has already evaluated resolves in one lookup
+	// without recursing to its leaves. Only nodes on a mutant's
+	// changed path miss and fall through to the (opID, children)
+	// level keys.
+	subID int32
+
 	// Leaf fields.
 	leaf    bool
 	relName string
-	sels    []*qtree.Pred
+	sels    []cpred
 
 	// Join fields.
 	jt          sqlparser.JoinType
 	left, right *cnode
 	pairs       []pairIdx
-	preds       []*qtree.Pred
+	preds       []cpred
 }
 
 // pairIdx is a compiled equality condition: left-row index l must equal
@@ -262,17 +348,48 @@ func (p *Plan) doCompile() (*compiledPlan, error) {
 				cp.aggIdx[i] = colIndex(root.cols, c.Arg)
 			}
 		}
+		for _, g := range spec.GroupBy {
+			cp.colNames = append(cp.colNames, g.String())
+		}
+		for _, c := range p.Aggs {
+			cp.colNames = append(cp.colNames, c.String())
+		}
 	} else {
 		cp.proj = p.projColumns()
 		cp.projIdx = make([][]int, len(cp.proj))
+		simple := make([]int, len(cp.proj))
 		for i, c := range cp.proj {
 			idx := make([]int, len(c.attrs))
 			for j, a := range c.attrs {
 				idx[j] = colIndex(root.cols, a)
 			}
 			cp.projIdx[i] = idx
+			if simple != nil && len(idx) == 1 && idx[0] >= 0 {
+				simple[i] = idx[0]
+			} else {
+				simple = nil
+			}
+			cp.colNames = append(cp.colNames, c.name)
 		}
+		cp.simpleProj = simple
 	}
+	// Render the projection signature: everything that determines the
+	// output given a root batch. Aggregate calls render with function,
+	// argument and DISTINCT; resolved indices pin the root layout
+	// bindings; the header is included so memoized Results carry the
+	// right column names.
+	var sb strings.Builder
+	if p.Query.Agg != nil {
+		fmt.Fprintf(&sb, "A(%v;%v", cp.groupIdx, cp.aggIdx)
+	} else {
+		fmt.Fprintf(&sb, "P(%v;%t", cp.projIdx, p.Query.Distinct)
+	}
+	for _, n := range cp.colNames {
+		sb.WriteByte('|')
+		sb.WriteString(n)
+	}
+	sb.WriteByte(')')
+	cp.projID = internOp(sb.String())
 	return cp, nil
 }
 
@@ -308,11 +425,46 @@ func (p *Plan) compileLeaf(occ *qtree.Occurrence, applied []bool) *cnode {
 	// already decided plan-wide in doCompile.
 	for i, pr := range p.Preds {
 		if len(pr.Occs) == 1 && pr.Occs[0] == occ.Name {
-			c.sels = append(c.sels, pr)
+			c.sels = append(c.sels, compilePred(pr, c.cols))
 			applied[i] = true
 		}
 	}
+	var sb strings.Builder
+	sb.WriteString("L(")
+	sb.WriteString(c.relName)
+	for i := range c.sels {
+		sb.WriteByte(';')
+		sb.WriteString(c.sels[i].src.String())
+	}
+	sb.WriteByte(')')
+	c.opID = internOp(sb.String())
+	c.subID = c.opID // a leaf is its own subtree
 	return c
+}
+
+// opIntern maps operation signature strings to small process-wide ids,
+// assigned at compile time. Equal signatures from independently
+// compiled plans get equal ids, so a SharedCache key is three ints and
+// a lookup never touches the signature string. The table's footprint is
+// one string per distinct operation shape ever compiled.
+var (
+	opIntern  sync.Map // string -> int32
+	opInternN atomic.Int32
+)
+
+func internOp(s string) int32 {
+	if v, ok := opIntern.Load(s); ok {
+		return v.(int32)
+	}
+	v, _ := opIntern.LoadOrStore(s, opInternN.Add(1))
+	return v.(int32)
+}
+
+// internedOps returns an upper bound on the ids handed out so far
+// (racing interns may leave unused ids below it). New caches size their
+// subtree index from it.
+func internedOps() int {
+	return int(opInternN.Load())
 }
 
 // compileJoin computes the join conditions applied at a node — for every
@@ -390,27 +542,101 @@ func (p *Plan) compileJoin(n *qtree.Node, left, right *cnode, applied []bool) *c
 		// all sit in one subtree but involve more than one occurrence
 		// that first co-occurred here).
 		if inScope && (touchesL || touchesR) {
-			c.preds = append(c.preds, pr)
+			c.preds = append(c.preds, compilePred(pr, c.cols))
 			applied[i] = true
 		}
 	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "J%d(", int(c.jt))
+	for _, pr := range c.pairs {
+		fmt.Fprintf(&sb, "|%d=%d", pr.l, pr.r)
+	}
+	for i := range c.preds {
+		sb.WriteByte(';')
+		sb.WriteString(c.preds[i].src.String())
+	}
+	sb.WriteByte(')')
+	c.opID = internOp(sb.String())
+	c.subID = internOp(fmt.Sprintf("S(%d,%d,%d)", c.opID, left.subID, right.subID))
 	return c
 }
 
-// Run executes the plan against a dataset.
+// RunOptions selects the execution strategy for one plan run.
+type RunOptions struct {
+	// Interpret runs the row-at-a-time tree-walking interpreter (the
+	// reference implementation) instead of the compiled columnar
+	// executor. Corresponds to the NoCompiledEngine ablation flag.
+	Interpret bool
+	// Cache shares node batches and whole results across plans of one
+	// mutant family on one dataset (compiled path only). Nil disables
+	// sharing. A cache must be confined to one goroutine at a time:
+	// callers that parallelize partition their work per dataset.
+	Cache *SharedCache
+	// Stats receives execution counters; nil counts nothing.
+	Stats *ExecStats
+}
+
+// Run executes the plan against a dataset with the default strategy
+// (compiled columnar executor, no cross-plan sharing).
 func (p *Plan) Run(ds *schema.Dataset) (*Result, error) {
+	return p.RunOpts(ds, RunOptions{})
+}
+
+// RunOpts executes the plan against a dataset under explicit options.
+// Both strategies produce identical Results — not merely multiset-equal:
+// row order, group order and padding order all match.
+func (p *Plan) RunOpts(ds *schema.Dataset, opt RunOptions) (*Result, error) {
 	cp, err := p.compile()
 	if err != nil {
 		return nil, err
 	}
-	var rows []sqltypes.Row
-	if !cp.empty {
-		rows = cp.root.run(ds)
+	if opt.Interpret {
+		opt.Stats.addInterpretedRun()
+		var rows []sqltypes.Row
+		if !cp.empty {
+			rows = cp.root.run(ds)
+		}
+		if p.Query.Agg != nil {
+			return p.aggregate(cp, rows)
+		}
+		return p.project(cp, rows)
 	}
+	opt.Stats.addCompiledRun()
+	env := &execEnv{ds: ds, cache: opt.Cache, stats: opt.Stats}
+	defer env.flush()
+	var b *batch
+	if cp.empty {
+		b = &batch{n: 0, kind: bLeaf, cols: make([]schema.Column, cp.root.width)}
+	} else {
+		b = cp.root.runB(env)
+	}
+	// Whole-result memo: with a cache in place the root batch carries a
+	// content id, and (projection, root content) determines the result
+	// exactly — serve the previously projected Result, which also lets
+	// the caller's equivalence check collapse to a pointer comparison.
+	if sc := opt.Cache; sc != nil && b.id != 0 {
+		k := resKey{proj: cp.projID, root: b.id}
+		if r, ok := sc.results[k]; ok {
+			env.resultHits++
+			return r, nil
+		}
+		r, err := p.finishB(cp, b)
+		if err == nil {
+			if sc.results == nil {
+				sc.results = make(map[resKey]*Result, 64)
+			}
+			sc.results[k] = r
+		}
+		return r, err
+	}
+	return p.finishB(cp, b)
+}
+
+func (p *Plan) finishB(cp *compiledPlan, b *batch) (*Result, error) {
 	if p.Query.Agg != nil {
-		return p.aggregate(cp, rows)
+		return p.aggregateB(cp, b)
 	}
-	return p.project(cp, rows)
+	return p.projectB(cp, b)
 }
 
 func (c *cnode) run(ds *schema.Dataset) []sqltypes.Row {
@@ -422,30 +648,17 @@ func (c *cnode) run(ds *schema.Dataset) []sqltypes.Row {
 	return c.runJoin(left, right)
 }
 
-func colAt(cols map[qtree.AttrRef]int, a qtree.AttrRef) int {
-	i, ok := cols[a]
-	if !ok {
-		panic(fmt.Sprintf("engine: attribute %s not in scope", a))
-	}
-	return i
-}
-
 func (c *cnode) runLeaf(ds *schema.Dataset) []sqltypes.Row {
 	src := ds.Rows(c.relName)
 	if len(c.sels) == 0 {
 		// No selection: the dataset's row slice is shared read-only.
 		return src
 	}
-	// One lookup closure per leaf per run (not per row): it captures a
-	// rebindable current-row variable.
-	var cur sqltypes.Row
-	lookup := func(a qtree.AttrRef) sqltypes.Value { return cur[colAt(c.cols, a)] }
 	var out []sqltypes.Row
 	for _, row := range src {
-		cur = row
 		keep := true
-		for _, pr := range c.sels {
-			if pr.Eval(lookup) != sqltypes.True {
+		for i := range c.sels {
+			if c.sels[i].eval(row) != sqltypes.True {
 				keep = false
 				break
 			}
@@ -460,17 +673,14 @@ func (c *cnode) runLeaf(ds *schema.Dataset) []sqltypes.Row {
 func (c *cnode) runJoin(left, right []sqltypes.Row) []sqltypes.Row {
 	lw := c.left.width
 	// The probe loop visits |L|x|R| pairs per node per plan run — the
-	// kill-matrix hot path — so all per-pair allocation and
-	// per-attribute map lookups are hoisted out of it: pair equalities
-	// index straight into the child rows, and general predicates share
-	// one scratch row and lookup closure per node per run. Evaluating
-	// pairs before predicates is sound because the node condition is a
-	// conjunction: order cannot change the result.
+	// interpreter hot path — so per-pair allocation is hoisted out of
+	// it: pair equalities and compiled predicates index straight into a
+	// scratch row; attribute positions were resolved at compile time.
+	// Evaluating pairs before predicates is sound because the node
+	// condition is a conjunction: order cannot change the result.
 	var scratch sqltypes.Row
-	var lookup func(qtree.AttrRef) sqltypes.Value
 	if len(c.preds) > 0 {
 		scratch = make(sqltypes.Row, c.width)
-		lookup = func(a qtree.AttrRef) sqltypes.Value { return scratch[colAt(c.cols, a)] }
 	}
 	match := func(lr, rr sqltypes.Row) bool {
 		for _, p := range c.pairs {
@@ -481,8 +691,8 @@ func (c *cnode) runJoin(left, right []sqltypes.Row) []sqltypes.Row {
 		if len(c.preds) > 0 {
 			copy(scratch, lr)
 			copy(scratch[lw:], rr)
-			for _, pr := range c.preds {
-				if pr.Eval(lookup) != sqltypes.True {
+			for i := range c.preds {
+				if c.preds[i].eval(scratch) != sqltypes.True {
 					return false
 				}
 			}
@@ -639,53 +849,119 @@ func (p *Plan) project(cp *compiledPlan, rows []sqltypes.Row) (*Result, error) {
 	return res, nil
 }
 
+// projectB is project over a columnar root batch: output values are read
+// straight from the batch columns, so the full-width intermediate rows
+// the interpreter materializes are never built. All output rows share
+// one flat backing array and the precompiled header, and small results
+// carve the Result and row headers out of one allocation, so a run
+// costs two allocations regardless of row count.
+func (p *Plan) projectB(cp *compiledPlan, b *batch) (*Result, error) {
+	n, w := b.n, len(cp.projIdx)
+	ra := &resultAlloc{r: Result{Cols: cp.colNames}}
+	res := &ra.r
+	if n == 0 {
+		return res, nil
+	}
+	var rows []sqltypes.Row
+	if n <= len(ra.rows) {
+		rows = ra.rows[:n:n]
+	} else {
+		rows = make([]sqltypes.Row, n)
+	}
+	flat := make(sqltypes.Row, n*w)
+	if cp.simpleProj != nil {
+		for ri := 0; ri < n; ri++ {
+			out := flat[ri*w : (ri+1)*w : (ri+1)*w]
+			for i, ci := range cp.simpleProj {
+				out[i] = b.value(ci, ri)
+			}
+			rows[ri] = out
+		}
+	} else {
+		for ri := 0; ri < n; ri++ {
+			out := flat[ri*w : (ri+1)*w : (ri+1)*w]
+			for i, idx := range cp.projIdx {
+				v := sqltypes.Null()
+				for j, ci := range idx {
+					if ci < 0 {
+						panic(fmt.Sprintf("engine: attribute %s not in scope", cp.proj[i].attrs[j]))
+					}
+					if cv := b.value(ci, ri); !cv.IsNull() {
+						v = cv
+						break
+					}
+				}
+				out[i] = v
+			}
+			rows[ri] = out
+		}
+	}
+	res.Rows = rows
+	if p.Query.Distinct {
+		res.Rows = dedupRows(res.Rows)
+	}
+	return res, nil
+}
+
+// resultAlloc bundles a Result with inline storage for a small row
+// header slice, so projecting a tiny result (the common case on the
+// paper's datasets) allocates once for both.
+type resultAlloc struct {
+	r    Result
+	rows [8]sqltypes.Row
+}
+
+// dedupRows keeps the first occurrence of each distinct row. Rows are
+// bucketed by 64-bit hash and verified with Identical, so equality is
+// exact (the hash only narrows candidates).
 func dedupRows(rows []sqltypes.Row) []sqltypes.Row {
-	seen := map[string]bool{}
+	seen := make(map[uint64][]int, len(rows))
 	var out []sqltypes.Row
 	for _, r := range rows {
-		k := r.Key()
-		if !seen[k] {
-			seen[k] = true
+		h := r.Hash()
+		dup := false
+		for _, j := range seen[h] {
+			if r.Identical(out[j]) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], len(out))
 			out = append(out, r)
 		}
 	}
 	return out
 }
 
-func (p *Plan) aggregate(cp *compiledPlan, rows []sqltypes.Row) (*Result, error) {
+// aggGroup is one GROUP BY bucket: the key values and the member row
+// indices into the grouped input.
+type aggGroup struct {
+	key  sqltypes.Row
+	rows []int
+}
+
+// groupBucket finds or creates key's group. Groups are bucketed by key
+// hash, verified with Identical, and recorded in first-occurrence order.
+func groupBucket(groups map[uint64][]*aggGroup, order []*aggGroup, key sqltypes.Row) (*aggGroup, []*aggGroup) {
+	h := key.Hash()
+	for _, g := range groups[h] {
+		if g.key.Identical(key) {
+			return g, order
+		}
+	}
+	g := &aggGroup{key: key}
+	groups[h] = append(groups[h], g)
+	return g, append(order, g)
+}
+
+// aggRows renders the grouped output: one row per group in
+// first-occurrence order, or the single aggEmpty row for a global
+// aggregate over empty input. arg(c, ri) reads aggregate argument column
+// c of input row ri.
+func (p *Plan) aggRows(cp *compiledPlan, res *Result, order []*aggGroup, nrows int, arg func(c, ri int) sqltypes.Value) (*Result, error) {
 	spec := p.Query.Agg
-	res := &Result{}
-	for _, g := range spec.GroupBy {
-		res.Cols = append(res.Cols, g.String())
-	}
-	for _, c := range p.Aggs {
-		res.Cols = append(res.Cols, c.String())
-	}
-	type group struct {
-		key  sqltypes.Row
-		rows []sqltypes.Row
-	}
-	groups := map[string]*group{}
-	var order []string
-	for _, row := range rows {
-		key := make(sqltypes.Row, len(cp.groupIdx))
-		for i, gi := range cp.groupIdx {
-			if gi < 0 {
-				panic(fmt.Sprintf("engine: attribute %s not in scope", spec.GroupBy[i]))
-			}
-			key[i] = row[gi]
-		}
-		k := key.Key()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{key: key}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.rows = append(g.rows, row)
-	}
-	// Global aggregation over empty input yields a single row.
-	if len(groups) == 0 && len(spec.GroupBy) == 0 {
+	if nrows == 0 && len(spec.GroupBy) == 0 {
 		out := make(sqltypes.Row, 0, len(p.Aggs))
 		for _, c := range p.Aggs {
 			out = append(out, aggEmpty(c))
@@ -693,12 +969,11 @@ func (p *Plan) aggregate(cp *compiledPlan, rows []sqltypes.Row) (*Result, error)
 		res.Rows = append(res.Rows, out)
 		return res, nil
 	}
-	for _, k := range order {
-		g := groups[k]
+	for _, g := range order {
 		out := make(sqltypes.Row, 0, len(cp.groupIdx)+len(p.Aggs))
 		out = append(out, g.key...)
 		for i, c := range p.Aggs {
-			v, err := evalAgg(c, g.rows, cp.aggIdx[i])
+			v, err := evalAgg(c, g.rows, cp.aggIdx[i], arg)
 			if err != nil {
 				return nil, err
 			}
@@ -709,6 +984,73 @@ func (p *Plan) aggregate(cp *compiledPlan, rows []sqltypes.Row) (*Result, error)
 	return res, nil
 }
 
+func (p *Plan) aggHeader() *Result {
+	res := &Result{}
+	for _, g := range p.Query.Agg.GroupBy {
+		res.Cols = append(res.Cols, g.String())
+	}
+	for _, c := range p.Aggs {
+		res.Cols = append(res.Cols, c.String())
+	}
+	return res
+}
+
+func (p *Plan) aggregate(cp *compiledPlan, rows []sqltypes.Row) (*Result, error) {
+	spec := p.Query.Agg
+	groups := map[uint64][]*aggGroup{}
+	var order []*aggGroup
+	for ri, row := range rows {
+		key := make(sqltypes.Row, len(cp.groupIdx))
+		for i, gi := range cp.groupIdx {
+			if gi < 0 {
+				panic(fmt.Sprintf("engine: attribute %s not in scope", spec.GroupBy[i]))
+			}
+			key[i] = row[gi]
+		}
+		var g *aggGroup
+		g, order = groupBucket(groups, order, key)
+		g.rows = append(g.rows, ri)
+	}
+	return p.aggRows(cp, p.aggHeader(), order, len(rows), func(c, ri int) sqltypes.Value {
+		return rows[ri][c]
+	})
+}
+
+// aggregateB is aggregate over a columnar root batch: group keys and
+// aggregate arguments are read from the batch columns, and only the
+// group keys are materialized as rows. A global aggregate (no GROUP BY)
+// skips the grouping structures entirely: its single group is the whole
+// batch.
+func (p *Plan) aggregateB(cp *compiledPlan, b *batch) (*Result, error) {
+	spec := p.Query.Agg
+	res := &Result{Cols: cp.colNames}
+	if len(cp.groupIdx) == 0 {
+		if b.n == 0 {
+			return p.aggRows(cp, res, nil, 0, b.value)
+		}
+		all := aggGroup{rows: make([]int, b.n)}
+		for ri := range all.rows {
+			all.rows[ri] = ri
+		}
+		return p.aggRows(cp, res, []*aggGroup{&all}, b.n, b.value)
+	}
+	groups := map[uint64][]*aggGroup{}
+	var order []*aggGroup
+	for ri := 0; ri < b.n; ri++ {
+		key := make(sqltypes.Row, len(cp.groupIdx))
+		for i, gi := range cp.groupIdx {
+			if gi < 0 {
+				panic(fmt.Sprintf("engine: attribute %s not in scope", spec.GroupBy[i]))
+			}
+			key[i] = b.value(gi, ri)
+		}
+		var g *aggGroup
+		g, order = groupBucket(groups, order, key)
+		g.rows = append(g.rows, ri)
+	}
+	return p.aggRows(cp, res, order, b.n, b.value)
+}
+
 func aggEmpty(c qtree.AggCall) sqltypes.Value {
 	if c.Func == sqlparser.AggCount {
 		return sqltypes.NewInt(0)
@@ -716,30 +1058,24 @@ func aggEmpty(c qtree.AggCall) sqltypes.Value {
 	return sqltypes.Null()
 }
 
-func evalAgg(c qtree.AggCall, rows []sqltypes.Row, idx int) (sqltypes.Value, error) {
+func evalAgg(c qtree.AggCall, rows []int, idx int, arg func(c, ri int) sqltypes.Value) (sqltypes.Value, error) {
 	if c.Star {
 		return sqltypes.NewInt(int64(len(rows))), nil
 	}
 	if idx < 0 {
 		return sqltypes.Value{}, fmt.Errorf("engine: aggregate argument %s not in scope", c.Arg)
 	}
-	var vals []sqltypes.Value
-	for _, row := range rows {
-		if v := row[idx]; !v.IsNull() {
+	// Argument values collect into a stack buffer for the usual tiny
+	// group; only larger groups spill to the heap.
+	var buf [16]sqltypes.Value
+	vals := buf[:0]
+	for _, ri := range rows {
+		if v := arg(idx, ri); !v.IsNull() {
 			vals = append(vals, v)
 		}
 	}
 	if c.Distinct {
-		seen := map[string]bool{}
-		var d []sqltypes.Value
-		for _, v := range vals {
-			k := (sqltypes.Row{v}).Key()
-			if !seen[k] {
-				seen[k] = true
-				d = append(d, v)
-			}
-		}
-		vals = d
+		vals = distinctVals(vals)
 	}
 	switch c.Func {
 	case sqlparser.AggCount:
@@ -770,4 +1106,26 @@ func evalAgg(c qtree.AggCall, rows []sqltypes.Row, idx int) (sqltypes.Value, err
 		return sqltypes.NewFloat(sum.Float() / float64(len(vals))), nil
 	}
 	return sqltypes.Value{}, fmt.Errorf("engine: unknown aggregate %v", c.Func)
+}
+
+// distinctVals keeps the first occurrence of each distinct value,
+// hash-bucketed with exact Identical verification.
+func distinctVals(vals []sqltypes.Value) []sqltypes.Value {
+	seen := make(map[uint64][]sqltypes.Value, len(vals))
+	var out []sqltypes.Value
+	for _, v := range vals {
+		h := sqltypes.HashValue(sqltypes.HashSeed, v)
+		dup := false
+		for _, u := range seen[h] {
+			if sqltypes.Identical(u, v) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], v)
+			out = append(out, v)
+		}
+	}
+	return out
 }

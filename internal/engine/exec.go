@@ -1,0 +1,643 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// ExecStats counts what the executors did. All fields are atomic so one
+// stats block can be shared by the parallel kill-matrix evaluator; the
+// nil *ExecStats is valid everywhere and counts nothing.
+type ExecStats struct {
+	CompiledRuns     atomic.Int64 // plan executions on the columnar path
+	InterpretedRuns  atomic.Int64 // plan executions on the reference interpreter
+	CompiledBatches  atomic.Int64 // batches actually built (cache hits excluded)
+	HashJoins        atomic.Int64 // join nodes executed by hash join
+	SmallJoins       atomic.Int64 // equi-joins below the hash threshold: direct pair loop
+	NestedLoopJoins  atomic.Int64 // join nodes without equi-pairs: nested-loop fallback
+	FamilyPrefixHits atomic.Int64 // node batches served from a SharedCache
+	ResultMemoHits   atomic.Int64 // whole plan results served from a SharedCache
+}
+
+func (s *ExecStats) addCompiledRun() {
+	if s != nil {
+		s.CompiledRuns.Add(1)
+	}
+}
+
+func (s *ExecStats) addInterpretedRun() {
+	if s != nil {
+		s.InterpretedRuns.Add(1)
+	}
+}
+
+// ExecCounts is a plain snapshot of ExecStats, for reports and JSON.
+type ExecCounts struct {
+	CompiledRuns     int64 `json:"compiled_runs"`
+	InterpretedRuns  int64 `json:"interpreted_runs"`
+	CompiledBatches  int64 `json:"compiled_batches"`
+	HashJoins        int64 `json:"hash_joins"`
+	SmallJoins       int64 `json:"small_joins"`
+	NestedLoopJoins  int64 `json:"nested_loop_joins"`
+	FamilyPrefixHits int64 `json:"family_prefix_hits"`
+	ResultMemoHits   int64 `json:"result_memo_hits"`
+}
+
+// Counts snapshots the stats. Safe on nil.
+func (s *ExecStats) Counts() ExecCounts {
+	if s == nil {
+		return ExecCounts{}
+	}
+	return ExecCounts{
+		CompiledRuns:     s.CompiledRuns.Load(),
+		InterpretedRuns:  s.InterpretedRuns.Load(),
+		CompiledBatches:  s.CompiledBatches.Load(),
+		HashJoins:        s.HashJoins.Load(),
+		SmallJoins:       s.SmallJoins.Load(),
+		NestedLoopJoins:  s.NestedLoopJoins.Load(),
+		FamilyPrefixHits: s.FamilyPrefixHits.Load(),
+		ResultMemoHits:   s.ResultMemoHits.Load(),
+	}
+}
+
+// Add folds another snapshot into this one.
+func (c *ExecCounts) Add(o ExecCounts) {
+	c.CompiledRuns += o.CompiledRuns
+	c.InterpretedRuns += o.InterpretedRuns
+	c.CompiledBatches += o.CompiledBatches
+	c.HashJoins += o.HashJoins
+	c.SmallJoins += o.SmallJoins
+	c.NestedLoopJoins += o.NestedLoopJoins
+	c.FamilyPrefixHits += o.FamilyPrefixHits
+	c.ResultMemoHits += o.ResultMemoHits
+}
+
+// SharedCache memoizes node batches and whole results across the plans
+// of one mutant family evaluated against one dataset.
+//
+// Nodes are keyed by (local operation, child batch identities) rather
+// than by full subtree signature. Every distinct batch the cache has
+// seen carries a small content id, and two batches get the same id
+// exactly when they are observably identical (same unified children and
+// same index vectors, hash-consing). This buys two kinds of sharing:
+//
+//   - prefix sharing: a mutant's off-path subtrees compile to the same
+//     local ops over the same children as the original's, so every
+//     lookup hits — the classic family-prefix reuse;
+//   - confluence sharing: when a mutated node happens to produce the
+//     very same rows as the original on this dataset (the defining
+//     property of a mutant that survives the dataset), its batch
+//     unifies with the original's, every ancestor lookup hits, and the
+//     final projected Result is served from the result memo — the
+//     equivalence check collapses to a pointer comparison.
+//
+// A cache is valid for a single dataset and must be confined to one
+// goroutine at a time; the kill-matrix evaluator partitions its workers
+// by dataset, so each cache has exactly one owner.
+type SharedCache struct {
+	leaves map[string]*batch // base table scans by relation name
+	// subs resolves whole-subtree ids to evaluations. Subtree ids are
+	// small dense integers from the process-wide intern table, so the
+	// index is a flat slice — the hottest lookup in the executor (one
+	// per plan node per run) costs an array load instead of a map probe.
+	subs    []*nodeVal
+	nodes   map[nodeKey]*nodeVal
+	ids     map[uint64][]*batch // content hash -> unified batches
+	results map[resKey]*Result
+	nextID  int32
+	// slab block-allocates node values: one allocation per block.
+	// Pointers into a block stay valid when append rolls over.
+	slab []nodeVal
+	// jblock/fblock block-allocate join and filter batches, which live
+	// exactly as long as the cache's current contents: one allocation
+	// per slabBlock builds instead of one each. Blocks are indexed, not
+	// appended, because batch embeds an atomic.Pointer and must not be
+	// copied; Reset drops them wholesale.
+	jblock []joinBatch
+	jn     int
+	fblock []filterBatch
+	fn     int
+}
+
+const slabBlock = 64
+
+// nodeKey identifies one node evaluation: the compile-time-interned
+// local operation (relation + selections for leaves; join type, pairs
+// and predicates for joins) applied to the identified child batches.
+// The key is exact — op ids and content ids are canonical, so no
+// hash-collision handling is needed.
+type nodeKey struct {
+	op   int32 // interned local op signature (see internOp)
+	l, r int32 // child batch content ids (0 for leaves)
+}
+
+type nodeVal struct {
+	b    *batch
+	pval any   // value of the panic that aborted the build, if any
+	hits int32 // serves since built; drives the materialization policy
+}
+
+// resKey identifies a whole plan execution: the compile-time-interned
+// projection/aggregation applied to the identified root batch.
+type resKey struct {
+	proj int32
+	root int32
+}
+
+// NewSharedCache returns an empty cache, pre-sized for a typical mutant
+// family's worth of distinct nodes.
+func NewSharedCache() *SharedCache {
+	return NewSharedCacheSized(0)
+}
+
+// NewSharedCacheSized returns an empty cache pre-sized for roughly n
+// distinct node evaluations. Callers that know the family size (the
+// kill-matrix evaluator dedups plans before running) pass it here so
+// the cache's maps never rehash mid-evaluation; n <= 0 selects the
+// defaults.
+func NewSharedCacheSized(n int) *SharedCache {
+	if n < 128 {
+		n = 128
+	}
+	return &SharedCache{
+		leaves: make(map[string]*batch, 8),
+		subs:   make([]*nodeVal, internedOps()+1),
+		nodes:  make(map[nodeKey]*nodeVal, n),
+		ids:    make(map[uint64][]*batch, n),
+	}
+}
+
+// getSub returns the evaluation recorded for subtree id sub, if any.
+func (sc *SharedCache) getSub(sub int32) *nodeVal {
+	if int(sub) < len(sc.subs) {
+		return sc.subs[sub]
+	}
+	return nil
+}
+
+// setSub records v as the evaluation of subtree id sub, growing the
+// index if plans compiled after the cache was created introduced new
+// ids.
+func (sc *SharedCache) setSub(sub int32, v *nodeVal) {
+	if int(sub) >= len(sc.subs) {
+		grown := make([]*nodeVal, internedOps()+1+int(sub))
+		copy(grown, sc.subs)
+		sc.subs = grown
+	}
+	sc.subs[sub] = v
+}
+
+// Reset empties the cache for reuse with a different dataset. The map
+// storage grown by previous evaluations is kept, so a worker that
+// resets one cache per dataset stops allocating buckets once it has
+// seen its largest family. Reset leaves the cache in the same state as
+// NewSharedCache: it must only be called between evaluations, never
+// while batches served from the cache are still in use.
+func (sc *SharedCache) Reset() {
+	clear(sc.leaves)
+	clear(sc.subs)
+	clear(sc.nodes)
+	clear(sc.ids)
+	clear(sc.results)
+	sc.nextID = 0
+	sc.slab = sc.slab[:0]
+	// Batch blocks hold stale inter-batch pointers; drop them instead
+	// of zeroing (assignment would copy the embedded atomic.Pointer).
+	sc.jblock, sc.jn = nil, 0
+	sc.fblock, sc.fn = nil, 0
+}
+
+// newJoinBatch carves a zeroed joinBatch out of the cache's current
+// block; a nil cache (the cache-less build path) heap-allocates.
+func (sc *SharedCache) newJoinBatch() *joinBatch {
+	if sc == nil {
+		return &joinBatch{}
+	}
+	if sc.jn == len(sc.jblock) {
+		sc.jblock = make([]joinBatch, slabBlock)
+		sc.jn = 0
+	}
+	jb := &sc.jblock[sc.jn]
+	sc.jn++
+	return jb
+}
+
+// newFilterBatch is newJoinBatch for selection batches.
+func (sc *SharedCache) newFilterBatch() *filterBatch {
+	if sc == nil {
+		return &filterBatch{}
+	}
+	if sc.fn == len(sc.fblock) {
+		sc.fblock = make([]filterBatch, slabBlock)
+		sc.fn = 0
+	}
+	fb := &sc.fblock[sc.fn]
+	sc.fn++
+	return fb
+}
+
+func (sc *SharedCache) newVal() *nodeVal {
+	if len(sc.slab) == cap(sc.slab) {
+		sc.slab = make([]nodeVal, 0, slabBlock)
+	}
+	sc.slab = append(sc.slab, nodeVal{})
+	return &sc.slab[len(sc.slab)-1]
+}
+
+// unify assigns b a content id, returning an existing batch instead if
+// the cache has already seen one with identical content. Content
+// identity is structural: same kind, same (already unified, therefore
+// pointer-comparable) children, same index vectors. Value storage is
+// never touched.
+func (sc *SharedCache) unify(b *batch) *batch {
+	if b.id != 0 {
+		// Already unified (e.g. a selection that kept every row returns
+		// its input batch unchanged).
+		return b
+	}
+	h := b.contentHash()
+	for _, b0 := range sc.ids[h] {
+		if b0.contentEqual(b) {
+			return b0
+		}
+	}
+	sc.nextID++
+	b.id = sc.nextID
+	sc.ids[h] = append(sc.ids[h], b)
+	return b
+}
+
+// serve is the shared hit path: re-panic recorded build failures (see
+// nodeFor), count the reuse, and flatten demonstrably hot batches.
+func (v *nodeVal) serve(env *execEnv) *batch {
+	if v.pval != nil {
+		panic(v.pval)
+	}
+	env.prefixHits++
+	v.hits++
+	if v.hits == 2 {
+		// Second reuse: the batch is demonstrably hot, so flatten its
+		// virtual indirection once; later consumers read plain vectors
+		// instead of walking the batch chain. Batches served once or
+		// twice never pay for it.
+		v.b.materialize()
+	}
+	return v.b
+}
+
+// nodeFor returns the memoized evaluation of node c over the given
+// child batches, building and unifying it on first use. A build that
+// panics (attribute-resolution failures keep the interpreter's lazy
+// panic semantics) records the panic value and re-panics it for every
+// later consumer of the same node: those plans would fail identically
+// had they built it themselves.
+func (sc *SharedCache) nodeFor(c *cnode, env *execEnv, lb, rb *batch) (*nodeVal, bool) {
+	var k nodeKey
+	if c.leaf {
+		k = nodeKey{op: c.opID}
+	} else {
+		k = nodeKey{op: c.opID, l: lb.id, r: rb.id}
+	}
+	if v, ok := sc.nodes[k]; ok {
+		return v, true
+	}
+	v := sc.newVal()
+	sc.nodes[k] = v
+	defer func() {
+		if r := recover(); r != nil {
+			v.pval = r
+			panic(r)
+		}
+	}()
+	var b *batch
+	if c.leaf {
+		b = c.buildLeafB(env)
+	} else {
+		b = c.joinB(env, lb, rb)
+	}
+	v.b = sc.unify(b)
+	return v, false
+}
+
+// execEnv carries the per-run execution context of the columnar path.
+// Counters accumulate as plain ints and are folded into the shared
+// atomic stats once per run (see flush), not once per node.
+type execEnv struct {
+	ds    *schema.Dataset
+	cache *SharedCache // nil: no cross-plan sharing
+	stats *ExecStats   // nil: no counting
+
+	batches     int64
+	hashJoins   int64
+	smallJoins  int64
+	nestedLoops int64
+	prefixHits  int64
+	resultHits  int64
+}
+
+// flush folds the run's counters into the shared stats block.
+func (env *execEnv) flush() {
+	s := env.stats
+	if s == nil {
+		return
+	}
+	if env.batches > 0 {
+		s.CompiledBatches.Add(env.batches)
+	}
+	if env.hashJoins > 0 {
+		s.HashJoins.Add(env.hashJoins)
+	}
+	if env.smallJoins > 0 {
+		s.SmallJoins.Add(env.smallJoins)
+	}
+	if env.nestedLoops > 0 {
+		s.NestedLoopJoins.Add(env.nestedLoops)
+	}
+	if env.prefixHits > 0 {
+		s.FamilyPrefixHits.Add(env.prefixHits)
+	}
+	if env.resultHits > 0 {
+		s.ResultMemoHits.Add(env.resultHits)
+	}
+}
+
+// runB produces the node's batch, consulting the shared cache when one
+// is installed. An already-evaluated subtree resolves in a single
+// lookup by its compile-time subtree id; otherwise children resolve
+// bottom-up first, so their content ids are known before this node's
+// level key is formed: a plan whose node differs from an
+// already-evaluated family member's still reuses every cached child,
+// and a mutated node whose output re-converges with the original's
+// turns all its ancestors — and the final projected result — into
+// cache hits.
+func (c *cnode) runB(env *execEnv) *batch {
+	sc := env.cache
+	if sc == nil {
+		return c.buildB(env)
+	}
+	if v := sc.getSub(c.subID); v != nil {
+		return v.serve(env)
+	}
+	var lb, rb *batch
+	if !c.leaf {
+		lb = c.left.runB(env)
+		rb = c.right.runB(env)
+	}
+	v, hit := sc.nodeFor(c, env, lb, rb)
+	sc.setSub(c.subID, v)
+	if hit {
+		return v.serve(env)
+	}
+	return v.b
+}
+
+// buildB is the cache-less path: build the whole subtree directly.
+func (c *cnode) buildB(env *execEnv) *batch {
+	if c.leaf {
+		return c.buildLeafB(env)
+	}
+	lb := c.left.buildB(env)
+	rb := c.right.buildB(env)
+	return c.joinB(env, lb, rb)
+}
+
+// leafBaseB returns the unfiltered scan batch of the leaf's relation.
+// Under a cache there is exactly one such batch per relation, so two
+// leaves over the same table — even with different selections — share
+// it, and selections that keep every row unify to the same content id.
+func (c *cnode) leafBaseB(env *execEnv) *batch {
+	if sc := env.cache; sc != nil {
+		if b, ok := sc.leaves[c.relName]; ok {
+			return b
+		}
+		ct := env.ds.ColumnarTable(c.relName, c.width)
+		b := &batch{n: ct.NRows, kind: bLeaf, cols: ct.Cols}
+		sc.nextID++
+		b.id = sc.nextID
+		env.batches++
+		sc.leaves[c.relName] = b
+		return b
+	}
+	ct := env.ds.ColumnarTable(c.relName, c.width)
+	env.batches++
+	return &batch{n: ct.NRows, kind: bLeaf, cols: ct.Cols}
+}
+
+// buildLeafB scans the dataset's memoized columnar view and applies the
+// leaf selections. The view's column storage is shared zero-copy; a
+// selective leaf adds only an index vector over it.
+func (c *cnode) buildLeafB(env *execEnv) *batch {
+	src := c.leafBaseB(env)
+	if len(c.sels) == 0 {
+		return src
+	}
+	fb := env.cache.newFilterBatch()
+	var idx []int32
+	if src.n <= len(fb.buf) {
+		idx = fb.buf[:0:src.n]
+	} else {
+		idx = make([]int32, 0, src.n)
+	}
+	for i := 0; i < src.n; i++ {
+		keep := true
+		for si := range c.sels {
+			if c.sels[si].evalB(src, i) != sqltypes.True {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			idx = append(idx, int32(i))
+		}
+	}
+	if len(idx) == src.n {
+		return src
+	}
+	env.batches++
+	fb.b.n = len(idx)
+	fb.b.kind = bFilter
+	fb.b.src = src
+	fb.b.idx = idx
+	return &fb.b
+}
+
+// filterBatch bundles a selection's output batch with inline storage
+// for its index vector, so a small filtered leaf costs one allocation.
+type filterBatch struct {
+	b   batch
+	buf [8]int32
+}
+
+// hashJoinMinWork is the |L|x|R| pair count above which an equi-join
+// builds a hash table instead of nested-looping. Below it (the paper's
+// datasets are 1-4 rows per table) the loop's handful of comparisons is
+// cheaper than one map allocation.
+const hashJoinMinWork = 64
+
+// joinB joins two child batches into a virtual pair batch. Equi-join
+// nodes above the size threshold run as a hash join: the right side is
+// keyed by the canonical hash of its pair columns (NULL-key rows
+// excluded on both sides — they cannot satisfy an equality under
+// three-valued logic), the left side probes in row order, and
+// candidates are verified with the exact pair comparisons plus any
+// non-equi predicates. Because equal keys imply equal hashes and bucket
+// entries keep right-row order, the emitted (left, right) pair sequence
+// — including outer padding — is identical to the nested-loop
+// interpreter's, so compiled and interpreted results match row for row.
+func (c *cnode) joinB(env *execEnv, lb, rb *batch) *batch {
+	lw := c.left.width
+	ok := func(li, ri int32) bool {
+		for _, pr := range c.pairs {
+			if sqltypes.TriCompare(sqltypes.OpEQ, lb.value(pr.l, int(li)), rb.value(pr.r, int(ri))) != sqltypes.True {
+				return false
+			}
+		}
+		for i := range c.preds {
+			if c.preds[i].evalPair(lb, rb, lw, li, ri) != sqltypes.True {
+				return false
+			}
+		}
+		return true
+	}
+	leftPad := c.jt == sqlparser.LeftOuterJoin || c.jt == sqlparser.FullOuterJoin
+	rightPad := c.jt == sqlparser.RightOuterJoin || c.jt == sqlparser.FullOuterJoin
+
+	// The output batch, its index vectors, and the right-match bitmap
+	// come out of one allocation when the inputs are small (the common
+	// case: the paper's tables are 1-4 rows). One backing array serves
+	// both index vectors; if an append outgrows its half, that slice
+	// moves to fresh storage and the other is untouched.
+	jb := env.cache.newJoinBatch()
+	var lidx, ridx []int32
+	if 2*lb.n <= len(jb.buf) {
+		lidx = jb.buf[:0:lb.n]
+		ridx = jb.buf[lb.n : lb.n : 2*lb.n]
+	} else {
+		buf := make([]int32, 2*lb.n)
+		lidx = buf[:0:lb.n]
+		ridx = buf[lb.n : lb.n : 2*lb.n]
+	}
+	var rightMatched []bool
+	if rightPad {
+		if rb.n <= len(jb.matched) {
+			rightMatched = jb.matched[:rb.n]
+		} else {
+			rightMatched = make([]bool, rb.n)
+		}
+	}
+	if len(c.pairs) > 0 && lb.n*rb.n >= hashJoinMinWork {
+		env.hashJoins++
+		lcols := make([]int, len(c.pairs))
+		rcols := make([]int, len(c.pairs))
+		for i, pr := range c.pairs {
+			lcols[i] = pr.l
+			rcols[i] = pr.r
+		}
+		ht := make(map[uint64][]int32, rb.n)
+		for ri := 0; ri < rb.n; ri++ {
+			if h, keyOK := rb.keyHash(ri, rcols); keyOK {
+				ht[h] = append(ht[h], int32(ri))
+			}
+		}
+		for li := 0; li < lb.n; li++ {
+			found := false
+			if h, keyOK := lb.keyHash(li, lcols); keyOK {
+				for _, ri := range ht[h] {
+					if ok(int32(li), ri) {
+						found = true
+						if rightMatched != nil {
+							rightMatched[ri] = true
+						}
+						lidx = append(lidx, int32(li))
+						ridx = append(ridx, ri)
+					}
+				}
+			}
+			if !found && leftPad {
+				lidx = append(lidx, int32(li))
+				ridx = append(ridx, -1)
+			}
+		}
+	} else if len(c.pairs) == 1 && len(c.preds) == 0 && rb.n <= 16 {
+		// Single equi-pair, no residual predicates: hoist the virtual
+		// column reads so each side's key is resolved once per row
+		// (O(L+R) indirection walks) instead of once per pair (O(L*R)).
+		env.smallJoins++
+		pl, pr := c.pairs[0].l, c.pairs[0].r
+		var rvals [16]sqltypes.Value
+		for ri := 0; ri < rb.n; ri++ {
+			rvals[ri] = rb.value(pr, ri)
+		}
+		for li := 0; li < lb.n; li++ {
+			lv := lb.value(pl, li)
+			found := false
+			for ri := 0; ri < rb.n; ri++ {
+				if sqltypes.TriCompare(sqltypes.OpEQ, lv, rvals[ri]) == sqltypes.True {
+					found = true
+					if rightMatched != nil {
+						rightMatched[ri] = true
+					}
+					lidx = append(lidx, int32(li))
+					ridx = append(ridx, int32(ri))
+				}
+			}
+			if !found && leftPad {
+				lidx = append(lidx, int32(li))
+				ridx = append(ridx, -1)
+			}
+		}
+	} else {
+		if len(c.pairs) > 0 {
+			env.smallJoins++
+		} else {
+			env.nestedLoops++
+		}
+		for li := 0; li < lb.n; li++ {
+			found := false
+			for ri := 0; ri < rb.n; ri++ {
+				if ok(int32(li), int32(ri)) {
+					found = true
+					if rightMatched != nil {
+						rightMatched[ri] = true
+					}
+					lidx = append(lidx, int32(li))
+					ridx = append(ridx, int32(ri))
+				}
+			}
+			if !found && leftPad {
+				lidx = append(lidx, int32(li))
+				ridx = append(ridx, -1)
+			}
+		}
+	}
+	if rightPad {
+		for ri := 0; ri < rb.n; ri++ {
+			if !rightMatched[ri] {
+				lidx = append(lidx, -1)
+				ridx = append(ridx, int32(ri))
+			}
+		}
+	}
+	env.batches++
+	jb.b.n = len(lidx)
+	jb.b.kind = bJoin
+	jb.b.left = lb
+	jb.b.right = rb
+	jb.b.lw = lw
+	jb.b.lidx = lidx
+	jb.b.ridx = ridx
+	return &jb.b
+}
+
+// joinBatch bundles a join's output batch with inline storage for its
+// index vectors and right-match bitmap, so building a small join costs
+// a single allocation. The batch field is populated member-wise (it
+// embeds an atomic.Pointer and must not be copied).
+type joinBatch struct {
+	b       batch
+	buf     [24]int32
+	matched [8]bool
+}

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Tests for the shared-cache machinery behind the compiled executor:
+// content unification (confluence sharing), the whole-result memo,
+// Reset reuse, and the allocation guarantees of Result.Equal.
+
+// matchedDS is a dataset on which every instructor row has a matching
+// teaches row, so INNER JOIN and LEFT OUTER JOIN produce identical
+// output.
+func matchedDS() *schema.Dataset {
+	ds := schema.NewDataset("all matched")
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("alice"), sqltypes.NewString("CS"), sqltypes.NewInt(90000)})
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewString("bob"), sqltypes.NewString("Bio"), sqltypes.NewInt(60000)})
+	ds.Insert("teaches", ints(1, 10))
+	ds.Insert("teaches", ints(2, 20))
+	return ds
+}
+
+// lojMutant returns the query's plan with its only join node mutated to
+// LEFT OUTER JOIN, sharing compile state the way mutation.Space does.
+func lojMutant(t *testing.T, base *Plan) *Plan {
+	t.Helper()
+	mt := base.Tree.Clone()
+	nodes := mt.Nodes(nil)
+	if len(nodes) != 1 {
+		t.Fatalf("want exactly one join node, got %d", len(nodes))
+	}
+	nodes[0].Type = sqlparser.LeftOuterJoin
+	return base.WithTree(mt)
+}
+
+// TestCacheConfluenceResultMemo pins confluence sharing: a mutated node
+// whose output is row-identical to the original's unifies to the same
+// content id, so the whole-result memo serves the original's *Result to
+// the mutant and Equal collapses to a pointer comparison.
+func TestCacheConfluenceResultMemo(t *testing.T) {
+	query := q(t, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+	orig := NewPlan(query)
+	loj := lojMutant(t, orig)
+
+	sc := NewSharedCache()
+	stats := &ExecStats{}
+	ro := RunOptions{Cache: sc, Stats: stats}
+
+	r1, err := orig.RunOpts(matchedDS(), ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := loj.RunOpts(matchedDS(), ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("confluent mutant must be served the memoized *Result (got distinct objects)")
+	}
+	if !r1.Equal(r2) {
+		t.Errorf("results must be equal")
+	}
+	if c := stats.Counts(); c.ResultMemoHits == 0 {
+		t.Errorf("ResultMemoHits = 0, want > 0")
+	}
+}
+
+// TestCacheDivergentMutantNotMemoized is the negative side: on a
+// dataset with an unmatched instructor the LOJ mutant's root content
+// differs, so it must get its own Result and compare unequal.
+func TestCacheDivergentMutantNotMemoized(t *testing.T) {
+	query := q(t, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+	orig := NewPlan(query)
+	loj := lojMutant(t, orig)
+
+	ds := matchedDS()
+	ds.Insert("instructor", sqltypes.Row{sqltypes.NewInt(3), sqltypes.NewString("carol"), sqltypes.NewString("Math"), sqltypes.NewInt(70000)})
+
+	sc := NewSharedCache()
+	ro := RunOptions{Cache: sc}
+	r1, err := orig.RunOpts(ds, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := loj.RunOpts(ds, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("divergent mutant must not share the original's Result")
+	}
+	if r1.Equal(r2) {
+		t.Errorf("LOJ with an unmatched left row must differ from the inner join")
+	}
+	if len(r2.Rows) != len(r1.Rows)+1 {
+		t.Errorf("LOJ rows = %d, want %d", len(r2.Rows), len(r1.Rows)+1)
+	}
+}
+
+// TestCacheResetReuse pins the Reset contract: one cache object reused
+// across datasets (the kill-matrix evaluator's per-worker pattern)
+// produces the same results as fresh caches, with no state bleeding
+// between datasets.
+func TestCacheResetReuse(t *testing.T) {
+	query := q(t, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 70000")
+	plan := NewPlan(query)
+
+	dsA := matchedDS()
+	dsB := schema.NewDataset("different")
+	dsB.Insert("instructor", sqltypes.Row{sqltypes.NewInt(9), sqltypes.NewString("zoe"), sqltypes.NewString("CS"), sqltypes.NewInt(80000)})
+	dsB.Insert("teaches", ints(9, 30))
+
+	sc := NewSharedCache()
+	for i, ds := range []*schema.Dataset{dsA, dsB, dsA} {
+		sc.Reset()
+		got, err := plan.RunOpts(ds, RunOptions{Cache: sc})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		want, err := plan.RunOpts(ds, RunOptions{Interpret: true})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if !want.Equal(got) {
+			t.Errorf("round %d: cached result differs from interpreter:\n%v\nvs\n%v", i, got, want)
+		}
+	}
+}
+
+// TestCachePrefixSharing pins prefix sharing across a mutant family:
+// with a shared cache, plans differing in one node reuse the other
+// subtrees, so the second run builds strictly fewer batches and records
+// prefix-cache hits.
+func TestCachePrefixSharing(t *testing.T) {
+	query := q(t, "SELECT * FROM instructor i, teaches t, course c WHERE i.id = t.id AND t.course_id = c.course_id")
+	orig := NewPlan(query)
+	mt := orig.Tree.Clone()
+	nodes := mt.Nodes(nil)
+	nodes[0].Type = sqlparser.LeftOuterJoin
+	mut := orig.WithTree(mt)
+
+	sc := NewSharedCache()
+	stats := &ExecStats{}
+	ro := RunOptions{Cache: sc, Stats: stats}
+	if _, err := orig.RunOpts(universityDS(), ro); err != nil {
+		t.Fatal(err)
+	}
+	before := stats.Counts()
+	if _, err := mut.RunOpts(universityDS(), ro); err != nil {
+		t.Fatal(err)
+	}
+	after := stats.Counts()
+	if hits := after.FamilyPrefixHits - before.FamilyPrefixHits; hits == 0 {
+		t.Errorf("FamilyPrefixHits delta = 0, want > 0 (shared subtrees must be served from cache)")
+	}
+	builtFirst := before.CompiledBatches
+	builtSecond := after.CompiledBatches - before.CompiledBatches
+	if builtSecond >= builtFirst {
+		t.Errorf("second family member built %d batches, want fewer than the first's %d", builtSecond, builtFirst)
+	}
+}
+
+// TestEqualAllocFree locks the allocation behaviour of Result.Equal on
+// the kill-matrix shape (small mutant result compared against the
+// original's memoized multiset): after the first comparison memoizes
+// the want side, further comparisons must not allocate.
+func TestEqualAllocFree(t *testing.T) {
+	query := q(t, "SELECT * FROM instructor i, teaches t WHERE i.id = t.id")
+	plan := NewPlan(query)
+	want, err := plan.Run(universityDS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Run(universityDS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == got {
+		t.Fatal("distinct runs must produce distinct Result objects")
+	}
+	if !want.Equal(got) { // memoizes want's hashed multiset
+		t.Fatal("identical runs must compare equal")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if !want.Equal(got) {
+			t.Fatal("comparison flipped")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Result.Equal allocated %.1f objects per comparison, want 0", allocs)
+	}
+}

@@ -24,6 +24,9 @@ type Report struct {
 	Datasets []*schema.Dataset
 	// Killed[m][d] is true when dataset d kills mutant m.
 	Killed [][]bool
+	// Exec counts what the engine did during evaluation (compiled vs
+	// interpreted runs, hash joins, family-prefix cache hits, ...).
+	Exec engine.ExecCounts
 }
 
 // EvalOptions configure kill-matrix evaluation.
@@ -33,6 +36,11 @@ type EvalOptions struct {
 	// 1 evaluates sequentially. The Report is identical for every
 	// value.
 	Parallelism int
+	// NoCompiledEngine ablates the compiled columnar executor and the
+	// family prefix cache: every cell runs on the row-at-a-time
+	// reference interpreter. Kill matrices are cell-identical either
+	// way; the flag exists for differential testing and benchmarks.
+	NoCompiledEngine bool
 }
 
 // EvalError reports a query-execution failure during kill-matrix
@@ -129,7 +137,7 @@ func evaluate(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets [
 	var planDesc []string // representative mutant description per plan
 	sigIdx := map[string]int{}
 	for mi, m := range mutants {
-		sig := planSignature(m.Plan)
+		sig := m.planSig()
 		ui, ok := sigIdx[sig]
 		if !ok {
 			ui = len(plans)
@@ -140,6 +148,27 @@ func evaluate(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets [
 		planOf[mi] = ui
 	}
 
+	// Engine strategy: one stats block for the whole evaluation and, on
+	// the compiled path, one shared subtree cache per worker, reset
+	// between datasets. The plans of a mutant family differ in a single
+	// component, so their compiled trees overlap heavily; the cache
+	// evaluates each distinct subtree once per dataset and every plan
+	// sharing it — including the original query — reuses the batch.
+	// Reusing one cache per worker (instead of one per dataset) keeps
+	// the map storage warm: after the worker's largest family the cache
+	// allocates no new buckets.
+	stats := &engine.ExecStats{}
+	newCache := func() *engine.SharedCache {
+		if opts.NoCompiledEngine {
+			return nil
+		}
+		return engine.NewSharedCacheSized(len(plans))
+	}
+	runOpts := func(sc *engine.SharedCache) engine.RunOptions {
+		return engine.RunOptions{Interpret: opts.NoCompiledEngine, Stats: stats, Cache: sc}
+	}
+	defer func() { rep.Exec = stats.Counts() }()
+
 	// Original-query results, one per dataset, computed lazily by
 	// whichever cell needs them first (hoisted out of every retry/mutant
 	// path: exactly one run per dataset).
@@ -147,9 +176,9 @@ func evaluate(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets [
 	wants := make([]*engine.Result, len(datasets))
 	wantErrs := make([]error, len(datasets))
 	wantOnce := make([]sync.Once, len(datasets))
-	getWant := func(di int) (*engine.Result, error) {
+	getWant := func(di int, sc *engine.SharedCache) (*engine.Result, error) {
 		wantOnce[di].Do(func() {
-			res, err := origPlan.Run(datasets[di])
+			res, err := origPlan.RunOpts(datasets[di], runOpts(sc))
 			if err != nil {
 				wantErrs[di] = &EvalError{Dataset: di, Purpose: datasets[di].Purpose, Err: err}
 				return
@@ -164,22 +193,38 @@ func evaluate(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets [
 	for ui := range killedU {
 		killedU[ui] = make([]bool, len(datasets))
 	}
-	nCells := len(plans) * len(datasets)
-	cellErrs := make([]error, nCells)
-	runCell := func(ci int) error {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("mutation: evaluation canceled: %w", err)
+	runCell := func(di, ui int, sc *engine.SharedCache) error {
+		select {
+		case <-ctx.Done():
+			// Done is a closed-channel poll, much cheaper per cell than
+			// ctx.Err()'s mutex; Err() is only consulted on cancellation.
+			return fmt.Errorf("mutation: evaluation canceled: %w", ctx.Err())
+		default:
 		}
-		di, ui := ci/len(plans), ci%len(plans)
-		want, err := getWant(di)
+		want, err := getWant(di, sc)
 		if err != nil {
 			return err
 		}
-		got, err := plans[ui].Run(datasets[di])
+		got, err := plans[ui].RunOpts(datasets[di], runOpts(sc))
 		if err != nil {
 			return &EvalError{Mutant: planDesc[ui], Dataset: di, Purpose: datasets[di].Purpose, Err: err}
 		}
 		killedU[ui][di] = !want.Equal(got)
+		return nil
+	}
+	// Every plan of one dataset runs in one unit: the worker's
+	// SharedCache is touched by exactly one goroutine (its correctness
+	// contract), reset at each dataset boundary, and the family's
+	// sharing is maximal within the unit.
+	runDataset := func(di int, sc *engine.SharedCache) error {
+		if sc != nil {
+			sc.Reset()
+		}
+		for ui := range plans {
+			if err := runCell(di, ui, sc); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
@@ -187,16 +232,18 @@ func evaluate(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets [
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > nCells {
-		workers = nCells
+	if workers > len(datasets) {
+		workers = len(datasets)
 	}
 	if workers <= 1 {
-		for ci := 0; ci < nCells; ci++ {
-			if err := runCell(ci); err != nil {
+		sc := newCache()
+		for di := range datasets {
+			if err := runDataset(di, sc); err != nil {
 				return nil, err
 			}
 		}
 	} else {
+		dsErrs := make([]error, len(datasets))
 		var next int64 = -1
 		var failed atomic.Bool
 		var wg sync.WaitGroup
@@ -204,13 +251,14 @@ func evaluate(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets [
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				sc := newCache()
 				for {
-					ci := int(atomic.AddInt64(&next, 1))
-					if ci >= nCells || failed.Load() {
+					di := int(atomic.AddInt64(&next, 1))
+					if di >= len(datasets) || failed.Load() {
 						return
 					}
-					if err := runCell(ci); err != nil {
-						cellErrs[ci] = err
+					if err := runDataset(di, sc); err != nil {
+						dsErrs[di] = err
 						failed.Store(true)
 						return
 					}
@@ -218,7 +266,7 @@ func evaluate(ctx context.Context, q *qtree.Query, mutants []*Mutant, datasets [
 			}()
 		}
 		wg.Wait()
-		for _, err := range cellErrs {
+		for _, err := range dsErrs {
 			if err != nil {
 				return nil, err
 			}

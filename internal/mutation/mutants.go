@@ -3,6 +3,7 @@ package mutation
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/qtree"
@@ -27,6 +28,22 @@ type Mutant struct {
 	Kind Kind
 	Desc string
 	Plan *engine.Plan
+
+	sig atomic.Pointer[string] // memoized planSignature of Plan
+}
+
+// planSig returns planSignature(m.Plan), computed once per mutant. The
+// plan never changes after construction, so the signature is memoized:
+// kill-matrix evaluation re-signs the whole space on every call (the
+// minimization loop evaluates the same mutants dozens of times), and
+// canonicalization is the dominant cost of dedup.
+func (m *Mutant) planSig() string {
+	if p := m.sig.Load(); p != nil {
+		return *p
+	}
+	s := planSignature(m.Plan)
+	m.sig.Store(&s)
+	return s
 }
 
 // Options configure mutant-space generation.

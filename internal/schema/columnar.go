@@ -1,0 +1,187 @@
+package schema
+
+import (
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Columnar dataset views: the row-major bags a Dataset stores are
+// transposed once into per-column typed vectors with NULL bitmaps, the
+// layout the engine's compiled executor scans. A kill matrix runs every
+// mutant plan of a family against every dataset of a suite, so the
+// transposition cost is paid once per (dataset, table) and amortized
+// over hundreds of plan executions.
+
+// Column is one attribute's vector. Storage is type-specialized when
+// every non-NULL value of the column shares one kind (the common case:
+// column kinds are declared in the schema); columns mixing int and
+// float values — legal, since numeric kinds are mutually assignable —
+// fall back to generic Value storage. Columns are immutable after
+// construction and safe for concurrent readers.
+type Column struct {
+	// Kind is the storage class: KindInt, KindFloat, KindString or
+	// KindBool select the corresponding typed vector; KindNull selects
+	// the generic Vals fallback (mixed kinds, or all-NULL columns).
+	Kind sqltypes.Kind
+	// Nulls is the NULL bitmap (bit i set = row i is NULL); nil when
+	// the column has no NULLs.
+	Nulls []uint64
+	// Exactly one of the following backs the column, per Kind. Typed
+	// vectors hold the zero value at NULL positions.
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Vals   []sqltypes.Value
+}
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool {
+	if c.Nulls == nil {
+		return false
+	}
+	return c.Nulls[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Value reconstructs row i as a Value. NULLs come back typed with the
+// column's storage class (indistinguishable from the source value for
+// every engine operation: hashing, comparison and display treat all
+// NULLs identically).
+func (c *Column) Value(i int) sqltypes.Value {
+	if c.IsNull(i) {
+		if c.Kind == sqltypes.KindNull {
+			return c.Vals[i]
+		}
+		return sqltypes.TypedNull(c.Kind)
+	}
+	switch c.Kind {
+	case sqltypes.KindInt:
+		return sqltypes.NewInt(c.Ints[i])
+	case sqltypes.KindFloat:
+		return sqltypes.NewFloat(c.Floats[i])
+	case sqltypes.KindString:
+		return sqltypes.NewString(c.Strs[i])
+	case sqltypes.KindBool:
+		return sqltypes.NewBool(c.Bools[i])
+	default:
+		return c.Vals[i]
+	}
+}
+
+// setNull marks row i NULL, allocating the bitmap on first use.
+func (c *Column) setNull(i, n int) {
+	if c.Nulls == nil {
+		c.Nulls = make([]uint64, (n+63)/64)
+	}
+	c.Nulls[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// ColTable is the columnar view of one table: NRows rows across
+// schema-ordered columns.
+type ColTable struct {
+	NRows int
+	Cols  []Column
+}
+
+// BuildColumns transposes a row bag into columns. The storage class of
+// each column is chosen by scanning its values: a single non-NULL kind
+// selects the typed vector, anything else (mixed numerics, all-NULL)
+// the generic fallback.
+func BuildColumns(rows []sqltypes.Row, arity int) *ColTable {
+	t := &ColTable{NRows: len(rows), Cols: make([]Column, arity)}
+	n := len(rows)
+	for ci := range t.Cols {
+		col := &t.Cols[ci]
+		kind := sqltypes.KindNull
+		uniform := true
+		for _, r := range rows {
+			v := r[ci]
+			if v.IsNull() {
+				continue
+			}
+			if kind == sqltypes.KindNull {
+				kind = v.Kind()
+			} else if v.Kind() != kind {
+				uniform = false
+				break
+			}
+		}
+		if !uniform || kind == sqltypes.KindNull {
+			col.Kind = sqltypes.KindNull
+			col.Vals = make([]sqltypes.Value, n)
+			for i, r := range rows {
+				col.Vals[i] = r[ci]
+				if r[ci].IsNull() {
+					col.setNull(i, n)
+				}
+			}
+			continue
+		}
+		col.Kind = kind
+		switch kind {
+		case sqltypes.KindInt:
+			col.Ints = make([]int64, n)
+		case sqltypes.KindFloat:
+			col.Floats = make([]float64, n)
+		case sqltypes.KindString:
+			col.Strs = make([]string, n)
+		case sqltypes.KindBool:
+			col.Bools = make([]bool, n)
+		}
+		for i, r := range rows {
+			v := r[ci]
+			if v.IsNull() {
+				col.setNull(i, n)
+				continue
+			}
+			switch kind {
+			case sqltypes.KindInt:
+				col.Ints[i] = v.Int()
+			case sqltypes.KindFloat:
+				col.Floats[i] = v.Float()
+			case sqltypes.KindString:
+				col.Strs[i] = v.Str()
+			case sqltypes.KindBool:
+				col.Bools[i] = v.Bool()
+			}
+		}
+	}
+	return t
+}
+
+// ColumnarTable returns the columnar view of the named table, building
+// it on first use and memoizing it on the dataset. arity is the
+// relation's column count (required because an absent table has no rows
+// to infer it from). The view is invalidated by Insert and
+// DedupPrimaryKeys; callers must not mutate Tables directly between
+// ColumnarTable calls.
+func (d *Dataset) ColumnarTable(name string, arity int) *ColTable {
+	name = strings.ToLower(name)
+	d.viewsMu.Lock()
+	defer d.viewsMu.Unlock()
+	if d.views == nil {
+		d.views = make(map[string]*ColTable)
+	}
+	if t, ok := d.views[name]; ok {
+		return t
+	}
+	t := BuildColumns(d.Tables[name], arity)
+	d.views[name] = t
+	return t
+}
+
+// invalidateView drops the memoized columnar view of one table (or all,
+// when name is empty). Callers hold no locks.
+func (d *Dataset) invalidateView(name string) {
+	d.viewsMu.Lock()
+	defer d.viewsMu.Unlock()
+	if d.views == nil {
+		return
+	}
+	if name == "" {
+		d.views = nil
+		return
+	}
+	delete(d.views, strings.ToLower(name))
+}

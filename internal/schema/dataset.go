@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sqltypes"
 )
@@ -16,6 +17,11 @@ import (
 type Dataset struct {
 	Purpose string
 	Tables  map[string][]sqltypes.Row
+
+	// Memoized columnar views (see ColumnarTable); lazily built, safe
+	// for concurrent readers, invalidated by Insert/DedupPrimaryKeys.
+	viewsMu sync.Mutex
+	views   map[string]*ColTable
 }
 
 // NewDataset returns an empty dataset with the given purpose label.
@@ -27,6 +33,7 @@ func NewDataset(purpose string) *Dataset {
 func (d *Dataset) Insert(table string, row sqltypes.Row) {
 	table = strings.ToLower(table)
 	d.Tables[table] = append(d.Tables[table], row)
+	d.invalidateView(table)
 }
 
 // Rows returns the rows of the named table (nil if absent).
@@ -241,6 +248,7 @@ func (s *Schema) DedupPrimaryKeys(d *Dataset) error {
 			kept = append(kept, row)
 		}
 		d.Tables[t] = kept
+		d.invalidateView(t)
 	}
 	return nil
 }

@@ -225,6 +225,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, fmt.Errorf("kill matrix: %w", err)
 		}
+		s.ctr.addExec(report.Exec)
 		a := AnalyzeResponse{
 			GenerateResponse: resp,
 			Mutants:          len(mutants),

@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/limits"
 )
 
@@ -168,6 +169,11 @@ type Counters struct {
 	// InFlight is the number of requests currently holding an
 	// execution slot.
 	InFlight int64 `json:"in_flight"`
+	// Engine aggregates the executor counters of every kill-matrix
+	// evaluation served by /v1/analyze: compiled vs interpreted runs,
+	// hash-join and nested-loop node executions, and family
+	// prefix-cache hits.
+	Engine engine.ExecCounts `json:"engine"`
 }
 
 // counters is the live atomic backing for Counters.
@@ -176,6 +182,18 @@ type counters struct {
 	completed, partial, failed         atomic.Int64
 	panics, budgetExpired, disconnects atomic.Int64
 	drained, inFlight                  atomic.Int64
+	engine                             engine.ExecStats
+}
+
+// addExec folds one kill-matrix evaluation's engine counters into the
+// service totals.
+func (c *counters) addExec(e engine.ExecCounts) {
+	c.engine.CompiledRuns.Add(e.CompiledRuns)
+	c.engine.InterpretedRuns.Add(e.InterpretedRuns)
+	c.engine.CompiledBatches.Add(e.CompiledBatches)
+	c.engine.HashJoins.Add(e.HashJoins)
+	c.engine.NestedLoopJoins.Add(e.NestedLoopJoins)
+	c.engine.FamilyPrefixHits.Add(e.FamilyPrefixHits)
 }
 
 // Server is the xdatad HTTP service. Create with New, mount via
@@ -244,6 +262,7 @@ func (s *Server) Counters() Counters {
 		Drained:           s.ctr.drained.Load(),
 		Draining:          s.draining.Load(),
 		InFlight:          s.ctr.inFlight.Load(),
+		Engine:            s.ctr.engine.Counts(),
 	}
 }
 

@@ -475,50 +475,79 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
+// HashSeed is the FNV-1a offset basis: the starting state for
+// HashValue chains (join keys, group keys, row hashes).
+const HashSeed = uint64(fnvOffset64)
+
+// HashValue folds one value into an FNV-1a hash state with the row
+// canonical encoding: NULLs hash distinctly from every literal,
+// integral floats hash identically to the equal integer (so 1 and 1.0
+// — which Compare orders equal — collide on purpose), and every value
+// is tagged and fixed-width or terminated, so chained hashes are
+// prefix-free. Identical(a, b) implies HashValue(h, a) == HashValue(h,
+// b); distinct values collide only with FNV's ~2^-64 probability. The
+// engine uses it for join keys, grouping, DISTINCT and multiset
+// comparison.
+func HashValue(h uint64, v Value) uint64 {
+	if v.null {
+		return (h ^ 0xff) * fnvPrime64
+	}
+	switch v.kind {
+	case KindInt:
+		h = (h ^ 'i') * fnvPrime64
+		return hashUint64(h, uint64(v.i))
+	case KindFloat:
+		// Integral floats encode as ints so numeric-equal values hash
+		// identical (matching Key()).
+		if v.f == float64(int64(v.f)) {
+			h = (h ^ 'i') * fnvPrime64
+			return hashUint64(h, uint64(int64(v.f)))
+		}
+		h = (h ^ 'f') * fnvPrime64
+		return hashUint64(h, math.Float64bits(v.f))
+	case KindString:
+		h = (h ^ 's') * fnvPrime64
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime64
+		}
+		return (h ^ 0x1f) * fnvPrime64 // terminator: prefix-freedom
+	case KindBool:
+		if v.b {
+			return (h ^ 'T') * fnvPrime64
+		}
+		return (h ^ 'F') * fnvPrime64
+	}
+	return (h ^ 0xff) * fnvPrime64
+}
+
 // Hash returns a 64-bit FNV-1a hash of the row's canonical encoding:
 // the cheap replacement for Key() on the result-comparison hot path,
 // where building a fresh string per row dominated profile time. The
-// encoding mirrors Key() exactly — NULLs hash distinctly from every
-// literal, integral floats hash identically to the equal integer, and
-// every value is tagged and fixed-width or terminated, so the byte
-// stream is prefix-free and Hash(a) == Hash(b) whenever Key(a) ==
-// Key(b) (and collides otherwise only with FNV's ~2^-64 probability).
+// encoding mirrors Key() exactly — see HashValue — so Hash(a) ==
+// Hash(b) whenever Key(a) == Key(b) (and collides otherwise only with
+// FNV's ~2^-64 probability).
 func (r Row) Hash() uint64 {
-	h := uint64(fnvOffset64)
+	h := HashSeed
 	for _, v := range r {
-		if v.null {
-			h = (h ^ 0xff) * fnvPrime64
-			continue
-		}
-		switch v.kind {
-		case KindInt:
-			h = (h ^ 'i') * fnvPrime64
-			h = hashUint64(h, uint64(v.i))
-		case KindFloat:
-			// Integral floats encode as ints so numeric-equal rows
-			// compare identical (matching Key()).
-			if v.f == float64(int64(v.f)) {
-				h = (h ^ 'i') * fnvPrime64
-				h = hashUint64(h, uint64(int64(v.f)))
-			} else {
-				h = (h ^ 'f') * fnvPrime64
-				h = hashUint64(h, math.Float64bits(v.f))
-			}
-		case KindString:
-			h = (h ^ 's') * fnvPrime64
-			for i := 0; i < len(v.s); i++ {
-				h = (h ^ uint64(v.s[i])) * fnvPrime64
-			}
-			h = (h ^ 0x1f) * fnvPrime64 // terminator: prefix-freedom
-		case KindBool:
-			if v.b {
-				h = (h ^ 'T') * fnvPrime64
-			} else {
-				h = (h ^ 'F') * fnvPrime64
-			}
-		}
+		h = HashValue(h, v)
 	}
 	return h
+}
+
+// Identical reports whether two rows are element-wise Identical: the
+// exact equality behind Key() without building the strings. It is the
+// collision check paired with Hash-keyed maps (grouping, DISTINCT,
+// duplicate elimination).
+func (r Row) Identical(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i, v := range r {
+		if !Identical(v, o[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func hashUint64(h, v uint64) uint64 {

@@ -1,0 +1,171 @@
+package xbench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mutation"
+	"repro/internal/qtree"
+	"repro/internal/university"
+)
+
+// KillMatrixBench pins the kill-matrix evaluation throughput tracked
+// across PRs: the full university mutation workload — every Table I and
+// Table II cell's mutant space against its generated suite — evaluated
+// on the compiled columnar engine and on the row-at-a-time reference
+// interpreter. Suites and mutant spaces are prepared once outside the
+// timed region, so the two numbers isolate executor cost; Speedup is
+// the headline ratio the tentpole optimization is measured by.
+type KillMatrixBench struct {
+	// Name identifies the workload ("university_kill_matrix": every
+	// Table I and Table II cell, Parallelism=1).
+	Name  string `json:"name"`
+	Iters int    `json:"iters"`
+	// Cells is the number of (query, fk) workload cells; Mutants,
+	// Datasets and MatrixCells total the mutant spaces, suite sizes and
+	// mutant x dataset kill-matrix cells across them.
+	Cells       int   `json:"cells"`
+	Mutants     int64 `json:"mutants"`
+	Datasets    int64 `json:"datasets"`
+	MatrixCells int64 `json:"matrix_cells"`
+	// CompiledNsPerOp / InterpretedNsPerOp are mean wall times of one
+	// full-workload evaluation pass under each executor.
+	CompiledNsPerOp    int64   `json:"compiled_ns_per_op"`
+	InterpretedNsPerOp int64   `json:"interpreted_ns_per_op"`
+	Speedup            float64 `json:"speedup"` // interpreted / compiled
+	// Exec holds the engine counters of one compiled evaluation pass
+	// (deterministic per pass): hash joins taken, batches built, family
+	// prefix-cache hits.
+	Exec engine.ExecCounts `json:"exec"`
+}
+
+// kmCell is one prepared workload cell.
+type kmCell struct {
+	q     *qtree.Query
+	ms    []*mutation.Mutant
+	suite *core.Suite
+}
+
+// prepareKillMatrixCells generates every Table I and Table II suite and
+// mutant space once (untimed).
+func prepareKillMatrixCells(ctx context.Context) ([]kmCell, error) {
+	var cells []kmCell
+	for _, set := range [][]university.BenchQuery{university.TableIQueries(), university.TableIIQueries()} {
+		for _, bq := range set {
+			for _, fk := range bq.FKCounts {
+				sch := university.Schema(fk)
+				q, err := qtree.BuildSQL(sch, bq.SQL)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", bq.Name, err)
+				}
+				opts := core.DefaultOptions()
+				opts.Parallelism = 1
+				suite, err := core.NewGenerator(q, opts).GenerateContext(ctx)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", bq.Name, err)
+				}
+				ms, err := mutation.Space(q, mutation.DefaultOptions())
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", bq.Name, err)
+				}
+				cells = append(cells, kmCell{q: q, ms: ms, suite: suite})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RunKillMatrixBench measures kill-matrix evaluation under both
+// executors and cross-checks them: on the first pass the compiled and
+// interpreted kill matrices of every cell are compared bit for bit, and
+// any disagreement is an error (the ablation guarantee, enforced even
+// in benchmark runs).
+func RunKillMatrixBench(ctx context.Context, iters int) (KillMatrixBench, error) {
+	if iters <= 0 {
+		iters = 10
+	}
+	b := KillMatrixBench{Name: "university_kill_matrix", Iters: iters}
+	cells, err := prepareKillMatrixCells(ctx)
+	if err != nil {
+		return b, err
+	}
+	b.Cells = len(cells)
+	for _, c := range cells {
+		nd := int64(len(c.suite.All()))
+		b.Mutants += int64(len(c.ms))
+		b.Datasets += nd
+		b.MatrixCells += int64(len(c.ms)) * nd
+	}
+
+	evalPass := func(noCompiled bool) ([]*mutation.Report, engine.ExecCounts, error) {
+		var reps []*mutation.Report
+		var exec engine.ExecCounts
+		for _, c := range cells {
+			rep, err := mutation.EvaluateContext(ctx, c.q, c.ms, c.suite.All(),
+				mutation.EvalOptions{Parallelism: 1, NoCompiledEngine: noCompiled})
+			if err != nil {
+				return nil, exec, err
+			}
+			exec.Add(rep.Exec)
+			reps = append(reps, rep)
+		}
+		return reps, exec, nil
+	}
+
+	// Agreement check (untimed): compiled and interpreted matrices must
+	// be cell-identical.
+	compiledReps, exec, err := evalPass(false)
+	if err != nil {
+		return b, err
+	}
+	b.Exec = exec
+	interpReps, _, err := evalPass(true)
+	if err != nil {
+		return b, err
+	}
+	for ci := range cells {
+		for mi := range compiledReps[ci].Killed {
+			for di := range compiledReps[ci].Killed[mi] {
+				if compiledReps[ci].Killed[mi][di] != interpReps[ci].Killed[mi][di] {
+					return b, fmt.Errorf("kill-matrix disagreement: cell %d mutant %q dataset %d: compiled=%v interpreted=%v",
+						ci, cells[ci].ms[mi].Desc, di,
+						compiledReps[ci].Killed[mi][di], interpReps[ci].Killed[mi][di])
+				}
+			}
+		}
+	}
+
+	// Timed passes alternate executors so slow phases of a shared
+	// machine hit both sides equally instead of skewing the ratio. Each
+	// section starts from a collected heap (the boundary GC is untimed:
+	// its cost is marking the long-lived workload data — suites, mutant
+	// plans — which is a constant unrelated to either executor), while
+	// collector cycles an executor's own allocation rate triggers still
+	// run, and are charged, inside its own section.
+	var compiledNs, interpNs int64
+	for i := 0; i < iters; i++ {
+		runtime.GC()
+		t0 := time.Now()
+		if _, _, err := evalPass(false); err != nil {
+			return b, err
+		}
+		compiledNs += time.Since(t0).Nanoseconds()
+		runtime.GC()
+		t1 := time.Now()
+		if _, _, err := evalPass(true); err != nil {
+			return b, err
+		}
+		interpNs += time.Since(t1).Nanoseconds()
+		runtime.GC()
+	}
+	b.CompiledNsPerOp = compiledNs / int64(iters)
+	b.InterpretedNsPerOp = interpNs / int64(iters)
+	if b.CompiledNsPerOp > 0 {
+		b.Speedup = float64(b.InterpretedNsPerOp) / float64(b.CompiledNsPerOp)
+	}
+	return b, nil
+}

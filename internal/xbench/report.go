@@ -66,12 +66,15 @@ type Report struct {
 	// Service is the daemon-path measurement (see RunServiceBench):
 	// the workload through xdatad's HTTP stack plus the final /statsz
 	// counters, so the trajectory tracks service behavior too.
-	Service     *ServiceBench `json:"service,omitempty"`
-	Baseline    *BaselineRef  `json:"baseline,omitempty"`
-	TableI      []Row         `json:"table1,omitempty"`
-	TableII     []Row         `json:"table2,omitempty"`
-	InputDB     []InputDBRow  `json:"inputdb,omitempty"`
-	BaselineCmp []BaselineRow `json:"baseline_cmp,omitempty"`
+	Service *ServiceBench `json:"service,omitempty"`
+	// KillMatrix is the compiled-vs-interpreted kill-matrix throughput
+	// measurement (see RunKillMatrixBench).
+	KillMatrix  *KillMatrixBench `json:"kill_matrix,omitempty"`
+	Baseline    *BaselineRef     `json:"baseline,omitempty"`
+	TableI      []Row            `json:"table1,omitempty"`
+	TableII     []Row            `json:"table2,omitempty"`
+	InputDB     []InputDBRow     `json:"inputdb,omitempty"`
+	BaselineCmp []BaselineRow    `json:"baseline_cmp,omitempty"`
 }
 
 // NewReport returns a Report stamped with the current time and machine.

@@ -72,7 +72,8 @@ type (
 	Mutant = mutation.Mutant
 	// MutationOptions configure the mutant space.
 	MutationOptions = mutation.Options
-	// EvalOptions configure kill-matrix evaluation (worker count).
+	// EvalOptions configure kill-matrix evaluation (worker count and
+	// the NoCompiledEngine ablation).
 	EvalOptions = mutation.EvalOptions
 	// Report is the kill matrix of a mutant space against a suite.
 	Report = mutation.Report
@@ -209,11 +210,25 @@ func AnalyzeParallel(q *Query, suite *Suite, opts MutationOptions, workers int) 
 // canceled context aborts the kill-matrix evaluation promptly and
 // returns the context's error.
 func AnalyzeContext(ctx context.Context, q *Query, suite *Suite, opts MutationOptions, workers int) (*Report, error) {
+	return AnalyzeOptsContext(ctx, q, suite, opts, EvalOptions{Parallelism: workers})
+}
+
+// AnalyzeOpts is Analyze with full evaluation options: worker count and
+// the NoCompiledEngine ablation (row-at-a-time reference interpreter
+// instead of the compiled columnar executor). The Report — including
+// every kill bit — is identical under either engine; only Report.Exec
+// and wall-clock time differ.
+func AnalyzeOpts(q *Query, suite *Suite, opts MutationOptions, eopts EvalOptions) (*Report, error) {
+	return AnalyzeOptsContext(context.Background(), q, suite, opts, eopts)
+}
+
+// AnalyzeOptsContext is AnalyzeOpts with cooperative cancellation.
+func AnalyzeOptsContext(ctx context.Context, q *Query, suite *Suite, opts MutationOptions, eopts EvalOptions) (*Report, error) {
 	ms, err := mutation.Space(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	return mutation.EvaluateContext(ctx, q, ms, suite.All(), mutation.EvalOptions{Parallelism: workers})
+	return mutation.EvaluateContext(ctx, q, ms, suite.All(), eopts)
 }
 
 // Execute runs the original query against a dataset using the built-in
@@ -244,7 +259,12 @@ func ParseInserts(sch *Schema, sql string) (*Dataset, error) {
 // mutants (the dataset-minimization direction the paper lists as future
 // work in §VII). The original-query dataset is always retained.
 func Minimize(q *Query, suite *Suite, opts MutationOptions) ([]*Dataset, error) {
-	rep, err := Analyze(q, suite, opts)
+	return MinimizeOpts(q, suite, opts, EvalOptions{})
+}
+
+// MinimizeOpts is Minimize with explicit kill-matrix evaluation options.
+func MinimizeOpts(q *Query, suite *Suite, opts MutationOptions, eopts EvalOptions) ([]*Dataset, error) {
+	rep, err := AnalyzeOpts(q, suite, opts, eopts)
 	if err != nil {
 		return nil, err
 	}
