@@ -16,9 +16,11 @@
 // goals.
 //
 // Exit codes: 0 complete run; 1 fatal error or a non-equivalent mutant
-// surviving the complete suite (a kill failure); 2 usage error; 3
-// partial suite (some kill goals incomplete after budgets or
-// interruption — survivor counts are then only a lower bound).
+// surviving the complete suite (a kill failure); 2 usage error or bad
+// input (flag misuse, a query outside the supported class, or a
+// resource-limit rejection); 3 partial suite (some kill goals
+// incomplete after budgets or interruption — survivor counts are then
+// only a lower bound).
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"syscall"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -65,11 +68,11 @@ func run() int {
 	}
 	sch, err := xdata.ParseSchema(string(ddl))
 	if err != nil {
-		fatal(err)
+		return inputFail(err)
 	}
 	q, err := xdata.ParseQuery(sch, *query)
 	if err != nil {
-		fatal(err)
+		return inputFail(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -180,4 +183,12 @@ func run() int {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mutcheck:", err)
 	os.Exit(1)
+}
+
+// inputFail reports a schema/query rejection and classifies it:
+// unsupported constructs and resource-limit rejections are the
+// caller's fault (exit 2, the daemon's 422 class), the rest fatal.
+func inputFail(err error) int {
+	fmt.Fprintln(os.Stderr, "mutcheck:", err)
+	return cli.InputExitCode(err)
 }

@@ -58,12 +58,24 @@ func run() int {
 	verbose := flag.Bool("v", false, "log every case, not just failures")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the soak (0 = unlimited); on expiry the partial summary is printed and the exit code is 3")
 	goalTimeout := flag.Duration("goal-timeout", 0, "complete mode: wall-clock budget per kill goal (0 = unlimited); exhausted cases count as budget-skipped")
+	subq := flag.Float64("subq", -1, "WHERE-subquery probability override (-1 = preset)")
+	having := flag.Float64("having", -1, "HAVING probability override (-1 = preset)")
+	like := flag.Float64("like", -1, "LIKE probability override (-1 = preset)")
 	flag.Parse()
 
 	cfg, err := chooseConfig(*mode, *configName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if *subq >= 0 {
+		cfg.SubqProb = *subq
+	}
+	if *having >= 0 {
+		cfg.HavingProb = *having
+	}
+	if *like >= 0 {
+		cfg.LikeProb = *like
 	}
 	randql.GoalTimeout = *goalTimeout
 
@@ -105,12 +117,14 @@ func chooseConfig(mode, name string) (randql.Config, error) {
 
 func runDiff(ctx context.Context, cfg randql.Config, seed int64, n, datasets int, verbose bool) int {
 	failures, ran := 0, 0
+	cov := randql.NewCoverage()
 	for i := 0; i < n && ctx.Err() == nil; i++ {
 		s := seed + int64(i)
 		c, err := randql.NewCase(s, cfg)
 		if err != nil {
 			return fatalf("seed %d: %v", s, err)
 		}
+		cov.Observe(c.Query, c.SQL)
 		for d := 0; d < datasets; d++ {
 			ds, err := c.NextDataset()
 			if err != nil {
@@ -127,26 +141,47 @@ func runDiff(ctx context.Context, cfg randql.Config, seed int64, n, datasets int
 		}
 	}
 	fmt.Printf("diff: %d cases x %d datasets, %d failures\n", ran, datasets, failures)
+	fmt.Printf("coverage: %s\n", cov)
 	switch {
 	case failures > 0:
 		return 1
 	case ran < n:
 		fmt.Fprintf(os.Stderr, "randql: interrupted after %d of %d cases\n", ran, n)
 		return 3
+	case coverageGap(cov, cfg, ran):
+		return 1
 	default:
 		return 0
 	}
 }
 
+// coverageGap reports (and logs) enabled grammar rules the soak never
+// exercised. Only enforced on runs big enough that absence means the
+// grammar starved a rule rather than a short run missing it by chance
+// (the rarest rules appear in roughly 7% of completeness cases).
+func coverageGap(cov *randql.Coverage, cfg randql.Config, ran int) bool {
+	if ran < 60 {
+		return false
+	}
+	missing := cov.Missing(cfg)
+	if len(missing) == 0 {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "randql: enabled grammar rules never exercised in %d cases: %v\n", ran, missing)
+	return true
+}
+
 func runComplete(ctx context.Context, cfg randql.Config, seed int64, q int, verbose bool) int {
 	failures, budget, ran := 0, 0, 0
 	mutants, killed := 0, 0
+	cov := randql.NewCoverage()
 	for i := 0; i < q && ctx.Err() == nil; i++ {
 		s := seed + int64(i)
 		c, err := randql.NewCase(s, cfg)
 		if err != nil {
 			return fatalf("seed %d: %v", s, err)
 		}
+		cov.Observe(c.Query, c.SQL)
 		res, err := randql.CheckCompleteness(c, s*31+7)
 		ran++
 		if err != nil {
@@ -172,12 +207,15 @@ func runComplete(ctx context.Context, cfg randql.Config, seed int64, q int, verb
 	}
 	fmt.Printf("complete: %d cases, %d mutants, %d killed, %d budget-skipped, %d failures\n",
 		ran, mutants, killed, budget, failures)
+	fmt.Printf("coverage: %s\n", cov)
 	switch {
 	case failures > 0:
 		return 1
 	case ran < q:
 		fmt.Fprintf(os.Stderr, "randql: interrupted after %d of %d cases\n", ran, q)
 		return 3
+	case coverageGap(cov, cfg, ran):
+		return 1
 	default:
 		return 0
 	}

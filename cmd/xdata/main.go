@@ -23,8 +23,10 @@
 // -cpuprofile/-memprofile write runtime/pprof profiles of the run for
 // use with `go tool pprof`.
 //
-// Exit codes: 0 complete suite; 1 fatal error; 2 usage error; 3 partial
-// suite (some kill goals incomplete after budgets or interruption).
+// Exit codes: 0 complete suite; 1 fatal error; 2 usage or bad input
+// (flag misuse, a query outside the supported class, or a
+// resource-limit rejection); 3 partial suite (some kill goals
+// incomplete after budgets or interruption).
 package main
 
 import (
@@ -40,6 +42,7 @@ import (
 	"syscall"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -104,7 +107,7 @@ func run() int {
 	}
 	sch, err := xdata.ParseSchema(string(ddl))
 	if err != nil {
-		fatal(err)
+		return inputFail(err)
 	}
 	sql := *query
 	if *queryFile != "" {
@@ -116,7 +119,7 @@ func run() int {
 	}
 	q, err := xdata.ParseQuery(sch, sql)
 	if err != nil {
-		fatal(err)
+		return inputFail(err)
 	}
 
 	opts := xdata.DefaultOptions()
@@ -203,6 +206,14 @@ func run() int {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xdata:", err)
 	os.Exit(1)
+}
+
+// inputFail reports a schema/query rejection and classifies it:
+// unsupported constructs and resource-limit rejections are the
+// caller's fault (exit 2, the daemon's 422 class), the rest fatal.
+func inputFail(err error) int {
+	fmt.Fprintln(os.Stderr, "xdata:", err)
+	return cli.InputExitCode(err)
 }
 
 // loadInserts parses a minimal INSERT INTO t VALUES (...) file into a

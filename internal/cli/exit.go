@@ -1,0 +1,39 @@
+// Package cli holds the exit-code taxonomy shared by the xdata and
+// mutcheck commands, kept in one place so the two binaries and the
+// daemon's HTTP status mapping (internal/service) cannot drift apart:
+//
+//	0  complete run
+//	1  fatal error (I/O, internal failure, or a kill failure)
+//	2  usage / bad input: flag misuse, SQL syntax errors that are
+//	   well-formed-but-unsupported constructs (sqlparser.ErrUnsupported),
+//	   and resource-governance rejections (limits.ErrResourceLimit) —
+//	   the same class the daemon reports as HTTP 422
+//	3  partial results (budgets exhausted or interrupted)
+package cli
+
+import (
+	"errors"
+
+	"repro/internal/limits"
+	"repro/internal/sqlparser"
+)
+
+// Exit codes shared by the xdata and mutcheck commands.
+const (
+	ExitOK      = 0
+	ExitFatal   = 1
+	ExitUsage   = 2
+	ExitPartial = 3
+)
+
+// InputExitCode classifies an input-stage failure (schema or query
+// parsing): constructs outside the supported query class and
+// resource-limit rejections are the caller's fault (ExitUsage, the
+// daemon's 422 class); anything else — unreadable files, internal
+// failures — is ExitFatal.
+func InputExitCode(err error) int {
+	if errors.Is(err, sqlparser.ErrUnsupported) || errors.Is(err, limits.ErrResourceLimit) {
+		return ExitUsage
+	}
+	return ExitFatal
+}

@@ -279,9 +279,42 @@ func NewGenerator(q *qtree.Query, opts Options) *Generator {
 	intSet := map[int64]bool{}
 	strSet := map[string]bool{}
 	var consts, arithOffsets []int64
-	for _, p := range q.Preds {
+	collectPred := func(p *qtree.Pred) {
+		if p.Like != nil {
+			// The pattern itself plus matching witnesses (wildcards
+			// expanded several ways) for the original pattern and each of
+			// its mutation-space variants, so the finite string domain can
+			// separate every pattern pair.
+			seedLikeWitnesses(strSet, p.Like.Pattern)
+			for _, v := range likePatternVariants(p.Like.Pattern) {
+				seedLikeWitnesses(strSet, v.pat)
+			}
+			collectScalarConsts(p.L, &consts, &arithOffsets, strSet)
+			return
+		}
 		for _, s := range []*qtree.Scalar{p.L, p.R} {
 			collectScalarConsts(s, &consts, &arithOffsets, strSet)
+		}
+	}
+	for _, p := range q.Preds {
+		collectPred(p)
+	}
+	for _, sub := range q.Subs {
+		for _, p := range sub.Preds {
+			collectPred(p)
+		}
+		if sub.Outer != nil {
+			collectScalarConsts(sub.Outer, &consts, &arithOffsets, strSet)
+		}
+	}
+	if q.Agg != nil {
+		for _, h := range q.Agg.Having {
+			switch h.Rhs.Kind() {
+			case sqltypes.KindInt:
+				consts = append(consts, h.Rhs.Int())
+			case sqltypes.KindString:
+				strSet[h.Rhs.Str()] = true
+			}
 		}
 	}
 	for _, c := range consts {
@@ -563,7 +596,43 @@ func (g *Generator) GenerateContext(ctx context.Context) (*Suite, error) {
 // buildDataset constructs a problem, applies build, asserts the database
 // constraints, and solves. A nil dataset with nil error means UNSAT (an
 // equivalent mutant group), which is recorded on the suite.
+//
+// When the query carries a HAVING clause, the goal's tuple sets alone
+// need not survive the group filter — a dataset whose group fails HAVING
+// shows nothing at the root, so no mutant is killed. The wrapper bulks
+// the group with filler tuple sets that satisfy the full query until the
+// statically-checkable HAVING conjuncts can hold, and asserts every
+// conjunct over the combined group (assertHavingHolds). Goals that manage
+// the HAVING clause themselves call buildDatasetRaw.
 func (g *Generator) buildDataset(gb *goalBudget, suite *Suite, purpose string, tupleSets int, needRepair bool, build func(*problem) error) (*schema.Dataset, error) {
+	if g.q.Agg == nil || len(g.q.Agg.Having) == 0 {
+		return g.buildDatasetRaw(gb, suite, purpose, tupleSets, needRepair, build)
+	}
+	n := tupleSets
+	if need := g.neededHavingSets(); need > n {
+		n = need
+	}
+	return g.buildDatasetRaw(gb, suite, purpose, n, needRepair, func(p *problem) error {
+		if err := build(p); err != nil {
+			return err
+		}
+		for set := tupleSets; set < n; set++ {
+			if p.fillerConds != nil {
+				if err := p.fillerConds(set); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := p.assertQueryConds(set, nil, nil); err != nil {
+				return err
+			}
+		}
+		return p.assertHavingHolds(n)
+	})
+}
+
+// buildDatasetRaw is buildDataset without the HAVING group augmentation.
+func (g *Generator) buildDatasetRaw(gb *goalBudget, suite *Suite, purpose string, tupleSets int, needRepair bool, build func(*problem) error) (*schema.Dataset, error) {
 	ds, err := g.tryBuild(gb, suite, purpose, tupleSets, needRepair, g.opts.ForceInputTuples, build)
 	if err == nil && ds == nil && g.opts.ForceInputTuples {
 		// §VI-A: input-database constraints can be inconsistent with the

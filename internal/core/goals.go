@@ -93,6 +93,9 @@ func (g *Generator) enumerateGoals() []killGoal {
 	goals = append(goals, g.otherPredicateGoals()...)
 	goals = append(goals, g.comparisonOperatorGoals()...)
 	goals = append(goals, g.aggregateGoals()...)
+	goals = append(goals, g.subqueryGoals()...)
+	goals = append(goals, g.havingGoals()...)
+	goals = append(goals, g.likeGoals()...)
 	return goals
 }
 

@@ -73,30 +73,44 @@ func (g *Generator) killClassMember(gb *goalBudget, suite *Suite, ec *qtree.Equi
 		}
 		return nil
 	}
-	ds, err := g.buildDataset(gb, suite, purpose, 1, true, func(p *problem) error {
-		// P members join with each other...
-		cons, err := p.classCons(P, 0)
-		if err != nil {
-			return err
-		}
-		for _, c := range cons {
-			p.s.Assert(c)
-		}
-		// ...but no tuple of any S relation matches them.
-		pv, err := p.varOf(P[0], 0)
-		if err != nil {
-			return err
-		}
-		pivot := solver.V(pv)
-		for _, ra := range dedupeRelAttrs(g.q, S) {
-			if err := p.notExistsValue(ra.rel, ra.attr, pivot); err != nil {
+	padded := map[string]bool{}
+	for _, m := range S {
+		padded[m.Occ] = true
+	}
+	ds, err := g.padFallback(func(padSafe bool) (*schema.Dataset, error) {
+		return g.buildDataset(gb, suite, purpose, 1, true, func(p *problem) error {
+			// P members join with each other...
+			cons, err := p.classCons(P, 0)
+			if err != nil {
 				return err
 			}
-		}
-		// All other classes and all predicates hold, so the
-		// difference propagates to the root.
-		skip := map[*qtree.EquivClass]bool{ec: true}
-		return p.assertQueryConds(0, skip, nil)
+			for _, c := range cons {
+				p.s.Assert(c)
+			}
+			// ...but no tuple of any S relation matches them.
+			pv, err := p.varOf(P[0], 0)
+			if err != nil {
+				return err
+			}
+			pivot := solver.V(pv)
+			for _, ra := range dedupeRelAttrs(g.q, S) {
+				if err := p.notExistsValue(ra.rel, ra.attr, pivot); err != nil {
+					return err
+				}
+			}
+			// Rows padded with NULLs on the unmatched side must clear the
+			// post-join NOT IN connectives, or the join-type mutants this
+			// goal targets filter them right back out.
+			if padSafe {
+				if err := p.assertSubsEmptyForPadding(padded, 0); err != nil {
+					return err
+				}
+			}
+			// All other classes and all predicates hold, so the
+			// difference propagates to the root.
+			skip := map[*qtree.EquivClass]bool{ec: true}
+			return p.assertQueryConds(0, skip, nil)
+		})
 	})
 	if err != nil {
 		return err
@@ -250,7 +264,7 @@ func (g *Generator) KillOtherPredicates(suite *Suite) error {
 func (g *Generator) otherPredicateGoals() []killGoal {
 	var goals []killGoal
 	for i, pr := range g.q.Preds {
-		if len(pr.Occs) < 2 {
+		if len(pr.Occs) < 2 || pr.Like != nil {
 			continue
 		}
 		for _, occ := range pr.Occs {
@@ -270,11 +284,18 @@ func (g *Generator) otherPredicateGoals() []killGoal {
 // relation satisfies predicate pi against the other relations' tuples.
 func (g *Generator) killPredOccurrence(gb *goalBudget, suite *Suite, pi int, pr *qtree.Pred, occ string) error {
 	purpose := fmt.Sprintf("kill join-type mutants: nullify %s on predicate %s", occ, pr)
-	ds, err := g.buildDataset(gb, suite, purpose, 1, true, func(p *problem) error {
-		if err := p.notExistsPred(pr, occ, 0); err != nil {
-			return err
-		}
-		return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+	ds, err := g.padFallback(func(padSafe bool) (*schema.Dataset, error) {
+		return g.buildDataset(gb, suite, purpose, 1, true, func(p *problem) error {
+			if err := p.notExistsPred(pr, occ, 0); err != nil {
+				return err
+			}
+			if padSafe {
+				if err := p.assertSubsEmptyForPadding(map[string]bool{occ: true}, 0); err != nil {
+					return err
+				}
+			}
+			return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+		})
 	})
 	if err != nil {
 		return err
@@ -311,6 +332,9 @@ func (g *Generator) KillComparisonOperators(suite *Suite) error {
 func (g *Generator) comparisonOperatorGoals() []killGoal {
 	var goals []killGoal
 	for i, pr := range g.q.Preds {
+		if pr.Like != nil {
+			continue // pattern predicates: see likeGoals
+		}
 		for _, dop := range datasetOps {
 			pi, pr, dop := i, pr, dop
 			goals = append(goals, killGoal{
@@ -335,34 +359,57 @@ func (g *Generator) killComparisonVariant(gb *goalBudget, suite *Suite, pi int, 
 	// need the referenced-tuple repair capacity, not just the violating
 	// variants.
 	needRepair := violating || len(pr.Occs) == 1
-	ds, err := g.buildDataset(gb, suite, purpose, 1, needRepair, func(p *problem) error {
-		c, err := p.predCon(pr, op, 0)
-		if err != nil {
-			return err
-		}
-		p.s.Assert(c)
-		if len(pr.Occs) == 1 {
+	ds, err := g.padFallback(func(padSafe bool) (*schema.Dataset, error) {
+		return g.buildDataset(gb, suite, purpose, 1, needRepair, func(p *problem) error {
+			c, err := p.predCon(pr, op, 0)
+			if err != nil {
+				return err
+			}
+			p.s.Assert(c)
 			if violating {
-				if err := p.notExistsPred(pr, pr.Occs[0], 0); err != nil {
-					return err
-				}
-			} else {
-				// §V-E soundness under repeated relations: this dataset
-				// kills exactly the operator variants that are false at
-				// sign, and that argument needs their mutants to select
-				// NO tuple — so no tuple of the base relation (in
-				// particular, none feeding another occurrence of the
-				// same relation) may satisfy the complement of the
-				// variant. Found by the randql completeness soak: with a
-				// free sibling-occurrence tuple, the '>' dataset for
-				// "e <> 'u'" let the '<' mutant match that tuple and
-				// produce an identical grouped result.
-				if err := p.notExistsPredOp(pr, op.Negate(), pr.Occs[0], 0); err != nil {
-					return err
+				// This dataset shows rows only through mutants that accept
+				// the variant, so any HAVING group fillers must satisfy the
+				// variant too (the original predicate holds on no tuple).
+				p.fillerConds = func(set int) error {
+					fc, err := p.predCon(pr, op, set)
+					if err != nil {
+						return err
+					}
+					p.s.Assert(fc)
+					return p.assertQueryConds(set, nil, map[int]bool{pi: true})
 				}
 			}
-		}
-		return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+			if len(pr.Occs) == 1 {
+				if violating {
+					if err := p.notExistsPred(pr, pr.Occs[0], 0); err != nil {
+						return err
+					}
+					// A violated selection empties the occurrence's scan;
+					// padded rows must also clear the post-join NOT IN
+					// connectives to expose outer-join mutants.
+					if padSafe {
+						if err := p.assertSubsEmptyForPadding(map[string]bool{pr.Occs[0]: true}, 0); err != nil {
+							return err
+						}
+					}
+				} else {
+					// §V-E soundness under repeated relations: this dataset
+					// kills exactly the operator variants that are false at
+					// sign, and that argument needs their mutants to select
+					// NO tuple — so no tuple of the base relation (in
+					// particular, none feeding another occurrence of the
+					// same relation) may satisfy the complement of the
+					// variant. Found by the randql completeness soak: with a
+					// free sibling-occurrence tuple, the '>' dataset for
+					// "e <> 'u'" let the '<' mutant match that tuple and
+					// produce an identical grouped result.
+					if err := p.notExistsPredOp(pr, op.Negate(), pr.Occs[0], 0); err != nil {
+						return err
+					}
+				}
+			}
+			return p.assertQueryConds(0, nil, map[int]bool{pi: true})
+		})
 	})
 	if err != nil {
 		return err

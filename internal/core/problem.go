@@ -56,6 +56,21 @@ type problem struct {
 	// problem. Threaded per problem (not via Generator options) so
 	// concurrent kill goals never mutate shared state.
 	forceInput bool
+	// skipSubs suppresses the retained-subquery connective assertion for
+	// specific q.Subs indices: the subquery kill goals build datasets
+	// that deliberately violate their targeted block's connective.
+	skipSubs map[int]bool
+	// fillerConds, when set by a goal's build function, replaces the
+	// default HAVING group-filler assertion (assertQueryConds with no
+	// skips) for each filler tuple set. Violating goals need it: their
+	// datasets show rows only through the MUTANT query, so the fillers
+	// that bulk the group past the HAVING filter must satisfy the
+	// mutated condition, not the original one — asserting the original
+	// on a filler contradicts the goal's not-exists constraints and
+	// silently renders the goal UNSAT. (randql seed 10067: with
+	// HAVING COUNT(*) <> 1, every violating comparison goal was dropped
+	// and the <> mutant survived.)
+	fillerConds func(set int) error
 }
 
 type nullPatch struct {
@@ -116,6 +131,24 @@ func newStringPool(consts map[string]bool, fresh int) *stringPool {
 	for i := 0; i < fresh/2+1; i++ {
 		set[fmt.Sprintf("!low_%c", 'a'+i%26)] = true
 		set[fmt.Sprintf("~high_%c", 'a'+i%26)] = true
+	}
+	// ... and values strictly BETWEEN adjacent constants, so goals like
+	// c1 < v < c2 (a > variant of = c1 under a < c2 conjunct) stay
+	// satisfiable. Appending '!' (below 'a') or 'm' to the lower constant
+	// yields a between-value even when one constant prefixes the other.
+	cs := make([]string, 0, len(consts))
+	for s := range consts {
+		cs = append(cs, s)
+	}
+	sort.Strings(cs)
+	for i := 0; i+1 < len(cs); i++ {
+		lo, hi := cs[i], cs[i+1]
+		for _, cand := range []string{lo + "!", lo + "m", lo + "~"} {
+			if lo < cand && cand < hi {
+				set[cand] = true
+				break
+			}
+		}
 	}
 	vals := make([]string, 0, len(set))
 	for s := range set {
@@ -275,10 +308,18 @@ func (g *Generator) buildLayout(tupleSets int, needRepair bool) (*problemLayout,
 		occSlot: map[occSet]*slot{},
 	}
 
-	// Count base slots per relation.
+	// Count base slots per relation. Retained-subquery occurrences get
+	// one slot each (shared by every tuple set: the block is quantified
+	// over the whole relation, the dedicated slot only guarantees a row
+	// the witness goals can shape).
 	counts := map[string]int{}
 	for _, occ := range g.q.Occs {
 		counts[occ.Rel.Name] += tupleSets
+	}
+	for _, sub := range g.q.Subs {
+		for _, occ := range sub.Occs {
+			counts[occ.Rel.Name]++
+		}
 	}
 
 	// Transitive closure of referenced relations, referencing-first.
@@ -309,6 +350,11 @@ func (g *Generator) buildLayout(tupleSets int, needRepair bool) (*problemLayout,
 	baseSlots := map[string]int{}
 	for _, occ := range g.q.Occs {
 		baseSlots[occ.Rel.Name] += tupleSets
+	}
+	for _, sub := range g.q.Subs {
+		for _, occ := range sub.Occs {
+			baseSlots[occ.Rel.Name]++
+		}
 	}
 
 	// Allocate slots and variables (referenced-first for readability).
@@ -386,6 +432,13 @@ func (g *Generator) relationOrder() ([]*schema.Relation, error) {
 			return nil, err
 		}
 	}
+	for _, sub := range g.q.Subs {
+		for _, occ := range sub.Occs {
+			if err := visit(occ.Rel.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
 	// Reverse: referencing relations first.
 	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
 		post[i], post[j] = post[j], post[i]
@@ -458,7 +511,12 @@ func (p *problem) linOf(s *qtree.Scalar, set int) (solver.Lin, error) {
 
 // predCon compiles a predicate to a solver constraint, optionally with a
 // different comparison operator (used by killComparisonOperators).
+// Pattern predicates compile to string-pool membership (op is ignored;
+// they have no comparison operator to vary).
 func (p *problem) predCon(pr *qtree.Pred, op sqltypes.CmpOp, set int) (solver.Con, error) {
+	if pr.Like != nil {
+		return p.likeCon(pr, set)
+	}
 	l, err := p.linOf(pr.L, set)
 	if err != nil {
 		return nil, err
@@ -514,7 +572,7 @@ func (p *problem) assertQueryConds(set int, skipClass map[*qtree.EquivClass]bool
 		}
 		p.s.Assert(c)
 	}
-	return nil
+	return p.assertSubConds(set)
 }
 
 // assertDBConstraints asserts the schema constraints over all slots: the
@@ -660,6 +718,9 @@ func (p *problem) notExistsPredOp(pr *qtree.Pred, op sqltypes.CmpOp, occ string,
 // predConWithSlot compiles a predicate with occurrence occ's attributes
 // redirected to the given slot and the comparison operator replaced by op.
 func (p *problem) predConWithSlot(pr *qtree.Pred, op sqltypes.CmpOp, occ string, sl *slot, set int) (solver.Con, error) {
+	if pr.Like != nil {
+		return nil, fmt.Errorf("core: pattern predicate %s has no comparison-operator variants", pr)
+	}
 	redirect := func(s *qtree.Scalar) (solver.Lin, error) {
 		return p.linOfRedirect(s, occ, sl, set)
 	}
@@ -798,10 +859,14 @@ func (p *problem) tupleSetsDiffer(agg qtree.AttrRef, groupBy []qtree.AttrRef) (s
 // assertGroupIsolation builds S3: the group-by values of the three tuple
 // sets must not occur in any other tuple of the corresponding relations,
 // so no stray tuples join into the group.
-func (p *problem) assertGroupIsolation() error {
+func (p *problem) assertGroupIsolation() error { return p.assertGroupIsolationN(3) }
+
+// assertGroupIsolationN is assertGroupIsolation over the first n tuple
+// sets (the HAVING group-size ladder uses 1..3).
+func (p *problem) assertGroupIsolationN(n int) error {
 	for _, gbAttr := range p.g.q.Agg.GroupBy {
 		own := map[*slot]bool{}
-		for set := 0; set < 3; set++ {
+		for set := 0; set < n; set++ {
 			own[p.occSlot[occSet{gbAttr.Occ, set}]] = true
 		}
 		rel := p.g.q.Occ(gbAttr.Occ).Rel

@@ -105,21 +105,32 @@ func arithOp(op byte, l, r sqltypes.Value) sqltypes.Value {
 type cpred struct {
 	op   sqltypes.CmpOp
 	l, r *cscalar
+	like *qtree.LikeSpec // non-nil: pattern match, op/r unused
 	src  *qtree.Pred
 }
 
 func compilePred(p *qtree.Pred, cols map[qtree.AttrRef]int) cpred {
-	return cpred{op: p.Op, l: compileScalar(p.L, cols), r: compileScalar(p.R, cols), src: p}
+	return cpred{op: p.Op, l: compileScalar(p.L, cols), r: compileScalar(p.R, cols),
+		like: p.Like, src: p}
 }
 
 func (p *cpred) eval(row sqltypes.Row) sqltypes.Tristate {
+	if p.like != nil {
+		return sqltypes.TriLike(p.l.eval(row), p.like.Pattern, p.like.Not)
+	}
 	return sqltypes.TriCompare(p.op, p.l.eval(row), p.r.eval(row))
 }
 
 func (p *cpred) evalB(b *batch, i int) sqltypes.Tristate {
+	if p.like != nil {
+		return sqltypes.TriLike(p.l.evalB(b, i), p.like.Pattern, p.like.Not)
+	}
 	return sqltypes.TriCompare(p.op, p.l.evalB(b, i), p.r.evalB(b, i))
 }
 
 func (p *cpred) evalPair(lb, rb *batch, lw int, li, ri int32) sqltypes.Tristate {
+	if p.like != nil {
+		return sqltypes.TriLike(p.l.evalPair(lb, rb, lw, li, ri), p.like.Pattern, p.like.Not)
+	}
 	return sqltypes.TriCompare(p.op, p.l.evalPair(lb, rb, lw, li, ri), p.r.evalPair(lb, rb, lw, li, ri))
 }

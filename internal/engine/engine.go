@@ -31,10 +31,12 @@ import (
 // aggregate lists to use. Mutants are expressed as Plans sharing the
 // parent Query but overriding one component.
 type Plan struct {
-	Query *qtree.Query
-	Tree  *qtree.Node     // defaults to Query.Root
-	Preds []*qtree.Pred   // defaults to Query.Preds
-	Aggs  []qtree.AggCall // defaults to Query.Agg.Calls (if aggregated)
+	Query  *qtree.Query
+	Tree   *qtree.Node        // defaults to Query.Root
+	Preds  []*qtree.Pred      // defaults to Query.Preds
+	Subs   []*qtree.SubQuery  // defaults to Query.Subs
+	Aggs   []qtree.AggCall    // defaults to Query.Agg.Calls (if aggregated)
+	Having []qtree.HavingCond // defaults to Query.Agg.Having (if aggregated)
 
 	// Compiled execution state, built on first Run and reused across
 	// datasets. A kill matrix runs every mutant plan against every
@@ -50,9 +52,10 @@ type Plan struct {
 
 // NewPlan returns the plan for the original query.
 func NewPlan(q *qtree.Query) *Plan {
-	p := &Plan{Query: q, Tree: q.Root, Preds: q.Preds}
+	p := &Plan{Query: q, Tree: q.Root, Preds: q.Preds, Subs: q.Subs}
 	if q.Agg != nil {
 		p.Aggs = q.Agg.Calls
+		p.Having = q.Agg.Having
 	}
 	return p
 }
@@ -62,13 +65,13 @@ func NewPlan(q *qtree.Query) *Plan {
 // struct so the compiled-state cache — which holds a sync.Once — is
 // never shared with or copied into a derived plan.)
 func (p *Plan) WithTree(tree *qtree.Node) *Plan {
-	return &Plan{Query: p.Query, Tree: tree, Preds: p.Preds, Aggs: p.Aggs}
+	return &Plan{Query: p.Query, Tree: tree, Preds: p.Preds, Subs: p.Subs, Aggs: p.Aggs, Having: p.Having}
 }
 
 // WithPredReplaced returns a copy of the plan with predicate at index i
 // replaced.
 func (p *Plan) WithPredReplaced(i int, np *qtree.Pred) *Plan {
-	cp := &Plan{Query: p.Query, Tree: p.Tree, Aggs: p.Aggs}
+	cp := &Plan{Query: p.Query, Tree: p.Tree, Subs: p.Subs, Aggs: p.Aggs, Having: p.Having}
 	cp.Preds = make([]*qtree.Pred, len(p.Preds))
 	copy(cp.Preds, p.Preds)
 	cp.Preds[i] = np
@@ -78,10 +81,30 @@ func (p *Plan) WithPredReplaced(i int, np *qtree.Pred) *Plan {
 // WithAggReplaced returns a copy of the plan with aggregate call i
 // replaced.
 func (p *Plan) WithAggReplaced(i int, call qtree.AggCall) *Plan {
-	cp := &Plan{Query: p.Query, Tree: p.Tree, Preds: p.Preds}
+	cp := &Plan{Query: p.Query, Tree: p.Tree, Preds: p.Preds, Subs: p.Subs, Having: p.Having}
 	cp.Aggs = make([]qtree.AggCall, len(p.Aggs))
 	copy(cp.Aggs, p.Aggs)
 	cp.Aggs[i] = call
+	return cp
+}
+
+// WithSubReplaced returns a copy of the plan with retained subquery i
+// replaced (the subquery-connective mutation space).
+func (p *Plan) WithSubReplaced(i int, ns *qtree.SubQuery) *Plan {
+	cp := &Plan{Query: p.Query, Tree: p.Tree, Preds: p.Preds, Aggs: p.Aggs, Having: p.Having}
+	cp.Subs = make([]*qtree.SubQuery, len(p.Subs))
+	copy(cp.Subs, p.Subs)
+	cp.Subs[i] = ns
+	return cp
+}
+
+// WithHavingReplaced returns a copy of the plan with HAVING conjunct i
+// replaced (the HAVING-comparison mutation space).
+func (p *Plan) WithHavingReplaced(i int, h qtree.HavingCond) *Plan {
+	cp := &Plan{Query: p.Query, Tree: p.Tree, Preds: p.Preds, Subs: p.Subs, Aggs: p.Aggs}
+	cp.Having = make([]qtree.HavingCond, len(p.Having))
+	copy(cp.Having, p.Having)
+	cp.Having[i] = h
 	return cp
 }
 
@@ -265,6 +288,8 @@ type compiledPlan struct {
 	// (-1 for COUNT(*) or unresolved arguments).
 	groupIdx []int
 	aggIdx   []int
+	// havingIdx mirrors aggIdx for the HAVING conjuncts' calls.
+	havingIdx []int
 }
 
 // cnode is one compiled node of the join tree.
@@ -348,6 +373,13 @@ func (p *Plan) doCompile() (*compiledPlan, error) {
 				cp.aggIdx[i] = colIndex(root.cols, c.Arg)
 			}
 		}
+		cp.havingIdx = make([]int, len(p.Having))
+		for i, h := range p.Having {
+			cp.havingIdx[i] = -1
+			if !h.Call.Star {
+				cp.havingIdx[i] = colIndex(root.cols, h.Call.Arg)
+			}
+		}
 		for _, g := range spec.GroupBy {
 			cp.colNames = append(cp.colNames, g.String())
 		}
@@ -387,6 +419,19 @@ func (p *Plan) doCompile() (*compiledPlan, error) {
 	for _, n := range cp.colNames {
 		sb.WriteByte('|')
 		sb.WriteString(n)
+	}
+	// Retained subqueries filter root rows before the finisher, and
+	// HAVING filters groups after it: both change the output of an
+	// otherwise identical root batch, so they are part of the result
+	// signature (else a connective or HAVING mutant would alias the
+	// original in the whole-result memo).
+	for _, s := range p.Subs {
+		sb.WriteByte('~')
+		sb.WriteString(s.String())
+	}
+	for _, h := range p.Having {
+		sb.WriteByte('~')
+		sb.WriteString(h.String())
 	}
 	sb.WriteByte(')')
 	cp.projID = internOp(sb.String())
@@ -596,6 +641,7 @@ func (p *Plan) RunOpts(ds *schema.Dataset, opt RunOptions) (*Result, error) {
 		if !cp.empty {
 			rows = cp.root.run(ds)
 		}
+		rows = p.filterSubs(cp, ds, rows)
 		if p.Query.Agg != nil {
 			return p.aggregate(cp, rows)
 		}
@@ -620,7 +666,7 @@ func (p *Plan) RunOpts(ds *schema.Dataset, opt RunOptions) (*Result, error) {
 			env.resultHits++
 			return r, nil
 		}
-		r, err := p.finishB(cp, b)
+		r, err := p.finishB(cp, b, ds)
 		if err == nil {
 			if sc.results == nil {
 				sc.results = make(map[resKey]*Result, 64)
@@ -629,14 +675,40 @@ func (p *Plan) RunOpts(ds *schema.Dataset, opt RunOptions) (*Result, error) {
 		}
 		return r, err
 	}
-	return p.finishB(cp, b)
+	return p.finishB(cp, b, ds)
 }
 
-func (p *Plan) finishB(cp *compiledPlan, b *batch) (*Result, error) {
+func (p *Plan) finishB(cp *compiledPlan, b *batch, ds *schema.Dataset) (*Result, error) {
+	// Retained subqueries are evaluated row-at-a-time: the root batch is
+	// materialized (in batch order, so both executors stay byte-identical)
+	// and filtered, then finished by the interpreter's project/aggregate.
+	if len(p.Subs) > 0 {
+		rows := p.filterSubs(cp, ds, materializeRows(cp, b))
+		if p.Query.Agg != nil {
+			return p.aggregate(cp, rows)
+		}
+		return p.project(cp, rows)
+	}
 	if p.Query.Agg != nil {
 		return p.aggregateB(cp, b)
 	}
 	return p.projectB(cp, b)
+}
+
+// materializeRows expands a columnar batch into full-width rows sharing
+// one flat backing array.
+func materializeRows(cp *compiledPlan, b *batch) []sqltypes.Row {
+	w := cp.root.width
+	rows := make([]sqltypes.Row, b.n)
+	flat := make(sqltypes.Row, b.n*w)
+	for ri := 0; ri < b.n; ri++ {
+		row := flat[ri*w : (ri+1)*w : (ri+1)*w]
+		for ci := 0; ci < w; ci++ {
+			row[ci] = b.value(ci, ri)
+		}
+		rows[ri] = row
+	}
+	return rows
 }
 
 func (c *cnode) run(ds *schema.Dataset) []sqltypes.Row {
@@ -962,14 +1034,29 @@ func groupBucket(groups map[uint64][]*aggGroup, order []*aggGroup, key sqltypes.
 func (p *Plan) aggRows(cp *compiledPlan, res *Result, order []*aggGroup, nrows int, arg func(c, ri int) sqltypes.Value) (*Result, error) {
 	spec := p.Query.Agg
 	if nrows == 0 && len(spec.GroupBy) == 0 {
-		out := make(sqltypes.Row, 0, len(p.Aggs))
-		for _, c := range p.Aggs {
-			out = append(out, aggEmpty(c))
+		// The synthetic empty global group is still subject to HAVING
+		// (SELECT COUNT(*) FROM t HAVING COUNT(*) > 0 is empty on empty t).
+		keep, err := p.havingKeep(cp, nil, arg)
+		if err != nil {
+			return nil, err
 		}
-		res.Rows = append(res.Rows, out)
+		if keep {
+			out := make(sqltypes.Row, 0, len(p.Aggs))
+			for _, c := range p.Aggs {
+				out = append(out, aggEmpty(c))
+			}
+			res.Rows = append(res.Rows, out)
+		}
 		return res, nil
 	}
 	for _, g := range order {
+		keep, err := p.havingKeep(cp, g.rows, arg)
+		if err != nil {
+			return nil, err
+		}
+		if !keep {
+			continue
+		}
 		out := make(sqltypes.Row, 0, len(cp.groupIdx)+len(p.Aggs))
 		out = append(out, g.key...)
 		for i, c := range p.Aggs {
@@ -982,6 +1069,22 @@ func (p *Plan) aggRows(cp *compiledPlan, res *Result, order []*aggGroup, nrows i
 		res.Rows = append(res.Rows, out)
 	}
 	return res, nil
+}
+
+// havingKeep evaluates the plan's HAVING conjuncts over one group (rows
+// may be empty for the synthetic global group). A group survives only
+// when every conjunct is True in three-valued logic.
+func (p *Plan) havingKeep(cp *compiledPlan, rows []int, arg func(c, ri int) sqltypes.Value) (bool, error) {
+	for i, h := range p.Having {
+		v, err := evalAgg(h.Call, rows, cp.havingIdx[i], arg)
+		if err != nil {
+			return false, err
+		}
+		if sqltypes.TriCompare(h.Op, v, h.Rhs) != sqltypes.True {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 func (p *Plan) aggHeader() *Result {

@@ -99,6 +99,14 @@ func planSignature(p *engine.Plan) string {
 		sb.WriteByte('|')
 		sb.WriteString(a.String())
 	}
+	for _, s := range p.Subs {
+		sb.WriteByte('|')
+		sb.WriteString(s.String())
+	}
+	for _, h := range p.Having {
+		sb.WriteByte('|')
+		sb.WriteString(h.String())
+	}
 	return sb.String()
 }
 
@@ -402,9 +410,38 @@ func RandomDataset(q *qtree.Query, rng *rand.Rand, maxRows int) (*schema.Dataset
 	// selections are sometimes satisfied.
 	intPool := []int64{0, 1, 2}
 	strPool := []string{"u", "v", "w"}
-	for _, p := range q.Preds {
+	collectPred := func(p *qtree.Pred) {
+		if p.Like != nil {
+			// Seed the string pool with a matching and a near-miss
+			// witness so pattern predicates are sometimes satisfied.
+			strPool = append(strPool, likeWitness(p.Like.Pattern), likeWitness(p.Like.Pattern)+"x")
+			collectConsts(p.L, &intPool, &strPool)
+			return
+		}
 		for _, s := range []*qtree.Scalar{p.L, p.R} {
 			collectConsts(s, &intPool, &strPool)
+		}
+	}
+	for _, p := range q.Preds {
+		collectPred(p)
+	}
+	for _, sub := range q.Subs {
+		for _, p := range sub.Preds {
+			collectPred(p)
+		}
+		if sub.Outer != nil {
+			collectConsts(sub.Outer, &intPool, &strPool)
+		}
+	}
+	if q.Agg != nil {
+		for _, h := range q.Agg.Having {
+			switch h.Rhs.Kind() {
+			case sqltypes.KindInt:
+				v := h.Rhs.Int()
+				intPool = append(intPool, v-1, v, v+1)
+			case sqltypes.KindString:
+				strPool = append(strPool, h.Rhs.Str())
+			}
 		}
 	}
 
@@ -455,6 +492,22 @@ func RandomDataset(q *qtree.Query, rng *rand.Rand, maxRows int) (*schema.Dataset
 		return nil, fmt.Errorf("mutation: random dataset invalid: %w", err)
 	}
 	return ds, nil
+}
+
+// likeWitness builds a string matching the pattern: wildcards collapse
+// to the shortest match (% to the empty string, _ to one byte).
+func likeWitness(pat string) string {
+	var sb strings.Builder
+	for i := 0; i < len(pat); i++ {
+		switch pat[i] {
+		case '%':
+		case '_':
+			sb.WriteByte('a')
+		default:
+			sb.WriteByte(pat[i])
+		}
+	}
+	return sb.String()
 }
 
 func collectConsts(s *qtree.Scalar, intPool *[]int64, strPool *[]string) {
@@ -517,6 +570,13 @@ func relationsClosure(q *qtree.Query) ([]*schema.Relation, error) {
 	for _, occ := range q.Occs {
 		if err := visit(occ.Rel.Name); err != nil {
 			return nil, err
+		}
+	}
+	for _, sub := range q.Subs {
+		for _, occ := range sub.Occs {
+			if err := visit(occ.Rel.Name); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return order, nil

@@ -19,6 +19,9 @@ const (
 	KindJoinType   Kind = "join-type"
 	KindComparison Kind = "comparison"
 	KindAggregate  Kind = "aggregate"
+	KindSubquery   Kind = "subquery"
+	KindHaving     Kind = "having"
+	KindLike       Kind = "like"
 )
 
 // Mutant is a single syntactic mutation of the query, executable as an
@@ -74,6 +77,9 @@ func Space(q *qtree.Query, opts Options) ([]*Mutant, error) {
 	out = append(out, jm...)
 	out = append(out, ComparisonMutants(q)...)
 	out = append(out, AggregateMutants(q)...)
+	out = append(out, SubqueryMutants(q)...)
+	out = append(out, HavingMutants(q)...)
+	out = append(out, LikeMutants(q)...)
 	return out, nil
 }
 
@@ -150,6 +156,11 @@ func ComparisonMutants(q *qtree.Query) []*Mutant {
 	basePlan := engine.NewPlan(q)
 	var out []*Mutant
 	for i, p := range q.Preds {
+		if p.Like != nil {
+			// Pattern predicates carry no comparison operator; their
+			// space is LikeMutants.
+			continue
+		}
 		for _, op := range sqltypes.AllCmpOps {
 			if op == p.Op {
 				continue
@@ -215,6 +226,135 @@ func AggregateMutants(q *qtree.Query) []*Mutant {
 				Desc: fmt.Sprintf("%s -> %s", call, mc),
 				Plan: basePlan.WithAggReplaced(i, mc),
 			})
+		}
+	}
+	return out
+}
+
+// allSubKinds is the subquery-connective mutation space.
+var allSubKinds = []qtree.SubKind{qtree.SubIn, qtree.SubNotIn, qtree.SubExists, qtree.SubNotExists}
+
+// SubqueryMutants generates the subquery-connective mutation space: each
+// retained WHERE subquery's connective replaced by each of the other
+// three (IN, NOT IN, EXISTS, NOT EXISTS). The IN forms need an outer
+// comparison expression, so an EXISTS block without one only mutates to
+// its negation.
+func SubqueryMutants(q *qtree.Query) []*Mutant {
+	if len(q.Subs) == 0 {
+		return nil
+	}
+	basePlan := engine.NewPlan(q)
+	var out []*Mutant
+	for i, s := range q.Subs {
+		for _, k := range allSubKinds {
+			if k == s.Kind {
+				continue
+			}
+			if k.HasOuter() && s.Outer == nil {
+				continue
+			}
+			ms := s.WithKind(k)
+			out = append(out, &Mutant{
+				Key:  fmt.Sprintf("sub:%d:%s", i, k),
+				Kind: KindSubquery,
+				Desc: fmt.Sprintf("%s -> %s", s.Kind, k),
+				Plan: basePlan.WithSubReplaced(i, ms),
+			})
+		}
+	}
+	return out
+}
+
+// HavingMutants generates the HAVING-comparison mutation space: each
+// HAVING conjunct's operator replaced by each of the other five.
+func HavingMutants(q *qtree.Query) []*Mutant {
+	if q.Agg == nil || len(q.Agg.Having) == 0 {
+		return nil
+	}
+	basePlan := engine.NewPlan(q)
+	var out []*Mutant
+	for i, h := range q.Agg.Having {
+		for _, op := range sqltypes.AllCmpOps {
+			if op == h.Op {
+				continue
+			}
+			mh := h.WithOp(op)
+			out = append(out, &Mutant{
+				Key:  fmt.Sprintf("hav:%d:%s", i, op),
+				Kind: KindHaving,
+				Desc: fmt.Sprintf("%s -> %s", h, mh),
+				Plan: basePlan.WithHavingReplaced(i, mh),
+			})
+		}
+	}
+	return out
+}
+
+// likeVariant is one mutation of a pattern predicate: negation flipped
+// or the pattern altered at one wildcard.
+type likeVariant struct {
+	tag string
+	not bool
+	pat string
+}
+
+// likeVariants enumerates the mutations of one LIKE predicate: the
+// negation flip, each wildcard flipped between % and _, and each
+// wildcard deleted.
+func likeVariants(not bool, pat string) []likeVariant {
+	out := []likeVariant{{tag: "neg", not: !not, pat: pat}}
+	for j := 0; j < len(pat); j++ {
+		switch pat[j] {
+		case '%':
+			out = append(out, likeVariant{tag: fmt.Sprintf("flip%d", j), not: not, pat: pat[:j] + "_" + pat[j+1:]})
+			out = append(out, likeVariant{tag: fmt.Sprintf("del%d", j), not: not, pat: pat[:j] + pat[j+1:]})
+		case '_':
+			out = append(out, likeVariant{tag: fmt.Sprintf("flip%d", j), not: not, pat: pat[:j] + "%" + pat[j+1:]})
+			out = append(out, likeVariant{tag: fmt.Sprintf("del%d", j), not: not, pat: pat[:j] + pat[j+1:]})
+		}
+	}
+	return out
+}
+
+// LikeMutants generates the pattern-predicate mutation space: for each
+// LIKE / NOT LIKE conjunct — in the outer WHERE or inside a retained
+// subquery block — the negation flipped, each wildcard flipped between
+// % and _, and each wildcard deleted.
+func LikeMutants(q *qtree.Query) []*Mutant {
+	basePlan := engine.NewPlan(q)
+	var out []*Mutant
+	for i, p := range q.Preds {
+		if p.Like == nil {
+			continue
+		}
+		for _, v := range likeVariants(p.Like.Not, p.Like.Pattern) {
+			mp := p.WithLike(v.not, v.pat)
+			out = append(out, &Mutant{
+				Key:  fmt.Sprintf("like:%d:%s", i, v.tag),
+				Kind: KindLike,
+				Desc: fmt.Sprintf("%s -> %s", p, mp),
+				Plan: basePlan.WithPredReplaced(i, mp),
+			})
+		}
+	}
+	for si, s := range q.Subs {
+		for j, p := range s.Preds {
+			if p.Like == nil {
+				continue
+			}
+			for _, v := range likeVariants(p.Like.Not, p.Like.Pattern) {
+				mp := p.WithLike(v.not, v.pat)
+				ms := s.WithKind(s.Kind) // shallow copy
+				ms.Preds = make([]*qtree.Pred, len(s.Preds))
+				copy(ms.Preds, s.Preds)
+				ms.Preds[j] = mp
+				out = append(out, &Mutant{
+					Key:  fmt.Sprintf("like:s%d.%d:%s", si, j, v.tag),
+					Kind: KindLike,
+					Desc: fmt.Sprintf("%s -> %s (in %s block)", p, mp, s.Kind),
+					Plan: basePlan.WithSubReplaced(si, ms),
+				})
+			}
 		}
 	}
 	return out

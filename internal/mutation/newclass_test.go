@@ -1,0 +1,196 @@
+package mutation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+func ir(id int64, name string, salary int64) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt(id), sqltypes.NewString(name), sqltypes.NewInt(salary)}
+}
+
+func tr(id, course int64) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt(id), sqltypes.NewInt(course)}
+}
+
+func keys(ms []*Mutant) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Key
+	}
+	return out
+}
+
+func TestSubqueryMutantsSpace(t *testing.T) {
+	query := q(t, testDDL, `SELECT i.name FROM instructor i WHERE i.id NOT IN (SELECT t.id FROM teaches t WHERE t.course_id > 1)`)
+	ms := SubqueryMutants(query)
+	if len(ms) != 3 {
+		t.Fatalf("NOT IN mutants = %v, want 3 (IN, EXISTS, NOT EXISTS)", keys(ms))
+	}
+	// An EXISTS form has no outer comparison: the IN forms are not
+	// reachable, leaving only the negation.
+	query2 := q(t, testDDL, `SELECT i.name FROM instructor i WHERE NOT EXISTS (SELECT * FROM teaches t WHERE t.id = i.id)`)
+	ms2 := SubqueryMutants(query2)
+	if len(ms2) != 1 || !strings.Contains(ms2[0].Key, "EXISTS") {
+		t.Fatalf("NOT EXISTS mutants = %v, want just EXISTS", keys(ms2))
+	}
+}
+
+func TestHavingMutantsSpace(t *testing.T) {
+	query := q(t, testDDL, `SELECT name, COUNT(*) FROM instructor GROUP BY name HAVING COUNT(*) > 2`)
+	ms := HavingMutants(query)
+	if len(ms) != 5 {
+		t.Fatalf("HAVING mutants = %v, want the other 5 operators", keys(ms))
+	}
+	if len(HavingMutants(q(t, testDDL, `SELECT name, COUNT(*) FROM instructor GROUP BY name`))) != 0 {
+		t.Fatal("HAVING-free query grew HAVING mutants")
+	}
+}
+
+func TestLikeMutantsSpace(t *testing.T) {
+	query := q(t, testDDL, `SELECT name FROM instructor WHERE name LIKE 'a%'`)
+	ms := LikeMutants(query)
+	// neg, flip of %, del of %.
+	if len(ms) != 3 {
+		t.Fatalf("LIKE 'a%%' mutants = %v, want 3", keys(ms))
+	}
+	// The comparison space must not touch pattern predicates.
+	if n := len(ComparisonMutants(query)); n != 0 {
+		t.Fatalf("pattern predicate produced %d comparison mutants", n)
+	}
+	// Pattern predicates inside a retained block are mutated too.
+	query2 := q(t, testDDL, `SELECT i.name FROM instructor i WHERE NOT EXISTS (SELECT * FROM course c WHERE c.title LIKE '_q%')`)
+	ms2 := LikeMutants(query2)
+	// neg, flip/del of _, flip/del of %.
+	if len(ms2) != 5 {
+		t.Fatalf("block LIKE '_q%%' mutants = %v, want 5", keys(ms2))
+	}
+}
+
+// TestNewClassMutantsKilled pins the kill semantics of each new mutant
+// family on hand-built datasets: every mutant of each space must differ
+// from the original on the given data.
+func TestNewClassMutantsKilled(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		gen  func(*qtree.Query) []*Mutant
+		ds   func() *schema.Dataset
+	}{
+		{
+			name: "subquery connectives",
+			sql:  `SELECT i.name FROM instructor i WHERE i.id NOT IN (SELECT t.id FROM teaches t WHERE t.course_id > 1)`,
+			gen:  SubqueryMutants,
+			ds: func() *schema.Dataset {
+				ds := schema.NewDataset("sub kill")
+				ds.Insert("instructor", ir(1, "a", 10))
+				ds.Insert("instructor", ir(2, "b", 20))
+				ds.Insert("teaches", tr(1, 2)) // in the block (course_id > 1)
+				ds.Insert("teaches", tr(2, 1)) // filtered out of the block
+				return ds
+			},
+		},
+		{
+			name: "having comparisons",
+			sql:  `SELECT name, COUNT(*) FROM instructor GROUP BY name HAVING COUNT(*) > 2`,
+			gen:  HavingMutants,
+			ds: func() *schema.Dataset {
+				// Group sizes 2, 1, 3 straddle the threshold so every
+				// operator variant selects a different group set.
+				ds := schema.NewDataset("having kill")
+				ds.Insert("instructor", ir(1, "a", 10))
+				ds.Insert("instructor", ir(2, "a", 20))
+				ds.Insert("instructor", ir(3, "b", 30))
+				ds.Insert("instructor", ir(4, "c", 40))
+				ds.Insert("instructor", ir(5, "c", 50))
+				ds.Insert("instructor", ir(6, "c", 60))
+				return ds
+			},
+		},
+		{
+			name: "like patterns",
+			sql:  `SELECT name FROM instructor WHERE name LIKE 'a%'`,
+			gen:  LikeMutants,
+			ds: func() *schema.Dataset {
+				ds := schema.NewDataset("like kill")
+				ds.Insert("instructor", ir(1, "a", 10))  // matches 'a' and 'a%', not 'a_'
+				ds.Insert("instructor", ir(2, "ab", 20)) // matches 'a%' and 'a_', not 'a'
+				ds.Insert("instructor", ir(3, "b", 30))  // matches only NOT LIKE
+				return ds
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			query := q(t, testDDL, tc.sql)
+			ms := tc.gen(query)
+			if len(ms) == 0 {
+				t.Fatal("no mutants generated")
+			}
+			rep, err := Evaluate(query, ms, []*schema.Dataset{tc.ds()})
+			if err != nil {
+				t.Fatalf("Evaluate: %v", err)
+			}
+			for mi, m := range ms {
+				if !rep.MutantKilled(mi) {
+					t.Errorf("mutant %s (%s) not killed", m.Key, m.Desc)
+				}
+			}
+		})
+	}
+}
+
+// TestNewClassMutantSQLReparses renders every new-class mutant back to
+// SQL and reparses it: mutants must stay inside the supported class.
+func TestNewClassMutantSQLReparses(t *testing.T) {
+	sch, err := sqlparser.ParseSchema(testDDL)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	queries := []string{
+		`SELECT i.name FROM instructor i WHERE i.id NOT IN (SELECT t.id FROM teaches t WHERE t.course_id > 1)`,
+		`SELECT i.name FROM instructor i WHERE NOT EXISTS (SELECT * FROM teaches t WHERE t.id = i.id)`,
+		`SELECT name, COUNT(*) FROM instructor GROUP BY name HAVING COUNT(*) > 2 AND SUM(salary) <= 100`,
+		`SELECT name FROM instructor WHERE name NOT LIKE '_x%' AND salary > 0`,
+	}
+	for _, sql := range queries {
+		query, err := qtree.BuildSQL(sch, sql)
+		if err != nil {
+			t.Fatalf("BuildSQL(%q): %v", sql, err)
+		}
+		ms, err := Space(query, DefaultOptions())
+		if err != nil {
+			t.Fatalf("Space(%q): %v", sql, err)
+		}
+		for _, m := range ms {
+			rendered := qtree.RenderSQLFull(query, m.Plan.Tree, m.Plan.Preds, m.Plan.Subs, m.Plan.Aggs, m.Plan.Having)
+			if _, err := qtree.BuildSQL(sch, rendered); err != nil {
+				t.Errorf("mutant %s of %q renders unparseable SQL %q: %v", m.Key, sql, rendered, err)
+			}
+		}
+	}
+}
+
+// TestEquivalenceCheckerDistinguishesSubMutant exercises the random
+// witness search over a query whose only relations appear inside the
+// retained block: RandomDataset must populate them.
+func TestEquivalenceCheckerDistinguishesSubMutant(t *testing.T) {
+	query := q(t, testDDL, `SELECT i.name FROM instructor i WHERE NOT EXISTS (SELECT * FROM teaches t WHERE t.id = i.id)`)
+	ms := SubqueryMutants(query)
+	if len(ms) != 1 {
+		t.Fatalf("mutants = %v, want 1", keys(ms))
+	}
+	c := NewEquivalenceChecker(7)
+	equiv, witness, err := c.Check(query, ms[0])
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if equiv || witness == nil {
+		t.Fatal("EXISTS mutant of NOT EXISTS reported equivalent; random datasets never populated the block relations")
+	}
+}

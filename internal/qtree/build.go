@@ -2,6 +2,7 @@ package qtree
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/schema"
@@ -82,6 +83,11 @@ type builder struct {
 	// query's FROM clause; occurrences beyond it come from decorrelated
 	// subqueries and are excluded from SELECT * expansion.
 	outerOccs int
+	// curSub is non-nil while a retained (NOT IN / NOT EXISTS) subquery
+	// block is being built: occurrences go to the subquery instead of
+	// Query.Occs, conjuncts to its predicate pool instead of the
+	// equivalence classes, and unqualified columns resolve inner-first.
+	curSub *SubQuery
 }
 
 func (b *builder) addOccurrence(table, alias string) (*Occurrence, error) {
@@ -97,7 +103,12 @@ func (b *builder) addOccurrence(table, alias string) (*Occurrence, error) {
 		return nil, fmt.Errorf("qtree: duplicate relation name %q in FROM (repeated relations need distinct aliases)", name)
 	}
 	occ := &Occurrence{Name: name, Rel: rel, ID: len(b.q.Occs)}
-	b.q.Occs = append(b.q.Occs, occ)
+	if b.curSub != nil {
+		occ.ID = len(b.q.Occs) + len(b.curSub.Occs)
+		b.curSub.Occs = append(b.curSub.Occs, occ)
+	} else {
+		b.q.Occs = append(b.q.Occs, occ)
+	}
 	b.q.occByName[name] = occ
 	return occ, nil
 }
@@ -169,8 +180,9 @@ func availableAttrs(n *Node) map[string][]AttrRef {
 }
 
 // addConjuncts decomposes a boolean expression into conjuncts (rejecting
-// OR and NOT per assumption A5), classifies each as an equi-join
-// condition (merged into equivalence classes) or a retained predicate.
+// OR, and NOT except over subqueries and LIKE, per assumption A5),
+// classifies each as an equi-join condition (merged into equivalence
+// classes), a retained predicate, or a retained subquery block.
 func (b *builder) addConjuncts(e sqlparser.Expr, where string) error {
 	switch ex := e.(type) {
 	case *sqlparser.BinaryExpr:
@@ -181,21 +193,176 @@ func (b *builder) addConjuncts(e sqlparser.Expr, where string) error {
 			}
 			return b.addConjuncts(ex.R, where)
 		case "OR":
-			return fmt.Errorf("qtree: OR in %s is outside the supported class (assumption A5: conjunctions of simple conditions)", where)
+			return sqlparser.Unsupportedf("qtree: OR in %s is outside the supported class (assumption A5: conjunctions of simple conditions)", where)
 		case "=", "<>", "<", "<=", ">", ">=":
 			return b.addComparison(ex)
 		default:
 			return fmt.Errorf("qtree: unexpected operator %q in %s", ex.Op, where)
 		}
 	case *sqlparser.NotExpr:
-		return fmt.Errorf("qtree: NOT in %s is outside the supported class (assumption A5; NOT IN / NOT EXISTS would need anti-joins)", where)
+		// Single-level NOT over a subquery or LIKE folds into the
+		// negated form; anything else stays outside the class.
+		switch inner := ex.E.(type) {
+		case *sqlparser.InSubquery:
+			return b.addSubquery(inner.Sub, inner.Expr, !inner.Not, where)
+		case *sqlparser.ExistsSubquery:
+			return b.addSubquery(inner.Sub, nil, !inner.Not, where)
+		case *sqlparser.LikeExpr:
+			return b.addLike(inner.Expr, !inner.Not, inner.Pattern, where)
+		}
+		return sqlparser.Unsupportedf("qtree: NOT in %s is outside the supported class (assumption A5: only NOT IN, NOT EXISTS, and NOT LIKE are admitted)", where)
 	case *sqlparser.InSubquery:
-		return b.decorrelate(ex.Sub, ex.Expr)
+		return b.addSubquery(ex.Sub, ex.Expr, ex.Not, where)
 	case *sqlparser.ExistsSubquery:
-		return b.decorrelate(ex.Sub, nil)
+		return b.addSubquery(ex.Sub, nil, ex.Not, where)
+	case *sqlparser.LikeExpr:
+		return b.addLike(ex.Expr, ex.Not, ex.Pattern, where)
 	default:
 		return fmt.Errorf("qtree: unexpected boolean expression %s in %s", e, where)
 	}
+}
+
+// addSubquery routes a WHERE subquery: the positive connectives (IN,
+// EXISTS) decorrelate into joins per §V-H; the negated connectives
+// denote anti-joins, which have no join rewrite in the class, so their
+// blocks are retained and evaluated as nested loops.
+func (b *builder) addSubquery(sub *sqlparser.SelectStmt, outer sqlparser.Expr, not bool, where string) error {
+	if b.curSub != nil {
+		return sqlparser.Unsupportedf("qtree: nested subqueries inside a NOT IN / NOT EXISTS block are outside the supported class")
+	}
+	if !not {
+		return b.decorrelate(sub, outer)
+	}
+	kind := SubNotExists
+	if outer != nil {
+		kind = SubNotIn
+	}
+	return b.buildRetainedSub(kind, sub, outer, where)
+}
+
+// addLike builds a [NOT] LIKE pattern-match predicate over a string
+// attribute expression.
+func (b *builder) addLike(e sqlparser.Expr, not bool, pattern string, where string) error {
+	l, err := b.buildScalar(e)
+	if err != nil {
+		return err
+	}
+	lk, err := b.scalarKind(l)
+	if err != nil {
+		return err
+	}
+	if lk != sqltypes.KindString {
+		return fmt.Errorf("qtree: LIKE in %s requires a string operand, got %s", where, lk)
+	}
+	p := NewLikePred(l, not, pattern)
+	if b.curSub != nil {
+		b.curSub.Preds = append(b.curSub.Preds, p)
+	} else {
+		b.q.Preds = append(b.q.Preds, p)
+	}
+	return nil
+}
+
+// buildRetainedSub builds a NOT IN / NOT EXISTS block kept as a
+// structural SubQuery. The block's FROM must be plain comma-separated
+// relations (joins inside an anti-join block are outside the class),
+// with no aggregation; its WHERE conjuncts — which may reference outer
+// occurrences — become the block's predicate pool.
+func (b *builder) buildRetainedSub(kind SubKind, sub *sqlparser.SelectStmt, outer sqlparser.Expr, where string) error {
+	if b.q.Root == nil {
+		return sqlparser.Unsupportedf("qtree: subqueries are only supported in the WHERE clause, not in ON conditions")
+	}
+	if len(sub.GroupBy) > 0 || sub.Having != nil {
+		return sqlparser.Unsupportedf("qtree: aggregating %s subqueries are outside the supported class", kind)
+	}
+	for _, it := range sub.Select {
+		if it.Star {
+			continue
+		}
+		if _, ok := it.Expr.(*sqlparser.AggExpr); ok {
+			return sqlparser.Unsupportedf("qtree: aggregating %s subqueries are outside the supported class", kind)
+		}
+	}
+	s := &SubQuery{Kind: kind}
+	if kind.HasOuter() {
+		if len(sub.Select) != 1 || sub.Select[0].Star {
+			return fmt.Errorf("qtree: IN subquery must select exactly one column")
+		}
+		// The outer expression resolves in the outer scope, before the
+		// block's occurrences are registered.
+		o, err := b.buildScalar(outer)
+		if err != nil {
+			return err
+		}
+		s.Outer = o
+	}
+	for _, te := range sub.From {
+		tr, ok := te.(*sqlparser.TableRef)
+		if !ok {
+			return sqlparser.Unsupportedf("qtree: JOIN syntax inside a %s subquery is outside the supported class (use comma-separated relations)", kind)
+		}
+		b.curSub = s
+		_, err := b.addOccurrence(tr.Table, tr.Alias)
+		b.curSub = nil
+		if err != nil {
+			return err
+		}
+	}
+	b.curSub = s
+	defer func() { b.curSub = nil }()
+	if kind.HasOuter() {
+		cr, ok := sub.Select[0].Expr.(*sqlparser.ColRef)
+		if !ok {
+			return fmt.Errorf("qtree: IN subquery select column must be a plain column reference, got %s", sub.Select[0].Expr)
+		}
+		a, err := b.resolveCol(cr)
+		if err != nil {
+			return err
+		}
+		if !s.OccSet()[a.Occ] {
+			return fmt.Errorf("qtree: IN subquery select column %s must come from the subquery's own relations", a)
+		}
+		s.Inner = a
+		// Type-check the outer-vs-inner comparison like any equality.
+		ok2, err := b.kindsComparable(s.Outer, NewAttr(a))
+		if err != nil {
+			return err
+		}
+		if !ok2 {
+			return fmt.Errorf("qtree: type mismatch between %s and %s subquery column %s", s.Outer, kind, a)
+		}
+	}
+	if sub.Where != nil {
+		if err := b.addConjuncts(sub.Where, "subquery WHERE clause"); err != nil {
+			return err
+		}
+	}
+	s.OuterRefs = b.outerRefs(s)
+	b.q.Subs = append(b.q.Subs, s)
+	return nil
+}
+
+// outerRefs collects the outer occurrence names referenced by the
+// block's outer expression or correlated conjuncts, sorted.
+func (b *builder) outerRefs(s *SubQuery) []string {
+	inner := s.OccSet()
+	seen := map[string]bool{}
+	var attrs []AttrRef
+	if s.Outer != nil {
+		attrs = s.Outer.Attrs(attrs)
+	}
+	for _, p := range s.Preds {
+		attrs = p.R.Attrs(p.L.Attrs(attrs))
+	}
+	var out []string
+	for _, a := range attrs {
+		if !inner[a.Occ] && !seen[a.Occ] {
+			seen[a.Occ] = true
+			out = append(out, a.Occ)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // decorrelate rewrites an IN or EXISTS subquery into a join, as §V-H
@@ -208,17 +375,17 @@ func (b *builder) addConjuncts(e sqlparser.Expr, where string) error {
 // subquery denotes, which is the trade-off the paper accepts.
 func (b *builder) decorrelate(sub *sqlparser.SelectStmt, outer sqlparser.Expr) error {
 	if b.q.Root == nil {
-		return fmt.Errorf("qtree: subqueries are only supported in the WHERE clause, not in ON conditions")
+		return sqlparser.Unsupportedf("qtree: subqueries are only supported in the WHERE clause, not in ON conditions")
 	}
-	if len(sub.GroupBy) > 0 {
-		return fmt.Errorf("qtree: aggregating subqueries cannot be decorrelated into joins (§V-H handles simple subqueries)")
+	if len(sub.GroupBy) > 0 || sub.Having != nil {
+		return sqlparser.Unsupportedf("qtree: aggregating subqueries cannot be decorrelated into joins (§V-H handles simple subqueries)")
 	}
 	for _, it := range sub.Select {
 		if it.Star {
 			continue
 		}
 		if _, ok := it.Expr.(*sqlparser.AggExpr); ok {
-			return fmt.Errorf("qtree: aggregating subqueries cannot be decorrelated into joins (§V-H handles simple subqueries)")
+			return sqlparser.Unsupportedf("qtree: aggregating subqueries cannot be decorrelated into joins (§V-H handles simple subqueries)")
 		}
 	}
 	if outer != nil {
@@ -280,6 +447,13 @@ func (b *builder) addComparison(ex *sqlparser.BinaryExpr) error {
 	if err := b.checkComparable(l, r, ex); err != nil {
 		return err
 	}
+	// Inside a retained subquery block every conjunct — including
+	// attribute equalities and correlation — stays a plain predicate:
+	// the block is a quantifier scope, not part of the outer join tree.
+	if b.curSub != nil {
+		b.curSub.Preds = append(b.curSub.Preds, NewPred(op, l, r))
+		return nil
+	}
 	// Plain cross-occurrence attribute equality is an equi-join
 	// condition, represented by equivalence classes (paper §IV-B).
 	if op == sqltypes.OpEQ && l.Kind == SAttr && r.Kind == SAttr && l.Attr.Occ != r.Attr.Occ {
@@ -304,6 +478,21 @@ func (b *builder) checkComparable(l, r *Scalar, ex *sqlparser.BinaryExpr) error 
 		return fmt.Errorf("qtree: type mismatch in %s: %s vs %s", ex, lk, rk)
 	}
 	return nil
+}
+
+// kindsComparable reports whether two scalars have comparable kinds
+// (both numeric, or the same kind).
+func (b *builder) kindsComparable(l, r *Scalar) (bool, error) {
+	lk, err := b.scalarKind(l)
+	if err != nil {
+		return false, err
+	}
+	rk, err := b.scalarKind(r)
+	if err != nil {
+		return false, err
+	}
+	lNum, rNum := lk.Numeric(), rk.Numeric()
+	return lNum == rNum && (lNum || lk == rk), nil
 }
 
 func (b *builder) scalarKind(s *Scalar) (sqltypes.Kind, error) {
@@ -377,6 +566,25 @@ func (b *builder) resolveCol(c *sqlparser.ColRef) (AttrRef, error) {
 		}
 		return AttrRef{Occ: occ.Name, Attr: col}, nil
 	}
+	// Inside a retained subquery block, unqualified names resolve in
+	// the block's own scope first (standard SQL scoping); only names
+	// absent there fall through to the outer query's occurrences.
+	if b.curSub != nil {
+		var found []AttrRef
+		for _, occ := range b.curSub.Occs {
+			if occ.Rel.AttrPos(col) >= 0 {
+				found = append(found, AttrRef{Occ: occ.Name, Attr: col})
+			}
+		}
+		switch len(found) {
+		case 1:
+			return found[0], nil
+		default:
+			return AttrRef{}, fmt.Errorf("qtree: ambiguous column %q (in %s and %s)", c.Column, found[0], found[1])
+		case 0:
+			// fall through to outer scope
+		}
+	}
 	var found []AttrRef
 	for _, occ := range b.q.Occs {
 		if occ.Rel.AttrPos(col) >= 0 {
@@ -403,6 +611,9 @@ func (b *builder) buildSelect(stmt *sqlparser.SelectStmt) error {
 		}
 	}
 	if !hasAgg {
+		if stmt.Having != nil {
+			return sqlparser.Unsupportedf("qtree: HAVING without aggregation is outside the supported class")
+		}
 		return b.buildPlainSelect(stmt)
 	}
 	return b.buildAggSelect(stmt)
@@ -466,24 +677,9 @@ func (b *builder) buildAggSelect(stmt *sqlparser.SelectStmt) error {
 		}
 		switch ex := it.Expr.(type) {
 		case *sqlparser.AggExpr:
-			call := AggCall{Func: ex.Func, Distinct: ex.Distinct}
-			if ex.Arg == nil {
-				call.Star = true
-			} else {
-				cr, ok := ex.Arg.(*sqlparser.ColRef)
-				if !ok {
-					return fmt.Errorf("qtree: aggregate argument %s: only single columns are supported (paper: aggregated attribute A)", ex.Arg)
-				}
-				a, err := b.resolveCol(cr)
-				if err != nil {
-					return err
-				}
-				if ex.Func != sqlparser.AggCount && ex.Func != sqlparser.AggMin && ex.Func != sqlparser.AggMax {
-					if k := b.q.AttrType(a); !k.Numeric() {
-						return fmt.Errorf("qtree: %s over non-numeric column %s", ex.Func, a)
-					}
-				}
-				call.Arg = a
+			call, err := b.buildAggCall(ex)
+			if err != nil {
+				return err
 			}
 			agg.Calls = append(agg.Calls, call)
 		case *sqlparser.ColRef:
@@ -499,9 +695,110 @@ func (b *builder) buildAggSelect(stmt *sqlparser.SelectStmt) error {
 		}
 	}
 	if len(agg.Calls) == 0 {
-		return fmt.Errorf("qtree: GROUP BY without any aggregate in the select list is outside the supported class")
+		return sqlparser.Unsupportedf("qtree: GROUP BY without any aggregate in the select list is outside the supported class")
+	}
+	if stmt.Having != nil {
+		if err := b.buildHaving(agg, stmt.Having); err != nil {
+			return err
+		}
 	}
 	b.q.Agg = agg
+	return nil
+}
+
+// buildAggCall resolves one aggregate call (select list or HAVING).
+func (b *builder) buildAggCall(ex *sqlparser.AggExpr) (AggCall, error) {
+	call := AggCall{Func: ex.Func, Distinct: ex.Distinct}
+	if ex.Arg == nil {
+		call.Star = true
+		return call, nil
+	}
+	cr, ok := ex.Arg.(*sqlparser.ColRef)
+	if !ok {
+		return AggCall{}, fmt.Errorf("qtree: aggregate argument %s: only single columns are supported (paper: aggregated attribute A)", ex.Arg)
+	}
+	a, err := b.resolveCol(cr)
+	if err != nil {
+		return AggCall{}, err
+	}
+	if ex.Func != sqlparser.AggCount && ex.Func != sqlparser.AggMin && ex.Func != sqlparser.AggMax {
+		if k := b.q.AttrType(a); !k.Numeric() {
+			return AggCall{}, fmt.Errorf("qtree: %s over non-numeric column %s", ex.Func, a)
+		}
+	}
+	call.Arg = a
+	return call, nil
+}
+
+// buildHaving decomposes the HAVING expression into conjuncts of the
+// form "aggregate-call cmp constant" (orientation normalized so the
+// call is on the left). Anything else — group-by-attribute comparisons,
+// OR, NOT, call-vs-call comparisons — is outside the supported class.
+func (b *builder) buildHaving(agg *AggSpec, e sqlparser.Expr) error {
+	bin, ok := e.(*sqlparser.BinaryExpr)
+	if !ok {
+		return sqlparser.Unsupportedf("qtree: HAVING condition %s is outside the supported class (aggregate comparisons only)", e)
+	}
+	if bin.Op == "AND" {
+		if err := b.buildHaving(agg, bin.L); err != nil {
+			return err
+		}
+		return b.buildHaving(agg, bin.R)
+	}
+	var op sqltypes.CmpOp
+	switch bin.Op {
+	case "=":
+		op = sqltypes.OpEQ
+	case "<>":
+		op = sqltypes.OpNE
+	case "<":
+		op = sqltypes.OpLT
+	case "<=":
+		op = sqltypes.OpLE
+	case ">":
+		op = sqltypes.OpGT
+	case ">=":
+		op = sqltypes.OpGE
+	case "OR":
+		return sqlparser.Unsupportedf("qtree: OR in HAVING is outside the supported class (assumption A5)")
+	default:
+		return sqlparser.Unsupportedf("qtree: HAVING condition %s is outside the supported class (aggregate comparisons only)", e)
+	}
+	l, r := bin.L, bin.R
+	aggSide, ok := l.(*sqlparser.AggExpr)
+	if !ok {
+		if ra, ok2 := r.(*sqlparser.AggExpr); ok2 {
+			aggSide, l, r, op = ra, r, l, op.Flip()
+		} else {
+			return sqlparser.Unsupportedf("qtree: HAVING condition %s must compare an aggregate with a constant", e)
+		}
+	}
+	call, err := b.buildAggCall(aggSide)
+	if err != nil {
+		return err
+	}
+	rhs, err := b.buildScalar(r)
+	if err != nil {
+		return err
+	}
+	if rhs.Kind != SConst {
+		return sqlparser.Unsupportedf("qtree: HAVING condition %s must compare an aggregate with a constant", e)
+	}
+	// Type check: COUNT/SUM/AVG compare numerically; MIN/MAX compare in
+	// the argument's kind.
+	resKind := sqltypes.KindInt
+	if !call.Star && (call.Func == sqlparser.AggMin || call.Func == sqlparser.AggMax) {
+		resKind = b.q.AttrType(call.Arg)
+	}
+	ck := rhs.Const.Kind()
+	if resKind == sqltypes.KindString {
+		if ck != sqltypes.KindString {
+			return fmt.Errorf("qtree: type mismatch in HAVING %s: %s vs %s", e, resKind, ck)
+		}
+	} else if !ck.Numeric() {
+		return fmt.Errorf("qtree: type mismatch in HAVING %s: %s vs %s", e, resKind, ck)
+	}
+	agg.Having = append(agg.Having, HavingCond{Call: call, Op: op, Rhs: rhs.Const})
 	return nil
 }
 

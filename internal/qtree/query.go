@@ -127,11 +127,143 @@ func (a AggCall) Mutate(f sqlparser.AggFunc, distinct bool) AggCall {
 	return m
 }
 
+// HavingCond is one HAVING conjunct: an aggregate call compared with a
+// constant, oriented so the call is on the left.
+type HavingCond struct {
+	Call AggCall
+	Op   sqltypes.CmpOp
+	Rhs  sqltypes.Value
+}
+
+// String renders the condition.
+func (h HavingCond) String() string {
+	return fmt.Sprintf("%s %s %s", h.Call, h.Op, h.Rhs.SQLLiteral())
+}
+
+// WithOp returns a copy with a different comparison operator (the
+// HAVING-comparison mutation space).
+func (h HavingCond) WithOp(op sqltypes.CmpOp) HavingCond {
+	h.Op = op
+	return h
+}
+
 // AggSpec is the top-level aggregation of the query: GROUP BY attributes
-// plus one or more aggregate calls (unconstrained, per §II: no HAVING).
+// plus one or more aggregate calls, optionally constrained by HAVING
+// conjuncts over further aggregate calls.
 type AggSpec struct {
 	GroupBy []AttrRef
 	Calls   []AggCall
+	Having  []HavingCond
+}
+
+// SubKind is the connective attaching a retained WHERE subquery.
+type SubKind uint8
+
+// Subquery connectives. The positive forms normally decorrelate into
+// joins (§V-H); they appear here only as mutation targets of a retained
+// negative form.
+const (
+	SubIn SubKind = iota
+	SubNotIn
+	SubExists
+	SubNotExists
+)
+
+// String renders the connective keyword.
+func (k SubKind) String() string {
+	switch k {
+	case SubIn:
+		return "IN"
+	case SubNotIn:
+		return "NOT IN"
+	case SubExists:
+		return "EXISTS"
+	default:
+		return "NOT EXISTS"
+	}
+}
+
+// Negated reports whether the connective is an anti-join form.
+func (k SubKind) Negated() bool { return k == SubNotIn || k == SubNotExists }
+
+// HasOuter reports whether the connective compares an outer expression
+// with the subquery's select column (the IN forms).
+func (k SubKind) HasOuter() bool { return k == SubIn || k == SubNotIn }
+
+// SubQuery is a WHERE subquery retained structurally rather than
+// decorrelated: NOT IN and NOT EXISTS denote anti-joins that have no
+// join rewrite in the supported class, so the block is kept and
+// evaluated as a nested loop over its occurrences. Its occurrences live
+// here (and in the query's name table for attribute typing), not in
+// Query.Occs; its WHERE conjuncts — including correlated ones
+// referencing outer occurrences — are plain predicate conjuncts, with
+// no equivalence-class normalization inside the block.
+type SubQuery struct {
+	Kind  SubKind
+	Outer *Scalar // outer comparison expression; nil for EXISTS forms
+	Inner AttrRef // subquery select column; zero for EXISTS forms
+	Occs  []*Occurrence
+	Preds []*Pred
+	// OuterRefs are the outer occurrence names referenced by Outer or by
+	// correlated conjuncts, sorted.
+	OuterRefs []string
+}
+
+// WithKind returns a shallow copy under a different connective (the
+// subquery-connective mutation space). Flipping between IN and EXISTS
+// forms keeps Outer/Inner in place; they are simply ignored by the
+// EXISTS forms.
+func (s *SubQuery) WithKind(k SubKind) *SubQuery {
+	c := *s
+	c.Kind = k
+	return &c
+}
+
+// OccSet returns the subquery's occurrence names.
+func (s *SubQuery) OccSet() map[string]bool {
+	out := make(map[string]bool, len(s.Occs))
+	for _, o := range s.Occs {
+		out[o.Name] = true
+	}
+	return out
+}
+
+// String renders the subquery as a SQL fragment.
+func (s *SubQuery) String() string {
+	var sb strings.Builder
+	if s.Kind.HasOuter() {
+		sb.WriteString(s.Outer.String())
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(s.Kind.String())
+	sb.WriteString(" (SELECT ")
+	if s.Kind.HasOuter() {
+		sb.WriteString(s.Inner.String())
+	} else {
+		sb.WriteByte('*')
+	}
+	sb.WriteString(" FROM ")
+	for i, o := range s.Occs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if o.Name != o.Rel.Name {
+			sb.WriteString(schema.QuoteIdent(o.Rel.Name) + " AS " + schema.QuoteIdent(o.Name))
+		} else {
+			sb.WriteString(schema.QuoteIdent(o.Rel.Name))
+		}
+	}
+	if len(s.Preds) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, p := range s.Preds {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(p.String())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
 }
 
 // Projection is the query's select list in resolved form.
@@ -148,7 +280,8 @@ type Query struct {
 	Classes  []*EquivClass
 	Preds    []*Pred // all non-equi-join conjuncts (selections included)
 	Root     *Node
-	Agg      *AggSpec // nil when no aggregation
+	Subs     []*SubQuery // retained (non-decorrelated) WHERE subqueries
+	Agg      *AggSpec    // nil when no aggregation
 	Proj     Projection
 	Distinct bool
 
@@ -249,6 +382,9 @@ func (q *Query) String() string {
 	for _, p := range q.Preds {
 		fmt.Fprintf(&sb, "pred: %s\n", p)
 	}
+	for _, s := range q.Subs {
+		fmt.Fprintf(&sb, "sub: %s\n", s)
+	}
 	if q.Agg != nil {
 		gb := make([]string, len(q.Agg.GroupBy))
 		for i, g := range q.Agg.GroupBy {
@@ -259,6 +395,9 @@ func (q *Query) String() string {
 			calls[i] = c.String()
 		}
 		fmt.Fprintf(&sb, "agg: %s group by [%s]\n", strings.Join(calls, ", "), strings.Join(gb, ", "))
+		for _, h := range q.Agg.Having {
+			fmt.Fprintf(&sb, "having: %s\n", h)
+		}
 	}
 	return sb.String()
 }

@@ -200,11 +200,23 @@ func (s *Scalar) IsStringy(attrType func(AttrRef) sqltypes.Kind) bool {
 	return false
 }
 
-// Pred is a normalized predicate conjunct: L op R. Occurrences involved
-// are precomputed for classification (selection vs join predicate).
+// LikeSpec marks a predicate as a SQL pattern match: L [NOT] LIKE
+// Pattern. The pattern is also stored as the predicate's R constant so
+// occurrence/attribute walks need no special case.
+type LikeSpec struct {
+	Not     bool
+	Pattern string
+}
+
+// Pred is a normalized predicate conjunct: L op R, or a pattern match
+// when Like is set. Occurrences involved are precomputed for
+// classification (selection vs join predicate).
 type Pred struct {
 	Op   sqltypes.CmpOp
 	L, R *Scalar
+	// Like, when non-nil, makes the predicate "L [NOT] LIKE Pattern";
+	// Op is unused and R holds the pattern constant.
+	Like *LikeSpec
 	// Occs are the distinct occurrence names referenced, sorted.
 	Occs []string
 }
@@ -223,8 +235,24 @@ func NewPred(op sqltypes.CmpOp, l, r *Scalar) *Pred {
 	return p
 }
 
+// NewLikePred builds a pattern-match predicate over a string scalar.
+func NewLikePred(l *Scalar, not bool, pattern string) *Pred {
+	p := NewPred(sqltypes.OpEQ, l, NewConst(sqltypes.NewString(pattern)))
+	p.Like = &LikeSpec{Not: not, Pattern: pattern}
+	return p
+}
+
 // String renders the predicate.
-func (p *Pred) String() string { return fmt.Sprintf("%s %s %s", p.L, p.Op, p.R) }
+func (p *Pred) String() string {
+	if p.Like != nil {
+		kw := "LIKE"
+		if p.Like.Not {
+			kw = "NOT LIKE"
+		}
+		return fmt.Sprintf("%s %s %s", p.L, kw, sqltypes.NewString(p.Like.Pattern).SQLLiteral())
+	}
+	return fmt.Sprintf("%s %s %s", p.L, p.Op, p.R)
+}
 
 // IsSelection reports whether the predicate touches at most one
 // occurrence.
@@ -235,14 +263,21 @@ func (p *Pred) Attrs() []AttrRef { return p.R.Attrs(p.L.Attrs(nil)) }
 
 // Eval evaluates the predicate in three-valued logic.
 func (p *Pred) Eval(lookup func(AttrRef) sqltypes.Value) sqltypes.Tristate {
+	if p.Like != nil {
+		return sqltypes.TriLike(p.L.Eval(lookup), p.Like.Pattern, p.Like.Not)
+	}
 	return sqltypes.TriCompare(p.Op, p.L.Eval(lookup), p.R.Eval(lookup))
 }
 
 // ComparisonMutable reports whether the predicate has the shape the
 // comparison-operator mutation space targets (§V-E): attr op constant.
 // It returns the attribute and constant with the operator oriented so the
-// attribute is on the left.
+// attribute is on the left. Pattern-match predicates are not comparison
+// mutable (they have their own mutation space).
 func (p *Pred) ComparisonMutable() (AttrRef, sqltypes.CmpOp, sqltypes.Value, bool) {
+	if p.Like != nil {
+		return AttrRef{}, 0, sqltypes.Value{}, false
+	}
 	if p.L.Kind == SAttr && p.R.Kind == SConst {
 		return p.L.Attr, p.Op, p.R.Const, true
 	}
@@ -252,9 +287,18 @@ func (p *Pred) ComparisonMutable() (AttrRef, sqltypes.CmpOp, sqltypes.Value, boo
 	return AttrRef{}, 0, sqltypes.Value{}, false
 }
 
-// WithOp returns a copy of the predicate with a different operator.
+// WithOp returns a copy of the predicate with a different operator. It
+// must not be applied to pattern-match predicates (use WithLike).
 func (p *Pred) WithOp(op sqltypes.CmpOp) *Pred {
 	return &Pred{Op: op, L: p.L, R: p.R, Occs: p.Occs}
+}
+
+// WithLike returns a copy of a pattern-match predicate with a different
+// negation/pattern (the LIKE mutation space).
+func (p *Pred) WithLike(not bool, pattern string) *Pred {
+	np := NewLikePred(p.L, not, pattern)
+	np.Occs = p.Occs
+	return np
 }
 
 // EquivClass is an equivalence class of attributes connected by equi-join

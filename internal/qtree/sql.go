@@ -29,20 +29,37 @@ import (
 // aggregation and projection attributes).
 func (q *Query) SQLString() string {
 	var calls []AggCall
+	var having []HavingCond
 	if q.Agg != nil {
 		calls = q.Agg.Calls
+		having = q.Agg.Having
 	}
-	return RenderSQL(q, q.Root, q.Preds, calls)
+	return RenderSQLFull(q, q.Root, q.Preds, q.Subs, calls, having)
 }
 
 // RenderSQL renders a (possibly mutated) variant of q: tree replaces the
 // join tree, preds the predicate pool, and aggs the aggregate calls
 // (ignored when q has no aggregation). The mutation packages use it to
 // report mutants as runnable SQL; q.SQLString is the identity case.
+// Retained subqueries and HAVING conjuncts print as in q.
 func RenderSQL(q *Query, tree *Node, preds []*Pred, aggs []AggCall) string {
+	var having []HavingCond
+	if q.Agg != nil {
+		having = q.Agg.Having
+	}
+	return RenderSQLFull(q, tree, preds, q.Subs, aggs, having)
+}
+
+// RenderSQLFull renders a variant of q with every mutable dimension
+// replaced: join tree, predicate pool, retained subqueries, aggregate
+// calls, and HAVING conjuncts.
+func RenderSQLFull(q *Query, tree *Node, preds []*Pred, subs []*SubQuery, aggs []AggCall, having []HavingCond) string {
 	r := &sqlRenderer{q: q, tree: tree, nodeConds: map[*Node][]string{}}
 	r.placeClassConds()
 	r.placePreds(preds)
+	for _, s := range subs {
+		r.where = append(r.where, s.String())
+	}
 
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
@@ -63,6 +80,14 @@ func RenderSQL(q *Query, tree *Node, preds []*Pred, aggs []AggCall) string {
 		}
 		sb.WriteString(" GROUP BY ")
 		sb.WriteString(strings.Join(gb, ", "))
+	}
+	if len(having) > 0 {
+		hs := make([]string, len(having))
+		for i, h := range having {
+			hs[i] = h.String()
+		}
+		sb.WriteString(" HAVING ")
+		sb.WriteString(strings.Join(hs, " AND "))
 	}
 	return sb.String()
 }

@@ -25,6 +25,12 @@ func normalForm(q *Query) string {
 	}
 	sort.Strings(preds)
 	fmt.Fprintf(&sb, "preds=%s\n", strings.Join(preds, " AND "))
+	subs := make([]string, len(q.Subs))
+	for i, s := range q.Subs {
+		subs[i] = s.String()
+	}
+	sort.Strings(subs)
+	fmt.Fprintf(&sb, "subs=%s\n", strings.Join(subs, " AND "))
 	if q.Agg != nil {
 		gb := make([]string, len(q.Agg.GroupBy))
 		for i, g := range q.Agg.GroupBy {
@@ -35,6 +41,11 @@ func normalForm(q *Query) string {
 			calls[i] = c.String()
 		}
 		fmt.Fprintf(&sb, "agg=[%s] groupby [%s]\n", strings.Join(calls, ", "), strings.Join(gb, ", "))
+		having := make([]string, len(q.Agg.Having))
+		for i, h := range q.Agg.Having {
+			having[i] = h.String()
+		}
+		fmt.Fprintf(&sb, "having=%s\n", strings.Join(having, " AND "))
 	}
 	proj := make([]string, len(q.Proj.Attrs))
 	for i, a := range q.Proj.Attrs {
@@ -73,6 +84,26 @@ func TestSQLStringRoundTrip(t *testing.T) {
 		"SELECT * FROM instructor WHERE 1 = 2 AND salary > 0",
 		// Aliased repeated relation.
 		"SELECT i1.name FROM instructor AS i1, instructor AS i2 WHERE i1.salary > i2.salary AND i1.dept_name = i2.dept_name",
+		// Retained anti-join subqueries.
+		"SELECT * FROM instructor WHERE instructor.id NOT IN (SELECT teaches.id FROM teaches WHERE course_id > 100)",
+		"SELECT name FROM instructor WHERE NOT EXISTS (SELECT * FROM teaches WHERE teaches.id = instructor.id)",
+		// Correlated NOT IN with a second inner relation.
+		"SELECT i.name FROM instructor i WHERE i.id NOT IN (SELECT t.id FROM teaches t, course c WHERE t.course_id = c.course_id AND c.credits > i.salary)",
+		// Mixed: retained block plus ordinary predicates.
+		"SELECT i.name FROM instructor i WHERE i.salary > 10 AND NOT EXISTS (SELECT * FROM teaches t WHERE t.id = i.id)",
+		// HAVING with aggregate comparisons.
+		"SELECT dept_name, COUNT(*) FROM instructor GROUP BY dept_name HAVING COUNT(*) > 2",
+		"SELECT dept_name, SUM(salary) FROM instructor GROUP BY dept_name HAVING SUM(salary) >= 100 AND COUNT(*) < 5",
+		// HAVING over a call absent from the select list; MIN over strings.
+		"SELECT dept_name, COUNT(*) FROM instructor GROUP BY dept_name HAVING MIN(name) <> 'zz' AND AVG(salary) > 50",
+		// LIKE / NOT LIKE patterns.
+		"SELECT name FROM instructor WHERE name LIKE 'A%'",
+		"SELECT name FROM instructor WHERE dept_name NOT LIKE '%ics' AND salary > 0",
+		"SELECT * FROM course WHERE title LIKE '_ntro%' AND credits >= 3",
+		// LIKE inside a retained block.
+		"SELECT i.name FROM instructor i WHERE NOT EXISTS (SELECT * FROM course c WHERE c.title LIKE '%SQL%' AND c.course_id > i.id)",
+		// Pattern with quoting-sensitive characters.
+		"SELECT name FROM instructor WHERE name LIKE '100%''s_'",
 	}
 	sch, err := sqlparser.ParseSchema(testDDL)
 	if err != nil {

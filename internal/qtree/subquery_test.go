@@ -64,14 +64,95 @@ func TestSubqueryRejections(t *testing.T) {
 		{`SELECT * FROM instructor i WHERE i.id IN (SELECT COUNT(t.id) FROM teaches t)`, "decorrelated"},
 		{`SELECT * FROM instructor i WHERE i.id IN (SELECT t.id, t.course_id FROM teaches t)`, "one column"},
 		{`SELECT * FROM instructor i WHERE i.salary IN (SELECT s.id FROM teaches s GROUP BY s.id)`, ""},
-		{`SELECT * FROM instructor i WHERE NOT i.id IN (SELECT t.id FROM teaches t)`, "anti-join"},
-		{`SELECT * FROM instructor i WHERE NOT EXISTS (SELECT t.id FROM teaches t)`, "anti-join"},
 		{`SELECT * FROM instructor i JOIN teaches t ON i.id IN (SELECT x.id FROM teaches x)`, "ON"},
+		// Retained-block restrictions.
+		{`SELECT * FROM instructor i WHERE i.id NOT IN (SELECT COUNT(t.id) FROM teaches t)`, "aggregating"},
+		{`SELECT * FROM instructor i WHERE i.id NOT IN (SELECT t.id, t.course_id FROM teaches t)`, "one column"},
+		{`SELECT * FROM instructor i WHERE NOT EXISTS (SELECT * FROM teaches t JOIN course c ON t.course_id = c.course_id)`, "JOIN syntax"},
+		{`SELECT * FROM instructor i WHERE NOT EXISTS (SELECT * FROM teaches t WHERE t.id NOT IN (SELECT x.id FROM teaches x))`, "nested"},
 	} {
 		err := buildErr(t, tc.sql)
 		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s:\n  error %q does not mention %q", tc.sql, err, tc.want)
 		}
+	}
+}
+
+// NOT IN / NOT EXISTS denote anti-joins: the block is retained
+// structurally instead of decorrelated.
+
+func TestNotInRetained(t *testing.T) {
+	q := buildQ(t, `SELECT * FROM instructor i
+		WHERE i.id NOT IN (SELECT t.id FROM teaches t WHERE t.course_id > 100)`)
+	if len(q.Occs) != 1 {
+		t.Fatalf("occs = %d, want 1 (anti-join block must not join in)", len(q.Occs))
+	}
+	if len(q.Subs) != 1 {
+		t.Fatalf("subs = %d, want 1", len(q.Subs))
+	}
+	s := q.Subs[0]
+	if s.Kind != SubNotIn {
+		t.Errorf("kind = %s", s.Kind)
+	}
+	if s.Outer == nil || s.Outer.String() != "i.id" {
+		t.Errorf("outer = %v", s.Outer)
+	}
+	if s.Inner != (AttrRef{Occ: "t", Attr: "id"}) {
+		t.Errorf("inner = %v", s.Inner)
+	}
+	if len(s.Occs) != 1 || s.Occs[0].Name != "t" {
+		t.Errorf("sub occs = %v", s.Occs)
+	}
+	if len(s.Preds) != 1 {
+		t.Errorf("sub preds = %v", s.Preds)
+	}
+	if len(s.OuterRefs) != 1 || s.OuterRefs[0] != "i" {
+		t.Errorf("outer refs = %v (the Outer expr references i)", s.OuterRefs)
+	}
+	// The block's attributes must not leak into SELECT *.
+	for _, a := range q.Proj.Attrs {
+		if a.Occ == "t" {
+			t.Errorf("subquery attribute %s leaked into SELECT *", a)
+		}
+	}
+}
+
+func TestCorrelatedNotExistsRetained(t *testing.T) {
+	q := buildQ(t, `SELECT i.name FROM instructor i
+		WHERE NOT EXISTS (SELECT * FROM teaches t WHERE t.id = i.id)`)
+	if len(q.Occs) != 1 || len(q.Subs) != 1 {
+		t.Fatalf("occs = %d subs = %d", len(q.Occs), len(q.Subs))
+	}
+	s := q.Subs[0]
+	if s.Kind != SubNotExists {
+		t.Errorf("kind = %s", s.Kind)
+	}
+	if len(s.OuterRefs) != 1 || s.OuterRefs[0] != "i" {
+		t.Errorf("outer refs = %v, want [i] (correlated conjunct)", s.OuterRefs)
+	}
+	// Correlation stays a predicate conjunct, not an equivalence class.
+	if len(q.Classes) != 0 {
+		t.Errorf("classes = %v (no class merging across an anti-join block)", q.Classes)
+	}
+	if len(s.Preds) != 1 || s.Preds[0].String() != "t.id = i.id" {
+		t.Errorf("sub preds = %v", s.Preds)
+	}
+}
+
+// Unqualified columns inside a retained block resolve inner-first,
+// falling through to the outer scope (standard SQL scoping).
+func TestRetainedSubScoping(t *testing.T) {
+	q := buildQ(t, `SELECT i.name FROM instructor i
+		WHERE NOT EXISTS (SELECT * FROM teaches t WHERE course_id > 100 AND salary > 500)`)
+	s := q.Subs[0]
+	if got := s.Preds[0].String(); got != "t.course_id > 100" {
+		t.Errorf("inner-scope pred = %s", got)
+	}
+	if got := s.Preds[1].String(); got != "i.salary > 500" {
+		t.Errorf("outer-fallthrough pred = %s", got)
+	}
+	if len(s.OuterRefs) != 1 || s.OuterRefs[0] != "i" {
+		t.Errorf("outer refs = %v", s.OuterRefs)
 	}
 }
 

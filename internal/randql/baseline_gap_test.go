@@ -80,7 +80,7 @@ func TestBaselineMissesMutantsFullPipelineKills(t *testing.T) {
 				}
 				ds := coreRep.Datasets[di]
 				orig, err1 := refeval.Eval(c.Query, ds)
-				mut, err2 := refeval.EvalPlan(c.Query, m.Plan.Tree, m.Plan.Preds, m.Plan.Aggs, ds)
+				mut, err2 := refeval.EvalPlan(c.Query, m.Plan.Tree, m.Plan.Preds, m.Plan.Subs, m.Plan.Aggs, m.Plan.Having, ds)
 				if err1 != nil || err2 != nil {
 					t.Fatalf("seed %d: refeval on killing dataset: original=%v mutant=%v", seed, err1, err2)
 				}

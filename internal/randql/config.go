@@ -42,6 +42,34 @@ type Config struct {
 	AllowConstPred bool    // constant conjuncts like 1 = 2
 	MaxSelections  int     // extra WHERE conjuncts
 	AggProb        float64 // probability a query aggregates
+	// Extended query classes (subqueries, HAVING, LIKE). A probability of
+	// zero disables the class; the grammar-rule coverage counter only
+	// demands rules whose knob is enabled.
+	SubqProb   float64 // probability of a WHERE subquery conjunct (IN/NOT IN/EXISTS/NOT EXISTS)
+	HavingProb float64 // probability an aggregated+grouped query gains a HAVING clause
+	LikeProb   float64 // probability a string selection uses [NOT] LIKE instead of a comparison
+	// SubqRepeatOK permits a subquery when some relation occurs more than
+	// once across the outer FROM and the block. The completeness grammar
+	// forbids it (an A3-flavored restriction): join conditions can then
+	// imply the block's correlation on every real tuple combination, and
+	// the repeated relation lets alternative tuples re-establish a
+	// mutated join across Algorithm 2's per-class nullifications — both
+	// outside the generator's guarantee.
+	SubqRepeatOK bool
+	// SubqBareOK permits predicate-less uncorrelated [NOT] IN blocks
+	// like "x NOT IN (SELECT sq0.c FROM t1 AS sq0)". The completeness
+	// grammar forbids them: NULL NOT IN over such a block is TRUE only
+	// when the relation itself is empty, which the solver's slot model
+	// cannot represent, so the pad-safety goals that expose outer-join
+	// mutants through NULL-padded rows would be unreachable. With at
+	// least one inner conjunct the block can be emptied of qualifying
+	// rows instead (randql seed 10012 pinned this down).
+	SubqBareOK bool
+	// HavingJoinOK permits HAVING on multi-occurrence queries. The
+	// completeness grammar keeps HAVING single-occurrence: the COUNT
+	// group-size ladder is exact only when the group's row count is not
+	// inflated by join combinations.
+	HavingJoinOK bool
 	// RequireConnected rejects queries whose join graph has more than
 	// one component. The mutant space (and hence the completeness
 	// guarantee) is only defined over connected queries; the
@@ -84,6 +112,12 @@ func DefaultConfig() Config {
 		AllowConstPred: true,
 		MaxSelections:  3,
 		AggProb:        0.3,
+		SubqProb:       0.3,
+		HavingProb:     0.35,
+		LikeProb:       0.3,
+		SubqRepeatOK:   true,
+		SubqBareOK:     true,
+		HavingJoinOK:   true,
 		MaxRows:        4,
 		NullProb:       0.25,
 	}
@@ -106,6 +140,16 @@ func CompletenessConfig() Config {
 	c.MaxSelections = 2
 	c.RequireConnected = true
 	c.AggVisibility = true
+	// Heavier extended-class weights than the oracle grammar: the
+	// completeness restrictions (distinct relations for subqueries,
+	// single-occurrence HAVING) gate many draws out, and the coverage
+	// counter demands every enabled rule per soak.
+	c.SubqProb = 0.65
+	c.HavingProb = 0.9
+	c.LikeProb = 0.3
+	c.SubqRepeatOK = false
+	c.SubqBareOK = false
+	c.HavingJoinOK = false
 	return c
 }
 

@@ -1,0 +1,100 @@
+package randql
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+)
+
+// covSchema is a tiny fixed schema for hand-written coverage probes.
+func covSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	sch, err := sqlparser.ParseSchema(`
+CREATE TABLE r (a INT PRIMARY KEY, s VARCHAR(10) NOT NULL);
+CREATE TABLE q (b INT PRIMARY KEY, u VARCHAR(10) NOT NULL);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func covObserve(t *testing.T, sch *schema.Schema, sql string) *Coverage {
+	t.Helper()
+	q, err := qtree.BuildSQL(sch, sql)
+	if err != nil {
+		t.Fatalf("BuildSQL(%q): %v", sql, err)
+	}
+	cov := NewCoverage()
+	cov.Observe(q, sql)
+	return cov
+}
+
+// TestCoverageObserve pins the rule detection: retained connectives come
+// from the normalized tree, decorrelated positive forms from the SQL
+// text, HAVING and [NOT] LIKE from the tree.
+func TestCoverageObserve(t *testing.T) {
+	sch := covSchema(t)
+	cases := []struct {
+		sql  string
+		want []string
+	}{
+		{"SELECT * FROM r WHERE r.a NOT IN (SELECT q.b FROM q AS q)", []string{RuleSubNotIn}},
+		{"SELECT * FROM r WHERE r.a IN (SELECT q.b FROM q AS q)", []string{RuleSubIn}},
+		{"SELECT * FROM r WHERE NOT EXISTS (SELECT * FROM q AS q WHERE q.b = r.a)", []string{RuleSubNotExists}},
+		{"SELECT * FROM r WHERE EXISTS (SELECT * FROM q AS q WHERE q.b = r.a)", []string{RuleSubExists}},
+		{"SELECT r.a, COUNT(*) FROM r GROUP BY r.a HAVING COUNT(*) > 1", []string{RuleHaving}},
+		{"SELECT * FROM r WHERE r.s LIKE 'u%'", []string{RuleLike}},
+		{"SELECT * FROM r WHERE r.s NOT LIKE '%v'", []string{RuleNotLike}},
+	}
+	for _, tc := range cases {
+		cov := covObserve(t, sch, tc.sql)
+		for _, rule := range tc.want {
+			if cov.counts[rule] == 0 {
+				t.Errorf("%q: rule %s not observed (got: %s)", tc.sql, rule, cov)
+			}
+		}
+	}
+}
+
+// TestCoverageMissing checks that Missing demands exactly the rules the
+// config enables and is satisfied once each has been seen.
+func TestCoverageMissing(t *testing.T) {
+	cfg := Config{SubqProb: 0.3, HavingProb: 0.3, LikeProb: 0.3, AllowAgg: true, AggProb: 0.3}
+	cov := NewCoverage()
+	want := []string{
+		RuleHaving, RuleLike, RuleNotLike,
+		RuleSubExists, RuleSubIn, RuleSubNotExists, RuleSubNotIn,
+	}
+	if got := cov.Missing(cfg); !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty coverage Missing = %v, want %v", got, want)
+	}
+
+	sch := covSchema(t)
+	for _, sql := range []string{
+		"SELECT * FROM r WHERE r.a NOT IN (SELECT q.b FROM q AS q)",
+		"SELECT * FROM r WHERE r.a IN (SELECT q.b FROM q AS q)",
+		"SELECT * FROM r WHERE NOT EXISTS (SELECT * FROM q AS q WHERE q.b = r.a)",
+		"SELECT * FROM r WHERE EXISTS (SELECT * FROM q AS q WHERE q.b = r.a)",
+		"SELECT r.a, COUNT(*) FROM r GROUP BY r.a HAVING COUNT(*) > 1",
+		"SELECT * FROM r WHERE r.s LIKE 'u%'",
+		"SELECT * FROM r WHERE r.s NOT LIKE '%v'",
+	} {
+		q, err := qtree.BuildSQL(sch, sql)
+		if err != nil {
+			t.Fatalf("BuildSQL(%q): %v", sql, err)
+		}
+		cov.Observe(q, sql)
+	}
+	if got := cov.Missing(cfg); len(got) != 0 {
+		t.Fatalf("full coverage Missing = %v, want none (observed: %s)", got, cov)
+	}
+
+	// Disabled knobs demand nothing.
+	if got := cov.Missing(Config{}); len(got) != 0 {
+		t.Fatalf("zero config Missing = %v, want none", got)
+	}
+}

@@ -13,8 +13,10 @@ import (
 // one-off margin on each side, so comparisons land on all three of
 // below/at/above the constant.
 var (
-	intPool   = []int64{-1, 0, 1, 2, 3, 4, 5, 6, 7}
-	strPool   = []string{"t", "u", "v", "w", "x", "y"}
+	intPool = []int64{-1, 0, 1, 2, 3, 4, 5, 6, 7}
+	// Two-character entries give every likePatterns wildcard pattern
+	// ("u%", "u_", "%w%", …) both matches and misses in random data.
+	strPool   = []string{"t", "u", "v", "w", "x", "y", "uv", "wx"}
 	floatPool = []float64{-0.5, 0, 1, 2.5, 3, 4.5}
 )
 

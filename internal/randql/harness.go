@@ -64,7 +64,7 @@ func DiffOne(c *Case, ds *schema.Dataset) error {
 // diffPlan compares one plan across both evaluators.
 func diffPlan(c *Case, p *engine.Plan, ds *schema.Dataset, what string) error {
 	er, eerr := p.Run(ds)
-	rr, rerr := refeval.EvalPlan(p.Query, p.Tree, p.Preds, p.Aggs, ds)
+	rr, rerr := refeval.EvalPlan(p.Query, p.Tree, p.Preds, p.Subs, p.Aggs, p.Having, ds)
 	if eerr != nil || rerr != nil {
 		return fmt.Errorf("randql: seed %d: %s: engine err=%v, refeval err=%v\n%s",
 			c.Seed, what, eerr, rerr, c.Repro(ds))
@@ -247,7 +247,7 @@ func confirmWitness(c *Case, m *mutation.Mutant, witness *schema.Dataset) (bool,
 		return false, "no witness dataset returned"
 	}
 	orig, err1 := refeval.Eval(c.Query, witness)
-	mut, err2 := refeval.EvalPlan(c.Query, m.Plan.Tree, m.Plan.Preds, m.Plan.Aggs, witness)
+	mut, err2 := refeval.EvalPlan(c.Query, m.Plan.Tree, m.Plan.Preds, m.Plan.Subs, m.Plan.Aggs, m.Plan.Having, witness)
 	if err1 != nil || err2 != nil {
 		return false, fmt.Sprintf("refeval errors: original=%v mutant=%v", err1, err2)
 	}
@@ -266,7 +266,7 @@ func mutantSQL(q *qtree.Query, m *mutation.Mutant) (s string) {
 			s = fmt.Sprintf("(unrenderable: %v)", r)
 		}
 	}()
-	return qtree.RenderSQL(q, m.Plan.Tree, m.Plan.Preds, m.Plan.Aggs)
+	return qtree.RenderSQLFull(q, m.Plan.Tree, m.Plan.Preds, m.Plan.Subs, m.Plan.Aggs, m.Plan.Having)
 }
 
 func witnessRepro(c *Case, witness *schema.Dataset) string {

@@ -130,8 +130,16 @@ func trySQL(rng *rand.Rand, cfg Config, sch *schema.Schema) (string, bool) {
 	if cfg.MaxSelections > 0 {
 		for i, n := 0, rng.Intn(cfg.MaxSelections+1); i < n; i++ {
 			if s, ok := selection(rng, occs); ok {
+				if like, lok := likeSelection(rng, cfg, occs); lok && chance(rng, cfg.LikeProb) {
+					s = like
+				}
 				whereConds = append(whereConds, s)
 			}
+		}
+	}
+	if cfg.SubqProb > 0 && chance(rng, cfg.SubqProb) {
+		if s, ok := subqueryCond(rng, cfg, sch, occs); ok {
+			whereConds = append(whereConds, s)
 		}
 	}
 	if cfg.AllowConstPred && chance(rng, 0.1) {
@@ -151,6 +159,10 @@ func trySQL(rng *rand.Rand, cfg Config, sch *schema.Schema) (string, bool) {
 	if sel.groupBy != "" {
 		sb.WriteString(" GROUP BY ")
 		sb.WriteString(sel.groupBy)
+	}
+	if sel.having != "" {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(sel.having)
 	}
 	return sb.String(), true
 }
@@ -313,9 +325,166 @@ func selection(rng *rand.Rand, occs []occ) (string, bool) {
 	}
 }
 
+// likePatterns are drawn so the dataset string pool (strPool: single
+// characters plus a couple of two-character strings) contains matches AND
+// misses for every pattern — a pattern no data can match never separates
+// its mutants.
+var likePatterns = []string{"u", "u%", "%v", "_", "%", "u_", "_v", "%w%", "v%"}
+
+// likeSelection builds one [NOT] LIKE conjunct over a string column.
+func likeSelection(rng *rand.Rand, cfg Config, occs []occ) (string, bool) {
+	if cfg.LikeProb <= 0 {
+		return "", false
+	}
+	o := pick(rng, occs)
+	var cols []schema.Attribute
+	for _, a := range o.rel.Attrs {
+		if a.Type == sqltypes.KindString {
+			cols = append(cols, a)
+		}
+	}
+	if len(cols) == 0 {
+		return "", false
+	}
+	c := cols[rng.Intn(len(cols))]
+	not := ""
+	if chance(rng, 0.4) {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s.%s %sLIKE '%s'", o.alias, c.Name, not, pick(rng, likePatterns)), true
+}
+
+// subqueryCond builds one WHERE subquery conjunct: attr [NOT] IN
+// (SELECT ...) or [NOT] EXISTS (SELECT ...). EXISTS blocks are always
+// correlated (an uncorrelated, predicate-less NOT EXISTS block is outside
+// the solver's slot model — it would demand an empty relation). Inner
+// conjuncts are plain comparisons; LIKE stays in the outer WHERE, where
+// the generator produces pattern kill goals.
+func subqueryCond(rng *rand.Rand, cfg Config, sch *schema.Schema, occs []occ) (string, bool) {
+	rels := orderedRelations(sch)
+	// See Config.SubqRepeatOK: the completeness grammar requires all
+	// relations across the outer FROM and the block pairwise distinct, so
+	// bail on self-joined outers and draw the block's relation from the
+	// unused ones.
+	if !cfg.SubqRepeatOK {
+		used := map[string]bool{}
+		for _, o := range occs {
+			if used[o.rel.Name] {
+				return "", false
+			}
+			used[o.rel.Name] = true
+		}
+		eligible := rels[:0:0]
+		for _, r := range rels {
+			if !used[r.Name] {
+				eligible = append(eligible, r)
+			}
+		}
+		if len(eligible) == 0 {
+			return "", false
+		}
+		rels = eligible
+	}
+	inner := pick(rng, rels)
+	const innerAlias = "sq0"
+
+	// Column pools: int/string only (assumption A4's comparison class).
+	innerCols := func(kind sqltypes.Kind) []schema.Attribute {
+		var out []schema.Attribute
+		for _, a := range inner.Attrs {
+			if a.Type == kind {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	outerCols := func(kind sqltypes.Kind) (occ, string, bool) {
+		var cands []struct {
+			o occ
+			c string
+		}
+		for _, o := range occs {
+			for _, a := range o.rel.Attrs {
+				if a.Type == kind {
+					cands = append(cands, struct {
+						o occ
+						c string
+					}{o, a.Name})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return occ{}, "", false
+		}
+		p := pick(rng, cands)
+		return p.o, p.c, true
+	}
+
+	kind := sqltypes.KindInt
+	if chance(rng, 0.3) {
+		kind = sqltypes.KindString
+	}
+	ics := innerCols(kind)
+	oo, oc, ok := outerCols(kind)
+	if len(ics) == 0 || !ok {
+		return "", false
+	}
+	ic := ics[rng.Intn(len(ics))]
+	// Comparing a column against itself over the same relation makes the
+	// connective implied-true/false on every real tuple combination
+	// (every row matches itself): NOT forms then admit rows only through
+	// outer-join NULL padding, which the solver's slot model cannot
+	// represent, voiding the completeness guarantee. Keep such blocks out
+	// of the grammar.
+	if inner.Name == oo.rel.Name && ic.Name == oc {
+		return "", false
+	}
+
+	// Inner selections on the block's own columns.
+	var innerConds []string
+	for i, n := 0, rng.Intn(2); i < n; i++ {
+		if s, sok := selection(rng, []occ{{alias: innerAlias, rel: inner}}); sok {
+			innerConds = append(innerConds, s)
+		}
+	}
+
+	if chance(rng, 0.5) {
+		// [NOT] EXISTS with a correlation equality.
+		innerConds = append([]string{fmt.Sprintf("%s.%s = %s.%s", innerAlias, ic.Name, oo.alias, oc)}, innerConds...)
+		not := ""
+		if chance(rng, 0.5) {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%sEXISTS (SELECT * FROM %s AS %s WHERE %s)",
+			not, inner.Name, innerAlias, strings.Join(innerConds, " AND ")), true
+	}
+
+	// See Config.SubqBareOK: the completeness grammar requires IN blocks
+	// to carry at least one inner conjunct, so pad-safety goals can empty
+	// the block of qualifying rows without demanding an empty relation.
+	if len(innerConds) == 0 && !cfg.SubqBareOK {
+		s, sok := selection(rng, []occ{{alias: innerAlias, rel: inner}})
+		if !sok {
+			return "", false
+		}
+		innerConds = append(innerConds, s)
+	}
+	not := ""
+	if chance(rng, 0.5) {
+		not = "NOT "
+	}
+	where := ""
+	if len(innerConds) > 0 {
+		where = " WHERE " + strings.Join(innerConds, " AND ")
+	}
+	return fmt.Sprintf("%s.%s %sIN (SELECT %s.%s FROM %s AS %s%s)",
+		oo.alias, oc, not, innerAlias, ic.Name, inner.Name, innerAlias, where), true
+}
+
 type selectSpec struct {
 	list    string // "SELECT ..." prefix included
 	groupBy string
+	having  string
 }
 
 // selectClause picks the projection: an aggregate head with probability
@@ -392,10 +561,46 @@ func selectClause(rng *rand.Rand, cfg Config, occs []occ) selectSpec {
 				calls = append(calls, fmt.Sprintf("%s(%s%s)", fn, distinct, numeric[rng.Intn(len(numeric))].ref))
 			}
 		}
+		// HAVING: only on grouped queries, and single-occurrence unless
+		// HavingJoinOK (the COUNT group-size ladder is exact only when the
+		// join does not inflate the group's row count). DISTINCT aggregates
+		// are excluded — the solver has no non-collapsing encoding for
+		// DISTINCT SUM/AVG under HAVING.
+		having := ""
+		if cfg.HavingProb > 0 && len(groups) > 0 &&
+			(cfg.HavingJoinOK || len(occs) == 1) && chance(rng, cfg.HavingProb) {
+			switch rng.Intn(4) {
+			case 0:
+			case 1:
+				if len(numeric) > 0 {
+					fn := pick(rng, []string{"SUM", "AVG"})
+					having = fmt.Sprintf("%s(%s) %s %d",
+						fn, numeric[rng.Intn(len(numeric))].ref, pick(rng, cmpOps), pick(rng, predInts))
+				}
+			default:
+				if len(ordered) > 0 {
+					fn := pick(rng, []string{"MIN", "MAX"})
+					c := ordered[rng.Intn(len(ordered))]
+					if c.kind == sqltypes.KindString {
+						having = fmt.Sprintf("%s(%s) %s '%s'",
+							fn, c.ref, pick(rng, cmpOps), pick(rng, predStrings))
+					} else {
+						having = fmt.Sprintf("%s(%s) %s %d",
+							fn, c.ref, pick(rng, cmpOps), pick(rng, predInts))
+					}
+				}
+			}
+			if having == "" {
+				// COUNT ladder: small thresholds the dataset generator's
+				// MaxRows can straddle in both directions.
+				having = fmt.Sprintf("COUNT(*) %s %d", pick(rng, cmpOps), 1+rng.Intn(2))
+			}
+		}
 		items := append(append([]string{}, groups...), calls...)
 		return selectSpec{
 			list:    "SELECT " + strings.Join(items, ", "),
 			groupBy: strings.Join(groups, ", "),
+			having:  having,
 		}
 	}
 

@@ -18,13 +18,48 @@ import (
 var (
 	flagSeed = flag.Int64("randql.seed", 1, "base seed for randql cases")
 	flagN    = flag.Int("randql.n", 70, "number of differential-oracle cases (3 datasets each)")
-	flagQ    = flag.Int("randql.q", 50, "number of suite-completeness cases")
+	flagQ    = flag.Int("randql.q", 70, "number of suite-completeness cases")
 	// flagGoalTimeout bounds each kill goal of a completeness case, so one
 	// pathological solver instance bounds that case (counted as
 	// budget-skipped) instead of stalling the whole soak. The nightly job
 	// sets it explicitly; 0 keeps goals unbounded for local runs.
 	flagGoalTimeout = flag.Duration("randql.goal-timeout", 0, "per-kill-goal wall-clock budget for completeness cases (0 = unlimited)")
+	// Extended-class weight knobs. Negative keeps the preset's value;
+	// 0 disables the class (and drops it from the coverage requirement).
+	flagSubq   = flag.Float64("randql.subq", -1, "WHERE-subquery probability override (-1 = preset)")
+	flagHaving = flag.Float64("randql.having", -1, "HAVING probability override (-1 = preset)")
+	flagLike   = flag.Float64("randql.like", -1, "LIKE probability override (-1 = preset)")
 )
+
+// applyFlags overlays the extended-class weight flags onto a preset.
+func applyFlags(cfg Config) Config {
+	if *flagSubq >= 0 {
+		cfg.SubqProb = *flagSubq
+	}
+	if *flagHaving >= 0 {
+		cfg.HavingProb = *flagHaving
+	}
+	if *flagLike >= 0 {
+		cfg.LikeProb = *flagLike
+	}
+	return cfg
+}
+
+// checkCoverage fails the soak when an enabled grammar rule was never
+// exercised — but only for runs big enough that absence means starvation
+// rather than bad luck on a handful of seeds (the rarest rules appear in
+// roughly 7% of completeness cases, so enforcement starts at 60 cases;
+// single-seed reproductions and short CI smokes only log the counts).
+func checkCoverage(t *testing.T, cov *Coverage, cfg Config, cases int) {
+	t.Helper()
+	t.Logf("grammar coverage over %d cases: %s", cases, cov.String())
+	if cases < 60 {
+		return
+	}
+	if missing := cov.Missing(cfg); len(missing) > 0 {
+		t.Errorf("enabled grammar rules never exercised in %d cases: %v (observed: %s)", cases, missing, cov)
+	}
+}
 
 // saveFailure writes a reproducer into $RANDQL_FAILURE_DIR (if set) so
 // CI can upload it as an artifact.
@@ -51,15 +86,17 @@ func saveFailure(t *testing.T, seed int64, repro string) {
 // data, floats, booleans, DISTINCT, aggregates, constant conjuncts).
 // Any multiset divergence fails with a runnable reproducer.
 func TestDifferentialOracle(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := applyFlags(DefaultConfig())
 	const datasetsPerCase = 3
 	pairs := 0
+	cov := NewCoverage()
 	for i := 0; i < *flagN; i++ {
 		seed := *flagSeed + int64(i)
 		c, err := NewCase(seed, cfg)
 		if err != nil {
 			t.Fatalf("NewCase(%d): %v", seed, err)
 		}
+		cov.Observe(c.Query, c.SQL)
 		for d := 0; d < datasetsPerCase; d++ {
 			ds, err := c.NextDataset()
 			if err != nil {
@@ -76,6 +113,7 @@ func TestDifferentialOracle(t *testing.T) {
 	if pairs < 200 {
 		t.Errorf("only %d pairs exercised, want >= 200 (raise -randql.n)", pairs)
 	}
+	checkCoverage(t, cov, cfg, *flagN)
 }
 
 // TestSuiteCompleteness asserts the paper's guarantee end-to-end on
@@ -89,17 +127,19 @@ func TestSuiteCompleteness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("completeness property is slow; skipped with -short")
 	}
-	cfg := CompletenessConfig()
+	cfg := applyFlags(CompletenessConfig())
 	prev := GoalTimeout
 	GoalTimeout = *flagGoalTimeout
 	defer func() { GoalTimeout = prev }()
 	totalMutants, totalKilled, totalSuspected, budgetExceeded := 0, 0, 0, 0
+	cov := NewCoverage()
 	for i := 0; i < *flagQ; i++ {
 		seed := *flagSeed + 10000 + int64(i)
 		c, err := NewCase(seed, cfg)
 		if err != nil {
 			t.Fatalf("NewCase(%d): %v", seed, err)
 		}
+		cov.Observe(c.Query, c.SQL)
 		res, err := CheckCompleteness(c, seed*31+7)
 		if err != nil {
 			saveFailure(t, seed, c.Repro(nil))
@@ -124,6 +164,7 @@ func TestSuiteCompleteness(t *testing.T) {
 	if budgetExceeded*5 > *flagQ {
 		t.Errorf("%d of %d cases exceeded the solver budget — pathological instances should be rare", budgetExceeded, *flagQ)
 	}
+	checkCoverage(t, cov, cfg, *flagQ)
 }
 
 // TestCaseDeterminism pins the determinism contract: the same seed

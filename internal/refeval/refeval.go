@@ -84,16 +84,19 @@ func (r *Result) String() string {
 // Eval evaluates the query against the dataset.
 func Eval(q *qtree.Query, ds *schema.Dataset) (*Result, error) {
 	var aggs []qtree.AggCall
+	var having []qtree.HavingCond
 	if q.Agg != nil {
 		aggs = q.Agg.Calls
+		having = q.Agg.Having
 	}
-	return EvalPlan(q, q.Root, q.Preds, aggs, ds)
+	return EvalPlan(q, q.Root, q.Preds, q.Subs, aggs, having, ds)
 }
 
 // EvalPlan evaluates a (possibly mutated) variant of the query: tree
-// replaces the join tree, preds the predicate pool, aggs the aggregate
-// calls (ignored when the query has no aggregation).
-func EvalPlan(q *qtree.Query, tree *qtree.Node, preds []*qtree.Pred, aggs []qtree.AggCall, ds *schema.Dataset) (res *Result, err error) {
+// replaces the join tree, preds the predicate pool, subs the retained
+// subqueries, aggs the aggregate calls and having the HAVING conjuncts
+// (both ignored when the query has no aggregation).
+func EvalPlan(q *qtree.Query, tree *qtree.Node, preds []*qtree.Pred, subs []*qtree.SubQuery, aggs []qtree.AggCall, having []qtree.HavingCond, ds *schema.Dataset) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("refeval: %v", p)
@@ -105,7 +108,7 @@ func EvalPlan(q *qtree.Query, tree *qtree.Node, preds []*qtree.Pred, aggs []qtre
 		switch len(pr.Occs) {
 		case 0:
 			// Constant conjunct: decided once for the whole query.
-			if pr.Eval(func(qtree.AttrRef) sqltypes.Value { return sqltypes.Null() }) != sqltypes.True {
+			if evalPred(pr, func(qtree.AttrRef) sqltypes.Value { return sqltypes.Null() }) != sqltypes.True {
 				empty = true
 			}
 		case 1:
@@ -122,10 +125,125 @@ func EvalPlan(q *qtree.Query, tree *qtree.Node, preds []*qtree.Pred, aggs []qtre
 	if !empty {
 		tuples = e.evalNode(tree)
 	}
+	tuples = e.filterSubs(subs, tuples)
 	if q.Agg != nil {
-		return e.aggregate(aggs, tuples)
+		return e.aggregate(aggs, having, tuples)
 	}
 	return e.project(tuples)
+}
+
+// evalPred evaluates one conjunct in three-valued logic. LIKE patterns
+// are matched by this package's own recursive matcher, independent of
+// the iterative one the engine shares through sqltypes.
+func evalPred(pr *qtree.Pred, lookup func(qtree.AttrRef) sqltypes.Value) sqltypes.Tristate {
+	if pr.Like != nil {
+		v := pr.L.Eval(lookup)
+		if v.IsNull() {
+			return sqltypes.Unknown
+		}
+		m := likeMatch(v.Str(), pr.Like.Pattern)
+		if pr.Like.Not {
+			m = !m
+		}
+		if m {
+			return sqltypes.True
+		}
+		return sqltypes.False
+	}
+	return pr.Eval(lookup)
+}
+
+// likeMatch is a naive recursive SQL LIKE matcher: % matches any byte
+// sequence, _ exactly one byte; no escapes, case-sensitive.
+func likeMatch(s, pat string) bool {
+	if pat == "" {
+		return s == ""
+	}
+	switch pat[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeMatch(s[i:], pat[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeMatch(s[1:], pat[1:])
+	default:
+		return s != "" && s[0] == pat[0] && likeMatch(s[1:], pat[1:])
+	}
+}
+
+// filterSubs keeps the tuples for which every retained subquery
+// connective evaluates to True.
+func (e *evaluator) filterSubs(subs []*qtree.SubQuery, tuples []binding) []binding {
+	if len(subs) == 0 {
+		return tuples
+	}
+	var out []binding
+	for _, b := range tuples {
+		keep := true
+		for _, s := range subs {
+			if e.evalSub(s, b) != sqltypes.True {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// evalSub evaluates one subquery connective for one outer tuple: the
+// block's candidate bindings are the cross product of its relations
+// (merged over the outer binding, so correlation resolves naturally),
+// a candidate enters the block's result when every block conjunct is
+// True, and the connective folds over that result — EXISTS on
+// non-emptiness (two-valued), IN as a three-valued OR of outer = inner
+// over the result values (False over an empty result). The NOT forms
+// negate in three-valued logic.
+func (e *evaluator) evalSub(s *qtree.SubQuery, outer binding) sqltypes.Tristate {
+	combos := []binding{outer}
+	for _, occ := range s.Occs {
+		var next []binding
+		for _, base := range combos {
+			for _, row := range e.ds.Rows(occ.Rel.Name) {
+				rb := make(binding, len(occ.Rel.Attrs))
+				for i, a := range occ.Rel.Attrs {
+					rb[qtree.AttrRef{Occ: occ.Name, Attr: a.Name}] = row[i]
+				}
+				next = append(next, mergeBindings(base, rb))
+			}
+		}
+		combos = next
+	}
+	acc := sqltypes.False
+	for _, b := range combos {
+		inResult := true
+		for _, pr := range s.Preds {
+			if evalPred(pr, b.lookup) != sqltypes.True {
+				inResult = false
+				break
+			}
+		}
+		if !inResult {
+			continue
+		}
+		if !s.Kind.HasOuter() {
+			acc = sqltypes.True
+			break
+		}
+		acc = acc.Or(sqltypes.TriCompare(sqltypes.OpEQ, s.Outer.Eval(outer.lookup), b.lookup(s.Inner)))
+		if acc == sqltypes.True {
+			break
+		}
+	}
+	if s.Kind.Negated() {
+		return acc.Not()
+	}
+	return acc
 }
 
 // binding maps every in-scope attribute to its value (possibly NULL).
@@ -195,7 +313,7 @@ func (e *evaluator) evalLeaf(occ *qtree.Occurrence) []binding {
 			if pr.Occs[0] != occ.Name {
 				continue
 			}
-			if pr.Eval(b.lookup) != sqltypes.True {
+			if evalPred(pr, b.lookup) != sqltypes.True {
 				keep = false
 				break
 			}
@@ -227,7 +345,7 @@ func (e *evaluator) joinConds(n *qtree.Node, lset, rset map[string]bool, b bindi
 		}
 	}
 	for _, pr := range e.placement[n] {
-		if pr.Eval(b.lookup) != sqltypes.True {
+		if evalPred(pr, b.lookup) != sqltypes.True {
 			return false
 		}
 	}
@@ -392,7 +510,7 @@ func (e *evaluator) outputColumns() []outputColumn {
 	return out
 }
 
-func (e *evaluator) aggregate(aggs []qtree.AggCall, tuples []binding) (*Result, error) {
+func (e *evaluator) aggregate(aggs []qtree.AggCall, having []qtree.HavingCond, tuples []binding) (*Result, error) {
 	spec := e.q.Agg
 	res := &Result{}
 	for _, g := range spec.GroupBy {
@@ -421,21 +539,36 @@ func (e *evaluator) aggregate(aggs []qtree.AggCall, tuples []binding) (*Result, 
 		}
 		grp.tuples = append(grp.tuples, b)
 	}
-	if len(groups) == 0 && len(spec.GroupBy) == 0 {
-		// Global aggregation over empty input: one row.
-		row := make(sqltypes.Row, 0, len(aggs))
-		for _, c := range aggs {
-			if c.Func == aggCount {
-				row = append(row, sqltypes.NewInt(0))
-			} else {
-				row = append(row, sqltypes.Null())
+	havingKeep := func(tuples []binding) bool {
+		for _, h := range having {
+			v := evalAggregate(h.Call, tuples)
+			if sqltypes.TriCompare(h.Op, v, h.Rhs) != sqltypes.True {
+				return false
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return true
+	}
+	if len(groups) == 0 && len(spec.GroupBy) == 0 {
+		// Global aggregation over empty input: one row, still subject
+		// to HAVING.
+		if havingKeep(nil) {
+			row := make(sqltypes.Row, 0, len(aggs))
+			for _, c := range aggs {
+				if c.Func == aggCount {
+					row = append(row, sqltypes.NewInt(0))
+				} else {
+					row = append(row, sqltypes.Null())
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
 		return res, nil
 	}
 	for _, k := range order {
 		grp := groups[k]
+		if !havingKeep(grp.tuples) {
+			continue
+		}
 		row := append(sqltypes.Row{}, grp.key...)
 		for _, c := range aggs {
 			row = append(row, evalAggregate(c, grp.tuples))

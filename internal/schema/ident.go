@@ -13,7 +13,7 @@ var ReservedWords = map[string]bool{
 	"AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
 	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
 	"OUTER": true, "NATURAL": true, "CROSS": true,
-	"DISTINCT": true, "ALL": true, "NULL": true, "IS": true, "IN": true, "EXISTS": true,
+	"DISTINCT": true, "ALL": true, "NULL": true, "IS": true, "IN": true, "EXISTS": true, "LIKE": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true, "VALUES": true, "PRIMARY": true, "KEY": true,
 	"FOREIGN": true, "REFERENCES": true, "UNIQUE": true, "CHECK": true,

@@ -154,7 +154,9 @@ type AnalyzeResponse struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	// Kind classifies the failure: "malformed", "parse",
-	// "resource-limit", "bad-options", "shed", "draining", "internal".
+	// "unsupported" (well-formed SQL outside the supported query
+	// class), "resource-limit", "bad-options", "shed", "draining",
+	// "internal".
 	Kind  string `json:"kind"`
 	Error string `json:"error"`
 }

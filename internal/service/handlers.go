@@ -133,8 +133,15 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request, greq GenerateR
 	sch, q, err := s.prepare(greq.DDL, greq.Query)
 	if err != nil {
 		status, kind := http.StatusUnprocessableEntity, "parse"
-		if errors.Is(err, limits.ErrResourceLimit) {
+		switch {
+		case errors.Is(err, limits.ErrResourceLimit):
 			kind = "resource-limit"
+		case errors.Is(err, sqlparser.ErrUnsupported):
+			// Well-formed SQL outside the supported query class (OR,
+			// nested subqueries, HAVING without aggregation, ...) —
+			// distinct from a syntax error so clients can tell "fix
+			// your SQL" apart from "this class is out of scope".
+			kind = "unsupported"
 		}
 		s.writeError(w, status, kind, err)
 		return

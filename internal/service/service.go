@@ -34,7 +34,8 @@
 //	200 complete suite            (CLI exit 0)
 //	207 partial suite flushed     (CLI exit 3, ErrPartialSuite)
 //	400 malformed request JSON    (HTTP-only)
-//	422 caller error: SQL parse, limits.ErrResourceLimit,
+//	422 caller error: SQL parse, sqlparser.ErrUnsupported,
+//	    limits.ErrResourceLimit,
 //	    core.ErrBadOptions        (CLI exit 2)
 //	429 admission shed, Retry-After set (HTTP-only)
 //	500 internal fault            (CLI exit 1)

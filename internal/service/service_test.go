@@ -169,6 +169,10 @@ func TestErrorTaxonomy(t *testing.T) {
 		{"unknown field", map[string]any{"ddl": testDDL, "query": testSQL, "bogus": 1}, http.StatusBadRequest, "malformed"},
 		{"bad DDL", GenerateRequest{DDL: "CREATE NONSENSE", Query: testSQL}, http.StatusUnprocessableEntity, "parse"},
 		{"bad query", GenerateRequest{DDL: testDDL, Query: "SELEC *"}, http.StatusUnprocessableEntity, "parse"},
+		{"unsupported OR", GenerateRequest{DDL: testDDL,
+			Query: strings.Replace(testSQL, "WHERE ", "WHERE t.x = 1 OR ", 1)}, http.StatusUnprocessableEntity, "unsupported"},
+		{"unsupported nested subquery", GenerateRequest{DDL: testDDL,
+			Query: "SELECT * FROM instructor i WHERE i.id NOT IN (SELECT t.id FROM teaches t WHERE t.course_id IN (SELECT t2.course_id FROM teaches t2))"}, http.StatusUnprocessableEntity, "unsupported"},
 		{"resource limit", GenerateRequest{DDL: testDDL, Query: deep}, http.StatusUnprocessableEntity, "resource-limit"},
 		{"bad options", GenerateRequest{DDL: testDDL, Query: testSQL,
 			Options: RequestOptions{Parallelism: -4}}, http.StatusUnprocessableEntity, "bad-options"},

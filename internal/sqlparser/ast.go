@@ -159,10 +159,12 @@ func (n *NotExpr) exprNode() {}
 // String renders NOT (e).
 func (n *NotExpr) String() string { return "NOT (" + n.E.String() + ")" }
 
-// InSubquery is "expr IN (SELECT ...)". The paper handles simple
-// subqueries by decorrelation into joins (§V-H); the qtree builder
-// performs that rewrite.
+// InSubquery is "expr [NOT] IN (SELECT ...)". The paper handles simple
+// positive subqueries by decorrelation into joins (§V-H); the qtree
+// builder performs that rewrite. Negated membership (Not set) is kept
+// as a structural anti-join condition instead.
 type InSubquery struct {
+	Not  bool
 	Expr Expr
 	Sub  *SelectStmt
 }
@@ -171,18 +173,46 @@ func (i *InSubquery) exprNode() {}
 
 // String renders the membership test.
 func (i *InSubquery) String() string {
+	if i.Not {
+		return fmt.Sprintf("%s NOT IN (%s)", i.Expr, i.Sub)
+	}
 	return fmt.Sprintf("%s IN (%s)", i.Expr, i.Sub)
 }
 
-// ExistsSubquery is "EXISTS (SELECT ...)", possibly correlated.
+// ExistsSubquery is "[NOT] EXISTS (SELECT ...)", possibly correlated.
 type ExistsSubquery struct {
+	Not bool
 	Sub *SelectStmt
 }
 
 func (e *ExistsSubquery) exprNode() {}
 
 // String renders the existence test.
-func (e *ExistsSubquery) String() string { return fmt.Sprintf("EXISTS (%s)", e.Sub) }
+func (e *ExistsSubquery) String() string {
+	if e.Not {
+		return fmt.Sprintf("NOT EXISTS (%s)", e.Sub)
+	}
+	return fmt.Sprintf("EXISTS (%s)", e.Sub)
+}
+
+// LikeExpr is "expr [NOT] LIKE 'pattern'", with the SQL wildcards '%'
+// (any substring) and '_' (any single character).
+type LikeExpr struct {
+	Not     bool
+	Expr    Expr
+	Pattern string
+}
+
+func (l *LikeExpr) exprNode() {}
+
+// String renders the pattern match.
+func (l *LikeExpr) String() string {
+	kw := "LIKE"
+	if l.Not {
+		kw = "NOT LIKE"
+	}
+	return fmt.Sprintf("%s %s %s", l.Expr, kw, (&StrLit{Val: l.Pattern}).String())
+}
 
 // AggExpr is an aggregate function application. Arg is nil for COUNT(*).
 type AggExpr struct {
@@ -291,6 +321,7 @@ type SelectStmt struct {
 	From     []TableExpr // comma-separated items; each may be a join tree
 	Where    Expr        // nil if absent
 	GroupBy  []*ColRef
+	Having   Expr // nil if absent; requires aggregation
 }
 
 // String renders the statement in SQL.
@@ -322,6 +353,10 @@ func (s *SelectStmt) String() string {
 		}
 		sb.WriteString(" GROUP BY ")
 		sb.WriteString(strings.Join(cols, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.String())
 	}
 	return sb.String()
 }

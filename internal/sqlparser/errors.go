@@ -1,0 +1,32 @@
+package sqlparser
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnsupported is the sentinel matched (errors.Is) by every error
+// reporting a construct that lexes and parses but sits outside the
+// supported query class — HAVING without aggregation, ORDER BY, scalar
+// subqueries, OR/NOT in conjunctive position, and so on. The CLIs map
+// it to the "bad input" exit code (2) and the daemon to HTTP 422,
+// distinguishing a well-formed-but-unsupported query from both syntax
+// errors and internal failures.
+var ErrUnsupported = errors.New("unsupported SQL construct")
+
+// UnsupportedError is the concrete error type carrying the
+// construct-specific message. It matches ErrUnsupported under
+// errors.Is.
+type UnsupportedError struct{ Msg string }
+
+func (e *UnsupportedError) Error() string { return e.Msg }
+
+// Is reports a match against the ErrUnsupported sentinel.
+func (e *UnsupportedError) Is(target error) bool { return target == ErrUnsupported }
+
+// Unsupportedf builds an UnsupportedError. It is exported so the qtree
+// builder's class rejections (OR, NOT, aggregating subqueries, ...)
+// carry the same type as the parser's.
+func Unsupportedf(format string, args ...any) error {
+	return &UnsupportedError{Msg: fmt.Sprintf(format, args...)}
+}

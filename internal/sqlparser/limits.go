@@ -81,7 +81,7 @@ func stmtTooDeep(stmt *SelectStmt, budget int) bool {
 			return true
 		}
 	}
-	return exprTooDeep(stmt.Where, budget)
+	return exprTooDeep(stmt.Where, budget) || exprTooDeep(stmt.Having, budget)
 }
 
 func exprTooDeep(e Expr, budget int) bool {
@@ -102,6 +102,8 @@ func exprTooDeep(e Expr, budget int) bool {
 		return exprTooDeep(n.Expr, budget-1) || stmtTooDeep(n.Sub, budget-1)
 	case *ExistsSubquery:
 		return stmtTooDeep(n.Sub, budget-1)
+	case *LikeExpr:
+		return exprTooDeep(n.Expr, budget-1)
 	default: // ColRef, NumLit, StrLit: leaves
 		return false
 	}

@@ -174,9 +174,16 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
-	for _, kw := range []string{"HAVING", "ORDER", "LIMIT"} {
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	for _, kw := range []string{"ORDER", "LIMIT"} {
 		if p.peekKeyword(kw) {
-			return nil, fmt.Errorf("sql: %s is outside the supported query class (paper §II: unconstrained aggregation only)", kw)
+			return nil, Unsupportedf("sql: %s is outside the supported query class", kw)
 		}
 	}
 	return stmt, nil
@@ -307,7 +314,7 @@ func (p *parser) parseTablePrimary() (TableExpr, error) {
 		return te, nil
 	}
 	if p.peekKeyword("SELECT") {
-		return nil, fmt.Errorf("sql: subqueries in FROM are outside the supported query class (assumption A3)")
+		return nil, Unsupportedf("sql: subqueries in FROM are outside the supported query class (assumption A3)")
 	}
 	name, err := p.expectIdent()
 	if err != nil {
@@ -360,6 +367,13 @@ func (p *parser) parseAndExpr() (Expr, error) {
 
 func (p *parser) parseNotExpr() (Expr, error) {
 	if p.acceptKeyword("NOT") {
+		if p.acceptKeyword("EXISTS") {
+			sub, err := p.parseParenSubquery()
+			if err != nil {
+				return nil, err
+			}
+			return &ExistsSubquery{Not: true, Sub: sub}, nil
+		}
 		if err := p.enterNest(); err != nil {
 			return nil, err
 		}
@@ -421,14 +435,26 @@ func (p *parser) parseCmpExpr() (Expr, error) {
 		return nil, err
 	}
 	if p.acceptKeyword("IS") {
-		return nil, fmt.Errorf("sql: IS [NOT] NULL is outside the supported query class (assumption A6)")
+		return nil, Unsupportedf("sql: IS [NOT] NULL is outside the supported query class (assumption A6)")
 	}
+	negated := p.acceptKeyword("NOT")
 	if p.acceptKeyword("IN") {
 		sub, err := p.parseParenSubquery()
 		if err != nil {
 			return nil, err
 		}
-		return &InSubquery{Expr: l, Sub: sub}, nil
+		return &InSubquery{Not: negated, Expr: l, Sub: sub}, nil
+	}
+	if p.acceptKeyword("LIKE") {
+		t := p.cur()
+		if t.kind != tkString {
+			return nil, fmt.Errorf("sql: LIKE requires a string literal pattern, found %s at offset %d", t, t.pos)
+		}
+		p.pos++
+		return &LikeExpr{Not: negated, Expr: l, Pattern: t.text}, nil
+	}
+	if negated {
+		return nil, fmt.Errorf("sql: expected IN or LIKE after NOT, found %s at offset %d", p.cur(), p.cur().pos)
 	}
 	op, ok := p.acceptCmpOp()
 	if !ok {
@@ -579,9 +605,9 @@ func (p *parser) parsePrimaryExpr() (Expr, error) {
 		case "COUNT", "SUM", "AVG", "MIN", "MAX":
 			return p.parseAggExpr()
 		case "NULL":
-			return nil, fmt.Errorf("sql: NULL literals are outside the supported query class (assumption A6)")
+			return nil, Unsupportedf("sql: NULL literals are outside the supported query class (assumption A6)")
 		case "SELECT":
-			return nil, fmt.Errorf("sql: scalar subqueries are outside the supported query class (assumption A3)")
+			return nil, Unsupportedf("sql: scalar subqueries are outside the supported query class (assumption A3)")
 		}
 	case tkIdent:
 		return p.parseColRef()

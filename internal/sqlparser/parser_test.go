@@ -222,7 +222,6 @@ func TestRejectedConstructs(t *testing.T) {
 		"SELECT * FROM r WHERE r.a IS NULL",
 		"SELECT * FROM r WHERE r.a = NULL",
 		"SELECT * FROM (SELECT * FROM s) t",
-		"SELECT dept, SUM(x) FROM r GROUP BY dept HAVING SUM(x) > 5",
 		"SELECT * FROM r ORDER BY a",
 		"SELECT * FROM r WHERE a = (SELECT x FROM s)",
 	} {

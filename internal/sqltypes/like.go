@@ -1,0 +1,53 @@
+package sqltypes
+
+// MatchLike reports whether s matches a SQL LIKE pattern, where '%'
+// matches any (possibly empty) substring and '_' matches exactly one
+// byte. Matching is case-sensitive and byte-wise (identifiers and string
+// data in this SQL fragment are ASCII). No escape character is
+// supported: the pattern metacharacters always act as wildcards.
+//
+// The matcher is iterative greedy-with-backtracking over the single
+// trailing '%' seen so far (the classic glob algorithm): linear in
+// len(s)*wildcards in the worst case, constant space.
+func MatchLike(s, pattern string) bool {
+	var si, pi int
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case starP >= 0:
+			// Backtrack: let the last '%' absorb one more byte.
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// TriLike evaluates "v [NOT] LIKE pattern" in three-valued logic: NULL
+// input yields Unknown, otherwise the match result (negated for NOT
+// LIKE).
+func TriLike(v Value, pattern string, not bool) Tristate {
+	if v.IsNull() {
+		return Unknown
+	}
+	t := False
+	if MatchLike(v.Str(), pattern) {
+		t = True
+	}
+	if not {
+		return t.Not()
+	}
+	return t
+}

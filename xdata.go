@@ -104,6 +104,15 @@ var ErrPartialSuite = core.ErrPartialSuite
 // than silently coercing a caller bug. Test with errors.Is.
 var ErrBadOptions = core.ErrBadOptions
 
+// ErrUnsupported is the sentinel matched by every rejection of a
+// construct that parses but sits outside the supported query class
+// (OR/NOT in conjunctive position, nested subqueries, aggregating
+// subqueries, HAVING without aggregation, ...). The CLIs map it to
+// exit code 2 and the daemon to HTTP 422 with kind "unsupported",
+// distinguishing a well-formed-but-unsupported query from syntax
+// errors and internal failures. Test with errors.Is.
+var ErrUnsupported = sqlparser.ErrUnsupported
+
 // ErrResourceLimit is the sentinel wrapped by every resource-governance
 // rejection: oversized DDL/query text, excessive expression or join
 // nesting, schema cardinality over the ceiling, or a candidate-value
