@@ -62,6 +62,7 @@ func run() int {
 	baseNs := flag.Int64("baseline-ns", 0, "previous pinned headline ns/op to embed as the trajectory baseline (0 = none)")
 	svcClients := flag.Int("service-clients", 8, "client goroutines for -table service")
 	svcRequests := flag.Int("service-requests", 32, "total requests for -table service")
+	svcFleet := flag.Int("service-fleet", 0, "fleet members for -table service (0/1 = standalone daemon, >=2 = consistent-hash fleet)")
 	baseLabel := flag.String("baseline-label", "", "label for -baseline-ns (e.g. BENCH_3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -232,17 +233,23 @@ func run() int {
 
 	if want("service") {
 		run("service", func() error {
-			sb, err := xbench.RunServiceBench(ctx, *svcClients, *svcRequests)
+			sb, err := xbench.RunServiceBench(ctx, *svcClients, *svcRequests, *svcFleet)
 			if err != nil {
 				return err
 			}
 			report.Service = &sb
 			if text {
 				fmt.Println("=== daemon path: /v1/generate over xdatad's HTTP stack ===")
-				fmt.Printf("%s: %d requests x %d clients, %d ns/request (admitted %d, shed %d, completed %d, partial %d, panics %d, budget-expired %d, drained %d)\n\n",
+				fmt.Printf("%s: %d requests x %d clients, %d ns/request (admitted %d, shed %d, completed %d, partial %d, panics %d, budget-expired %d, drained %d)\n",
 					sb.Name, sb.Requests, sb.Concurrency, sb.NsPerRequest,
 					sb.Counters.Admitted, sb.Counters.Shed, sb.Counters.Completed, sb.Counters.Partial,
 					sb.Counters.PanicsRecovered, sb.Counters.BudgetExpired, sb.Counters.Drained)
+				fmt.Printf("fleet/cache: %d cache hits, %d collapsed, %d entries (%d bytes), %d evictions, %d forwards, %d hedges, %d breaker opens, %d degraded serves\n\n",
+					sb.Counters.CacheCounters.Hits, sb.Counters.CacheCounters.Collapsed,
+					sb.Counters.CacheCounters.Entries, sb.Counters.CacheCounters.Bytes,
+					sb.Counters.CacheCounters.Evictions,
+					sb.Counters.RouterCounters.Forwards, sb.Counters.RouterCounters.Hedges,
+					sb.Counters.RouterCounters.BreakerOpens, sb.Counters.DegradedServes)
 			}
 			return nil
 		})

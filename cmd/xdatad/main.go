@@ -7,9 +7,21 @@
 //
 //	POST /v1/generate  DDL + query + options → test suite
 //	POST /v1/analyze   DDL + query + options → suite + kill report
-//	GET  /healthz      liveness (always 200 while the process runs)
+//	POST /v1/forward   peer-forwarded generate (fleet internal)
+//	POST /admin/epoch  invalidate this node's suite cache
+//	GET  /healthz      liveness (always 200 while the process serves)
 //	GET  /readyz       readiness (503 while draining)
-//	GET  /statsz       service counters (admitted, shed, drained, ...)
+//	GET  /statsz       service counters (admitted, shed, cache, fleet ...)
+//
+// Fleet mode: -advertise names this node as its peers reach it and
+// -peers lists the other members. Generate requests are routed to
+// their content key's owner on a consistent-hash ring; a dead peer
+// degrades to a local solve (see internal/fleet). Example 3-node
+// fleet on one host:
+//
+//	xdatad -addr :8081 -advertise 127.0.0.1:8081 -peers 127.0.0.1:8082,127.0.0.1:8083
+//	xdatad -addr :8082 -advertise 127.0.0.1:8082 -peers 127.0.0.1:8081,127.0.0.1:8083
+//	xdatad -addr :8083 -advertise 127.0.0.1:8083 -peers 127.0.0.1:8081,127.0.0.1:8082
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
 // new work (readyz flips to 503 so load balancers stop routing),
@@ -25,9 +37,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,10 +50,14 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], nil))
 }
 
-func run(args []string) int {
+// run is main minus the process boundary. ready, when non-nil, fires
+// with the bound listener address after the listener is accepting and
+// before the first log line — the seam main_test.go uses to order
+// "healthz answers" strictly after "bind succeeded".
+func run(args []string, ready func(net.Addr)) int {
 	fs := flag.NewFlagSet("xdatad", flag.ContinueOnError)
 	var (
 		addr          = fs.String("addr", ":8080", "listen address")
@@ -51,6 +69,9 @@ func run(args []string) int {
 		maxGoalNodes  = fs.Int64("max-goal-nodes", 0, "per-goal solver node ceiling (0 = 4Mi)")
 		drainTimeout  = fs.Duration("drain-timeout", 0, "graceful drain deadline on SIGTERM (0 = 10s)")
 		unlimited     = fs.Bool("unlimited", false, "disable input resource limits (trusted callers only)")
+		advertise     = fs.String("advertise", "", "fleet: this node's address as peers reach it (host:port)")
+		peers         = fs.String("peers", "", "fleet: comma-separated peer addresses (host:port,...)")
+		cacheBytes    = fs.Int64("cache-bytes", 0, "suite cache byte cap (0 = 64MiB, negative = disable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,7 +80,28 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "xdatad: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "xdatad: -peers requires -advertise (this node's own fleet address)")
+		return 2
+	}
 
+	// Limits are always set explicitly: Normalize treats a zero Limits
+	// struct as "use defaults", so handing it limits.Unlimited() (the
+	// zero value) would silently re-enable the default ceilings.
+	lim := limits.Default()
+	if *unlimited {
+		lim = limits.Unlimited()
+		lim.MaxCacheBytes = limits.DefaultMaxCacheBytes
+	}
+	if *cacheBytes != 0 {
+		lim.MaxCacheBytes = int(*cacheBytes)
+	}
 	cfg := service.Config{
 		MaxConcurrent:  *maxConcurrent,
 		MaxQueue:       *maxQueue,
@@ -68,23 +110,49 @@ func run(args []string) int {
 		MaxGoalTimeout: *maxGoalTime,
 		MaxGoalNodes:   *maxGoalNodes,
 		DrainTimeout:   *drainTimeout,
+		Limits:         lim,
+		Advertise:      *advertise,
+		Peers:          peerList,
 	}
-	if *unlimited {
-		cfg.Limits = limits.Unlimited()
+	var svc *service.Server
+	if *advertise != "" {
+		var err error
+		if svc, err = service.NewFleet(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "xdatad: fleet: %v\n", err)
+			return 2
+		}
+	} else {
+		svc = service.New(cfg)
 	}
-	svc := service.New(cfg)
+	defer svc.Close()
+
+	// Bind before anything else: a failed bind is a clear exit-1 with
+	// the listen error, and /healthz cannot answer "ok" before the
+	// listener is accepting because the same listener serves both.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xdatad: listen %s: %v\n", *addr, err)
+		return 1
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "xdatad: listening on %s (max-concurrent %d, queue %d)\n",
-		*addr, svc.Config().MaxConcurrent, svc.Config().MaxQueue)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	fleetNote := ""
+	if *advertise != "" {
+		fleetNote = fmt.Sprintf(", fleet %s + %d peers", *advertise, len(peerList))
+	}
+	fmt.Fprintf(os.Stderr, "xdatad: listening on %s (max-concurrent %d, queue %d%s)\n",
+		ln.Addr(), svc.Config().MaxConcurrent, svc.Config().MaxQueue, fleetNote)
 
 	select {
 	case err := <-serveErr:

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and
+// returns everything fn wrote there.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = saved }()
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(&buf, r)
+	}()
+	fn()
+	w.Close()
+	<-done
+	return buf.String()
+}
+
+// TestRunBindFailure: a listener bind failure must exit with code 1
+// and a clear message naming the address and the error — not a panic,
+// not a silent 0, and never a process that reports healthy without a
+// listener.
+func TestRunBindFailure(t *testing.T) {
+	// Occupy a port so the daemon's bind is guaranteed to fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	var code int
+	stderr := captureStderr(t, func() {
+		code = run([]string{"-addr", addr}, nil)
+	})
+	if code != 1 {
+		t.Fatalf("bind failure exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "listen") || !strings.Contains(stderr, addr) {
+		t.Fatalf("bind failure message must name the listen address and error, got: %q", stderr)
+	}
+}
+
+// TestRunFlagErrors: malformed invocations exit 2 before any listener
+// or service work happens.
+func TestRunFlagErrors(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":            {"-bogus"},
+		"positional args":         {"127.0.0.1:0"},
+		"peers without advertise": {"-addr", "127.0.0.1:0", "-peers", "127.0.0.1:9999"},
+		"malformed duration":      {"-queue-wait", "soon"},
+	}
+	for name, args := range cases {
+		var code int
+		_ = captureStderr(t, func() { code = run(args, nil) })
+		if code != 2 {
+			t.Errorf("%s: exit code %d, want 2", name, code)
+		}
+	}
+}
+
+// TestRunServeDrainSigterm covers the daemon lifecycle in-process:
+// the ready seam fires only once the listener is accepting (so
+// /healthz can never report ok before bind), requests are served, and
+// a SIGTERM drains gracefully to exit code 0 with the drain log lines.
+func TestRunServeDrainSigterm(t *testing.T) {
+	readyCh := make(chan net.Addr, 1)
+	var (
+		mu   sync.Mutex
+		code = -1
+	)
+	exited := make(chan struct{})
+	var stderr string
+	go func() {
+		defer close(exited)
+		stderr = captureStderr(t, func() {
+			c := run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, func(a net.Addr) { readyCh <- a })
+			mu.Lock()
+			code = c
+			mu.Unlock()
+		})
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-readyCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never signalled ready")
+	}
+	base := "http://" + addr.String()
+
+	// ready fired => the listener is already accepting: healthz must
+	// answer ok right now, with no grace period. This is the regression
+	// guard for "healthy before bound".
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz immediately after ready: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after ready: %d, want 200", resp.StatusCode)
+	}
+
+	// A real request end to end through the daemon wiring.
+	reqBody, _ := json.Marshal(map[string]string{
+		"ddl":   "CREATE TABLE r (a INT);",
+		"query": "SELECT * FROM r WHERE r.a > 5",
+	})
+	resp, err = http.Post(base+"/v1/generate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate via daemon: %d\n%s", resp.StatusCode, body)
+	}
+
+	// SIGTERM → graceful drain → exit 0. run's signal.Notify intercepts
+	// the signal process-wide, so the test binary itself survives.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	mu.Lock()
+	got := code
+	mu.Unlock()
+	if got != 0 {
+		t.Fatalf("SIGTERM drain exit code %d, want 0\nstderr:\n%s", got, stderr)
+	}
+	if !strings.Contains(stderr, "draining") || !strings.Contains(stderr, "drained cleanly") {
+		t.Fatalf("drain log lines missing from stderr:\n%s", stderr)
+	}
+	// The served request must appear in the final accounting line.
+	if !strings.Contains(stderr, "completed 1") {
+		t.Fatalf("final accounting must report the completed request:\n%s", stderr)
+	}
+}

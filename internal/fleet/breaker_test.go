@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newTestBreaker(th int, cd time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(th, cd)
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = fc.now
+	return b, fc
+}
+
+// TestBreakerTripAndRecover walks the full state machine: closed →
+// open at the threshold, refusals while open, half-open probe after
+// the cooldown, and probe success re-closing.
+func TestBreakerTripAndRecover(t *testing.T) {
+	b, fc := newTestBreaker(3, time.Second)
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker must start closed")
+	}
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("below threshold must stay closed")
+	}
+	b.Failure() // third consecutive failure trips
+	if b.State() != BreakerOpen || b.Opens() != 1 {
+		t.Fatalf("state %v opens %d, want open/1", b.State(), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse before cooldown")
+	}
+	fc.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: the probe must be allowed")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open during probe", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open must admit exactly one probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("probe success must re-close")
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe re-opens
+// for another full cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, fc := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure() // trips immediately (threshold 1)
+	fc.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe must be allowed after cooldown")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || b.Opens() != 2 {
+		t.Fatalf("state %v opens %d, want open/2 after failed probe", b.State(), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must refuse before a new cooldown")
+	}
+	fc.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed: probe must be allowed again")
+	}
+}
+
+// TestBreakerSuccessResetsRun: successes interleaved with failures
+// keep the consecutive-failure count from accumulating.
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if b.State() != BreakerClosed || b.Opens() != 0 {
+		t.Fatalf("interleaved successes must prevent tripping: %v opens=%d", b.State(), b.Opens())
+	}
+}

@@ -54,6 +54,9 @@ const (
 	// sums/differences, arithmetic-offset closure, input-DB values).
 	// Solver work grows superlinearly in it.
 	DefaultMaxDomainSize = 100_000
+	// DefaultMaxCacheBytes caps the daemon's cross-request suite cache
+	// (resident marshaled-response bytes, LRU-evicted beyond the cap).
+	DefaultMaxCacheBytes = 64 << 20 // 64 MiB
 )
 
 // Limits bundles the resource ceilings. The zero value of a field means
@@ -72,6 +75,12 @@ type Limits struct {
 	MaxFKClosure int
 	// MaxDomainSize caps the generator's candidate-domain width.
 	MaxDomainSize int
+	// MaxCacheBytes caps the daemon's cross-request suite cache. Unlike
+	// the other ceilings it governs a server-side structure, not an
+	// input, so it has a third state: 0 = unbounded (consistent with
+	// the zero-means-unlimited convention), negative = cache disabled
+	// (store nothing).
+	MaxCacheBytes int
 }
 
 // Default returns the production ceilings.
@@ -83,6 +92,7 @@ func Default() Limits {
 		MaxAttributes: DefaultMaxAttributes,
 		MaxFKClosure:  DefaultMaxFKClosure,
 		MaxDomainSize: DefaultMaxDomainSize,
+		MaxCacheBytes: DefaultMaxCacheBytes,
 	}
 }
 

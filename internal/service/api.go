@@ -132,6 +132,14 @@ type GenerateResponse struct {
 	Skipped    []SkipJSON    `json:"skipped,omitempty"`
 	Incomplete []FailureJSON `json:"incomplete,omitempty"`
 	Stats      core.Stats    `json:"stats"`
+	// ServedBy names the fleet node that solved (or cached) this
+	// response — the key's ring owner on the happy path. Empty when
+	// the daemon runs standalone, so single-node bodies are unchanged.
+	ServedBy string `json:"served_by,omitempty"`
+	// Degraded marks a fleet response that was solved locally because
+	// the key's owning node was unreachable (breaker open, retries
+	// exhausted): correct bytes, reduced cache affinity.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // KindKillsJSON is one mutation class's kill line.

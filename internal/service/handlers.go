@@ -1,14 +1,18 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/limits"
 	"repro/internal/mutation"
 	"repro/internal/qtree"
@@ -64,16 +68,22 @@ func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) (release 
 	s.ctr.received.Add(1)
 	if !s.beginRequest() {
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
-		s.writeError(w, http.StatusServiceUnavailable, "draining", errors.New("service: draining, not accepting new work"))
+		s.writeError(w, http.StatusServiceUnavailable, "draining", errDraining)
 		return nil, false
 	}
 	release, err := s.admit(r.Context())
 	if err != nil {
 		s.inflight.Done()
-		if errors.Is(err, errShed) {
+		switch {
+		case errors.Is(err, errShed):
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			s.writeError(w, http.StatusTooManyRequests, "shed", err)
-		} else { // client went away while queued
+		case errors.Is(err, errDraining):
+			// The drain hard-deadline fired while this request was
+			// queued: answer it explicitly instead of dropping it.
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			s.writeError(w, http.StatusServiceUnavailable, "draining", err)
+		default: // client went away while queued
 			s.ctr.disconnects.Add(1)
 			s.writeError(w, http.StatusRequestTimeout, "disconnected", err)
 		}
@@ -125,6 +135,23 @@ func (s *Server) prepare(ddl, query string) (*schema.Schema, *qtree.Query, error
 	return sch, q, nil
 }
 
+// prepareStatusKind maps a prepare (parse/build) error onto the 422
+// taxonomy.
+func prepareStatusKind(err error) (int, string) {
+	kind := "parse"
+	switch {
+	case errors.Is(err, limits.ErrResourceLimit):
+		kind = "resource-limit"
+	case errors.Is(err, sqlparser.ErrUnsupported):
+		// Well-formed SQL outside the supported query class (OR,
+		// nested subqueries, HAVING without aggregation, ...) —
+		// distinct from a syntax error so clients can tell "fix
+		// your SQL" apart from "this class is out of scope".
+		kind = "unsupported"
+	}
+	return http.StatusUnprocessableEntity, kind
+}
+
 // generate runs the clamped pipeline and maps the outcome onto the
 // response taxonomy, writing the response itself. It returns the suite
 // and schema for /v1/analyze to extend (nil when a response was
@@ -132,17 +159,7 @@ func (s *Server) prepare(ddl, query string) (*schema.Schema, *qtree.Query, error
 func (s *Server) generate(w http.ResponseWriter, r *http.Request, greq GenerateRequest, extend func(ctx context.Context, q *qtree.Query, suite *core.Suite, resp GenerateResponse) (any, error)) {
 	sch, q, err := s.prepare(greq.DDL, greq.Query)
 	if err != nil {
-		status, kind := http.StatusUnprocessableEntity, "parse"
-		switch {
-		case errors.Is(err, limits.ErrResourceLimit):
-			kind = "resource-limit"
-		case errors.Is(err, sqlparser.ErrUnsupported):
-			// Well-formed SQL outside the supported query class (OR,
-			// nested subqueries, HAVING without aggregation, ...) —
-			// distinct from a syntax error so clients can tell "fix
-			// your SQL" apart from "this class is out of scope".
-			kind = "unsupported"
-		}
+		status, kind := prepareStatusKind(err)
 		s.writeError(w, status, kind, err)
 		return
 	}
@@ -191,7 +208,173 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request, greq GenerateR
 	s.writeJSON(w, http.StatusOK, body)
 }
 
-func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+// account books status into its terminal counter bucket. The cached
+// and forwarded generate paths account at write time — not inside the
+// solve — so cache hits and relayed peer answers keep the invariant
+// that every admitted request lands in exactly one terminal bucket
+// (the chaos soak's zero-lost-requests post-mortem).
+func (s *Server) account(status int) {
+	switch {
+	case status == http.StatusOK:
+		s.ctr.completed.Add(1)
+	case status == http.StatusMultiStatus:
+		s.ctr.partial.Add(1)
+	case status >= 500:
+		s.ctr.failed.Add(1)
+	default:
+		s.ctr.rejected.Add(1)
+	}
+}
+
+// writeBody writes pre-marshaled JSON with terminal accounting.
+func (s *Server) writeBody(w http.ResponseWriter, status int, payload []byte) {
+	s.account(status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(payload); err != nil {
+		s.ctr.disconnects.Add(1)
+	}
+}
+
+// envelope/unenvelope frame a marshaled response body with its HTTP
+// status (2 bytes, big-endian) so one cache/singleflight payload
+// carries both. Cached entries are always 200s, but singleflight
+// followers share whatever the leader produced — 207s and error
+// bodies included — and need the status to relay it faithfully.
+func envelope(status int, body []byte) []byte {
+	out := make([]byte, 2+len(body))
+	binary.BigEndian.PutUint16(out, uint16(status))
+	copy(out[2:], body)
+	return out
+}
+
+func unenvelope(p []byte) (int, []byte) {
+	if len(p) < 2 {
+		// Unreachable for cache-served payloads (checksummed) and
+		// leader-produced ones (always framed); kept as a hard stop.
+		body, _ := json.Marshal(ErrorResponse{Kind: "internal", Error: "service: malformed cache envelope"})
+		return http.StatusInternalServerError, body
+	}
+	return int(binary.BigEndian.Uint16(p)), p[2:]
+}
+
+// decorate splices served_by/degraded into a marshaled 2xx generate
+// body. The fields ride outside the cached bytes so one node's cache
+// entry serves every fleet member verbatim; standalone servers never
+// decorate, keeping single-node response bodies byte-identical to the
+// library path.
+func decorate(payload []byte, servedBy string, degraded bool) []byte {
+	if servedBy == "" && !degraded {
+		return payload
+	}
+	trimmed := bytes.TrimRight(payload, " \t\r\n")
+	if len(trimmed) < 2 || trimmed[0] != '{' || trimmed[len(trimmed)-1] != '}' {
+		return payload
+	}
+	var extra bytes.Buffer
+	extra.Write(trimmed[:len(trimmed)-1])
+	if servedBy != "" {
+		name, _ := json.Marshal(servedBy)
+		fmt.Fprintf(&extra, `,"served_by":%s`, name)
+	}
+	if degraded {
+		extra.WriteString(`,"degraded":true`)
+	}
+	extra.WriteByte('}')
+	return extra.Bytes()
+}
+
+// solveGenerate runs the clamped pipeline under ctx and returns the
+// response status + body without writing or accounting (terminal
+// accounting happens at write time so cached and forwarded serves
+// count identically). Side-effect counters that describe this solve —
+// budget expiry, disconnects, recovered goal panics — are booked here.
+func (s *Server) solveGenerate(ctx context.Context, r *http.Request, sch *schema.Schema, q *qtree.Query, opts core.Options) (int, any) {
+	suite, err := core.NewGenerator(q, opts).GenerateContext(ctx)
+	if ctx.Err() != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.ctr.budgetExpired.Add(1)
+	}
+	if r.Context().Err() != nil && s.hardCtx.Err() == nil {
+		s.ctr.disconnects.Add(1)
+	}
+	switch {
+	case err == nil:
+		return http.StatusOK, encodeSuite(suite, sch)
+	case errors.Is(err, core.ErrPartialSuite):
+		// degraded but valid: flush what we have as 207. Recovered
+		// kill-goal panics are surfaced in the counters.
+		for _, f := range suite.Incomplete {
+			if f.Reason == core.ReasonPanic {
+				s.ctr.panics.Add(1)
+			}
+		}
+		return http.StatusMultiStatus, encodeSuite(suite, sch)
+	default:
+		status, kind := classify(err)
+		return status, ErrorResponse{Kind: kind, Error: err.Error()}
+	}
+}
+
+// marshalSolve marshals a solveGenerate outcome into its wire bytes.
+func marshalSolve(status int, body any) (int, []byte) {
+	p, err := json.Marshal(body)
+	if err != nil {
+		status = http.StatusInternalServerError
+		p, _ = json.Marshal(ErrorResponse{Kind: "internal", Error: "service: marshal response: " + err.Error()})
+	}
+	return status, p
+}
+
+// leaderOutcome carries a singleflight leader's non-200 solve out of
+// SuiteCache.Do as an error: the leader still answers its own client
+// with it, but waiting followers re-compete and solve under their own
+// contexts. A 207/500 is shaped by the leader's budget or fault (a
+// hop-cancelled forward, a disconnect, a panic) and sharing it would
+// poison healthy followers with another request's failure.
+type leaderOutcome struct {
+	status  int
+	payload []byte
+}
+
+func (e *leaderOutcome) Error() string { return "service: non-shareable solve result" }
+
+// cachedSolve serves (status, marshaled body) for the content key:
+// verified cache hit, singleflight collapse onto a concurrent
+// identical solve, or a local solve whose complete-200 result is
+// stored for future requests. Only complete 200 suites are cached or
+// shared with collapsed followers — partial and error responses are
+// returned to their own client but never stored, and a result that
+// straddled an epoch bump is not stored either.
+func (s *Server) cachedSolve(ctx context.Context, r *http.Request, key fleet.Key, sch *schema.Schema, q *qtree.Query, opts core.Options) (int, []byte) {
+	env, err := s.cache.Do(ctx, key, func() ([]byte, bool, error) {
+		status, p := marshalSolve(s.solveGenerate(ctx, r, sch, q, opts))
+		if status != http.StatusOK {
+			return nil, false, &leaderOutcome{status: status, payload: p}
+		}
+		return envelope(status, p), true, nil
+	})
+	if err != nil {
+		var lo *leaderOutcome
+		if errors.As(err, &lo) {
+			return lo.status, lo.payload
+		}
+		// Only a waiting follower surfaces an error: its own budget
+		// died before the leader answered. Solve under the dead
+		// context — the generator budget-expires immediately and
+		// flushes the same partial 207 the uncached path would have.
+		status, p := marshalSolve(s.solveGenerate(ctx, r, sch, q, opts))
+		return status, p
+	}
+	return unenvelope(env)
+}
+
+// serveGenerate is the shared /v1/generate + /v1/forward handler. The
+// fleet path: derive the canonical content key, forward to the key's
+// ring owner unless this request already hopped once (forceLocal or
+// the hop header — single-hop routing, loops impossible), and degrade
+// to a local solve when every path to the owner is exhausted. The
+// local path always runs through the suite cache.
+func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, forceLocal bool) {
 	release, ok := s.admitOrReject(w, r)
 	if !ok {
 		return
@@ -204,7 +387,76 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "malformed", err)
 		return
 	}
-	s.generate(w, r, req, nil)
+	sch, q, err := s.prepare(req.DDL, req.Query)
+	if err != nil {
+		status, kind := prepareStatusKind(err)
+		s.writeError(w, status, kind, err)
+		return
+	}
+	budget, opts := s.clamp(req.Options)
+	key := fleet.ContentKey(sch, q, opts)
+	ctx, cancel := s.requestContext(r, budget)
+	defer cancel()
+
+	servedBy, degraded := "", false
+	if s.router != nil {
+		servedBy = s.router.Self()
+		hopped := forceLocal || r.Header.Get(fleet.HopHeader) != ""
+		if owner := s.router.Owner(key); !hopped && owner != s.router.Self() {
+			// Forwarding (hops, retries, breaker waits) may spend at
+			// most half the remaining budget: the degrade guarantee is
+			// only worth anything if the local fallback still has
+			// budget left when every path to the owner is exhausted.
+			fwdCtx, fwdCancel := ctx, context.CancelFunc(func() {})
+			if dl, ok := ctx.Deadline(); ok {
+				fwdCtx, fwdCancel = context.WithDeadline(ctx, time.Now().Add(time.Until(dl)/2))
+			}
+			status, payload, ferr := s.forwardGenerate(fwdCtx, owner, req)
+			fwdCancel()
+			if ferr == nil {
+				s.writeBody(w, status, payload)
+				return
+			}
+			// Every path to the owner is exhausted: degrade, don't fail.
+			degraded = true
+			s.ctr.degraded.Add(1)
+		}
+	}
+
+	status, payload := s.cachedSolve(ctx, r, key, sch, q, opts)
+	if status == http.StatusOK || status == http.StatusMultiStatus {
+		payload = decorate(payload, servedBy, degraded)
+	}
+	s.writeBody(w, status, payload)
+}
+
+// forwardGenerate relays req to the owning peer's /v1/forward.
+func (s *Server) forwardGenerate(ctx context.Context, owner string, req GenerateRequest) (int, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.router.Forward(ctx, owner, "/v1/forward", body)
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	s.serveGenerate(w, r, false)
+}
+
+// handleForward serves a peer-forwarded generate request: identical to
+// /v1/generate except it must solve locally — with single-hop routing
+// the only loop a buggy or disagreeing ring could create is A→B→A,
+// and forcing the second hop local breaks it.
+func (s *Server) handleForward(w http.ResponseWriter, r *http.Request) {
+	s.serveGenerate(w, r, true)
+}
+
+// handleEpoch bumps this node's suite-cache invalidation epoch,
+// retiring every cached entry (POST /admin/epoch after a binary or
+// semantics change). Epochs are per-node: an operator invalidating a
+// fleet bumps each member.
+func (s *Server) handleEpoch(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]int64{"epoch": s.cache.BumpEpoch()})
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// TestRetryAfterJitterBounds: the Retry-After hint is jittered within
+// [base, 2*base] seconds of the queue wait — bounded (clients are not
+// told to wait forever) but not deterministic (shed clients must not
+// re-synchronize into a retry herd).
+func TestRetryAfterJitterBounds(t *testing.T) {
+	s := New(Config{QueueWait: 4 * time.Second}) // base = 4
+	seen := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		v, err := strconv.Atoi(s.retryAfterSeconds())
+		if err != nil {
+			t.Fatalf("non-numeric Retry-After: %v", err)
+		}
+		if v < 4 || v > 8 {
+			t.Fatalf("Retry-After %d outside jitter bounds [4, 8]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("Retry-After never varied across 256 samples: %v", seen)
+	}
+
+	// Sub-second queue waits round the base up to 1s → bounds [1, 2].
+	s2 := New(Config{QueueWait: 50 * time.Millisecond})
+	for i := 0; i < 64; i++ {
+		v, _ := strconv.Atoi(s2.retryAfterSeconds())
+		if v < 1 || v > 2 {
+			t.Fatalf("sub-second Retry-After %d outside [1, 2]", v)
+		}
+	}
+}
+
+// TestDrainQueuedRequests: requests sitting in the admission queue
+// when the drain hard-deadline fires are answered with an explicit
+// 503 draining + Retry-After — completed or shed, never silently
+// dropped and never left hanging.
+func TestDrainQueuedRequests(t *testing.T) {
+	before := testutil.GoroutineSnapshot()
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 8, QueueWait: time.Minute})
+
+	// Occupy the only execution slot so new requests queue behind it.
+	s.sem <- struct{}{}
+	released := false
+	defer func() {
+		if !released {
+			<-s.sem
+		}
+	}()
+
+	const queued = 3
+	type outcome struct {
+		status int
+		kind   string
+		retry  string
+		err    error
+	}
+	results := make(chan outcome, queued)
+	var wg sync.WaitGroup
+	raw, _ := json.Marshal(GenerateRequest{DDL: testDDL, Query: testSQL})
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var e ErrorResponse
+			data, _ := io.ReadAll(resp.Body)
+			_ = json.Unmarshal(data, &e)
+			results <- outcome{status: resp.StatusCode, kind: e.Kind, retry: resp.Header.Get("Retry-After")}
+		}()
+	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return s.queued.Load() == queued }, "requests to queue")
+
+	// Drain with an already-tiny deadline: the hard-cancel fires while
+	// the three requests are still queued.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(drainCtx) }()
+
+	for i := 0; i < queued; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("queued request lost during drain: %v", r.err)
+			}
+			if r.status != http.StatusServiceUnavailable || r.kind != "draining" {
+				t.Fatalf("queued request during drain: got %d/%q, want 503/draining", r.status, r.kind)
+			}
+			if r.retry == "" {
+				t.Fatal("drain-shed 503 must carry Retry-After")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued request hung through the drain hard-deadline")
+		}
+	}
+	wg.Wait()
+	if err := <-drainDone; err == nil {
+		t.Fatal("drain with queued requests past the deadline must report the hard-cancel path")
+	}
+	<-s.sem
+	released = true
+	ts.Close()
+	testutil.RequireNoGoroutineLeak(t, before, 2)
+}
+
+// TestCacheHTTPRepeatAndEpoch: at the HTTP surface, a repeated
+// identical request is served from the suite cache with byte-identical
+// bodies, and POST /admin/epoch retires the entry so the next request
+// recomputes (still correct).
+func TestCacheHTTPRepeatAndEpoch(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	raw, _ := json.Marshal(GenerateRequest{DDL: testDDL, Query: testSQL})
+	fetch := func() []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	first := fetch()
+	second := fetch()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached response differs from original:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	c := s.Counters()
+	if c.CacheCounters.Hits < 1 || c.CacheCounters.Entries != 1 {
+		t.Fatalf("cache counters after repeat: %+v", c.CacheCounters)
+	}
+	if c.Completed != 2 {
+		t.Fatalf("cache hits must still account as completed: %+v", c)
+	}
+
+	// Epoch bump retires the entry; the recompute must match.
+	resp, err := http.Post(ts.URL+"/admin/epoch", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bump map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&bump); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if bump["epoch"] != 1 {
+		t.Fatalf("epoch after bump: %d, want 1", bump["epoch"])
+	}
+	if got := s.Counters().CacheCounters.Entries; got != 0 {
+		t.Fatalf("entries after epoch bump: %d, want 0", got)
+	}
+	// The recompute's datasets must match the library path exactly
+	// (Stats carries wall-clock timing, so whole-body byte equality
+	// only holds for cache-served repeats, not across fresh solves).
+	third := fetch()
+	var decoded GenerateResponse
+	if err := json.Unmarshal(third, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	requireSameSuite(t, decoded, libraryExpect(t, s, testDDL, testSQL))
+	if decoded.ServedBy != "" || decoded.Degraded {
+		t.Fatal("standalone responses must not carry fleet decoration")
+	}
+}

@@ -45,6 +45,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -53,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/limits"
 )
 
@@ -94,6 +96,19 @@ type Config struct {
 	// hard-cancelling them (0 = 10s). Kept as the default used by
 	// cmd/xdatad; Drain itself takes a context.
 	DrainTimeout time.Duration
+
+	// Advertise is this node's fleet address ("host:port") as peers
+	// reach it. It names the node on the consistent-hash ring and is
+	// stamped into served_by response fields. Only read by NewFleet;
+	// a New server is always standalone.
+	Advertise string
+	// Peers are the other fleet members' advertised addresses.
+	Peers []string
+	// Fleet optionally tunes the router (retry ladder, hedging,
+	// breaker, health-poll interval, transport injection for partition
+	// tests). Self and Peers inside it are overwritten from Advertise
+	// and Peers above; nil selects the fleet.Config defaults.
+	Fleet *fleet.Config
 }
 
 // Normalize fills zero fields with their documented defaults and
@@ -175,6 +190,15 @@ type Counters struct {
 	// hash-join and nested-loop node executions, and family
 	// prefix-cache hits.
 	Engine engine.ExecCounts `json:"engine"`
+	// DegradedServes counts fleet requests solved locally because every
+	// path to the key's owning node was exhausted (breaker open,
+	// retries spent): correct answers, reduced cache affinity.
+	DegradedServes int64 `json:"degraded_serves"`
+	// The embedded fleet counters flatten into /statsz: cache_hits,
+	// cache_evictions, ... from the suite cache; forwards, hedges,
+	// breaker_opens, ... from the router (zero when standalone).
+	fleet.CacheCounters
+	fleet.RouterCounters
 }
 
 // counters is the live atomic backing for Counters.
@@ -182,7 +206,7 @@ type counters struct {
 	received, admitted, shed, rejected atomic.Int64
 	completed, partial, failed         atomic.Int64
 	panics, budgetExpired, disconnects atomic.Int64
-	drained, inFlight                  atomic.Int64
+	drained, inFlight, degraded        atomic.Int64
 	engine                             engine.ExecStats
 }
 
@@ -221,24 +245,66 @@ type Server struct {
 	hardCtx    context.Context
 	hardCancel context.CancelFunc
 
+	// cache is the cross-request suite cache (always present; its byte
+	// cap comes from Config.Limits.MaxCacheBytes). router is non-nil
+	// only on fleet-mode servers built with NewFleet.
+	cache  *fleet.SuiteCache
+	router *fleet.Router
+
 	ctr counters
 }
 
-// New builds a Server from cfg (normalized copy; cfg is not retained).
+// New builds a standalone Server from cfg (normalized copy; cfg is not
+// retained). Standalone servers still run the suite cache and serve
+// /v1/forward (as a plain local generate) and /admin/epoch.
 func New(cfg Config) *Server {
 	cfg = cfg.Normalize()
 	s := &Server{
-		cfg: cfg,
-		mux: http.NewServeMux(),
-		sem: make(chan struct{}, cfg.MaxConcurrent),
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cache: fleet.NewSuiteCache(int64(cfg.Limits.MaxCacheBytes)),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("POST /v1/forward", s.handleForward)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /admin/epoch", s.handleEpoch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
+}
+
+// NewFleet builds a fleet-mode Server: New plus a router over
+// cfg.Advertise and cfg.Peers. Generate requests whose content key is
+// owned by a peer are forwarded there; peer failures degrade to a
+// local solve. The caller must Close the server when done with it (in
+// addition to Drain) to stop the router's health poller.
+func NewFleet(cfg Config) (*Server, error) {
+	s := New(cfg)
+	fc := fleet.Config{}
+	if s.cfg.Fleet != nil {
+		fc = *s.cfg.Fleet
+	}
+	fc.Self = s.cfg.Advertise
+	fc.Peers = s.cfg.Peers
+	router, err := fleet.NewRouter(fc)
+	if err != nil {
+		return nil, err
+	}
+	s.router = router
+	return s, nil
+}
+
+// Close releases background resources (the fleet router's health
+// poller and idle connections). It does not drain; call Drain first
+// for a graceful stop. Safe on standalone servers and safe to call
+// more than once.
+func (s *Server) Close() {
+	if s.router != nil {
+		s.router.Close()
+	}
 }
 
 // Handler returns the server's HTTP handler.
@@ -249,7 +315,7 @@ func (s *Server) Config() Config { return s.cfg }
 
 // Counters snapshots the service counters.
 func (s *Server) Counters() Counters {
-	return Counters{
+	c := Counters{
 		Received:          s.ctr.received.Load(),
 		Admitted:          s.ctr.admitted.Load(),
 		Shed:              s.ctr.shed.Load(),
@@ -264,11 +330,22 @@ func (s *Server) Counters() Counters {
 		Draining:          s.draining.Load(),
 		InFlight:          s.ctr.inFlight.Load(),
 		Engine:            s.ctr.engine.Counts(),
+		DegradedServes:    s.ctr.degraded.Load(),
 	}
+	c.CacheCounters = s.cache.Counters()
+	if s.router != nil {
+		c.RouterCounters = s.router.Counters()
+	}
+	return c
 }
 
 // errShed is returned by admit when the request must be rejected 429.
 var errShed = fmt.Errorf("service: overloaded, request shed")
+
+// errDraining is returned by admit when the drain hard-deadline fires
+// while the request is still queued: the request is shed with 503 +
+// Retry-After, never silently dropped.
+var errDraining = fmt.Errorf("service: draining, not accepting new work")
 
 // beginRequest registers the request with the drain machinery: it
 // refuses (false) when the server is draining, otherwise adds the
@@ -323,6 +400,12 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	case <-timer.C:
 		s.ctr.shed.Add(1)
 		return nil, errShed
+	case <-s.hardCtx.Done():
+		// The drain hard-deadline fired while this request was queued.
+		// In-flight solvers are being cancelled; a request that never
+		// got a slot gets an explicit 503, not silence: queued work is
+		// always answered, either by completing or by this shed.
+		return nil, errDraining
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -339,14 +422,18 @@ func (s *Server) requestContext(r *http.Request, budget time.Duration) (context.
 	return ctx, func() { stop(); cancel() }
 }
 
-// retryAfterSeconds is the Retry-After hint attached to 429 responses:
-// the queue wait rounded up to a whole second.
+// retryAfterSeconds is the Retry-After hint attached to 429/503
+// responses: the queue wait rounded up to a whole second, plus uniform
+// jitter of up to the same amount (value in [base, 2*base]). Without
+// the jitter every client shed by the same overload retries on the
+// same deterministic tick and re-creates the thundering herd the shed
+// was protecting against.
 func (s *Server) retryAfterSeconds() string {
-	secs := int(s.cfg.QueueWait / time.Second)
-	if s.cfg.QueueWait%time.Second != 0 || secs == 0 {
-		secs++
+	base := int(s.cfg.QueueWait / time.Second)
+	if s.cfg.QueueWait%time.Second != 0 || base == 0 {
+		base++
 	}
-	return strconv.Itoa(secs)
+	return strconv.Itoa(base + rand.Intn(base+1))
 }
 
 // Drain gracefully shuts the service down: new generate/analyze

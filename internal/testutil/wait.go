@@ -1,0 +1,21 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitUntil polls cond every 5ms until it returns true, failing t when
+// the deadline elapses first. It is the shared idiom for tests that
+// wait on asynchronous state (health polls, queued requests, breaker
+// transitions) without sleeping a fixed worst-case duration.
+func WaitUntil(t testing.TB, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -27,12 +27,47 @@ type ServiceBench struct {
 	Concurrency int `json:"concurrency"`
 	// Requests is the total number of /v1/generate requests issued.
 	Requests int `json:"requests"`
+	// FleetNodes is the number of fleet members the storm was spread
+	// over (0 = one standalone daemon, no routing).
+	FleetNodes int `json:"fleet_nodes,omitempty"`
 	// NsPerRequest is mean wall time per request (whole-storm wall
 	// time divided by Requests; concurrent requests overlap).
 	NsPerRequest int64 `json:"ns_per_request"`
 	TotalNs      int64 `json:"total_ns"`
-	// Counters is the /statsz snapshot after the storm and drain.
+	// Counters is the /statsz snapshot after the storm and drain —
+	// summed across members in fleet mode, so the forward/cache/degrade
+	// traffic of the whole fleet is pinned, not one node's view.
 	Counters service.Counters `json:"counters"`
+}
+
+// addCounters accumulates the counters the benchmark report pins.
+func addCounters(dst *service.Counters, c service.Counters) {
+	dst.Admitted += c.Admitted
+	dst.Shed += c.Shed
+	dst.Completed += c.Completed
+	dst.Partial += c.Partial
+	dst.Failed += c.Failed
+	dst.Rejected += c.Rejected
+	dst.ClientDisconnects += c.ClientDisconnects
+	dst.PanicsRecovered += c.PanicsRecovered
+	dst.BudgetExpired += c.BudgetExpired
+	dst.Drained += c.Drained
+	dst.DegradedServes += c.DegradedServes
+	dst.CacheCounters.Hits += c.CacheCounters.Hits
+	dst.CacheCounters.Misses += c.CacheCounters.Misses
+	dst.CacheCounters.Evictions += c.CacheCounters.Evictions
+	dst.CacheCounters.Corruptions += c.CacheCounters.Corruptions
+	dst.CacheCounters.StaleEpoch += c.CacheCounters.StaleEpoch
+	dst.CacheCounters.Collapsed += c.CacheCounters.Collapsed
+	dst.CacheCounters.Bytes += c.CacheCounters.Bytes
+	dst.CacheCounters.Entries += c.CacheCounters.Entries
+	dst.RouterCounters.Forwards += c.RouterCounters.Forwards
+	dst.RouterCounters.ForwardErrors += c.RouterCounters.ForwardErrors
+	dst.RouterCounters.Retries += c.RouterCounters.Retries
+	dst.RouterCounters.Hedges += c.RouterCounters.Hedges
+	dst.RouterCounters.HedgeWins += c.RouterCounters.HedgeWins
+	dst.RouterCounters.BreakerOpens += c.RouterCounters.BreakerOpens
+	dst.RouterCounters.BreakerSkips += c.RouterCounters.BreakerSkips
 }
 
 // serviceBenchDDL/SQL: the Example-2 style workload used by the
@@ -54,44 +89,105 @@ CREATE TABLE teaches (
 
 const serviceBenchSQL = `SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50`
 
-// RunServiceBench starts an in-process xdatad on a loopback listener,
-// fires requests /v1/generate calls from concurrency client
-// goroutines, drains the server, and reports timing plus the final
-// counters. Any non-200 response fails the benchmark: the workload is
-// sized under the admission queue, so shed or partial responses
-// indicate a service regression.
-func RunServiceBench(ctx context.Context, concurrency, requests int) (ServiceBench, error) {
+// RunServiceBench starts fleetNodes in-process xdatad members (one
+// standalone daemon when fleetNodes < 2) on loopback listeners, fires
+// requests /v1/generate calls from concurrency client goroutines
+// spread round-robin over every member, drains the servers, and
+// reports timing plus the final counters (summed across members). Any
+// non-200 response fails the benchmark: the workload is sized under
+// the admission queue, so shed or partial responses indicate a
+// service regression. In fleet mode the workload cycles a few query
+// variants so consistent-hash forwarding and the cross-request suite
+// cache both light up in the pinned counters.
+func RunServiceBench(ctx context.Context, concurrency, requests, fleetNodes int) (ServiceBench, error) {
 	if concurrency <= 0 {
 		concurrency = 8
 	}
 	if requests <= 0 {
 		requests = 32
 	}
+	if fleetNodes < 2 {
+		fleetNodes = 1
+	}
 	b := ServiceBench{Name: "service_generate", Concurrency: concurrency, Requests: requests}
+	if fleetNodes > 1 {
+		b.Name = "service_generate_fleet"
+		b.FleetNodes = fleetNodes
+	}
 
-	svc := service.New(service.Config{
+	listeners := make([]net.Listener, fleetNodes)
+	addrs := make([]string, fleetNodes)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return b, fmt.Errorf("xbench: service listen: %w", err)
+		}
+		defer ln.Close()
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	baseCfg := service.Config{
 		MaxQueue:  2 * requests, // never shed: this measures the happy path
 		QueueWait: time.Minute,
-	})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return b, fmt.Errorf("xbench: service listen: %w", err)
+		// Every member gets a full complement of slots: on a small host
+		// the GOMAXPROCS default would let entry nodes occupy all slots
+		// and starve the forwards they are waiting on — a degraded-mode
+		// scenario the chaos tests cover; this measures the happy path.
+		MaxConcurrent: concurrency,
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
-	serveDone := make(chan struct{})
-	go func() { defer close(serveDone); _ = httpSrv.Serve(ln) }()
-	defer func() {
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(shutCtx)
-		<-serveDone
-	}()
+	servers := make([]*service.Server, fleetNodes)
+	for i := range servers {
+		if fleetNodes == 1 {
+			servers[i] = service.New(baseCfg)
+			continue
+		}
+		cfg := baseCfg
+		cfg.Advertise = addrs[i]
+		for j, a := range addrs {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, a)
+			}
+		}
+		svc, err := service.NewFleet(cfg)
+		if err != nil {
+			return b, fmt.Errorf("xbench: fleet node %d: %w", i, err)
+		}
+		servers[i] = svc
+	}
+	httpSrvs := make([]*http.Server, fleetNodes)
+	for i, svc := range servers {
+		httpSrvs[i] = &http.Server{Handler: svc.Handler()}
+		serveDone := make(chan struct{})
+		go func(srv *http.Server, ln net.Listener) {
+			defer close(serveDone)
+			_ = srv.Serve(ln)
+		}(httpSrvs[i], listeners[i])
+		defer func(srv *http.Server, svc *service.Server, done chan struct{}) {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutCtx)
+			<-done
+			svc.Close()
+		}(httpSrvs[i], svc, serveDone)
+	}
 
-	body, err := json.Marshal(map[string]string{"ddl": serviceBenchDDL, "query": serviceBenchSQL})
-	if err != nil {
-		return b, err
+	// One query per member plus one: every node owns some traffic with
+	// high probability, and repeats guarantee cache hits.
+	queries := []string{serviceBenchSQL}
+	if fleetNodes > 1 {
+		for v := 0; v < fleetNodes; v++ {
+			queries = append(queries, fmt.Sprintf(
+				`SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > %d`, 60+v))
+		}
 	}
-	url := "http://" + ln.Addr().String() + "/v1/generate"
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		body, err := json.Marshal(map[string]string{"ddl": serviceBenchDDL, "query": q})
+		if err != nil {
+			return b, err
+		}
+		bodies[i] = body
+	}
 	client := &http.Client{}
 	defer client.CloseIdleConnections()
 
@@ -107,9 +203,9 @@ func RunServiceBench(ctx context.Context, concurrency, requests int) (ServiceBen
 		}
 		mu.Unlock()
 	}
-	work := make(chan struct{}, requests)
+	work := make(chan int, requests)
 	for i := 0; i < requests; i++ {
-		work <- struct{}{}
+		work <- i
 	}
 	close(work)
 
@@ -118,11 +214,13 @@ func RunServiceBench(ctx context.Context, concurrency, requests int) (ServiceBen
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for range work {
+			for i := range work {
 				if ctx.Err() != nil {
 					fail(ctx.Err())
 					return
 				}
+				url := "http://" + addrs[i%len(addrs)] + "/v1/generate"
+				body := bodies[i%len(bodies)]
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 				if err != nil {
 					fail(err)
@@ -147,11 +245,13 @@ func RunServiceBench(ctx context.Context, concurrency, requests int) (ServiceBen
 	b.TotalNs = time.Since(start).Nanoseconds()
 	b.NsPerRequest = b.TotalNs / int64(requests)
 
-	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := svc.Drain(drainCtx); err != nil && firstErr == nil {
-		firstErr = fmt.Errorf("xbench: service drain: %w", err)
+	for _, svc := range servers {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := svc.Drain(drainCtx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("xbench: service drain: %w", err)
+		}
+		cancel()
+		addCounters(&b.Counters, svc.Counters())
 	}
-	b.Counters = svc.Counters()
 	return b, firstErr
 }
