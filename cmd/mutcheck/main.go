@@ -48,6 +48,7 @@ func run() int {
 	trials := flag.Int("trials", 120, "randomized trials per surviving mutant")
 	fullOuter := flag.Bool("full-outer", false, "include mutations to FULL OUTER JOIN (the paper's tables exclude them)")
 	parallel := flag.Int("parallel", 0, "workers for generation and kill-matrix evaluation (0 = all CPUs, 1 = sequential); output is identical for every value")
+	solverParallel := flag.Int("solver-parallel", 0, "intra-goal solver workers per kill goal (component-parallel search and speculative restarts), clamped so goal workers x intra-goal workers never exceed -parallel; 0 or 1 = sequential solves")
 	engineMode := flag.String("engine", "compiled", "kill-matrix executor: compiled (columnar, family prefix sharing) or interp (row-at-a-time reference); the report is identical for either")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited); on expiry the partial results are reported and the exit code is 3")
 	goalTimeout := flag.Duration("goal-timeout", 0, "wall-clock budget per kill goal (0 = unlimited)")
@@ -85,6 +86,7 @@ func run() int {
 
 	genOpts := xdata.DefaultOptions()
 	genOpts.Parallelism = *parallel
+	genOpts.SolverParallelism = *solverParallel
 	genOpts.GoalTimeout = *goalTimeout
 	genOpts.GoalNodeLimit = *goalNodes
 	suite, err := xdata.GenerateContext(ctx, q, genOpts)
@@ -94,7 +96,9 @@ func run() int {
 			partial = true
 			fmt.Fprintln(os.Stderr, "mutcheck:", err)
 		} else {
-			fatal(err)
+			// Option-validation rejections (e.g. a negative
+			// -solver-parallel) are flag misuse: exit 2, not 1.
+			return inputFail(err)
 		}
 	}
 	mopts := xdata.DefaultMutationOptions()

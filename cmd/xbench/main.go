@@ -55,6 +55,8 @@ func run() int {
 	equiv := flag.Bool("equiv", false, "verify surviving mutants by randomized equivalence testing")
 	trials := flag.Int("trials", 120, "randomized equivalence trials per surviving mutant")
 	parallel := flag.Int("parallel", 0, "workers for generation and kill-matrix evaluation (0 = all CPUs, 1 = sequential)")
+	solverParallel := flag.Int("solver-parallel", 0, "intra-goal solver workers: component-level parallelism and speculative restarts (0/1 = sequential solves; clamped so goal x solver workers never exceed -parallel)")
+	scaling := flag.Bool("scaling", true, "include parallel-scaling rows (workers 1/2/4) in -table bench")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited); partial results are printed on expiry")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report (see EXPERIMENTS.md) instead of text tables")
 	iters := flag.Int("iters", 50, "iterations for -table bench (the headline single-thread benchmark)")
@@ -112,11 +114,12 @@ func run() int {
 	}
 
 	opts := xbench.Options{
-		SkipQuantified:   *fast,
-		CheckEquivalence: *equiv,
-		EquivTrials:      *trials,
-		Parallelism:      *parallel,
-		Context:          ctx,
+		SkipQuantified:    *fast,
+		CheckEquivalence:  *equiv,
+		EquivTrials:       *trials,
+		Parallelism:       *parallel,
+		SolverParallelism: *solverParallel,
+		Context:           ctx,
 	}
 	report := xbench.NewReport(*parallel)
 
@@ -204,8 +207,22 @@ func run() int {
 			report.Benchmarks = append(report.Benchmarks, b)
 			if text {
 				fmt.Println("=== headline: university workload, single thread ===")
-				fmt.Printf("%s: %d iters, %d ns/op, %d datasets, %d solver nodes, %d components (%d cache hits), %d base propagation nodes\n\n",
-					b.Name, b.Iters, b.NsPerOp, b.Datasets, b.SolverNodes, b.ComponentCount, b.ComponentCacheHits, b.BasePropagationNodes)
+				fmt.Printf("%s: %d iters, %d ns/op, %d allocs/op, %d B/op, %d datasets, %d solver nodes, %d components (%d cache hits), %d base propagation nodes\n\n",
+					b.Name, b.Iters, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp, b.Datasets, b.SolverNodes, b.ComponentCount, b.ComponentCacheHits, b.BasePropagationNodes)
+			}
+			if *scaling {
+				rows, err := xbench.RunUniversityScaling(ctx, *iters, []int{1, 2, 4})
+				report.Benchmarks = append(report.Benchmarks, rows...)
+				if text && len(rows) > 0 {
+					fmt.Printf("=== parallel scaling: university workload (GOMAXPROCS=%d) ===\n", runtime.GOMAXPROCS(0))
+					for _, r := range rows {
+						fmt.Printf("workers=%d: %d ns/op, %d allocs/op, %d B/op, %d solver nodes\n", r.Workers, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.SolverNodes)
+					}
+					fmt.Println()
+				}
+				if err != nil {
+					return err
+				}
 			}
 			return nil
 		})

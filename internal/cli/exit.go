@@ -4,7 +4,8 @@
 //
 //	0  complete run
 //	1  fatal error (I/O, internal failure, or a kill failure)
-//	2  usage / bad input: flag misuse, SQL syntax errors that are
+//	2  usage / bad input: flag misuse (including option-validation
+//	   rejections, core.ErrBadOptions), SQL syntax errors that are
 //	   well-formed-but-unsupported constructs (sqlparser.ErrUnsupported),
 //	   and resource-governance rejections (limits.ErrResourceLimit) —
 //	   the same class the daemon reports as HTTP 422
@@ -14,6 +15,7 @@ package cli
 import (
 	"errors"
 
+	"repro/internal/core"
 	"repro/internal/limits"
 	"repro/internal/sqlparser"
 )
@@ -27,12 +29,14 @@ const (
 )
 
 // InputExitCode classifies an input-stage failure (schema or query
-// parsing): constructs outside the supported query class and
-// resource-limit rejections are the caller's fault (ExitUsage, the
-// daemon's 422 class); anything else — unreadable files, internal
-// failures — is ExitFatal.
+// parsing, or option validation): constructs outside the supported
+// query class, resource-limit rejections and bad option values are the
+// caller's fault (ExitUsage, the daemon's 422 class); anything else —
+// unreadable files, internal failures — is ExitFatal.
 func InputExitCode(err error) int {
-	if errors.Is(err, sqlparser.ErrUnsupported) || errors.Is(err, limits.ErrResourceLimit) {
+	if errors.Is(err, sqlparser.ErrUnsupported) ||
+		errors.Is(err, limits.ErrResourceLimit) ||
+		errors.Is(err, core.ErrBadOptions) {
 		return ExitUsage
 	}
 	return ExitFatal

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/limits"
 	"repro/internal/qtree"
 	"repro/internal/sqlparser"
@@ -37,6 +38,11 @@ func TestInputExitCode(t *testing.T) {
 		t.Fatal("garbage should not parse")
 	}
 
+	badOpts := (&core.Options{SolverParallelism: -3}).Validate()
+	if badOpts == nil || !errors.Is(badOpts, core.ErrBadOptions) {
+		t.Fatalf("negative SolverParallelism should be ErrBadOptions, got %v", badOpts)
+	}
+
 	cases := []struct {
 		name string
 		err  error
@@ -45,6 +51,8 @@ func TestInputExitCode(t *testing.T) {
 		{"unsupported construct", unsupported, ExitUsage},
 		{"resource limit", limited, ExitUsage},
 		{"wrapped unsupported", fmt.Errorf("query: %w", unsupported), ExitUsage},
+		{"bad options", badOpts, ExitUsage},
+		{"wrapped bad options", fmt.Errorf("generate: %w", badOpts), ExitUsage},
 		{"syntax error", syntax, ExitFatal},
 		{"io error", errors.New("open schema.sql: no such file"), ExitFatal},
 	}

@@ -121,12 +121,13 @@ func (d *Dataset) SQLInserts(s *Schema) string {
 // integrity of every foreign key. It returns the first violation found,
 // or nil if the dataset is a legal database instance.
 func (s *Schema) CheckDataset(d *Dataset) error {
+	pkBuf := make([]byte, 0, 64)
 	for _, t := range d.TableNames() {
 		rel := s.Relation(t)
 		if rel == nil {
 			return fmt.Errorf("dataset: unknown relation %s", t)
 		}
-		seenPK := make(map[string]int)
+		seenPK := make(map[string]int, len(d.Tables[t]))
 		for ri, row := range d.Tables[t] {
 			if len(row) != rel.Arity() {
 				return fmt.Errorf("dataset: %s row %d: arity %d, want %d", t, ri, len(row), rel.Arity())
@@ -144,18 +145,20 @@ func (s *Schema) CheckDataset(d *Dataset) error {
 				}
 			}
 			if len(rel.PrimaryKey) > 0 {
-				key, ok := pkKey(rel, row)
+				var ok bool
+				pkBuf, ok = appendPKKey(pkBuf[:0], rel, row)
 				if !ok {
 					return fmt.Errorf("dataset: %s row %d: NULL in primary key", t, ri)
 				}
-				if prev, dup := seenPK[key]; dup {
-					return fmt.Errorf("dataset: %s rows %d and %d: duplicate primary key %s", t, prev, ri, key)
+				if prev, dup := seenPK[string(pkBuf)]; dup {
+					return fmt.Errorf("dataset: %s rows %d and %d: duplicate primary key %s", t, prev, ri, pkBuf)
 				}
-				seenPK[key] = ri
+				seenPK[string(pkBuf)] = ri
 			}
 		}
 	}
 	// Referential integrity.
+	buf := make([]byte, 0, 64)
 	for _, t := range d.TableNames() {
 		rel := s.Relation(t)
 		for _, fk := range rel.ForeignKeys {
@@ -163,16 +166,21 @@ func (s *Schema) CheckDataset(d *Dataset) error {
 			if ref == nil {
 				return fmt.Errorf("dataset: %s: %s: missing referenced relation", t, fk)
 			}
-			refKeys := make(map[string]bool)
+			refKeys := make(map[string]bool, len(d.Rows(fk.RefTable)))
 			for _, row := range d.Rows(fk.RefTable) {
-				refKeys[projKey(ref, fk.RefColumns, row)] = true
+				var ok bool
+				buf, ok = appendProjKey(buf[:0], ref, fk.RefColumns, row)
+				if ok && !refKeys[string(buf)] {
+					refKeys[string(buf)] = true
+				}
 			}
 			for ri, row := range d.Tables[t] {
-				k := projKey(rel, fk.Columns, row)
-				if k == "" { // NULL in FK: vacuously satisfied (A2 forbids, but be lenient)
+				var ok bool
+				buf, ok = appendProjKey(buf[:0], rel, fk.Columns, row)
+				if !ok { // NULL in FK: vacuously satisfied (A2 forbids, but be lenient)
 					continue
 				}
-				if !refKeys[k] {
+				if !refKeys[string(buf)] {
 					return fmt.Errorf("dataset: %s row %d violates %s: no matching %s row", t, ri, fk, fk.RefTable)
 				}
 			}
@@ -188,28 +196,37 @@ func kindCompatible(col, val sqltypes.Kind) bool {
 	return col.Numeric() && val.Numeric()
 }
 
-func pkKey(rel *Relation, row sqltypes.Row) (string, bool) {
-	cells := make(sqltypes.Row, 0, len(rel.PrimaryKey))
-	for _, c := range rel.PrimaryKey {
+// appendPKKey appends the canonical key of row's primary-key projection
+// to dst; ok is false (and dst is returned truncated as passed) when a
+// key column is NULL. Dedup loops reuse one buffer across rows.
+func appendPKKey(dst []byte, rel *Relation, row sqltypes.Row) (_ []byte, ok bool) {
+	for i, c := range rel.PrimaryKey {
 		v := row[rel.AttrPos(c)]
 		if v.IsNull() {
-			return "", false
+			return dst, false
 		}
-		cells = append(cells, v)
+		if i > 0 {
+			dst = append(dst, '\x1f')
+		}
+		dst = (sqltypes.Row{v}).AppendKey(dst)
 	}
-	return cells.Key(), true
+	return dst, true
 }
 
-func projKey(rel *Relation, cols []string, row sqltypes.Row) string {
-	cells := make(sqltypes.Row, 0, len(cols))
-	for _, c := range cols {
+// appendProjKey is appendPKKey for an arbitrary column projection; ok
+// is false when a projected column is NULL.
+func appendProjKey(dst []byte, rel *Relation, cols []string, row sqltypes.Row) (_ []byte, ok bool) {
+	for i, c := range cols {
 		v := row[rel.AttrPos(c)]
 		if v.IsNull() {
-			return ""
+			return dst, false
 		}
-		cells = append(cells, v)
+		if i > 0 {
+			dst = append(dst, '\x1f')
+		}
+		dst = (sqltypes.Row{v}).AppendKey(dst)
 	}
-	return cells.Key()
+	return dst, true
 }
 
 // DedupPrimaryKeys removes rows whose full contents duplicate an earlier
@@ -218,34 +235,47 @@ func projKey(rel *Relation, cols []string, row sqltypes.Row) string {
 // existing tuples; duplicates are eliminated before the dataset is
 // materialized.
 func (s *Schema) DedupPrimaryKeys(d *Dataset) error {
+	rkBuf := make([]byte, 0, 64)
+	pkBuf := make([]byte, 0, 64)
 	for _, t := range d.TableNames() {
 		rel := s.Relation(t)
 		if rel == nil {
 			continue
 		}
-		seenRow := make(map[string]bool)
-		seenPK := make(map[string]string)
+		rows := d.Tables[t]
 		var kept []sqltypes.Row
-		for _, row := range d.Tables[t] {
-			rk := row.Key()
-			if seenRow[rk] {
-				continue
-			}
-			if len(rel.PrimaryKey) > 0 {
-				pk, ok := pkKey(rel, row)
+		if len(rel.PrimaryKey) > 0 {
+			// No separate full-row pass: equal rows share a primary key,
+			// so the PK map finds both row duplicates (keys collide, rows
+			// compare equal — skip) and genuine conflicts (rows differ —
+			// error) in one lookup.
+			seenPK := make(map[string]int, len(rows))
+			for _, row := range rows {
+				var ok bool
+				pkBuf, ok = appendPKKey(pkBuf[:0], rel, row)
 				if !ok {
 					return fmt.Errorf("dedup: %s: NULL primary key", t)
 				}
-				if prev, dup := seenPK[pk]; dup && prev != rk {
-					return fmt.Errorf("dedup: %s: primary-key conflict between distinct rows", t)
-				}
-				if _, dup := seenPK[pk]; dup {
+				if prev, dup := seenPK[string(pkBuf)]; dup {
+					rkBuf = kept[prev].AppendKey(rkBuf[:0])
+					if string(rkBuf) != row.Key() {
+						return fmt.Errorf("dedup: %s: primary-key conflict between distinct rows", t)
+					}
 					continue
 				}
-				seenPK[pk] = rk
+				seenPK[string(pkBuf)] = len(kept)
+				kept = append(kept, row)
 			}
-			seenRow[rk] = true
-			kept = append(kept, row)
+		} else {
+			seenRow := make(map[string]bool, len(rows))
+			for _, row := range rows {
+				rkBuf = row.AppendKey(rkBuf[:0])
+				if seenRow[string(rkBuf)] {
+					continue
+				}
+				seenRow[string(rkBuf)] = true
+				kept = append(kept, row)
+			}
 		}
 		d.Tables[t] = kept
 		d.invalidateView(t)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sqltypes"
@@ -39,16 +40,24 @@ type kcomp struct {
 
 // componentize partitions the live constraint graph. It reports a
 // conflict when a fully-decided clause turns out violated (defensive:
-// setup propagation catches these in practice).
+// setup propagation catches these in practice). All scratch — the
+// union-find parents, the live-clause list, the marking arrays and the
+// component table including each entry's vars/clauses backing — is
+// recycled on the kstate across solves.
 func (st *kstate) componentize() ([]kcomp, bool) {
 	n := len(st.rep)
-	cuf := newVarUF(n)
-	var liveClauses []int32
+	st.cufParent = grow(st.cufParent, n)
+	cuf := &varUF{parent: st.cufParent}
+	for i := range cuf.parent {
+		cuf.parent[i] = VarID(i)
+	}
+	liveClauses := st.liveCl[:0]
 	for ci := range st.clauses {
 		switch st.clauses[ci].keval(st) {
 		case sqltypes.True:
 			continue // imposes nothing; must not glue components
 		case sqltypes.False:
+			st.liveCl = liveClauses
 			return nil, true
 		}
 		var first VarID = -1
@@ -67,10 +76,30 @@ func (st *kstate) componentize() ([]kcomp, bool) {
 			liveClauses = append(liveClauses, int32(ci))
 		}
 	}
+	st.liveCl = liveClauses
 
-	var comps []kcomp
-	compOf := make([]int32, n) // comp index + 1 per root var
-	stamp := make([]int, n)    // comp index + 1 per var
+	comps := st.comps[:0]
+	// appendComp reuses a previous solve's kcomp entry (and its slices'
+	// backing) when the recycled table has spare capacity.
+	appendComp := func() int {
+		idx := len(comps)
+		if cap(comps) > idx {
+			comps = comps[:idx+1]
+			comps[idx].vars = comps[idx].vars[:0]
+			comps[idx].clauses = comps[idx].clauses[:0]
+			comps[idx].weight = 0
+		} else {
+			comps = append(comps, kcomp{})
+		}
+		return idx
+	}
+	st.compOf = grow(st.compOf, n) // comp index + 1 per root var
+	st.stamp = grow(st.stamp, n)   // comp index + 1 per var
+	compOf, stamp := st.compOf, st.stamp
+	for i := 0; i < n; i++ {
+		compOf[i] = 0
+		stamp[i] = 0
+	}
 	for _, ci := range liveClauses {
 		var root VarID = -1
 		for _, v0 := range st.cvars[ci] {
@@ -81,25 +110,25 @@ func (st *kstate) componentize() ([]kcomp, bool) {
 		}
 		idx := int(compOf[root]) - 1
 		if idx < 0 {
-			idx = len(comps)
-			comps = append(comps, kcomp{})
+			idx = appendComp()
 			compOf[root] = int32(idx) + 1
 		}
 		c := &comps[idx]
 		c.clauses = append(c.clauses, ci)
 		kwalkVars(st.clauses[ci], func(v VarID) {
 			r := st.rep[v]
-			if st.assigned[r] || stamp[r] == idx+1 {
+			if st.assigned[r] || stamp[r] == int32(idx+1) {
 				return
 			}
-			stamp[r] = idx + 1
+			stamp[r] = int32(idx + 1)
 			c.vars = append(c.vars, r)
 		})
 	}
 	// Isolated unassigned representatives: singleton components.
 	for v := 0; v < n; v++ {
 		if st.rep[v] == VarID(v) && !st.assigned[v] && stamp[v] == 0 {
-			comps = append(comps, kcomp{vars: []VarID{VarID(v)}})
+			idx := appendComp()
+			comps[idx].vars = append(comps[idx].vars, VarID(v))
 		}
 	}
 	for i := range comps {
@@ -109,6 +138,7 @@ func (st *kstate) componentize() ([]kcomp, bool) {
 		}
 		c.weight += int64(len(c.clauses))
 	}
+	st.comps = comps
 	return comps, false
 }
 
@@ -133,7 +163,9 @@ func kwalkVars(cl kclause, fn func(VarID)) {
 // each local variable's surviving candidate values in preference order
 // and the heuristics flags that influence model choice. The encoding is
 // used directly as the (exact, collision-free) cache key.
-func (st *kstate) canonicalKey(c *kcomp) string {
+// The returned byte slice is kstate scratch, valid only until the next
+// canonicalKey call on the same kstate.
+func (st *kstate) canonicalKey(c *kcomp) []byte {
 	// Local-id lookup and the byte/term buffers are kstate scratch:
 	// canonicalKey runs once per component per solve, and the per-call
 	// map + slice allocations dominated its cost.
@@ -230,9 +262,9 @@ func (st *kstate) canonicalKey(c *kcomp) string {
 	} else {
 		buf = append(buf, 0)
 	}
-	st.keyBuf = buf[:0]
+	st.keyBuf = buf
 	st.keyTerms = terms[:0]
-	return string(buf)
+	return buf
 }
 
 // keyTerm is a (local id, coefficient) pair in a canonical encoding.
@@ -290,29 +322,34 @@ func (c *ComponentCache) Len() int {
 
 // acquire returns either a published result (claimed=false) or a claim
 // (claimed=true): the caller must then publish via complete or abandon
-// via release — a panic-safe obligation. Waiting respects the solve's
-// cancellation channel and deadline.
-func (c *ComponentCache) acquire(key string, done <-chan struct{}, deadline time.Time) (compResult, bool, error) {
+// via release — a panic-safe obligation — using the returned interned
+// key string. key is a scratch byte encoding: lookups go through the
+// compiler's no-alloc map[string] conversion, and the string is
+// materialized only when a claim inserts it, so the steady state (cache
+// hits) allocates nothing. Waiting respects the solve's cancellation
+// channel and deadline.
+func (c *ComponentCache) acquire(key []byte, done <-chan struct{}, deadline time.Time) (compResult, bool, string, error) {
 	for {
 		c.mu.Lock()
-		e, exists := c.m[key]
+		e, exists := c.m[string(key)]
 		if !exists {
+			skey := string(key)
 			e = &compEntry{done: make(chan struct{})}
-			c.m[key] = e
+			c.m[skey] = e
 			c.mu.Unlock()
-			return compResult{}, true, nil
+			return compResult{}, true, skey, nil
 		}
 		if e.ok {
 			res := e.res
 			c.mu.Unlock()
-			return res, false, nil
+			return res, false, "", nil
 		}
 		c.mu.Unlock()
 		if deadline.IsZero() {
 			select {
 			case <-e.done:
 			case <-done:
-				return compResult{}, false, ErrCanceled
+				return compResult{}, false, "", ErrCanceled
 			}
 		} else {
 			t := time.NewTimer(time.Until(deadline))
@@ -321,9 +358,9 @@ func (c *ComponentCache) acquire(key string, done <-chan struct{}, deadline time
 				t.Stop()
 			case <-done:
 				t.Stop()
-				return compResult{}, false, ErrCanceled
+				return compResult{}, false, "", ErrCanceled
 			case <-t.C:
-				return compResult{}, false, ErrLimit
+				return compResult{}, false, "", ErrLimit
 			}
 		}
 		// Woken: the claimant either published (loop re-reads e.ok) or
@@ -351,7 +388,7 @@ func (c *ComponentCache) release(key string) {
 }
 
 // solveComponents is the Decompose solve driver.
-func (s *Solver) solveComponents(st *kstate, opts Options) error {
+func (s *Solver) solveComponents(st *kstate, a *Arena, opts Options) error {
 	comps, conflict := st.componentize()
 	if conflict {
 		return ErrUnsat
@@ -372,8 +409,34 @@ func (s *Solver) solveComponents(st *kstate, opts Options) error {
 		}
 		comps[j] = c
 	}
-	st.degree = make([]int32, len(st.rep))
-	cmark := make([]int32, len(st.rep))
+	n := len(st.rep)
+	st.degree = grow(st.degree, n)
+	st.cmark = grow(st.cmark, n)
+	for i := 0; i < n; i++ {
+		st.degree[i] = 0
+		st.cmark[i] = 0
+	}
+	// Per-component degrees, computed upfront in one pass (components
+	// are variable-disjoint, so each variable's degree is set by exactly
+	// one component and cannot change while earlier components solve):
+	// only the component's own clauses count, so canonically-equal
+	// components order variables identically.
+	for i := range comps {
+		c := &comps[i]
+		for _, ci := range c.clauses {
+			for _, v0 := range st.cvars[ci] {
+				r := st.rep[v0]
+				if st.assigned[r] || st.cmark[r] == ci+1 {
+					continue
+				}
+				st.cmark[r] = ci + 1
+				st.degree[r]++
+			}
+		}
+	}
+	if opts.Parallel > 1 && len(comps) > 1 {
+		return s.solveComponentsParallel(st, a, comps, opts)
+	}
 	for i := range comps {
 		c := &comps[i]
 		if len(c.clauses) == 0 {
@@ -382,26 +445,188 @@ func (s *Solver) solveComponents(st *kstate, opts Options) error {
 			st.assign(v, st.firstLive(v))
 			continue
 		}
-		// Per-component degrees: only this component's clauses count,
-		// so canonically-equal components order variables identically.
-		for _, v := range c.vars {
-			st.degree[v] = 0
-		}
-		for _, ci := range c.clauses {
-			for _, v0 := range st.cvars[ci] {
-				r := st.rep[v0]
-				if st.assigned[r] || cmark[r] == ci+1 {
-					continue
-				}
-				cmark[r] = ci + 1
-				st.degree[r]++
-			}
-		}
-		if err := s.solveComp(st, c, opts); err != nil {
+		if err := st.solveComp(c, opts.Cache); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// solveComponentsParallel fans the sorted components out to a bounded
+// worker pool. Correctness rests on decomposition disjointness: each
+// live clause and each unassigned representative belongs to exactly one
+// component, so workers sharing the solve's domain words, counters,
+// assignment arrays and bounds memo write disjoint index ranges and
+// need no locks. Each worker carries a private kstate view (trail,
+// propagation queue, value buffers, key scratch — everything a search
+// mutates non-disjointly) recycled on the arena, plus a private watch
+// table filtered to the component at hand (see buildCompWatch).
+//
+// Determinism: a component's search is a pure function of the component
+// (node ceilings are relative to the attempt's start), so models and
+// per-component node counts — and therefore their totals — match the
+// sequential driver whenever the global node budget does not bind.
+// Each worker gets the full remaining budget, so a budget-bound
+// parallel solve may expand more total nodes than a sequential one
+// before failing; like wall-clock deadlines, binding budgets trade
+// exact replay for fail-fast parallelism. The first component failure
+// closes the stop channel and cancels the rest (severity order below
+// keeps the reported error stable: UNSAT beats budget exhaustion beats
+// the cancellations it induced).
+func (s *Solver) solveComponentsParallel(st *kstate, a *Arena, comps []kcomp, opts Options) error {
+	nw := opts.Parallel
+	if nw > len(comps) {
+		nw = len(comps)
+	}
+	// Clause -> component index + 1, for filtering per-component watch
+	// lists out of the parent table (0 = satisfied-True clause: imposes
+	// nothing and is safe to drop from every list).
+	st.clOf = grow(st.clOf, len(st.clauses))
+	for i := range st.clOf {
+		st.clOf[i] = 0
+	}
+	for i := range comps {
+		for _, ci := range comps[i].clauses {
+			st.clOf[ci] = int32(i) + 1
+		}
+	}
+	for len(a.workers) < nw {
+		a.workers = append(a.workers, kworker{})
+	}
+	// stop is the fail-fast fan-out: closed by the first worker to see a
+	// component fail (or panic). merged relays whichever of stop / the
+	// solve's own cancellation fires first into the workers' done
+	// channel; the watcher exits once the dispatch closes stop on the
+	// way out, so no goroutine outlives this call.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	merged := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-stop:
+		case <-st.done:
+		}
+		close(merged)
+	}()
+
+	errs := make([]error, len(comps))
+	panics := make([]any, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		ws := &a.workers[wi].st
+		ws.reset()
+		ws.cand, ws.off, ws.rep = st.cand, st.off, st.rep
+		ws.words, ws.count, ws.assigned, ws.value = st.words, st.count, st.assigned, st.value
+		ws.clauses, ws.cvars = st.clauses, st.cvars
+		ws.degree = st.degree
+		ws.dver, ws.bver, ws.bmin, ws.bmax = st.dver, st.bver, st.bmin, st.bmax
+		ws.lcv = st.lcv
+		ws.limit = st.limit - st.nodes
+		ws.deadline = st.deadline
+		ws.done = merged
+		wg.Add(1)
+		go func(wi int, ws *kstate) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[wi] = r
+					halt()
+				}
+			}()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(comps) {
+					return
+				}
+				if canceled(ws.done) {
+					errs[idx] = ErrCanceled
+					return
+				}
+				c := &comps[idx]
+				if len(c.clauses) == 0 {
+					// Isolated variable: preference-order value survives.
+					v := c.vars[0]
+					ws.assign(v, ws.firstLive(v))
+					continue
+				}
+				if err, injected := injectComponentFault(ws.done, ws.deadline, opts.Label); injected {
+					errs[idx] = err
+					halt()
+					return
+				}
+				ws.buildCompWatch(st.watch, st.clOf, int32(idx)+1, c)
+				if err := ws.solveComp(c, opts.Cache); err != nil {
+					errs[idx] = err
+					halt()
+					return
+				}
+			}
+		}(wi, ws)
+	}
+	wg.Wait()
+	halt()
+	<-watcherDone
+	// Fold worker counters in fixed worker order (sums are order-free,
+	// but keep the walk deterministic anyway).
+	for wi := 0; wi < nw; wi++ {
+		ws := &a.workers[wi].st
+		st.nodes += ws.nodes
+		st.checked += ws.checked
+		st.propVisits += ws.propVisits
+		st.cacheHits += ws.cacheHits
+	}
+	for wi := 0; wi < nw; wi++ {
+		if panics[wi] != nil {
+			// Re-raise on the solve's own goroutine so upstream fault
+			// recovery observes exactly what a sequential solve would.
+			panic(panics[wi])
+		}
+	}
+	var limitErr, otherErr error
+	for i := range errs {
+		switch {
+		case errs[i] == nil:
+		case errors.Is(errs[i], ErrUnsat):
+			return ErrUnsat
+		case errors.Is(errs[i], ErrLimit):
+			if limitErr == nil {
+				limitErr = errs[i]
+			}
+		default:
+			if otherErr == nil {
+				otherErr = errs[i]
+			}
+		}
+	}
+	if limitErr != nil {
+		return limitErr
+	}
+	return otherErr
+}
+
+// buildCompWatch installs the component's watch lists into the
+// worker's private table by filtering the parent solve's lists through
+// the clause->component map, preserving parent order so propagation
+// visits clauses in exactly the sequential sequence. Dropped entries
+// are satisfied-True clauses (stable under domain narrowing, so their
+// visits are no-ops) — a live clause mentioning an unassigned variable
+// of this component is, by construction, in this component.
+func (st *kstate) buildCompWatch(parent [][]int32, clOf []int32, comp int32, c *kcomp) {
+	st.ownWatch = grow(st.ownWatch, len(st.rep))
+	st.watch = st.ownWatch
+	for _, v := range c.vars {
+		dst := st.ownWatch[v][:0]
+		for _, ci := range parent[v] {
+			if clOf[ci] == comp {
+				dst = append(dst, ci)
+			}
+		}
+		st.ownWatch[v] = dst
+	}
 }
 
 // compLess is the solve order: lighter first, then fewer variables,
@@ -417,18 +642,20 @@ func compLess(a, b *kcomp) bool {
 }
 
 // solveComp solves one component, consulting the cache when configured.
-func (s *Solver) solveComp(st *kstate, c *kcomp, opts Options) error {
-	cache := opts.Cache
+// It is a kstate method (not a Solver one) so component-parallel
+// workers can run it without touching Solver.last: cache hits count on
+// the per-worker kstate and fold into Stats after the join.
+func (st *kstate) solveComp(c *kcomp, cache *ComponentCache) error {
 	if cache == nil {
 		return st.searchVars(c.vars)
 	}
 	key := st.canonicalKey(c)
-	res, claimed, err := cache.acquire(key, st.done, st.deadline)
+	res, claimed, skey, err := cache.acquire(key, st.done, st.deadline)
 	if err != nil {
 		return err
 	}
 	if !claimed {
-		s.last.ComponentCacheHits++
+		st.cacheHits++
 		if res.unsat {
 			return ErrUnsat
 		}
@@ -440,7 +667,7 @@ func (s *Solver) solveComp(st *kstate, c *kcomp, opts Options) error {
 	published := false
 	defer func() {
 		if !published {
-			cache.release(key)
+			cache.release(skey)
 		}
 	}()
 	err = st.searchVars(c.vars)
@@ -450,10 +677,10 @@ func (s *Solver) solveComp(st *kstate, c *kcomp, opts Options) error {
 		for i, v := range c.vars {
 			model[i] = st.value[v]
 		}
-		cache.complete(key, compResult{model: model})
+		cache.complete(skey, compResult{model: model})
 		published = true
 	case errors.Is(err, ErrUnsat):
-		cache.complete(key, compResult{unsat: true})
+		cache.complete(skey, compResult{unsat: true})
 		published = true
 	}
 	return err

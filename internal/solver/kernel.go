@@ -72,7 +72,11 @@ type kstate struct {
 	clauses []kclause
 	cvars   [][]VarID
 	watch   [][]int32
-	degree  []int32
+	// ownWatch backs watch for solves without a shared base (see
+	// buildWatch); kept separate so recycling its per-variable lists can
+	// never append into slices aliasing a shared Base's watch table.
+	ownWatch [][]int32
+	degree   []int32
 	// Domain-bounds memo: klinBounds calls liveMinMax for every
 	// unassigned term of every clause evaluation, and clause evaluations
 	// repeat over unchanged domains constantly (LCV scoring evaluates a
@@ -102,6 +106,21 @@ type kstate struct {
 	lidOf    []int32
 	keyBuf   []byte
 	keyTerms []keyTerm
+	// Component scratch (components.go): the decomposition's union-find
+	// parents, live-clause list, component table and marking arrays,
+	// recycled across solves by the arena.
+	cufParent []VarID
+	liveCl    []int32
+	comps     []kcomp
+	compOf    []int32
+	stamp     []int32
+	cmark     []int32
+	clOf      []int32
+	// cacheHits counts components answered from Options.Cache during
+	// this solve. It lives on the (per-worker) kstate rather than
+	// Solver.last so component-parallel workers can count without
+	// racing; solveKernel folds it into Stats afterwards.
+	cacheHits int64
 	// Budgets.
 	nodes      int64
 	ceil       int64 // current (restart-attempt) node ceiling
@@ -397,18 +416,31 @@ func (c *kNary) kprune(st *kstate) bool {
 	return unit.kprune(st)
 }
 
+// kcScratch holds kcompile's reusable buffers. The fused
+// diff-substitute-normalize in klinDiff and the scratch-accumulated
+// variable list reduce one compiled comparison from ~six heap objects
+// (Minus/Times/normalize/subLinRep temporaries) to the two that
+// actually outlive the compile: the clause node and its exact-size
+// Terms slice. Compilation dominated the workload's allocation profile
+// because every prepared base recompiles the database-constraint core.
+type kcScratch struct {
+	terms []Term
+	vars  []VarID
+}
+
 // kcompile compiles a flattened constraint, substituting variables with
 // their representatives, and returns the clause with its (sorted,
-// deduplicated) variable list.
-func kcompile(c Con, rep []VarID) (kclause, []VarID) {
-	var vars []VarID
+// deduplicated) variable list. sc is scratch reused across calls; the
+// returned clause and vars are freshly allocated and do not alias it.
+func kcompile(c Con, rep []VarID, sc *kcScratch) (kclause, []VarID) {
+	sc.vars = sc.vars[:0]
 	var walk func(c Con) kclause
 	walk = func(c Con) kclause {
 		switch n := c.(type) {
 		case *Cmp:
-			d := subLinRep(n.L.Minus(n.R), rep)
+			d := klinDiff(n.L, n.R, rep, sc)
 			for _, t := range d.Terms {
-				vars = append(vars, t.V)
+				sc.vars = append(sc.vars, t.V)
 			}
 			return &kCmp{op: n.Op, diff: d}
 		case *And:
@@ -428,9 +460,59 @@ func kcompile(c Con, rep []VarID) (kclause, []VarID) {
 		}
 	}
 	cl := walk(c)
-	slices.Sort(vars)
-	vars = dedupeVars(vars)
+	slices.Sort(sc.vars)
+	deduped := dedupeVars(sc.vars)
+	vars := make([]VarID, len(deduped))
+	copy(vars, deduped)
 	return cl, vars
+}
+
+// klinDiff computes normalize(substitute(L-R, rep)) — the canonical
+// rep-substituted difference of two linear expressions — without the
+// intermediate Lin values of the Minus/subLinRep chain. Substitution
+// commutes with canonicalization (renaming only merges more terms, and
+// per-variable coefficient sums are preserved either way), so fusing
+// the passes yields the identical Lin. Only the final exact-size Terms
+// slice is allocated; everything else lives in sc.
+func klinDiff(L, R Lin, rep []VarID, sc *kcScratch) Lin {
+	buf := sc.terms[:0]
+	for _, t := range L.Terms {
+		buf = append(buf, Term{Coef: t.Coef, V: rep[t.V]})
+	}
+	for _, t := range R.Terms {
+		buf = append(buf, Term{Coef: -t.Coef, V: rep[t.V]})
+	}
+	sc.terms = buf
+	// Insertion sort by variable id: expressions are tiny (join and
+	// comparison conditions, one to three terms).
+	for i := 1; i < len(buf); i++ {
+		t := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j].V > t.V {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = t
+	}
+	// Merge equal-variable runs, dropping zero coefficient sums.
+	m := 0
+	for i := 0; i < len(buf); {
+		v := buf[i].V
+		var sum int64
+		for ; i < len(buf) && buf[i].V == v; i++ {
+			sum += buf[i].Coef
+		}
+		if sum != 0 {
+			buf[m] = Term{Coef: sum, V: v}
+			m++
+		}
+	}
+	out := Lin{Const: L.Const - R.Const}
+	if m > 0 {
+		out.Terms = make([]Term, m)
+		copy(out.Terms, buf[:m])
+	}
+	return out
 }
 
 func dedupeVars(vars []VarID) []VarID {
@@ -443,34 +525,34 @@ func dedupeVars(vars []VarID) []VarID {
 	return out
 }
 
-// subLinRep rewrites a linear expression onto representatives, merging
-// coefficients of terms that collapse onto the same rep.
-func subLinRep(l Lin, rep []VarID) Lin {
-	out := Lin{Const: l.Const}
-	for _, t := range l.Terms {
-		out.Terms = append(out.Terms, Term{Coef: t.Coef, V: rep[t.V]})
-	}
-	return out.normalize()
-}
-
 // buildWatch constructs watch lists (clause indices per rep variable)
-// from st.cvars.
+// from st.cvars. The lists live in ownWatch, a buffer only ever filled
+// by this method, so a recycled kstate can reuse both the outer table
+// and the per-variable backing arrays; the shared-base path installs
+// its own (alias-bearing) table directly into st.watch instead and
+// never goes through here.
 func (st *kstate) buildWatch() {
 	st.ensureMemo()
-	st.watch = make([][]int32, len(st.rep))
+	st.ownWatch = grow(st.ownWatch, len(st.rep))
+	for i := range st.ownWatch {
+		st.ownWatch[i] = st.ownWatch[i][:0]
+	}
+	st.watch = st.ownWatch
 	st.appendWatch(0)
 }
 
-// ensureMemo allocates the domain-version bounds memo (see kstate.dver).
+// ensureMemo (re)initializes the domain-version bounds memo (see
+// kstate.dver), reusing recycled backing arrays when present.
 func (st *kstate) ensureMemo() {
 	n := len(st.count)
-	st.dver = make([]uint64, n)
+	st.dver = grow(st.dver, n)
+	st.bver = grow(st.bver, n)
 	for i := range st.dver {
 		st.dver[i] = 1 // bver zero value means "never computed"
+		st.bver[i] = 0
 	}
-	st.bver = make([]uint64, n)
-	st.bmin = make([]int64, n)
-	st.bmax = make([]int64, n)
+	st.bmin = grow(st.bmin, n)
+	st.bmax = grow(st.bmax, n)
 }
 
 // appendWatch adds clauses[first:] to the watch lists. Appending to a
@@ -699,12 +781,19 @@ func (s *Solver) solveKernel(done <-chan struct{}, limit int64, deadline time.Ti
 	}
 	nvars := len(s.domains)
 
+	// Per-solve buffers come from the arena when one is attached; a
+	// fresh throwaway arena otherwise keeps the two paths identical.
+	a := opts.Arena
+	if a == nil {
+		a = &Arena{}
+	}
+
 	// Flatten quantifiers and split top-level conjunctions of the delta.
-	var conjuncts []Con
+	conjuncts := a.conjuncts[:0]
 	var split func(c Con)
 	split = func(c Con) {
-		if a, ok := c.(*And); ok {
-			for _, x := range a.Cs {
+		if an, ok := c.(*And); ok {
+			for _, x := range an.Cs {
 				split(x)
 			}
 			return
@@ -714,10 +803,15 @@ func (s *Solver) solveKernel(done <-chan struct{}, limit int64, deadline time.Ti
 	for _, c := range s.cons {
 		split(flatten(c))
 	}
+	a.conjuncts = conjuncts
 
 	// Starting point: the base's propagated fixed point (one memcopy of
 	// the word store) or a fresh store.
-	uf := newVarUF(nvars)
+	uf := &varUF{parent: grow(a.ufParent, nvars)}
+	a.ufParent = uf.parent
+	for i := range uf.parent {
+		uf.parent[i] = VarID(i)
+	}
 	var ks kstore
 	var count []int32
 	var assigned []bool
@@ -727,30 +821,38 @@ func (s *Solver) solveKernel(done <-chan struct{}, limit int64, deadline time.Ti
 	var cvars [][]VarID
 	if b := s.base; b != nil {
 		copy(uf.parent, b.uf)
-		ks = kstore{cand: b.store.cand, off: b.store.off, words: append([]uint64(nil), b.store.words...)}
-		count = append([]int32(nil), b.count...)
-		assigned = append([]bool(nil), b.assigned...)
-		value = append([]int64(nil), b.value...)
+		a.words = append(a.words[:0], b.store.words...)
+		ks = kstore{cand: b.store.cand, off: b.store.off, words: a.words}
+		count = append(a.count[:0], b.count...)
+		assigned = append(a.assigned[:0], b.assigned...)
+		value = append(a.value[:0], b.value...)
 		firstDelta = len(b.clauses)
-		clauses = append(clauses, b.clauses...)
-		cvars = append(cvars, b.cvars...)
+		clauses = append(a.clauses[:0], b.clauses...)
+		cvars = append(a.cvars[:0], b.cvars...)
 	} else {
-		ks = newKstoreLayout(s.domains)
-		count = make([]int32, nvars)
+		ks = newKstoreLayoutInto(a, s.domains)
+		count = grow(a.count, nvars)
 		for v := range s.domains {
 			count[v] = int32(len(s.domains[v]))
 		}
-		assigned = make([]bool, nvars)
-		value = make([]int64, nvars)
+		assigned = grow(a.assigned, nvars)
+		value = grow(a.value, nvars)
+		for v := 0; v < nvars; v++ {
+			assigned[v] = false
+			value[v] = 0
+		}
+		clauses = a.clauses[:0]
+		cvars = a.cvars[:0]
 	}
+	a.count, a.assigned, a.value = count, assigned, value
 
 	// Delta equality preprocessing: merges and pins applied directly to
 	// the cloned store; affected roots seed the setup worklist. merges
 	// records (winner, loser) root pairs so the base's precomputed watch
 	// lists can be folded onto the surviving roots.
-	var dirty []VarID
-	var merges [][2]VarID
-	var remaining []Con
+	dirty := a.dirty[:0]
+	merges := a.merges[:0]
+	remaining := a.remaining[:0]
 	for _, c := range conjuncts {
 		eq, pin, kind := classifyEq(c, uf)
 		switch kind {
@@ -799,7 +901,10 @@ func (s *Solver) solveKernel(done <-chan struct{}, limit int64, deadline time.Ti
 		}
 	}
 
-	rep := make([]VarID, nvars)
+	a.dirty, a.merges, a.remaining = dirty, merges, remaining
+
+	rep := grow(a.rep, nvars)
+	a.rep = rep
 	for v := range rep {
 		rep[v] = uf.find(VarID(v))
 	}
@@ -815,26 +920,27 @@ func (s *Solver) solveKernel(done <-chan struct{}, limit int64, deadline time.Ti
 	}
 
 	for _, c := range remaining {
-		cl, vars := kcompile(c, rep)
+		cl, vars := kcompile(c, rep, &a.kcsc)
 		clauses = append(clauses, cl)
 		cvars = append(cvars, vars)
 	}
+	a.clauses, a.cvars = clauses, cvars
 
-	st := &kstate{
-		cand:     ks.cand,
-		off:      ks.off,
-		rep:      rep,
-		words:    ks.words,
-		count:    count,
-		assigned: assigned,
-		value:    value,
-		clauses:  clauses,
-		cvars:    cvars,
-		lcv:      opts.Heuristics,
-		limit:    limit,
-		deadline: deadline,
-		done:     done,
-	}
+	st := &a.st
+	st.reset()
+	st.cand = ks.cand
+	st.off = ks.off
+	st.rep = rep
+	st.words = ks.words
+	st.count = count
+	st.assigned = assigned
+	st.value = value
+	st.clauses = clauses
+	st.cvars = cvars
+	st.lcv = opts.Heuristics
+	st.limit = limit
+	st.deadline = deadline
+	st.done = done
 	if b := s.base; b != nil {
 		// Start from the base's precomputed watch lists (exact-capacity
 		// shared slices; appendWatch's appends reallocate instead of
@@ -842,7 +948,8 @@ func (s *Solver) solveKernel(done <-chan struct{}, limit int64, deadline time.Ti
 		// roots merged away by the delta are folded onto the winners so
 		// their clauses still propagate when the winner is assigned.
 		st.ensureMemo()
-		st.watch = make([][]int32, nvars)
+		st.watch = grow(a.watch, nvars)
+		a.watch = st.watch
 		copy(st.watch, b.watch)
 		for _, m := range merges {
 			winner, loser := m[0], m[1]
@@ -873,21 +980,23 @@ func (s *Solver) solveKernel(done <-chan struct{}, limit int64, deadline time.Ti
 	}
 
 	if opts.Decompose {
-		err = s.solveComponents(st, opts)
+		err = s.solveComponents(st, a, opts)
 	} else {
-		vars := make([]VarID, 0, nvars)
+		vars := a.searchVs[:0]
 		for v := 0; v < nvars; v++ {
 			if rep[v] == VarID(v) && !st.assigned[v] {
 				vars = append(vars, VarID(v))
 			}
 		}
-		st.degree = make([]int32, nvars)
+		a.searchVs = vars
+		st.degree = grow(st.degree, nvars)
 		for v := range st.degree {
 			st.degree[v] = int32(len(st.watch[v]))
 		}
 		err = st.searchVars(vars)
 	}
 	s.last.Nodes += st.nodes
+	s.last.ComponentCacheHits += st.cacheHits
 	if err != nil {
 		return nil, err
 	}

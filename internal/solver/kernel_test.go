@@ -321,7 +321,7 @@ func newTrailFixture() (*kstate, kclause) {
 	}
 	st.buildWatch() // allocates the domain-version bounds memo
 	// w < 100 prunes half the domain (4 words saved copy-on-write).
-	cl, _ := kcompile(NewCmp(sqltypes.OpLT, V(v), C(100)), st.rep)
+	cl, _ := kcompile(NewCmp(sqltypes.OpLT, V(v), C(100)), st.rep, &kcScratch{})
 	return st, cl
 }
 
@@ -355,7 +355,7 @@ func BenchmarkTrailUndo(b *testing.B) {
 // a published result is shared, and cancellation interrupts a wait.
 func TestComponentCacheSingleflight(t *testing.T) {
 	c := NewComponentCache()
-	_, claimed, err := c.acquire("k", nil, time.Time{})
+	_, claimed, _, err := c.acquire([]byte("k"), nil, time.Time{})
 	if err != nil || !claimed {
 		t.Fatalf("first acquire: claimed=%v err=%v, want claim", claimed, err)
 	}
@@ -366,7 +366,7 @@ func TestComponentCacheSingleflight(t *testing.T) {
 	}
 	waiter := make(chan got, 1)
 	go func() {
-		res, cl, err := c.acquire("k", nil, time.Time{})
+		res, cl, _, err := c.acquire([]byte("k"), nil, time.Time{})
 		waiter <- got{res, cl, err}
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -383,27 +383,27 @@ func TestComponentCacheSingleflight(t *testing.T) {
 	}
 	// Publish; a new reader sees the result without claiming.
 	c.complete("k", compResult{model: []int64{42}})
-	res, claimed, err := c.acquire("k", nil, time.Time{})
+	res, claimed, _, err := c.acquire([]byte("k"), nil, time.Time{})
 	if err != nil || claimed || res.unsat || len(res.model) != 1 || res.model[0] != 42 {
 		t.Fatalf("after complete: res=%+v claimed=%v err=%v", res, claimed, err)
 	}
 	// Cancellation interrupts waiting on an unpublished claim.
-	_, claimed, _ = c.acquire("k2", nil, time.Time{})
+	_, claimed, _, _ = c.acquire([]byte("k2"), nil, time.Time{})
 	if !claimed {
 		t.Fatal("k2 claim")
 	}
 	done := make(chan struct{})
 	close(done)
-	if _, _, err := c.acquire("k2", done, time.Time{}); !errors.Is(err, ErrCanceled) {
+	if _, _, _, err := c.acquire([]byte("k2"), done, time.Time{}); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("canceled wait: err = %v, want ErrCanceled", err)
 	}
 	c.release("k2")
 	// A deadline interrupts waiting too.
-	_, claimed, _ = c.acquire("k3", nil, time.Time{})
+	_, claimed, _, _ = c.acquire([]byte("k3"), nil, time.Time{})
 	if !claimed {
 		t.Fatal("k3 claim")
 	}
-	if _, _, err := c.acquire("k3", nil, time.Now().Add(time.Millisecond)); !errors.Is(err, ErrLimit) {
+	if _, _, _, err := c.acquire([]byte("k3"), nil, time.Now().Add(time.Millisecond)); !errors.Is(err, ErrLimit) {
 		t.Fatalf("deadlined wait: err = %v, want ErrLimit", err)
 	}
 	c.release("k3")

@@ -1,0 +1,319 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sqltypes"
+	"repro/internal/testutil"
+)
+
+// Tests for solver wave 2: component-parallel determinism, speculative
+// restarts, cancellation hygiene, and the steady-state allocation lock.
+
+// multiComponent builds nComp disjoint 3-variable all-different groups
+// (each group is one connected component under Decompose) with a
+// per-group lower bound so the components are not all canonically
+// identical.
+func multiComponent(nComp int) (*Solver, []VarID) {
+	s := New()
+	d := dom(0, 1, 2, 3, 4, 5)
+	var vars []VarID
+	for c := 0; c < nComp; c++ {
+		g := make([]VarID, 3)
+		for i := range g {
+			g[i] = s.NewVar(fmt.Sprintf("c%dv%d", c, i), d)
+		}
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				s.Assert(NewCmp(sqltypes.OpNE, V(g[i]), V(g[j])))
+			}
+		}
+		s.Assert(NewCmp(sqltypes.OpGE, V(g[0]), C(int64(c%3))))
+		vars = append(vars, g...)
+	}
+	return s, vars
+}
+
+// TestComponentParallelDeterministic is the tentpole's determinism
+// contract: the parallel component driver must produce the same model
+// and the same total node count as the sequential driver (components
+// are disjoint and each component's search is a pure function of the
+// component).
+func TestComponentParallelDeterministic(t *testing.T) {
+	s1, _ := multiComponent(8)
+	m1, err := s1.Solve(Options{Unfold: true, Decompose: true, Parallel: 1})
+	if err != nil {
+		t.Fatalf("sequential solve: %v", err)
+	}
+	st1 := s1.LastStats()
+
+	s2, _ := multiComponent(8)
+	m2, err := s2.Solve(Options{Unfold: true, Decompose: true, Parallel: 4})
+	if err != nil {
+		t.Fatalf("parallel solve: %v", err)
+	}
+	st2 := s2.LastStats()
+
+	if len(m1) != len(m2) {
+		t.Fatalf("model lengths differ: %d vs %d", len(m1), len(m2))
+	}
+	for v := range m1 {
+		if m1[v] != m2[v] {
+			t.Fatalf("model differs at var %d: sequential=%d parallel=%d\nseq: %v\npar: %v",
+				v, m1[v], m2[v], m1, m2)
+		}
+	}
+	if st1.Nodes != st2.Nodes {
+		t.Errorf("Stats.Nodes differ: sequential=%d parallel=%d", st1.Nodes, st2.Nodes)
+	}
+	if st1.ComponentCount != st2.ComponentCount || st2.ComponentCount != 8 {
+		t.Errorf("ComponentCount: sequential=%d parallel=%d, want 8", st1.ComponentCount, st2.ComponentCount)
+	}
+}
+
+// TestComponentParallelUnsatFailFast: one UNSAT component among many
+// SAT ones must fail the whole parallel solve with ErrUnsat (never a
+// sibling's induced cancellation) and leave no goroutines behind.
+func TestComponentParallelUnsatFailFast(t *testing.T) {
+	s, _ := multiComponent(6)
+	// A two-variable component over a singleton domain with x != y.
+	x := s.NewVar("ux", dom(1))
+	y := s.NewVar("uy", dom(1))
+	s.Assert(NewCmp(sqltypes.OpNE, V(x), V(y)))
+
+	before := testutil.GoroutineSnapshot()
+	_, err := s.Solve(Options{Unfold: true, Decompose: true, Parallel: 4})
+	if !errors.Is(err, ErrUnsat) {
+		t.Fatalf("got %v, want ErrUnsat", err)
+	}
+	testutil.RequireNoGoroutineLeak(t, before, 0)
+}
+
+// TestComponentParallelCancelNoLeak cancels a parallel component solve
+// stuck on a hard UNSAT component and requires a prompt ErrCanceled
+// with no leaked workers.
+func TestComponentParallelCancelNoLeak(t *testing.T) {
+	s, _ := multiComponent(4)
+	// One pigeonhole component whose refutation takes far longer than
+	// the cancellation delay.
+	const n = 12
+	ph := make([]VarID, n)
+	hole := make([]int64, n-1)
+	for i := range hole {
+		hole[i] = int64(i)
+	}
+	for i := range ph {
+		ph[i] = s.NewVar(fmt.Sprintf("ph%d", i), hole)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.Assert(NewCmp(sqltypes.OpNE, V(ph[i]), V(ph[j])))
+		}
+	}
+
+	before := testutil.GoroutineSnapshot()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.SolveContext(ctx, Options{Unfold: true, Decompose: true, Parallel: 4})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled parallel solve: got %v, want ErrCanceled (after %v)", err, time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation not prompt: took %v", elapsed)
+	}
+	// Slack 1 for the canceler goroutine above.
+	testutil.RequireNoGoroutineLeak(t, before, 1)
+}
+
+// thrashProblem is the hard-but-satisfiable instance from
+// TestRestartEscapesThrash: solving it requires escaping the adverse
+// first value order via restarts, which is what speculation races.
+func thrashProblem() (*Solver, []VarID) {
+	s := New()
+	const n = 14
+	vars := make([]VarID, n)
+	for i := range vars {
+		vars[i] = s.NewVar("c", dom(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.Assert(NewCmp(sqltypes.OpNE, V(vars[i]), V(vars[j])))
+		}
+	}
+	s.Assert(NewCmp(sqltypes.OpGE, V(vars[0]), C(13)))
+	return s, vars
+}
+
+// TestSpeculativeRestartDeterministic: the speculative ladder must find
+// a valid model for a restart-heavy instance, count its racers, and
+// return the same model on every run (first-winner determinism).
+func TestSpeculativeRestartDeterministic(t *testing.T) {
+	run := func() (Model, []VarID, Stats) {
+		s, vars := thrashProblem()
+		m, err := s.Solve(Options{Unfold: true, Speculate: 3, NodeLimit: 5_000_000})
+		if err != nil {
+			t.Fatalf("speculative solve: %v (stats %+v)", err, s.LastStats())
+		}
+		return m, vars, s.LastStats()
+	}
+	m1, vars, st := run()
+	seen := map[int64]bool{}
+	for _, v := range vars {
+		if seen[m1[v]] {
+			t.Fatalf("all-different violated: %v", m1)
+		}
+		seen[m1[v]] = true
+	}
+	if m1[vars[0]] < 13 {
+		t.Fatalf("bound violated: %v", m1)
+	}
+	if st.SpeculativeRuns == 0 {
+		t.Error("SpeculativeRuns = 0, want > 0 with Speculate=3")
+	}
+	m2, _, _ := run()
+	for v := range m1 {
+		if m1[v] != m2[v] {
+			t.Fatalf("speculative solve not deterministic at var %d: %d vs %d", v, m1[v], m2[v])
+		}
+	}
+}
+
+// TestSpeculativeCancelNoLeak cancels a speculative solve mid-restart
+// (all racers grinding on an UNSAT pigeonhole) and requires a prompt
+// ErrCanceled with every racer and watcher goroutine reaped.
+func TestSpeculativeCancelNoLeak(t *testing.T) {
+	s := pigeonhole(12)
+	before := testutil.GoroutineSnapshot()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.SolveContext(ctx, Options{Unfold: true, Speculate: 4})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled speculative solve: got %v, want ErrCanceled (after %v)", err, time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation not prompt: took %v", elapsed)
+	}
+	testutil.RequireNoGoroutineLeak(t, before, 1)
+}
+
+// TestSpeculativeQuantifiedAgree: speculation on the quantified path
+// must preserve SAT/UNSAT outcomes and model validity.
+func TestSpeculativeQuantifiedAgree(t *testing.T) {
+	s := New()
+	x := s.NewVar("x", dom(1, 2, 3))
+	y := s.NewVar("y", dom(2, 3, 4))
+	s.Assert(NewCmp(sqltypes.OpEQ, V(x), V(y)))
+	s.Assert(ForAll(NewCmp(sqltypes.OpGT, V(x), C(1)), NewCmp(sqltypes.OpLT, V(y), C(4))))
+	m, err := s.Solve(Options{Unfold: false, Speculate: 3})
+	if err != nil {
+		t.Fatalf("quantified speculative solve: %v", err)
+	}
+	if m[x] != m[y] {
+		t.Fatalf("model violates x = y: %v", m)
+	}
+}
+
+// --- steady-state allocation lock ----------------------------------------
+
+// newSearchFixture builds a warm kernel state over a chain of
+// not-equal constraints: easy enough to solve greedily on the first
+// restart attempt (no shuffle rng), hard enough to exercise
+// propagation, the trail, and per-depth value buffers.
+func newSearchFixture() (*kstate, []VarID) {
+	s := New()
+	d := dom(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	const n = 6
+	vars := make([]VarID, n)
+	for i := range vars {
+		vars[i] = s.NewVar(fmt.Sprintf("v%d", i), d)
+	}
+	for i := 0; i+1 < n; i++ {
+		s.Assert(NewCmp(sqltypes.OpNE, V(vars[i]), V(vars[i+1])))
+	}
+	s.Assert(NewCmp(sqltypes.OpLT, V(vars[0]), C(8)))
+
+	ks := newKstoreLayout(s.domains)
+	rep := make([]VarID, n)
+	count := make([]int32, n)
+	for v := range rep {
+		rep[v] = VarID(v)
+		count[v] = int32(len(s.domains[v]))
+	}
+	st := &kstate{
+		cand:     ks.cand,
+		off:      ks.off,
+		rep:      rep,
+		words:    ks.words,
+		count:    count,
+		assigned: make([]bool, n),
+		value:    make([]int64, n),
+		limit:    1 << 62,
+	}
+	var sc kcScratch
+	for _, c := range s.cons {
+		cl, cvs := kcompile(c, rep, &sc)
+		st.clauses = append(st.clauses, cl)
+		st.cvars = append(st.cvars, cvs)
+	}
+	st.buildWatch()
+	st.degree = make([]int32, n)
+	for v := range st.degree {
+		st.degree[v] = int32(len(st.watch[v]))
+	}
+	if conflict, err := st.setupPropagate(0, nil); conflict || err != nil {
+		panic(fmt.Sprintf("fixture setup: conflict=%v err=%v", conflict, err))
+	}
+	return st, rep
+}
+
+// searchCycle runs one full solve/undo cycle on the fixture: searchVars
+// assigns every variable, then the trail and assignments are rolled
+// back to the post-setup state so the next cycle replays identically.
+func searchCycle(st *kstate, vars []VarID) {
+	mark := st.tr.mark()
+	if err := st.searchVars(vars); err != nil {
+		panic(err)
+	}
+	st.undoTo(mark)
+	for _, v := range vars {
+		st.assigned[v] = false
+	}
+	st.impl = st.impl[:0]
+	st.nodes = 0
+}
+
+// TestSearchSteadyStateAllocs is the PR's hard 0-allocs/op lock on the
+// kernel search loop: after one warm-up cycle (trail, propagation
+// queue, and per-depth value buffers grown), a complete search + undo
+// of the fixture must not allocate. Guarded in CI alongside
+// TestTrailUndoAllocs.
+func TestSearchSteadyStateAllocs(t *testing.T) {
+	st, vars := newSearchFixture()
+	searchCycle(st, vars) // warm-up: grow all reusable scratch
+	allocs := testing.AllocsPerRun(100, func() { searchCycle(st, vars) })
+	if allocs != 0 {
+		t.Fatalf("steady-state search cycle allocates %v/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSearchSteadyState(b *testing.B) {
+	st, vars := newSearchFixture()
+	searchCycle(st, vars)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		searchCycle(st, vars)
+	}
+}

@@ -141,7 +141,10 @@ func evalCmpBounds(op sqltypes.CmpOp, lo, hi int64) sqltypes.Tristate {
 // constraints — foreign keys, NOT-EXISTS nullifications, input-database
 // tuple constraints — which is exactly the overhead that unfolding all
 // quantifiers up front (the paper's optimization) eliminates.
-func (s *Solver) solveQuantified(done <-chan struct{}, limit int64, deadline time.Time) (Model, error) {
+//
+// spec > 1 runs each ground solve through the speculative restart
+// ladder (see speculate.go) instead of the sequential one.
+func (s *Solver) solveQuantified(done <-chan struct{}, limit int64, deadline time.Time, spec int) (Model, error) {
 	var ground, quantified []Con
 	var split func(c Con)
 	split = func(c Con) {
@@ -189,8 +192,15 @@ func (s *Solver) solveQuantified(done <-chan struct{}, limit int64, deadline tim
 			return nil, ErrLimit
 		}
 		sub := &Solver{domains: s.domains, names: s.names, cons: active}
-		m, err := sub.solveUnfolded(done, remaining, deadline)
+		var m Model
+		var err error
+		if spec > 1 {
+			m, err = sub.solveUnfoldedSpec(done, remaining, deadline, spec)
+		} else {
+			m, err = sub.solveUnfolded(done, remaining, deadline)
+		}
 		s.last.Nodes += sub.last.Nodes
+		s.last.SpeculativeRuns += sub.last.SpeculativeRuns
 		if err != nil {
 			// UNSAT of a subset of the implied constraints is UNSAT of
 			// the whole problem (lemmas are implied by the quantifiers).
@@ -474,108 +484,11 @@ func (t *trail) undo(st *state, mark int) {
 }
 
 func (s *Solver) solveUnfolded(done <-chan struct{}, limit int64, deadline time.Time) (Model, error) {
-	// Flatten quantifiers and split top-level conjunctions into raw
-	// conjunct constraints.
-	var conjuncts []Con
-	var split func(c Con)
-	split = func(c Con) {
-		if a, ok := c.(*And); ok {
-			for _, x := range a.Cs {
-				split(x)
-			}
-			return
-		}
-		conjuncts = append(conjuncts, c)
-	}
-	for _, c := range s.cons {
-		split(flatten(c))
-	}
-
-	// Equality preprocessing: top-level x = y conjuncts merge variables
-	// via union-find, and x = c conjuncts pin domains. After unfolding,
-	// the paper's constraint systems are dominated by such equalities
-	// (§V-H), which is what makes the unfolded mode fast.
-	uf := newVarUF(len(s.domains))
-	domains := make([][]int64, len(s.domains))
-	copy(domains, s.domains)
-	var remaining []Con
-	for _, c := range conjuncts {
-		cmp, ok := c.(*Cmp)
-		if !ok || cmp.Op != sqltypes.OpEQ {
-			remaining = append(remaining, c)
-			continue
-		}
-		d := cmp.L.Minus(cmp.R)
-		switch {
-		case len(d.Terms) == 0:
-			if d.Const != 0 {
-				return nil, ErrUnsat
-			}
-		case len(d.Terms) == 1 && (d.Terms[0].Coef == 1 || d.Terms[0].Coef == -1):
-			// coef*x + const = 0  =>  x = -const/coef
-			v := uf.find(d.Terms[0].V)
-			val := -d.Const / d.Terms[0].Coef
-			nd := intersect(domains[v], []int64{val})
-			if len(nd) == 0 {
-				return nil, ErrUnsat
-			}
-			domains[v] = nd
-		case len(d.Terms) == 2 && d.Const == 0 && d.Terms[0].Coef == -d.Terms[1].Coef &&
-			(d.Terms[0].Coef == 1 || d.Terms[0].Coef == -1):
-			a, b := uf.find(d.Terms[0].V), uf.find(d.Terms[1].V)
-			if a != b {
-				nd := intersect(domains[a], domains[b])
-				if len(nd) == 0 {
-					return nil, ErrUnsat
-				}
-				root := uf.union(a, b)
-				domains[root] = nd
-			}
-		default:
-			remaining = append(remaining, c)
-		}
-	}
-	// Normalize domains onto roots (a non-root may have been pinned
-	// before being merged).
-	for v := range domains {
-		r := uf.find(VarID(v))
-		if r != VarID(v) {
-			nd := intersect(domains[r], domains[v])
-			if len(nd) == 0 {
-				return nil, ErrUnsat
-			}
-			domains[r] = nd
-		}
-	}
-
-	// Compile remaining constraints with variables substituted by their
-	// representatives.
-	var clauses []clause
-	for _, c := range remaining {
-		cl := compile(substitute(c, uf))
-		clauses = append(clauses, cl)
-	}
-
-	// Non-representative variables are resolved from their roots at the
-	// end; exclude them from search.
-	reps := make([]VarID, 0, len(s.domains))
-	nonReps := make([]VarID, 0)
-	for v := range s.domains {
-		if uf.find(VarID(v)) == VarID(v) {
-			reps = append(reps, VarID(v))
-		} else {
-			nonReps = append(nonReps, VarID(v))
-		}
-	}
-
-	// Watch lists: clause indices per representative variable.
-	watch := make([][]int32, len(s.domains))
-	for ci, cl := range clauses {
-		vars := map[VarID]bool{}
-		clauseVars(cl, vars)
-		for v := range vars {
-			watch[v] = append(watch[v], int32(ci))
-		}
+	// The front end (flatten, equality preprocessing, compilation, watch
+	// lists) is shared with the speculative ladder; see speculate.go.
+	p, err := s.prepUnfolded()
+	if err != nil {
+		return nil, err
 	}
 
 	// Randomized restarts with doubling budgets: chronological
@@ -588,69 +501,36 @@ func (s *Solver) solveUnfolded(done <-chan struct{}, limit int64, deadline time.
 	var usedNodes int64
 	// The rng only feeds restart shuffles, and the overwhelming majority
 	// of solves succeed on attempt 0 — seeding it eagerly showed up as
-	// ~13% of generation CPU in profiles, so it is created lazily.
+	// ~13% of generation CPU in profiles, so it is created lazily. The
+	// stream is shared across attempts (attempt N+1's shuffles continue
+	// where N's stopped), which speculative attempts deliberately do not
+	// reproduce — their seeds are per-attempt (see specSeed).
 	var rng *rand.Rand
-	baseDomains := domains
 	for attempt := 0; ; attempt++ {
 		// Cooperative cancellation between restarts (the DFS itself
 		// checks st.done every ~1024 nodes).
 		if canceled(done) {
 			return nil, ErrCanceled
 		}
-		cur := baseDomains
+		var shuffle *rand.Rand
 		if attempt > 0 {
 			if rng == nil {
 				rng = rand.New(rand.NewSource(0x9e3779b9))
 			}
-			cur = make([][]int64, len(baseDomains))
-			copy(cur, baseDomains)
-			for _, v := range reps {
-				d := append([]int64(nil), cur[v]...)
-				rng.Shuffle(len(d), func(i, j int) { d[i], d[j] = d[j], d[i] })
-				cur[v] = d
-			}
+			shuffle = rng
 		}
-		st := &state{
-			domains:  make([][]int64, len(s.domains)),
-			assigned: make([]bool, len(s.domains)),
-			value:    make([]int64, len(s.domains)),
-			limit:    restartBudget,
-			deadline: deadline,
-			done:     done,
-		}
-		copy(st.domains, cur)
-		for _, v := range nonReps {
-			st.assigned[v] = true // placeholder; filled from root later
-		}
+		budget := restartBudget
 		if usedNodes+restartBudget > limit {
-			st.limit = limit - usedNodes
+			budget = limit - usedNodes
 		}
-
-		tr := &trail{}
-		conflict := false
-		for _, cl := range clauses {
-			if cl.eval(st) == sqltypes.False || cl.prune(st, tr) {
-				conflict = true
-				break
-			}
-		}
-		if conflict {
-			s.last.Nodes += st.nodes
-			return nil, ErrUnsat
-		}
-		found, err := s.dfsUnfolded(st, clauses, watch, tr, reps)
-		usedNodes += st.nodes
-		s.last.Nodes += st.nodes
+		m, nodes, err := s.attemptUnfolded(p, shuffle, budget, deadline, done)
+		usedNodes += nodes
+		s.last.Nodes += nodes
 		switch {
-		case err == nil && found:
-			for v := range s.domains {
-				if r := uf.find(VarID(v)); r != VarID(v) {
-					st.value[v] = st.value[r]
-				}
-			}
-			return Model(st.value), nil
 		case err == nil:
-			return nil, ErrUnsat // search space exhausted
+			return m, nil
+		case errors.Is(err, ErrUnsat):
+			return nil, ErrUnsat
 		case errors.Is(err, ErrLimit) && usedNodes < limit && (deadline.IsZero() || time.Now().Before(deadline)):
 			restartBudget *= 2 // restart with shuffled value order
 		default:

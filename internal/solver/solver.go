@@ -47,8 +47,30 @@ type Term struct {
 	V    VarID
 }
 
+// vpage backs V's single-term expressions for small variable ids. V is
+// the hottest Lin constructor (every attribute reference builds one),
+// and Lin values are immutable by construction — Plus, Times, normalize
+// and klinDiff always allocate fresh term slices — so every V(v) can
+// share one read-only page of terms. Each view is capped at length 1 by
+// a full slice expression: a caller appending to it reallocates instead
+// of clobbering the neighboring variable's term.
+const vpageSize = 1 << 14
+
+var vpage = func() []Term {
+	p := make([]Term, vpageSize)
+	for i := range p {
+		p[i] = Term{Coef: 1, V: VarID(i)}
+	}
+	return p
+}()
+
 // V returns the linear expression consisting of a single variable.
-func V(v VarID) Lin { return Lin{Terms: []Term{{Coef: 1, V: v}}} }
+func V(v VarID) Lin {
+	if v >= 0 && int(v) < vpageSize {
+		return Lin{Terms: vpage[v : v+1 : v+1]}
+	}
+	return Lin{Terms: []Term{{Coef: 1, V: v}}}
+}
 
 // C returns a constant linear expression.
 func C(c int64) Lin { return Lin{Const: c} }
@@ -261,6 +283,34 @@ type Options struct {
 	// across kill goals (and across datasets) are solved once. Safe
 	// for concurrent use; see ComponentCache.
 	Cache *ComponentCache
+	// Parallel, when > 1 and Decompose is set, solves independent
+	// constraint components on up to Parallel concurrent workers
+	// instead of strictly smallest-first. Components are variable- and
+	// clause-disjoint, each worker searches with a private trail and
+	// budget ladder identical to the sequential one, and results land
+	// in the same disjoint domain regions — so models and per-component
+	// node counts are identical to the sequential solve (the assembly
+	// is deterministic). A failing component cancels its siblings
+	// (fail-fast); sibling cancellation is absorbed, and the solve's
+	// error is chosen by severity (UNSAT > limit > cancellation) so the
+	// outcome does not depend on worker timing. <= 1 means sequential.
+	Parallel int
+	// Speculate, when > 1, runs the legacy (non-kernel) restart ladder
+	// speculatively: each restart round launches up to Speculate
+	// diversified searches (distinct deterministic value-order seeds)
+	// concurrently, the lowest-indexed successful attempt wins, and
+	// higher-indexed racers are canceled as soon as a better attempt
+	// succeeds (first-winner cancellation). The winning model is a pure
+	// function of the problem — lower-indexed racers always run to
+	// their deterministic conclusion before a higher one is accepted —
+	// but the node counts of canceled racers depend on timing, so
+	// Stats.Nodes is only deterministic with Speculate <= 1. Losers'
+	// nodes fold into Stats.Nodes honestly. Ignored by the bitset
+	// kernel path (which restarts per component instead).
+	Speculate int
+	// Arena, when non-nil, recycles the kernel's per-solve allocations
+	// (see Arena). The arena must not be shared by concurrent solves.
+	Arena *Arena
 }
 
 // kernel reports whether the solve should use the bitset search kernel.
@@ -303,6 +353,10 @@ type Stats struct {
 	// PrepareBase and reused here instead of being recomputed (0 when
 	// no base is attached).
 	BasePropagationNodes int64
+	// SpeculativeRuns counts speculative restart racers launched beyond
+	// the per-round winner candidate (0 unless Options.Speculate > 1).
+	// Their search nodes are folded into Nodes.
+	SpeculativeRuns int64
 }
 
 // Solver accumulates variables and constraints.
@@ -448,28 +502,33 @@ func (s *Solver) SolveContext(ctx context.Context, opts Options) (Model, error) 
 		return s.solveKernel(done, limit, deadline, opts)
 	}
 	if opts.Unfold {
+		if opts.Speculate > 1 {
+			return s.solveUnfoldedSpec(done, limit, deadline, opts.Speculate)
+		}
 		return s.solveUnfolded(done, limit, deadline)
 	}
-	return s.solveQuantified(done, limit, deadline)
+	return s.solveQuantified(done, limit, deadline, opts.Speculate)
 }
 
-// flatten expands Quant nodes into And/Or recursively.
+// flatten expands Quant nodes into And/Or recursively. Subtrees without
+// Quant nodes are returned as-is (constraint trees are immutable once
+// asserted, so structural sharing is safe): in unfolded mode — the hot
+// path, where core asserts Quant-free constraints — flatten is then a
+// pointer-returning walk instead of a full tree copy.
 func flatten(c Con) Con {
 	switch n := c.(type) {
 	case *Cmp:
 		return n
 	case *And:
-		out := make([]Con, len(n.Cs))
-		for i, x := range n.Cs {
-			out[i] = flatten(x)
+		if out, changed := flattenSlice(n.Cs); changed {
+			return &And{Cs: out}
 		}
-		return &And{Cs: out}
+		return n
 	case *Or:
-		out := make([]Con, len(n.Cs))
-		for i, x := range n.Cs {
-			out[i] = flatten(x)
+		if out, changed := flattenSlice(n.Cs); changed {
+			return &Or{Cs: out}
 		}
-		return &Or{Cs: out}
+		return n
 	case *Quant:
 		out := make([]Con, len(n.Bodies))
 		for i, x := range n.Bodies {
@@ -482,6 +541,25 @@ func flatten(c Con) Con {
 	default:
 		panic(fmt.Sprintf("solver: flatten on %T", c))
 	}
+}
+
+// flattenSlice flattens each child, copying the slice only if some child
+// actually changed.
+func flattenSlice(cs []Con) ([]Con, bool) {
+	for i, x := range cs {
+		fx := flatten(x)
+		if fx == x {
+			continue
+		}
+		out := make([]Con, len(cs))
+		copy(out, cs[:i])
+		out[i] = fx
+		for j := i + 1; j < len(cs); j++ {
+			out[j] = flatten(cs[j])
+		}
+		return out, true
+	}
+	return cs, false
 }
 
 // conVars collects the variables mentioned by a constraint.

@@ -326,7 +326,21 @@ func TestModesAgreeProperty(t *testing.T) {
 		if (eu == nil) != (eq == nil) {
 			t.Fatalf("iter %d: modes disagree: unfolded=%v quantified=%v", iter, eu, eq)
 		}
-		for name, m := range map[string]Model{"unfolded": mu, "quantified": mq} {
+		// Wave-2 execution strategies (component parallelism on the
+		// kernel path, speculation on both legacy paths) must preserve
+		// the SAT/UNSAT outcome and produce valid models.
+		mp, ep := s.Solve(Options{Unfold: true, Decompose: true, Parallel: 4})
+		ms, es := s.Solve(Options{Unfold: true, Speculate: 3})
+		mqs, eqs := s.Solve(Options{Unfold: false, Speculate: 3})
+		for name, err := range map[string]error{"parallel": ep, "speculative": es, "quantified-speculative": eqs} {
+			if (eu == nil) != (err == nil) {
+				t.Fatalf("iter %d: %s mode disagrees: unfolded=%v %s=%v", iter, name, eu, name, err)
+			}
+		}
+		for name, m := range map[string]Model{
+			"unfolded": mu, "quantified": mq,
+			"parallel": mp, "speculative": ms, "quantified-speculative": mqs,
+		} {
 			if m == nil {
 				continue
 			}

@@ -1,0 +1,346 @@
+package solver
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// Speculative parallel restarts for the legacy (list-based) unfolded
+// path (Options.Speculate > 1). The sequential restart ladder runs
+// attempts one after another: preference order first, then doubling
+// budgets with shuffled value orders, because on combinatorial
+// instances the first shuffle that escapes a bad prefix is a lottery.
+// Speculation plays several tickets at once: each round launches K
+// racers over the same preprocessed problem with diversified,
+// deterministic value-order seeds, and the first (lowest-indexed)
+// satisfying racer wins.
+//
+// Determinism contract: the winning model is a deterministic function
+// of the problem and K. A racer with a lower index is never canceled
+// on behalf of a higher-indexed winner — it runs to its own
+// deterministic conclusion first — so the lowest SAT index, and hence
+// the model, cannot depend on scheduling. Only higher-indexed racers
+// (which cannot win anymore) are canceled early, which makes
+// Stats.Nodes scheduling-dependent under speculation; callers that
+// need exact node replay keep Speculate <= 1 (the sequential ladder is
+// untouched). A racer that exhausts its search space proves UNSAT for
+// the whole problem (value-order shuffles preserve completeness), so
+// exhaustion cancels every racer immediately.
+
+// uprob is a preprocessed unfolded problem: the output of flattening,
+// equality preprocessing, compilation and watch-list construction,
+// shared read-only by any number of concurrent search attempts (each
+// attempt copies the domain table and owns its trail).
+type uprob struct {
+	// root[v] is v's union-find representative, frozen at prep time:
+	// racers must never call uf.find on a shared union-find (path
+	// compression writes to the parent array — a data race).
+	root    []VarID
+	domains [][]int64
+	clauses []clause
+	reps    []VarID
+	nonReps []VarID
+	watch   [][]int32
+}
+
+// prepUnfolded performs the unfolded-mode front end once: flatten and
+// split conjunctions, merge/pin top-level equalities, normalize onto
+// representatives, compile, and build watch lists. Returns ErrUnsat
+// when preprocessing alone refutes the system.
+func (s *Solver) prepUnfolded() (*uprob, error) {
+	// Flatten quantifiers and split top-level conjunctions into raw
+	// conjunct constraints.
+	var conjuncts []Con
+	var split func(c Con)
+	split = func(c Con) {
+		if a, ok := c.(*And); ok {
+			for _, x := range a.Cs {
+				split(x)
+			}
+			return
+		}
+		conjuncts = append(conjuncts, c)
+	}
+	for _, c := range s.cons {
+		split(flatten(c))
+	}
+
+	// Equality preprocessing: top-level x = y conjuncts merge variables
+	// via union-find, and x = c conjuncts pin domains. After unfolding,
+	// the paper's constraint systems are dominated by such equalities
+	// (§V-H), which is what makes the unfolded mode fast.
+	uf := newVarUF(len(s.domains))
+	domains := make([][]int64, len(s.domains))
+	copy(domains, s.domains)
+	var remaining []Con
+	for _, c := range conjuncts {
+		cmp, ok := c.(*Cmp)
+		if !ok || cmp.Op != sqltypes.OpEQ {
+			remaining = append(remaining, c)
+			continue
+		}
+		d := cmp.L.Minus(cmp.R)
+		switch {
+		case len(d.Terms) == 0:
+			if d.Const != 0 {
+				return nil, ErrUnsat
+			}
+		case len(d.Terms) == 1 && (d.Terms[0].Coef == 1 || d.Terms[0].Coef == -1):
+			// coef*x + const = 0  =>  x = -const/coef
+			v := uf.find(d.Terms[0].V)
+			val := -d.Const / d.Terms[0].Coef
+			nd := intersect(domains[v], []int64{val})
+			if len(nd) == 0 {
+				return nil, ErrUnsat
+			}
+			domains[v] = nd
+		case len(d.Terms) == 2 && d.Const == 0 && d.Terms[0].Coef == -d.Terms[1].Coef &&
+			(d.Terms[0].Coef == 1 || d.Terms[0].Coef == -1):
+			a, b := uf.find(d.Terms[0].V), uf.find(d.Terms[1].V)
+			if a != b {
+				nd := intersect(domains[a], domains[b])
+				if len(nd) == 0 {
+					return nil, ErrUnsat
+				}
+				root := uf.union(a, b)
+				domains[root] = nd
+			}
+		default:
+			remaining = append(remaining, c)
+		}
+	}
+	// Normalize domains onto roots (a non-root may have been pinned
+	// before being merged).
+	for v := range domains {
+		r := uf.find(VarID(v))
+		if r != VarID(v) {
+			nd := intersect(domains[r], domains[v])
+			if len(nd) == 0 {
+				return nil, ErrUnsat
+			}
+			domains[r] = nd
+		}
+	}
+
+	// Compile remaining constraints with variables substituted by their
+	// representatives.
+	var clauses []clause
+	for _, c := range remaining {
+		clauses = append(clauses, compile(substitute(c, uf)))
+	}
+
+	// Non-representative variables are resolved from their roots at the
+	// end; exclude them from search. The root table is the frozen form
+	// of the union-find: all compression happens here, on one goroutine,
+	// before any racer can observe it.
+	root := make([]VarID, len(s.domains))
+	reps := make([]VarID, 0, len(s.domains))
+	nonReps := make([]VarID, 0)
+	for v := range s.domains {
+		root[v] = uf.find(VarID(v))
+		if root[v] == VarID(v) {
+			reps = append(reps, VarID(v))
+		} else {
+			nonReps = append(nonReps, VarID(v))
+		}
+	}
+
+	// Watch lists: clause indices per representative variable.
+	watch := make([][]int32, len(s.domains))
+	for ci, cl := range clauses {
+		vars := map[VarID]bool{}
+		clauseVars(cl, vars)
+		for v := range vars {
+			watch[v] = append(watch[v], int32(ci))
+		}
+	}
+
+	return &uprob{
+		root:    root,
+		domains: domains,
+		clauses: clauses,
+		reps:    reps,
+		nonReps: nonReps,
+		watch:   watch,
+	}, nil
+}
+
+// attemptUnfolded runs one restart attempt over the preprocessed
+// problem: copy the domain table, shuffle representative value orders
+// with the given rng (nil = preference order), run the initial
+// conflict pre-pass and the DFS. Returns the SAT model, the node
+// count, and nil / ErrUnsat (exhausted) / ErrLimit / ErrCanceled.
+func (s *Solver) attemptUnfolded(p *uprob, rng *rand.Rand, budget int64,
+	deadline time.Time, done <-chan struct{}) (Model, int64, error) {
+	cur := p.domains
+	if rng != nil {
+		cur = make([][]int64, len(p.domains))
+		copy(cur, p.domains)
+		for _, v := range p.reps {
+			d := append([]int64(nil), cur[v]...)
+			rng.Shuffle(len(d), func(i, j int) { d[i], d[j] = d[j], d[i] })
+			cur[v] = d
+		}
+	}
+	st := &state{
+		domains:  make([][]int64, len(cur)),
+		assigned: make([]bool, len(cur)),
+		value:    make([]int64, len(cur)),
+		limit:    budget,
+		deadline: deadline,
+		done:     done,
+	}
+	copy(st.domains, cur)
+	for _, v := range p.nonReps {
+		st.assigned[v] = true // placeholder; filled from root later
+	}
+
+	tr := &trail{}
+	for _, cl := range p.clauses {
+		if cl.eval(st) == sqltypes.False || cl.prune(st, tr) {
+			return nil, st.nodes, ErrUnsat
+		}
+	}
+	found, err := s.dfsUnfolded(st, p.clauses, p.watch, tr, p.reps)
+	switch {
+	case err == nil && found:
+		for v := range st.value {
+			if r := p.root[v]; r != VarID(v) {
+				st.value[v] = st.value[r]
+			}
+		}
+		return Model(st.value), st.nodes, nil
+	case err == nil:
+		return nil, st.nodes, ErrUnsat // search space exhausted
+	default:
+		return nil, st.nodes, err
+	}
+}
+
+// specSeed derives the deterministic value-order seed of global
+// attempt g. Attempt 0 is nil (preference order), matching the
+// sequential ladder's first attempt; every later attempt gets an
+// independent rng so diversification does not depend on how previous
+// attempts consumed a shared stream.
+func specSeed(g int) *rand.Rand {
+	if g == 0 {
+		return nil
+	}
+	return rand.New(rand.NewSource(0x9e3779b9 + int64(g)))
+}
+
+// solveUnfoldedSpec is the speculative restart ladder (see the file
+// comment for the determinism contract).
+func (s *Solver) solveUnfoldedSpec(done <-chan struct{}, limit int64, deadline time.Time, spec int) (Model, error) {
+	p, err := s.prepUnfolded()
+	if err != nil {
+		return nil, err
+	}
+
+	restartBudget := int64(4096)
+	var usedNodes int64
+	for round := 0; ; round++ {
+		if canceled(done) {
+			return nil, ErrCanceled
+		}
+		k := spec
+		budget := restartBudget
+		if usedNodes+budget > limit {
+			budget = limit - usedNodes
+		}
+
+		// stop cancels racers that can no longer win; merged relays the
+		// earlier of stop and the solve's own cancellation. The watcher
+		// exits when the round closes stop on its way out.
+		stop := make(chan struct{})
+		var stopOnce sync.Once
+		halt := func() { stopOnce.Do(func() { close(stop) }) }
+		merged := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-stop:
+			case <-done:
+			}
+			close(merged)
+		}()
+
+		type specOut struct {
+			idx   int
+			model Model
+			nodes int64
+			err   error
+		}
+		results := make(chan specOut, k)
+		for j := 0; j < k; j++ {
+			go func(j int) {
+				m, nodes, aerr := s.attemptUnfolded(p, specSeed(round*spec+j), budget, deadline, merged)
+				results <- specOut{idx: j, model: m, nodes: nodes, err: aerr}
+			}(j)
+		}
+
+		finished := make([]bool, k)
+		models := make([]Model, k)
+		errsb := make([]error, k)
+		unsat := false
+		for received := 0; received < k; received++ {
+			r := <-results
+			finished[r.idx] = true
+			models[r.idx] = r.model
+			errsb[r.idx] = r.err
+			usedNodes += r.nodes
+			s.last.Nodes += r.nodes
+			if r.err != nil && errors.Is(r.err, ErrUnsat) {
+				// Genuine exhaustion refutes the whole problem; nothing
+				// left to wait for.
+				unsat = true
+				halt()
+				continue
+			}
+			// The winner is decided once the lowest-indexed SAT racer has
+			// no unfinished racer below it: those below finished non-SAT
+			// and cannot change the outcome, those above cannot win.
+			for w := 0; w < k; w++ {
+				if !finished[w] {
+					break // a lower racer is still running: keep waiting
+				}
+				if models[w] != nil {
+					halt()
+					break
+				}
+			}
+		}
+		halt()
+		<-watcherDone
+		s.last.SpeculativeRuns += int64(k)
+
+		if unsat {
+			return nil, ErrUnsat
+		}
+		for w := 0; w < k; w++ {
+			if models[w] != nil {
+				return models[w], nil
+			}
+		}
+		if canceled(done) {
+			return nil, ErrCanceled
+		}
+		// Surface non-budget failures (racers canceled by a decision that
+		// then evaporated cannot occur: halt fires only on exhaustion or a
+		// winner, both of which returned above).
+		for w := 0; w < k; w++ {
+			if errsb[w] != nil && !errors.Is(errsb[w], ErrLimit) {
+				return nil, errsb[w]
+			}
+		}
+		if usedNodes >= limit || (!deadline.IsZero() && !time.Now().Before(deadline)) {
+			return nil, ErrLimit
+		}
+		restartBudget *= 2 // every racer exhausted its budget: escalate
+	}
+}

@@ -41,6 +41,25 @@ func newKstoreLayout(domains [][]int64) kstore {
 	return ks
 }
 
+// newKstoreLayoutInto is newKstoreLayout with the off/words backing
+// recycled from an arena.
+func newKstoreLayoutInto(a *Arena, domains [][]int64) kstore {
+	ks := kstore{cand: domains, off: grow(a.off, len(domains)+1)}
+	a.off = ks.off
+	total := int32(0)
+	for v, d := range domains {
+		ks.off[v] = total
+		total += int32((len(d) + 63) / 64)
+	}
+	ks.off[len(domains)] = total
+	ks.words = grow(a.words, int(total))
+	a.words = ks.words
+	for v, d := range domains {
+		fillWords(ks.words[ks.off[v]:ks.off[v+1]], len(d))
+	}
+	return ks
+}
+
 // fillWords sets the first n bits across the word span.
 func fillWords(w []uint64, n int) {
 	for i := range w {
@@ -171,8 +190,9 @@ func PrepareBase(layout *Solver, cons []Con) *Base {
 		rep[v] = uf.find(VarID(v))
 	}
 	b.uf = rep
+	var sc kcScratch
 	for _, c := range remaining {
-		cl, vars := kcompile(c, rep)
+		cl, vars := kcompile(c, rep, &sc)
 		b.clauses = append(b.clauses, cl)
 		b.cvars = append(b.cvars, vars)
 	}

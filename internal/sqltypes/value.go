@@ -431,42 +431,47 @@ type Row []Value
 // Key returns a canonical string encoding of the row, used for duplicate
 // detection, grouping and multiset comparison. NULLs encode distinctly
 // from any literal value.
-func (r Row) Key() string {
-	var sb strings.Builder
+func (r Row) Key() string { return string(r.AppendKey(nil)) }
+
+// AppendKey appends the Key encoding to dst and returns the extended
+// buffer. Hot dedup loops reuse one buffer across rows and look up maps
+// via m[string(buf)] (which Go compiles allocation-free), interning the
+// string only when a key is actually stored.
+func (r Row) AppendKey(dst []byte) []byte {
 	for i, v := range r {
 		if i > 0 {
-			sb.WriteByte('\x1f')
+			dst = append(dst, '\x1f')
 		}
 		if v.null {
-			sb.WriteString("\x00N")
+			dst = append(dst, '\x00', 'N')
 			continue
 		}
 		switch v.kind {
 		case KindInt:
-			sb.WriteByte('i')
-			sb.WriteString(strconv.FormatInt(v.i, 10))
+			dst = append(dst, 'i')
+			dst = strconv.AppendInt(dst, v.i, 10)
 		case KindFloat:
 			// Encode integral floats identically to ints so that
 			// numeric-equal rows compare identical.
 			if v.f == float64(int64(v.f)) {
-				sb.WriteByte('i')
-				sb.WriteString(strconv.FormatInt(int64(v.f), 10))
+				dst = append(dst, 'i')
+				dst = strconv.AppendInt(dst, int64(v.f), 10)
 			} else {
-				sb.WriteByte('f')
-				sb.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+				dst = append(dst, 'f')
+				dst = strconv.AppendFloat(dst, v.f, 'g', -1, 64)
 			}
 		case KindString:
-			sb.WriteByte('s')
-			sb.WriteString(v.s)
+			dst = append(dst, 's')
+			dst = append(dst, v.s...)
 		case KindBool:
 			if v.b {
-				sb.WriteString("bT")
+				dst = append(dst, 'b', 'T')
 			} else {
-				sb.WriteString("bF")
+				dst = append(dst, 'b', 'F')
 			}
 		}
 	}
-	return sb.String()
+	return dst
 }
 
 // FNV-1a 64-bit parameters.

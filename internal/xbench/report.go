@@ -25,19 +25,37 @@ type Environment struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's parallelism ceiling at report time.
+	// Parallel-scaling rows are only meaningful relative to it: on a
+	// GOMAXPROCS=1 machine every worker setting measures ~1x.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // Benchmark is one headline measurement: a fixed workload repeated
 // Iters times, with the deterministic work counters that make the
 // number interpretable (and regressions diagnosable) across machines.
 type Benchmark struct {
-	// Name identifies the workload (currently "university_generation":
-	// every Table I and Table II cell, unfolded, Parallelism=1).
+	// Name identifies the workload ("university_generation": every
+	// Table I and Table II cell, unfolded, Parallelism=1; or
+	// "university_generation_parallel": the same workload at a given
+	// worker budget — the parallel-scaling rows).
 	Name  string `json:"name"`
 	Iters int    `json:"iters"`
+	// Workers is the total worker budget the iteration ran with
+	// (core Options.Parallelism and SolverParallelism; 1 = the
+	// sequential headline configuration).
+	Workers int `json:"workers"`
 	// NsPerOp is the mean wall time of one workload iteration.
 	NsPerOp int64 `json:"ns_per_op"`
 	TotalNs int64 `json:"total_ns"`
+	// AllocsPerOp/BytesPerOp are the mean heap allocation count and
+	// byte volume of one workload iteration (runtime.MemStats deltas
+	// across the timed loop — the same accounting as testing.B
+	// ReportAllocs). The steady-state solver target is tracked by the
+	// 0-allocs/op lock in internal/solver; these whole-workload numbers
+	// include parsing, goal enumeration, and suite assembly.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 	// Deterministic per-iteration work counters (identical every iter).
 	Datasets             int64 `json:"datasets"`
 	SolverCalls          int64 `json:"solver_calls"`
@@ -83,10 +101,11 @@ func NewReport(parallelism int) *Report {
 		SchemaVersion: ReportSchemaVersion,
 		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 		Environment: Environment{
-			GoVersion: runtime.Version(),
-			GOOS:      runtime.GOOS,
-			GOARCH:    runtime.GOARCH,
-			NumCPU:    runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 		Parallelism: parallelism,
 	}
@@ -118,10 +137,38 @@ func (r *Report) SetBaseline(label string, nsPerOp int64, benchName string) {
 // from the final iteration; they are deterministic, so any iteration
 // reports the same values.
 func RunUniversityBench(ctx context.Context, iters int) (Benchmark, error) {
+	return runUniversity(ctx, "university_generation", iters, 1)
+}
+
+// RunUniversityScaling measures the parallel-scaling rows: the same
+// university workload at total worker budgets of 1, 2, and 4 (both
+// goal-level Parallelism and the intra-goal SolverParallelism share are
+// set to the budget; the generator's clamp divides it so the product
+// never oversubscribes). Interpret the rows against
+// Environment.GOMAXPROCS — with one schedulable CPU every row is ~1x.
+func RunUniversityScaling(ctx context.Context, iters int, workers []int) ([]Benchmark, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4}
+	}
+	var rows []Benchmark
+	for _, w := range workers {
+		b, err := runUniversity(ctx, "university_generation_parallel", iters, w)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, b)
+	}
+	return rows, nil
+}
+
+// runUniversity runs the shared workload loop: one iteration generates
+// every Table I and Table II cell with a fresh generator per cell, at
+// the given total worker budget.
+func runUniversity(ctx context.Context, name string, iters, workers int) (Benchmark, error) {
 	if iters <= 0 {
 		iters = 20
 	}
-	b := Benchmark{Name: "university_generation", Iters: iters}
+	b := Benchmark{Name: name, Iters: iters, Workers: workers}
 
 	type cell struct{ q *qtree.Query }
 	var cells []cell
@@ -138,6 +185,8 @@ func RunUniversityBench(ctx context.Context, iters int) (Benchmark, error) {
 		}
 	}
 
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	t0 := time.Now()
 	for i := 0; i < iters; i++ {
 		if err := ctx.Err(); err != nil {
@@ -147,7 +196,8 @@ func RunUniversityBench(ctx context.Context, iters int) (Benchmark, error) {
 		var datasets int64
 		for _, c := range cells {
 			opts := core.DefaultOptions()
-			opts.Parallelism = 1
+			opts.Parallelism = workers
+			opts.SolverParallelism = workers
 			suite, err := core.NewGenerator(c.q, opts).GenerateContext(ctx)
 			if err != nil {
 				return b, err
@@ -168,5 +218,8 @@ func RunUniversityBench(ctx context.Context, iters int) (Benchmark, error) {
 	}
 	b.TotalNs = time.Since(t0).Nanoseconds()
 	b.NsPerOp = b.TotalNs / int64(iters)
+	runtime.ReadMemStats(&ms1)
+	b.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(iters)
+	b.BytesPerOp = int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters)
 	return b, nil
 }
