@@ -261,10 +261,11 @@ func run() int {
 					sb.Name, sb.Requests, sb.Concurrency, sb.NsPerRequest,
 					sb.Counters.Admitted, sb.Counters.Shed, sb.Counters.Completed, sb.Counters.Partial,
 					sb.Counters.PanicsRecovered, sb.Counters.BudgetExpired, sb.Counters.Drained)
-				fmt.Printf("fleet/cache: %d cache hits, %d collapsed, %d entries (%d bytes), %d evictions, %d forwards, %d hedges, %d breaker opens, %d degraded serves\n\n",
-					sb.Counters.CacheCounters.Hits, sb.Counters.CacheCounters.Collapsed,
+				fmt.Printf("fleet/cache: %d cache hits (%d disk), %d collapsed, %d entries (%d bytes), %d evictions, %d corrupt drops, %d forwards, %d hedges, %d breaker opens, %d degraded serves\n\n",
+					sb.Counters.CacheCounters.Hits, sb.Counters.CacheCounters.DiskHits,
+					sb.Counters.CacheCounters.Collapsed,
 					sb.Counters.CacheCounters.Entries, sb.Counters.CacheCounters.Bytes,
-					sb.Counters.CacheCounters.Evictions,
+					sb.Counters.CacheCounters.Evictions, sb.Counters.CacheCounters.CorruptDrops,
 					sb.Counters.RouterCounters.Forwards, sb.Counters.RouterCounters.Hedges,
 					sb.Counters.RouterCounters.BreakerOpens, sb.Counters.DegradedServes)
 			}

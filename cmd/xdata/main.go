@@ -23,6 +23,11 @@
 // -cpuprofile/-memprofile write runtime/pprof profiles of the run for
 // use with `go tool pprof`.
 //
+// -replay re-runs a failure repro bundle captured by the daemon's
+// -failure-dir (schema, query and options are read from the bundle;
+// no other flags apply). Exit 3 means the captured failure reproduced,
+// 0 means the suite now completes.
+//
 // Exit codes: 0 complete suite; 1 fatal error; 2 usage or bad input
 // (flag misuse, a query outside the supported class, or a
 // resource-limit rejection); 3 partial suite (some kill goals
@@ -67,8 +72,14 @@ func run() int {
 	goalNodes := flag.Int64("goal-nodes", 0, "solver node budget per kill goal, with escalating 1x/4x/16x retries (0 = unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	replay := flag.String("replay", "", "re-run a failure repro bundle directory (written by xdatad -failure-dir); exit 3 = reproduced")
 	flag.Parse()
 
+	if *replay != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return cli.Replay(ctx, *replay, os.Stdout, os.Stderr)
+	}
 	if *schemaPath == "" || (*query == "" && *queryFile == "") {
 		flag.Usage()
 		return 2

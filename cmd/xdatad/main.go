@@ -23,6 +23,14 @@
 //	xdatad -addr :8082 -advertise 127.0.0.1:8082 -peers 127.0.0.1:8081,127.0.0.1:8083
 //	xdatad -addr :8083 -advertise 127.0.0.1:8083 -peers 127.0.0.1:8081,127.0.0.1:8082
 //
+// Durability: -cache-dir puts a crash-recoverable disk tier under the
+// suite cache — cached suites and the invalidation epoch survive
+// kill -9, and a restarted daemon serves them marked served_from:
+// "disk". An unusable directory degrades the daemon to memory-only
+// with a startup warning, never a startup failure. -failure-dir
+// captures self-contained failure repro bundles (abandoned goals,
+// handler panics) replayable with `xdata -replay <bundle>`.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
 // new work (readyz flips to 503 so load balancers stop routing),
 // in-flight requests run to completion, and requests still running at
@@ -72,6 +80,9 @@ func run(args []string, ready func(net.Addr)) int {
 		advertise     = fs.String("advertise", "", "fleet: this node's address as peers reach it (host:port)")
 		peers         = fs.String("peers", "", "fleet: comma-separated peer addresses (host:port,...)")
 		cacheBytes    = fs.Int64("cache-bytes", 0, "suite cache byte cap (0 = 64MiB, negative = disable)")
+		cacheDir      = fs.String("cache-dir", "", "durable disk cache directory (empty = memory-only; survives restarts)")
+		diskBytes     = fs.Int64("disk-cache-bytes", 0, "disk cache byte cap under -cache-dir (0 = 256MiB, negative = disable)")
+		failureDir    = fs.String("failure-dir", "", "write failure repro bundles here (replay with: xdata -replay <bundle>)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,9 +109,13 @@ func run(args []string, ready func(net.Addr)) int {
 	if *unlimited {
 		lim = limits.Unlimited()
 		lim.MaxCacheBytes = limits.DefaultMaxCacheBytes
+		lim.MaxDiskCacheBytes = limits.DefaultMaxDiskCacheBytes
 	}
 	if *cacheBytes != 0 {
 		lim.MaxCacheBytes = int(*cacheBytes)
+	}
+	if *diskBytes != 0 {
+		lim.MaxDiskCacheBytes = *diskBytes
 	}
 	cfg := service.Config{
 		MaxConcurrent:  *maxConcurrent,
@@ -111,6 +126,8 @@ func run(args []string, ready func(net.Addr)) int {
 		MaxGoalNodes:   *maxGoalNodes,
 		DrainTimeout:   *drainTimeout,
 		Limits:         lim,
+		CacheDir:       *cacheDir,
+		FailureDir:     *failureDir,
 		Advertise:      *advertise,
 		Peers:          peerList,
 	}
@@ -150,6 +167,9 @@ func run(args []string, ready func(net.Addr)) int {
 	fleetNote := ""
 	if *advertise != "" {
 		fleetNote = fmt.Sprintf(", fleet %s + %d peers", *advertise, len(peerList))
+	}
+	if warn := svc.DurableWarning(); warn != "" {
+		fmt.Fprintf(os.Stderr, "xdatad: warning: %s\n", warn)
 	}
 	fmt.Fprintf(os.Stderr, "xdatad: listening on %s (max-concurrent %d, queue %d%s)\n",
 		ln.Addr(), svc.Config().MaxConcurrent, svc.Config().MaxQueue, fleetNote)

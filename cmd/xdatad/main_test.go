@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -77,6 +78,69 @@ func TestRunFlagErrors(t *testing.T) {
 		if code != 2 {
 			t.Errorf("%s: exit code %d, want 2", name, code)
 		}
+	}
+}
+
+// TestRunUnusableCacheDirDegrades (satellite of the durable layer): an
+// unusable -cache-dir logs one startup warning, /statsz reports
+// durable: "disabled", and the daemon serves memory-only — degraded
+// availability beats refusing to start over a cache.
+func TestRunUnusableCacheDirDegrades(t *testing.T) {
+	plain := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	readyCh := make(chan net.Addr, 1)
+	exited := make(chan struct{})
+	var stderr string
+	go func() {
+		defer close(exited)
+		stderr = captureStderr(t, func() {
+			run([]string{"-addr", "127.0.0.1:0", "-cache-dir", filepath.Join(plain, "cache")},
+				func(a net.Addr) { readyCh <- a })
+		})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-readyCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never signalled ready with a bad -cache-dir")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stats), `"durable":"disabled"`) {
+		t.Fatalf("/statsz must report durable disabled:\n%s", stats)
+	}
+	reqBody, _ := json.Marshal(map[string]string{
+		"ddl":   "CREATE TABLE r (a INT);",
+		"query": "SELECT * FROM r WHERE r.a > 5",
+	})
+	resp, err = http.Post(base+"/v1/generate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("memory-only serve: %d\n%s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(stderr, "warning") || !strings.Contains(stderr, "memory-only") {
+		t.Fatalf("startup warning missing from stderr:\n%s", stderr)
 	}
 }
 

@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/qtree"
+	"repro/internal/solver"
+	"repro/internal/sqlparser"
+)
+
+const replayDDL = `
+CREATE TABLE instructor (
+	id INT PRIMARY KEY,
+	name VARCHAR(20) NOT NULL,
+	dept_name VARCHAR(20) NOT NULL,
+	salary INT NOT NULL
+);
+CREATE TABLE teaches (
+	id INT NOT NULL,
+	course_id INT NOT NULL,
+	PRIMARY KEY (id, course_id)
+);
+`
+
+const replaySQL = `SELECT * FROM instructor i, teaches t WHERE i.id = t.id AND i.salary > 50`
+
+// writeReplayBundle captures a bundle the way the daemon would for an
+// abandoned nullify goal of the fixture query.
+func writeReplayBundle(t *testing.T) string {
+	t.Helper()
+	sch, err := sqlparser.ParseSchema(replayDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qtree.BuildSQL(sch, replaySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := durable.WriteBundle(t.TempDir(), sch, q, core.DefaultOptions(), durable.BundleEvent{
+		Kind:    "goal",
+		Purpose: "nullify i.id on class {i.id, t.id}",
+		Reason:  core.ReasonPanic,
+		Err:     "solver panic: injected",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayReproduces: with the captured fault still present (here:
+// the injection hook), replaying the bundle abandons the same goal
+// again and exits 3.
+func TestReplayReproduces(t *testing.T) {
+	path := writeReplayBundle(t)
+	defer solver.SetFaultHook(nil)
+	solver.SetFaultHook(func(label string, call int64) solver.Fault {
+		if strings.Contains(label, "nullify {i.id}") {
+			return solver.FaultPanic
+		}
+		return solver.FaultNone
+	})
+	var out, errb bytes.Buffer
+	if code := Replay(context.Background(), path, &out, &errb); code != ExitPartial {
+		t.Fatalf("exit %d, want %d (reproduced)\nstdout: %s\nstderr: %s", code, ExitPartial, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "failure reproduced") {
+		t.Fatalf("stdout does not announce reproduction:\n%s", out.String())
+	}
+}
+
+// TestReplayFixedFailure: without the fault, the suite completes — the
+// bundle replays deterministically and reports the failure gone, exit 0.
+func TestReplayFixedFailure(t *testing.T) {
+	path := writeReplayBundle(t)
+	var out, errb bytes.Buffer
+	if code := Replay(context.Background(), path, &out, &errb); code != ExitOK {
+		t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, ExitOK, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "did not reproduce") {
+		t.Fatalf("stdout does not report the fixed failure:\n%s", out.String())
+	}
+}
+
+// TestReplayBadBundle: unreadable or damaged bundles are usage errors.
+func TestReplayBadBundle(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Replay(context.Background(), filepath.Join(t.TempDir(), "nope"), &out, &errb); code != ExitUsage {
+		t.Fatalf("exit %d for a missing bundle, want %d", code, ExitUsage)
+	}
+}

@@ -113,6 +113,17 @@ type Options struct {
 	// (solver.Options.Speculate) while leaving SolverParallelism to feed
 	// component-parallel kernel search.
 	NoSpeculative bool
+
+	// FailureHook, when set, is called once for each kill goal the
+	// generator abandons (budget exhaustion, recovered panic,
+	// cancellation), with the same Failure that lands in
+	// Suite.Incomplete — the capture point for failure repro bundles,
+	// which must be written even when the process dies before the
+	// partial Suite is inspected. Goals solve concurrently, so the hook
+	// must be safe for concurrent use and should return quickly. It
+	// never influences generated bytes and is excluded from content
+	// keys (fleet.ContentKey) and option validation.
+	FailureHook func(Failure) `json:"-"`
 }
 
 // DefaultOptions returns the paper's default configuration.

@@ -232,18 +232,25 @@ func (g *Generator) runGoal(ctx context.Context, goal killGoal, solverPar int) (
 	return nil, fmt.Errorf("core: goal %q: %w", goal.purpose, lastErr)
 }
 
-// abandonGoal builds the sub-suite recording an abandoned goal.
+// abandonGoal builds the sub-suite recording an abandoned goal and
+// fires Options.FailureHook with the failure, so capture sinks (the
+// daemon's and CLI's repro-bundle writers) see the evidence the moment
+// it exists — not only if the caller inspects Suite.Incomplete later.
 func (g *Generator) abandonGoal(goal killGoal, reason string, attempts int, start time.Time, acc Stats, err error) *Suite {
+	f := Failure{
+		Purpose:  goal.purpose,
+		Reason:   reason,
+		Attempts: attempts,
+		Nodes:    acc.SolverNodes,
+		Elapsed:  time.Since(start),
+		Err:      err,
+	}
+	if g.opts.FailureHook != nil {
+		g.opts.FailureHook(f)
+	}
 	return &Suite{
-		Stats: acc,
-		Incomplete: []Failure{{
-			Purpose:  goal.purpose,
-			Reason:   reason,
-			Attempts: attempts,
-			Nodes:    acc.SolverNodes,
-			Elapsed:  time.Since(start),
-			Err:      err,
-		}},
+		Stats:      acc,
+		Incomplete: []Failure{f},
 	}
 }
 

@@ -1,0 +1,143 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qtree"
+	"repro/internal/sqlparser"
+)
+
+const bundleDDL = `CREATE TABLE r (x INT PRIMARY KEY, y INT);
+CREATE TABLE s (x INT PRIMARY KEY, z INT);`
+
+func bundleFixture(t *testing.T) (*qtree.Query, core.Options) {
+	t.Helper()
+	sch, err := sqlparser.ParseSchema(bundleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qtree.BuildSQL(sch, "SELECT * FROM r, s WHERE r.x = s.x AND r.y > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.GoalNodeLimit = 1234
+	opts.GoalTimeout = 250 * time.Millisecond
+	return q, opts
+}
+
+func TestBundleWriteReadRoundTrip(t *testing.T) {
+	q, opts := bundleFixture(t)
+	dir := t.TempDir()
+	ev := GoalEvent(core.Failure{
+		Purpose:  "kill comparison mutants of r.y > 5",
+		Reason:   core.ReasonPanic,
+		Attempts: 2,
+		Nodes:    999,
+		Elapsed:  42 * time.Millisecond,
+		Err:      &core.GoalError{Purpose: "kill comparison mutants of r.y > 5", Value: "boom", Stack: []byte("goroutine 1 [running]:\nfake.stack()")},
+	})
+	path, err := WriteBundle(dir, q.Schema, q, opts, ev)
+	if err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	for _, name := range []string{"schema.sql", "query.sql", "bundle.json"} {
+		if _, err := os.Stat(filepath.Join(path, name)); err != nil {
+			t.Fatalf("bundle missing %s: %v", name, err)
+		}
+	}
+
+	b, err := ReadBundle(path)
+	if err != nil {
+		t.Fatalf("ReadBundle: %v", err)
+	}
+	if b.Kind != "goal" || b.Reason != core.ReasonPanic || b.Attempts != 2 || b.Nodes != 999 {
+		t.Fatalf("bundle metadata = %+v", b)
+	}
+	if !strings.Contains(b.Stack, "fake.stack") {
+		t.Fatalf("panic stack not captured: %q", b.Stack)
+	}
+	if b.ContentKey == "" || len(b.ContentKey) != 64 {
+		t.Fatalf("content key = %q, want 64 hex chars", b.ContentKey)
+	}
+	if b.Options.GoalNodeLimit != 1234 || b.Options.GoalTimeoutMS != 250 {
+		t.Fatalf("replay options lost budgets: %+v", b.Options)
+	}
+
+	// Self-containment: the stored canonical SQL reparses and the
+	// replayed options regenerate deterministically.
+	sch2, err := sqlparser.ParseSchema(b.SchemaSQL)
+	if err != nil {
+		t.Fatalf("stored schema.sql does not reparse: %v", err)
+	}
+	q2, err := qtree.BuildSQL(sch2, b.QuerySQL)
+	if err != nil {
+		t.Fatalf("stored query.sql does not reparse: %v", err)
+	}
+	if q2.SQLString() != q.SQLString() {
+		t.Fatalf("round-tripped query differs:\n  %s\n  %s", q2.SQLString(), q.SQLString())
+	}
+	ropts := b.Options.CoreOptions()
+	if ropts.GoalNodeLimit != opts.GoalNodeLimit || ropts.GoalTimeout != opts.GoalTimeout || ropts.Unfold != opts.Unfold {
+		t.Fatalf("CoreOptions round trip lost fields: %+v", ropts)
+	}
+}
+
+func TestBundleDeduplicates(t *testing.T) {
+	q, opts := bundleFixture(t)
+	dir := t.TempDir()
+	ev := GoalEvent(core.Failure{Purpose: "p", Reason: core.ReasonBudget, Err: errors.New("budget")})
+	p1, err := WriteBundle(dir, q.Schema, q, opts, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := WriteBundle(dir, q.Schema, q, opts, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("same failure produced two bundles: %s vs %s", p1, p2)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d entries in failure dir, want 1", len(ents))
+	}
+
+	// A different failure gets its own bundle.
+	ev2 := ev
+	ev2.Purpose = "q"
+	p3, err := WriteBundle(dir, q.Schema, q, opts, ev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("distinct failures collided")
+	}
+}
+
+func TestReadBundleRejectsDamage(t *testing.T) {
+	q, opts := bundleFixture(t)
+	dir := t.TempDir()
+	path, err := WriteBundle(dir, q.Schema, q, opts, BundleEvent{Kind: "goal", Purpose: "p", Reason: core.ReasonBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(path, "bundle.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(path); err == nil {
+		t.Fatal("damaged bundle.json accepted")
+	}
+	if _, err := ReadBundle(filepath.Join(dir, "no-such-bundle")); err == nil {
+		t.Fatal("missing bundle accepted")
+	}
+}

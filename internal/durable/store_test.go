@@ -1,0 +1,249 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	body := []byte("hello durable world")
+	s.Put("k1", 200, body)
+	st, got, ok := s.Get("k1")
+	if !ok || st != 200 || !bytes.Equal(got, body) {
+		t.Fatalf("Get = (%d, %q, %v), want (200, %q, true)", st, got, ok, body)
+	}
+	if _, _, ok := s.Get("absent"); ok {
+		t.Fatal("Get(absent) reported a hit")
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Puts != 1 {
+		t.Fatalf("counters = %+v, want 1 hit, 1 miss, 1 put", c)
+	}
+}
+
+func TestStoreRestartRecoversRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	want := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		b := bytes.Repeat([]byte{byte(i)}, 100+i)
+		want[k] = b
+		s.Put(k, 200, b)
+	}
+	s.Put("key-05", 200, []byte("rewritten")) // later record wins
+	want["key-05"] = []byte("rewritten")
+	s.Close()
+
+	r := openT(t, dir, Options{})
+	for k, b := range want {
+		st, got, ok := r.Get(k)
+		if !ok || st != 200 || !bytes.Equal(got, b) {
+			t.Fatalf("after restart Get(%s) = (%d, %q, %v), want byte-identical body", k, st, got, ok)
+		}
+	}
+	c := r.Counters()
+	if c.RecoveredRecords != 20 {
+		t.Fatalf("RecoveredRecords = %d, want 20", c.RecoveredRecords)
+	}
+	if c.TornTailsDropped != 0 || c.Quarantined != 0 {
+		t.Fatalf("clean restart reported damage: %+v", c)
+	}
+}
+
+func TestStoreEpochPersistsAndInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	s.Put("old", 200, []byte("old-body"))
+	if err := s.SetEpoch(7); err != nil {
+		t.Fatalf("SetEpoch: %v", err)
+	}
+	if _, _, ok := s.Get("old"); ok {
+		t.Fatal("pre-bump record served after epoch bump")
+	}
+	s.Put("new", 200, []byte("new-body"))
+	s.Close()
+
+	r := openT(t, dir, Options{})
+	if got := r.Epoch(); got != 7 {
+		t.Fatalf("Epoch after restart = %d, want 7", got)
+	}
+	if _, _, ok := r.Get("old"); ok {
+		t.Fatal("stale on-disk record served after restart")
+	}
+	if _, body, ok := r.Get("new"); !ok || !bytes.Equal(body, []byte("new-body")) {
+		t.Fatalf("current-epoch record lost: (%q, %v)", body, ok)
+	}
+	if c := r.Counters(); c.StaleDropped == 0 {
+		t.Fatalf("StaleDropped = 0, want stale record counted: %+v", c)
+	}
+}
+
+func TestStoreDeleteTombstoneSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	s.Put("gone", 200, []byte("x"))
+	s.Put("kept", 200, []byte("y"))
+	s.Delete("gone")
+	if _, _, ok := s.Get("gone"); ok {
+		t.Fatal("deleted key still served")
+	}
+	// A re-put after the tombstone must win: tombstones name the record
+	// instance, not the key.
+	s.Put("gone", 200, []byte("back"))
+	s.Close()
+
+	r := openT(t, dir, Options{})
+	if _, body, ok := r.Get("gone"); !ok || !bytes.Equal(body, []byte("back")) {
+		t.Fatalf("re-put after tombstone lost at recovery: (%q, %v)", body, ok)
+	}
+	if _, _, ok := r.Get("kept"); !ok {
+		t.Fatal("unrelated key lost")
+	}
+}
+
+func TestStoreSegmentRotationAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments, cap at ~3 of them.
+	s := openT(t, dir, Options{SegmentBytes: 1 << 10, MaxBytes: 3 << 10})
+	body := bytes.Repeat([]byte("v"), 300)
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), 200, body)
+	}
+	c := s.Counters()
+	if c.SegmentsEvicted == 0 {
+		t.Fatalf("no segments evicted under byte cap: %+v", c)
+	}
+	if c.DiskBytes > 3<<10 {
+		t.Fatalf("DiskBytes %d exceeds cap", c.DiskBytes)
+	}
+	// Newest keys survive, oldest evicted.
+	if _, _, ok := s.Get("k19"); !ok {
+		t.Fatal("newest key evicted")
+	}
+	if _, _, ok := s.Get("k00"); ok {
+		t.Fatal("oldest key survived a cap that must have evicted it")
+	}
+	s.Close()
+	r := openT(t, dir, Options{SegmentBytes: 1 << 10, MaxBytes: 3 << 10})
+	if _, got, ok := r.Get("k19"); !ok || !bytes.Equal(got, body) {
+		t.Fatal("recovery lost the newest record after eviction churn")
+	}
+}
+
+func TestStoreDisabledStoresNothing(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{MaxBytes: -1})
+	s.Put("k", 200, []byte("v"))
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("negative-cap store served a record")
+	}
+	if c := s.Counters(); c.PutSkipped != 1 || c.Puts != 0 {
+		t.Fatalf("counters = %+v, want the put skipped", c)
+	}
+}
+
+func TestStoreOversizedRecordSkipped(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{MaxRecordBytes: 64})
+	s.Put("k", 200, bytes.Repeat([]byte("x"), 1<<10))
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("oversized record stored")
+	}
+	if c := s.Counters(); c.PutSkipped != 1 {
+		t.Fatalf("PutSkipped = %d, want 1", c.PutSkipped)
+	}
+}
+
+func TestStoreGetCorruptionQuarantinesAndTombstones(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	s.Put("k", 200, bytes.Repeat([]byte("b"), 256))
+	// Flip a body byte behind the store's back.
+	loc := s.index["k"]
+	seg := segPath(dir, loc.seg)
+	flipByteAt(t, seg, loc.off+20) // inside the record body
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("bit-flipped record served")
+	}
+	c := s.Counters()
+	if c.CorruptDrops != 1 || c.Quarantined != 1 {
+		t.Fatalf("counters = %+v, want 1 corrupt drop + quarantine", c)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("quarantine empty (err %v)", err)
+	}
+	// The tombstone persists: even though the on-disk CRC failure would
+	// be re-detected, recovery must not resurrect the record.
+	s.Close()
+	r := openT(t, dir, Options{})
+	if _, _, ok := r.Get("k"); ok {
+		t.Fatal("corrupt record resurrected at recovery")
+	}
+}
+
+func TestOpenRejectsUnusableDir(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "plainfile")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A path under a regular file can never become a directory (ENOTDIR
+	// regardless of privilege, so this holds even running as root).
+	if _, err := Open(filepath.Join(file, "cache"), Options{}); err == nil {
+		t.Fatal("Open under a regular file succeeded")
+	}
+}
+
+func TestOpenQuarantinesForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	s.Put("k", 200, []byte("v"))
+	s.Close()
+	// Drop a non-segment file where a segment should be.
+	if err := os.WriteFile(segPath(dir, 99), []byte("NOTASEGM-garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, dir, Options{})
+	if _, _, ok := r.Get("k"); !ok {
+		t.Fatal("good record lost to a foreign neighbor file")
+	}
+	if _, err := os.Stat(segPath(dir, 99)); !os.IsNotExist(err) {
+		t.Fatalf("foreign file still in segments/: %v", err)
+	}
+	ents, _ := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if len(ents) == 0 {
+		t.Fatal("foreign file not quarantined")
+	}
+}
+
+// flipByteAt XORs one byte of the file at off.
+func flipByteAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Write-ahead journal layout: an 8-byte magic followed by back-to-back
+// entries. One entry:
+//
+//	u8   type     1 = epoch, 2 = tombstone
+//	u16  len      payload length
+//	     payload
+//	u32  crc      CRC32C over [type..payload]
+//
+// Epoch payload: u64 new epoch. Tombstone payload: u64 segment id,
+// u64 record offset, then the record's key (for post-mortems; replay
+// matches on the location, so a later re-put of the same key at a new
+// offset is unaffected). Unknown entry types with a valid CRC are
+// skipped, so an older binary can replay a newer journal.
+//
+// Every append is fsync'd: the WAL carries only rare, must-survive
+// events (epoch bumps, tombstones), and it is the one durability
+// promise the store makes. Replay stops at the first entry that fails
+// to frame or checksum — a torn tail from a crash mid-append — and the
+// file is truncated there on open.
+
+const (
+	walEntryEpoch     = 1
+	walEntryTombstone = 2
+
+	// walMaxPayload bounds one entry's payload at replay so a corrupt
+	// length cannot make the scanner skip megabytes.
+	walMaxPayload = 64 << 10
+)
+
+// tombKey identifies one record instance on disk.
+type tombKey struct {
+	seg int64
+	off int64
+}
+
+// encodeWALEntry frames one journal entry.
+func encodeWALEntry(typ byte, payload []byte) []byte {
+	out := make([]byte, 1+2+len(payload)+4)
+	out[0] = typ
+	binary.BigEndian.PutUint16(out[1:], uint16(len(payload)))
+	copy(out[3:], payload)
+	binary.BigEndian.PutUint32(out[3+len(payload):], crc32.Checksum(out[:3+len(payload)], castagnoli))
+	return out
+}
+
+func encodeEpochEntry(epoch uint64) []byte {
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], epoch)
+	return encodeWALEntry(walEntryEpoch, p[:])
+}
+
+func encodeTombstoneEntry(seg, off int64, key string) []byte {
+	p := make([]byte, 16+len(key))
+	binary.BigEndian.PutUint64(p, uint64(seg))
+	binary.BigEndian.PutUint64(p[8:], uint64(off))
+	copy(p[16:], key)
+	return encodeWALEntry(walEntryTombstone, p)
+}
+
+// walReplay is the result of replaying a journal image.
+type walReplay struct {
+	// Epoch is the last validly journaled epoch (0 when none).
+	Epoch uint64
+	// Tombstones are the record instances killed by the journal.
+	Tombstones map[tombKey]bool
+	// ValidLen is the length of the valid prefix; bytes past it are a
+	// torn tail to truncate.
+	ValidLen int64
+	// BadMagic reports a journal that does not start with the WAL
+	// magic: nothing in it is trusted (ValidLen covers the magic only
+	// so a fresh journal is started).
+	BadMagic bool
+}
+
+// replayWALBytes replays a journal image. Like scanSegmentBytes it
+// never fails — a malformed journal yields the longest valid prefix —
+// and FuzzSegmentDecode drives it with arbitrary bytes.
+func replayWALBytes(data []byte) walReplay {
+	r := walReplay{Tombstones: make(map[tombKey]bool)}
+	if int64(len(data)) < int64(len(walMagic)) || string(data[:len(walMagic)]) != walMagic {
+		r.BadMagic = true
+		return r
+	}
+	off := int64(len(walMagic))
+	r.ValidLen = off
+	for {
+		if int64(len(data))-off < 3 {
+			return r
+		}
+		plen := int64(binary.BigEndian.Uint16(data[off+1:]))
+		if plen > walMaxPayload || off+3+plen+4 > int64(len(data)) {
+			return r
+		}
+		stored := binary.BigEndian.Uint32(data[off+3+plen:])
+		if crc32.Checksum(data[off:off+3+plen], castagnoli) != stored {
+			return r
+		}
+		payload := data[off+3 : off+3+plen]
+		switch data[off] {
+		case walEntryEpoch:
+			if plen != 8 {
+				return r // shape mismatch: treat as tail
+			}
+			r.Epoch = binary.BigEndian.Uint64(payload)
+		case walEntryTombstone:
+			if plen < 16 {
+				return r
+			}
+			r.Tombstones[tombKey{
+				seg: int64(binary.BigEndian.Uint64(payload)),
+				off: int64(binary.BigEndian.Uint64(payload[8:])),
+			}] = true
+		default:
+			// Unknown-but-valid entry: forward compatibility, skip.
+		}
+		off += 3 + plen + 4
+		r.ValidLen = off
+	}
+}

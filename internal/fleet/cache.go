@@ -28,6 +28,16 @@ type CacheCounters struct {
 	// in-flight computation of the same key instead of solving
 	// themselves (singleflight followers).
 	Collapsed int64 `json:"cache_collapsed"`
+	// DiskHits counts Gets that missed the memory LRU but were served
+	// (and re-promoted) from the attached durable tier — the warm-
+	// restart path.
+	DiskHits int64 `json:"cache_disk_hits"`
+	// CorruptDrops counts corrupt entries actually dropped on the Get
+	// path, either tier (each such Get recomputed instead of serving
+	// bad bytes). The memory-tier share equals Corruptions; the service
+	// layer folds in the durable tier's drops, so silent corruption is
+	// observable in one place.
+	CorruptDrops int64 `json:"cache_corrupt_drops"`
 	// Bytes is the current resident payload size; Entries the current
 	// entry count. Both are gauges, not monotonic.
 	Bytes   int64 `json:"cache_bytes"`
@@ -67,8 +77,61 @@ type SuiteCache struct {
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
 	flight   map[string]*flightCall
+	durable  DurableTier // nil = memory-only
 
 	hits, misses, evictions, corruptions, staleEpoch, collapsed int64
+	diskHits, corruptDrops                                      int64
+}
+
+// DurableTier is the optional disk tier under the memory LRU: a
+// crash-recoverable store of the same enveloped payloads, keyed by the
+// content key's string form. fleet deliberately sees only this
+// interface — internal/durable implements the store and
+// internal/service adapts it — so the cache layer carries no disk
+// dependency. Implementations must be safe for concurrent use, must
+// verify payload integrity on Get (a corrupt record is a miss, never
+// bad bytes), and must persist SetEpoch before returning.
+type DurableTier interface {
+	// Get returns the payload stored under key, or ok=false.
+	Get(key string) (payload []byte, ok bool)
+	// Put stores payload under key at the tier's current epoch.
+	Put(key string, payload []byte)
+	// Delete drops key's current record.
+	Delete(key string)
+	// Epoch returns the tier's persisted invalidation epoch.
+	Epoch() int64
+	// SetEpoch durably adopts a new epoch, invalidating older records.
+	SetEpoch(epoch int64)
+}
+
+// Tier names where a cache read was served from, for the response's
+// served_from marker.
+type Tier string
+
+const (
+	// TierNone: not served from cache (fresh solve, or a singleflight
+	// follower sharing a leader's fresh solve).
+	TierNone Tier = ""
+	// TierMemory: served from the in-memory LRU.
+	TierMemory Tier = "memory"
+	// TierDisk: missed memory, served from the durable tier (and
+	// promoted back into memory) — the post-restart warm hit.
+	TierDisk Tier = "disk"
+)
+
+// AttachDurable wires a disk tier under the cache and reconciles
+// epochs: the tier's persisted epoch (surviving a restart) is adopted
+// when ahead, and the cache's epoch is pushed down when the tier is
+// behind. Call once, before the cache serves requests.
+func (c *SuiteCache) AttachDurable(t DurableTier) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.durable = t
+	if pe := t.Epoch(); pe > c.epoch {
+		c.epoch = pe
+	} else if pe < c.epoch {
+		t.SetEpoch(c.epoch)
+	}
 }
 
 type cacheEntry struct {
@@ -106,9 +169,40 @@ func checksum(p []byte) uint64 {
 // and checksum first. A stale or corrupt entry is dropped and reported
 // as a miss, so callers recompute instead of serving bad bytes.
 func (c *SuiteCache) Get(k Key) ([]byte, bool) {
+	p, _, ok := c.GetTier(k)
+	return p, ok
+}
+
+// GetTier is Get plus the serving tier: memory first, then the durable
+// tier (when attached), with a disk hit promoted back into the memory
+// LRU so the next Get is a memory hit. The durable read happens outside
+// the cache lock — disk latency never blocks concurrent memory hits.
+func (c *SuiteCache) GetTier(k Key) ([]byte, Tier, bool) {
 	key := k.String()
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if p, ok := c.memGetLocked(key); ok {
+		c.mu.Unlock()
+		return p, TierMemory, true
+	}
+	d := c.durable
+	c.mu.Unlock()
+	if d == nil {
+		return nil, TierNone, false
+	}
+	payload, ok := d.Get(key)
+	if !ok {
+		return nil, TierNone, false
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.storeLocked(key, payload)
+	c.mu.Unlock()
+	return payload, TierDisk, true
+}
+
+// memGetLocked is the memory-tier read; callers hold c.mu. The
+// returned slice is a copy.
+func (c *SuiteCache) memGetLocked(key string) ([]byte, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
@@ -123,6 +217,7 @@ func (c *SuiteCache) Get(k Key) ([]byte, bool) {
 	}
 	if checksum(e.payload) != e.sum {
 		c.corruptions++
+		c.corruptDrops++
 		c.removeLocked(el)
 		c.misses++
 		return nil, false
@@ -135,16 +230,27 @@ func (c *SuiteCache) Get(k Key) ([]byte, bool) {
 }
 
 // Put stores payload under k at the current epoch, evicting LRU
-// entries until the byte cap holds. Payloads larger than the cap are
-// not stored at all. The payload is copied; callers keep ownership of
-// theirs.
+// entries until the byte cap holds, and writes through to the durable
+// tier when one is attached (the disk write happens outside the cache
+// lock). Payloads larger than the cap are still written through — the
+// disk tier has its own, larger ceiling. The payload is copied; callers
+// keep ownership of theirs.
 func (c *SuiteCache) Put(k Key, payload []byte) {
+	key := k.String()
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.storeLocked(key, payload)
+	d := c.durable
+	c.mu.Unlock()
+	if d != nil {
+		d.Put(key, payload)
+	}
+}
+
+// storeLocked inserts payload into the memory LRU; callers hold c.mu.
+func (c *SuiteCache) storeLocked(key string, payload []byte) {
 	if c.maxBytes < 0 || (c.maxBytes > 0 && int64(len(payload)) > c.maxBytes) {
 		return
 	}
-	key := k.String()
 	if el, ok := c.entries[key]; ok {
 		c.removeLocked(el)
 	}
@@ -177,12 +283,19 @@ func (c *SuiteCache) removeLocked(el *list.Element) {
 // epoch stamp.
 func (c *SuiteCache) BumpEpoch() int64 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.epoch++
+	e := c.epoch
 	c.ll.Init()
 	c.entries = make(map[string]*list.Element)
 	c.bytes = 0
-	return c.epoch
+	d := c.durable
+	c.mu.Unlock()
+	if d != nil {
+		// Persisted before BumpEpoch returns: an epoch bump the admin
+		// saw acknowledged survives any crash.
+		d.SetEpoch(e)
+	}
+	return e
 }
 
 // Epoch returns the current invalidation epoch.
@@ -211,10 +324,18 @@ func (c *SuiteCache) Epoch() int64 {
 // when computed) but not stored, preserving "never serve a stale-epoch
 // entry".
 func (c *SuiteCache) Do(ctx context.Context, k Key, fn func() (payload []byte, cacheable bool, err error)) ([]byte, error) {
+	p, _, err := c.DoTier(ctx, k, fn)
+	return p, err
+}
+
+// DoTier is Do plus the serving tier (TierMemory/TierDisk for cache
+// hits, TierNone for a fresh computation or a singleflight follower),
+// which the service surfaces as the response's served_from marker.
+func (c *SuiteCache) DoTier(ctx context.Context, k Key, fn func() (payload []byte, cacheable bool, err error)) ([]byte, Tier, error) {
 	key := k.String()
 	for {
-		if p, ok := c.Get(k); ok {
-			return p, nil
+		if p, tier, ok := c.GetTier(k); ok {
+			return p, tier, nil
 		}
 		c.mu.Lock()
 		if call, inFlight := c.flight[key]; inFlight {
@@ -223,12 +344,12 @@ func (c *SuiteCache) Do(ctx context.Context, k Key, fn func() (payload []byte, c
 			select {
 			case <-call.done:
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, TierNone, ctx.Err()
 			}
 			if call.err == nil {
 				out := make([]byte, len(call.payload))
 				copy(out, call.payload)
-				return out, nil
+				return out, TierNone, nil
 			}
 			// Leader failed: loop and compete for leadership. The
 			// cache re-check on the next iteration picks up any entry
@@ -250,12 +371,12 @@ func (c *SuiteCache) Do(ctx context.Context, k Key, fn func() (payload []byte, c
 		close(call.done)
 
 		if err != nil {
-			return nil, err
+			return nil, TierNone, err
 		}
 		if cacheable && sameEpoch {
 			c.Put(k, payload)
 		}
-		return payload, nil
+		return payload, TierNone, nil
 	}
 }
 
@@ -264,15 +385,17 @@ func (c *SuiteCache) Counters() CacheCounters {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheCounters{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Evictions:   c.evictions,
-		Corruptions: c.corruptions,
-		StaleEpoch:  c.staleEpoch,
-		Collapsed:   c.collapsed,
-		Bytes:       c.bytes,
-		Entries:     int64(c.ll.Len()),
-		Epoch:       c.epoch,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		Corruptions:  c.corruptions,
+		StaleEpoch:   c.staleEpoch,
+		Collapsed:    c.collapsed,
+		DiskHits:     c.diskHits,
+		CorruptDrops: c.corruptDrops,
+		Bytes:        c.bytes,
+		Entries:      int64(c.ll.Len()),
+		Epoch:        c.epoch,
 	}
 }
 

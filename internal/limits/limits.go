@@ -57,6 +57,12 @@ const (
 	// DefaultMaxCacheBytes caps the daemon's cross-request suite cache
 	// (resident marshaled-response bytes, LRU-evicted beyond the cap).
 	DefaultMaxCacheBytes = 64 << 20 // 64 MiB
+	// DefaultMaxDiskCacheBytes caps the durable on-disk tier under the
+	// memory cache (segment bytes under -cache-dir, whole-segment
+	// evicted beyond the cap). Larger than the memory cap: disk is
+	// cheap, and the tier's job is surviving restarts with a deep
+	// working set.
+	DefaultMaxDiskCacheBytes = 256 << 20 // 256 MiB
 )
 
 // Limits bundles the resource ceilings. The zero value of a field means
@@ -81,18 +87,23 @@ type Limits struct {
 	// the zero-means-unlimited convention), negative = cache disabled
 	// (store nothing).
 	MaxCacheBytes int
+	// MaxDiskCacheBytes caps the durable disk tier under the memory
+	// cache (-cache-dir segments). Same three-state semantics as
+	// MaxCacheBytes: 0 = unbounded, negative = store nothing.
+	MaxDiskCacheBytes int64
 }
 
 // Default returns the production ceilings.
 func Default() Limits {
 	return Limits{
-		MaxInputBytes: DefaultMaxInputBytes,
-		MaxParseDepth: DefaultMaxParseDepth,
-		MaxRelations:  DefaultMaxRelations,
-		MaxAttributes: DefaultMaxAttributes,
-		MaxFKClosure:  DefaultMaxFKClosure,
-		MaxDomainSize: DefaultMaxDomainSize,
-		MaxCacheBytes: DefaultMaxCacheBytes,
+		MaxInputBytes:     DefaultMaxInputBytes,
+		MaxParseDepth:     DefaultMaxParseDepth,
+		MaxRelations:      DefaultMaxRelations,
+		MaxAttributes:     DefaultMaxAttributes,
+		MaxFKClosure:      DefaultMaxFKClosure,
+		MaxDomainSize:     DefaultMaxDomainSize,
+		MaxCacheBytes:     DefaultMaxCacheBytes,
+		MaxDiskCacheBytes: DefaultMaxDiskCacheBytes,
 	}
 }
 

@@ -136,6 +136,11 @@ type GenerateResponse struct {
 	// response — the key's ring owner on the happy path. Empty when
 	// the daemon runs standalone, so single-node bodies are unchanged.
 	ServedBy string `json:"served_by,omitempty"`
+	// ServedFrom is "disk" when the response was served from the
+	// durable cache tier (a crash-recovered or restart-surviving
+	// entry). Empty for memory-tier hits and fresh solves, so warm
+	// in-memory serves stay byte-identical to the library path.
+	ServedFrom string `json:"served_from,omitempty"`
 	// Degraded marks a fleet response that was solved locally because
 	// the key's owning node was unreachable (breaker open, retries
 	// exhausted): correct bytes, reduced cache affinity.

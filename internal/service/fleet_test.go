@@ -383,6 +383,11 @@ func TestFleetChaosSoak(t *testing.T) {
 	defer killDelay.Stop()
 	runBurst(survivors, 12, 4)
 	victim.stop() // in case the burst finished before the timer
+	// A fast machine can finish the whole burst from cache before the
+	// kill timer fires; this post-kill burst guarantees victim-owned
+	// keys arrive while the victim is down, so the degrade path is
+	// exercised deterministically.
+	runBurst(survivors, 12, 2)
 
 	var degraded, breakerOpens int64
 	for _, n := range survivors {

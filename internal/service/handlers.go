@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/fleet"
 	"repro/internal/limits"
 	"repro/internal/mutation"
@@ -92,21 +93,69 @@ func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) (release 
 	return release, true
 }
 
+// bundleScope carries the parsed request through a handler so the
+// finish recover can write a failure repro bundle for a handler-level
+// panic. Handlers fill it right after prepare/clamp succeed; before
+// that point there is nothing reproducible to capture.
+type bundleScope struct {
+	sch  *schema.Schema
+	q    *qtree.Query
+	opts core.Options
+	set  bool
+}
+
 // finish runs the shared request postamble under defer: slot release,
 // drain accounting, and last-resort panic recovery (one crashing
 // handler costs one 500, never the process). The caller defers
 // inflight.Done separately, registered before finish so it runs after
-// the recover.
-func (s *Server) finish(w http.ResponseWriter, release func()) {
+// the recover. bs may be nil for handlers that never carry a
+// reproducible request.
+func (s *Server) finish(w http.ResponseWriter, release func(), bs *bundleScope) {
 	if v := recover(); v != nil {
+		stack := debug.Stack()
 		s.ctr.panics.Add(1)
+		if s.cfg.FailureDir != "" && bs != nil && bs.set {
+			s.captureBundle(bs.sch, bs.q, bs.opts, durable.BundleEvent{
+				Kind:  "handler",
+				Err:   fmt.Sprint(v),
+				Stack: string(stack),
+			})
+		}
 		s.writeError(w, http.StatusInternalServerError, "internal",
-			fmt.Errorf("service: handler panicked: %v\n%s", v, debug.Stack()))
+			fmt.Errorf("service: handler panicked: %v\n%s", v, stack))
 	}
 	if s.draining.Load() {
 		s.ctr.drained.Add(1)
 	}
 	release()
+}
+
+// withFailureHook arms opts with repro-bundle capture when FailureDir
+// is configured: every goal the generator abandons (panic, budget,
+// cancellation) writes a bundle as it happens, so the evidence exists
+// even if the process dies before the response does. The hook captures
+// the un-hooked options copy — bundles fingerprint the options, not
+// the instrumentation.
+func (s *Server) withFailureHook(sch *schema.Schema, q *qtree.Query, opts core.Options) core.Options {
+	if s.cfg.FailureDir == "" {
+		return opts
+	}
+	base := opts
+	opts.FailureHook = func(f core.Failure) {
+		s.captureBundle(sch, q, base, durable.GoalEvent(f))
+	}
+	return opts
+}
+
+// captureBundle writes one failure repro bundle, booking the outcome.
+// Capture failures are counted, never surfaced: evidence collection
+// must not turn a degraded request into a failed one.
+func (s *Server) captureBundle(sch *schema.Schema, q *qtree.Query, opts core.Options, ev durable.BundleEvent) {
+	if _, err := durable.WriteBundle(s.cfg.FailureDir, sch, q, opts, ev); err != nil {
+		s.ctr.bundleErrs.Add(1)
+		return
+	}
+	s.ctr.bundles.Add(1)
 }
 
 // decode reads and parses the JSON body into req.
@@ -156,7 +205,7 @@ func prepareStatusKind(err error) (int, string) {
 // response taxonomy, writing the response itself. It returns the suite
 // and schema for /v1/analyze to extend (nil when a response was
 // already written as an error).
-func (s *Server) generate(w http.ResponseWriter, r *http.Request, greq GenerateRequest, extend func(ctx context.Context, q *qtree.Query, suite *core.Suite, resp GenerateResponse) (any, error)) {
+func (s *Server) generate(w http.ResponseWriter, r *http.Request, greq GenerateRequest, bs *bundleScope, extend func(ctx context.Context, q *qtree.Query, suite *core.Suite, resp GenerateResponse) (any, error)) {
 	sch, q, err := s.prepare(greq.DDL, greq.Query)
 	if err != nil {
 		status, kind := prepareStatusKind(err)
@@ -164,6 +213,10 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request, greq GenerateR
 		return
 	}
 	budget, opts := s.clamp(greq.Options)
+	if bs != nil {
+		*bs = bundleScope{sch: sch, q: q, opts: opts, set: true}
+	}
+	opts = s.withFailureHook(sch, q, opts)
 	ctx, cancel := s.requestContext(r, budget)
 	defer cancel()
 
@@ -258,13 +311,14 @@ func unenvelope(p []byte) (int, []byte) {
 	return int(binary.BigEndian.Uint16(p)), p[2:]
 }
 
-// decorate splices served_by/degraded into a marshaled 2xx generate
-// body. The fields ride outside the cached bytes so one node's cache
-// entry serves every fleet member verbatim; standalone servers never
-// decorate, keeping single-node response bodies byte-identical to the
-// library path.
-func decorate(payload []byte, servedBy string, degraded bool) []byte {
-	if servedBy == "" && !degraded {
+// decorate splices served_by/served_from/degraded into a marshaled 2xx
+// generate body. The fields ride outside the cached bytes so one
+// node's cache entry serves every fleet member verbatim; standalone
+// memory-tier serves never decorate, keeping those response bodies
+// byte-identical to the library path. servedFrom is "disk" on a
+// durable-tier hit — the warm-restart marker — and "" otherwise.
+func decorate(payload []byte, servedBy, servedFrom string, degraded bool) []byte {
+	if servedBy == "" && servedFrom == "" && !degraded {
 		return payload
 	}
 	trimmed := bytes.TrimRight(payload, " \t\r\n")
@@ -276,6 +330,10 @@ func decorate(payload []byte, servedBy string, degraded bool) []byte {
 	if servedBy != "" {
 		name, _ := json.Marshal(servedBy)
 		fmt.Fprintf(&extra, `,"served_by":%s`, name)
+	}
+	if servedFrom != "" {
+		from, _ := json.Marshal(servedFrom)
+		fmt.Fprintf(&extra, `,"served_from":%s`, from)
 	}
 	if degraded {
 		extra.WriteString(`,"degraded":true`)
@@ -345,8 +403,8 @@ func (e *leaderOutcome) Error() string { return "service: non-shareable solve re
 // shared with collapsed followers — partial and error responses are
 // returned to their own client but never stored, and a result that
 // straddled an epoch bump is not stored either.
-func (s *Server) cachedSolve(ctx context.Context, r *http.Request, key fleet.Key, sch *schema.Schema, q *qtree.Query, opts core.Options) (int, []byte) {
-	env, err := s.cache.Do(ctx, key, func() ([]byte, bool, error) {
+func (s *Server) cachedSolve(ctx context.Context, r *http.Request, key fleet.Key, sch *schema.Schema, q *qtree.Query, opts core.Options) (int, []byte, fleet.Tier) {
+	env, tier, err := s.cache.DoTier(ctx, key, func() ([]byte, bool, error) {
 		status, p := marshalSolve(s.solveGenerate(ctx, r, sch, q, opts))
 		if status != http.StatusOK {
 			return nil, false, &leaderOutcome{status: status, payload: p}
@@ -356,16 +414,17 @@ func (s *Server) cachedSolve(ctx context.Context, r *http.Request, key fleet.Key
 	if err != nil {
 		var lo *leaderOutcome
 		if errors.As(err, &lo) {
-			return lo.status, lo.payload
+			return lo.status, lo.payload, fleet.TierNone
 		}
 		// Only a waiting follower surfaces an error: its own budget
 		// died before the leader answered. Solve under the dead
 		// context — the generator budget-expires immediately and
 		// flushes the same partial 207 the uncached path would have.
 		status, p := marshalSolve(s.solveGenerate(ctx, r, sch, q, opts))
-		return status, p
+		return status, p, fleet.TierNone
 	}
-	return unenvelope(env)
+	status, p := unenvelope(env)
+	return status, p, tier
 }
 
 // serveGenerate is the shared /v1/generate + /v1/forward handler. The
@@ -379,8 +438,9 @@ func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, forceLoca
 	if !ok {
 		return
 	}
+	var bs bundleScope
 	defer s.inflight.Done()
-	defer s.finish(w, release)
+	defer s.finish(w, release, &bs)
 
 	var req GenerateRequest
 	if err := decode(r, w, &req); err != nil {
@@ -395,6 +455,8 @@ func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, forceLoca
 	}
 	budget, opts := s.clamp(req.Options)
 	key := fleet.ContentKey(sch, q, opts)
+	bs = bundleScope{sch: sch, q: q, opts: opts, set: true}
+	opts = s.withFailureHook(sch, q, opts)
 	ctx, cancel := s.requestContext(r, budget)
 	defer cancel()
 
@@ -423,9 +485,13 @@ func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, forceLoca
 		}
 	}
 
-	status, payload := s.cachedSolve(ctx, r, key, sch, q, opts)
+	status, payload, tier := s.cachedSolve(ctx, r, key, sch, q, opts)
+	servedFrom := ""
+	if tier == fleet.TierDisk {
+		servedFrom = string(fleet.TierDisk)
+	}
 	if status == http.StatusOK || status == http.StatusMultiStatus {
-		payload = decorate(payload, servedBy, degraded)
+		payload = decorate(payload, servedBy, servedFrom, degraded)
 	}
 	s.writeBody(w, status, payload)
 }
@@ -464,8 +530,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	var bs bundleScope
 	defer s.inflight.Done()
-	defer s.finish(w, release)
+	defer s.finish(w, release, &bs)
 
 	var req AnalyzeRequest
 	if err := decode(r, w, &req); err != nil {
@@ -475,7 +542,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	mopts := mutation.DefaultOptions()
 	mopts.IncludeFullOuter = req.IncludeFullOuter
 	mopts.AllJoinOrders = !req.NoAllJoinOrders
-	s.generate(w, r, req.GenerateRequest, func(ctx context.Context, q *qtree.Query, suite *core.Suite, resp GenerateResponse) (any, error) {
+	s.generate(w, r, req.GenerateRequest, &bs, func(ctx context.Context, q *qtree.Query, suite *core.Suite, resp GenerateResponse) (any, error) {
 		mutants, err := mutation.Space(q, mopts)
 		if err != nil {
 			return nil, fmt.Errorf("mutation space: %w", err)

@@ -44,6 +44,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -53,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/fleet"
 	"repro/internal/limits"
@@ -96,6 +98,19 @@ type Config struct {
 	// hard-cancelling them (0 = 10s). Kept as the default used by
 	// cmd/xdatad; Drain itself takes a context.
 	DrainTimeout time.Duration
+
+	// CacheDir, when set, puts a crash-recoverable disk tier
+	// (internal/durable) under the suite cache: cached suites, and the
+	// invalidation epoch, survive restarts, so a kill -9'd daemon
+	// rejoins warm. An unusable directory degrades the server to
+	// memory-only with a startup warning (DurableWarning) — never a
+	// startup error. Byte cap: Limits.MaxDiskCacheBytes.
+	CacheDir string
+	// FailureDir, when set, enables failure repro bundles: every
+	// abandoned kill goal and recovered handler panic writes a
+	// self-contained bundle (schema DDL, query SQL, options, stack)
+	// there, replayable with `xdata -replay <bundle>`.
+	FailureDir string
 
 	// Advertise is this node's fleet address ("host:port") as peers
 	// reach it. It names the node on the consistent-hash ring and is
@@ -194,11 +209,57 @@ type Counters struct {
 	// path to the key's owning node was exhausted (breaker open,
 	// retries spent): correct answers, reduced cache affinity.
 	DegradedServes int64 `json:"degraded_serves"`
+	// BundlesWritten/BundleErrors count failure repro bundles captured
+	// under Config.FailureDir (goal abandonments and handler panics)
+	// and capture attempts that failed. Zero when FailureDir is unset.
+	BundlesWritten int64 `json:"bundles_written"`
+	BundleErrors   int64 `json:"bundle_errors"`
+	// Durable reports the disk cache tier: the literal string
+	// "disabled" when no CacheDir is configured or the directory was
+	// unusable, else an object with the directory and the durable
+	// store's counters.
+	Durable DurableStatus `json:"durable"`
 	// The embedded fleet counters flatten into /statsz: cache_hits,
 	// cache_evictions, ... from the suite cache; forwards, hedges,
 	// breaker_opens, ... from the router (zero when standalone).
 	fleet.CacheCounters
 	fleet.RouterCounters
+}
+
+// DurableStatus is the /statsz image of the disk tier. It marshals to
+// the literal string "disabled" when the tier is off (the satellite
+// contract operators probe for), else to {"dir": ..., "counters":
+// {...}}; it unmarshals both shapes so xbench can round-trip Counters.
+type DurableStatus struct {
+	Enabled  bool
+	Dir      string
+	Counters durable.Counters
+}
+
+// durableStatusJSON is the enabled wire shape.
+type durableStatusJSON struct {
+	Dir      string           `json:"dir"`
+	Counters durable.Counters `json:"counters"`
+}
+
+func (d DurableStatus) MarshalJSON() ([]byte, error) {
+	if !d.Enabled {
+		return []byte(`"disabled"`), nil
+	}
+	return json.Marshal(durableStatusJSON{Dir: d.Dir, Counters: d.Counters})
+}
+
+func (d *DurableStatus) UnmarshalJSON(p []byte) error {
+	if string(p) == `"disabled"` || string(p) == "null" {
+		*d = DurableStatus{}
+		return nil
+	}
+	var o durableStatusJSON
+	if err := json.Unmarshal(p, &o); err != nil {
+		return err
+	}
+	*d = DurableStatus{Enabled: true, Dir: o.Dir, Counters: o.Counters}
+	return nil
 }
 
 // counters is the live atomic backing for Counters.
@@ -207,6 +268,7 @@ type counters struct {
 	completed, partial, failed         atomic.Int64
 	panics, budgetExpired, disconnects atomic.Int64
 	drained, inFlight, degraded        atomic.Int64
+	bundles, bundleErrs                atomic.Int64
 	engine                             engine.ExecStats
 }
 
@@ -251,6 +313,12 @@ type Server struct {
 	cache  *fleet.SuiteCache
 	router *fleet.Router
 
+	// store is the disk tier under cache; nil when Config.CacheDir is
+	// unset or the directory was unusable (durableWarn records why —
+	// the server degrades to memory-only, it never refuses to start).
+	store       *durable.Store
+	durableWarn string
+
 	ctr counters
 }
 
@@ -264,6 +332,19 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		cache: fleet.NewSuiteCache(int64(cfg.Limits.MaxCacheBytes)),
+	}
+	if cfg.CacheDir != "" {
+		store, err := durable.Open(cfg.CacheDir, durable.Options{MaxBytes: cfg.Limits.MaxDiskCacheBytes})
+		if err != nil {
+			// Degrade, don't die: a bad -cache-dir costs warmth, not
+			// availability. The warning surfaces once at startup
+			// (cmd/xdatad logs DurableWarning) and /statsz reports
+			// durable: "disabled".
+			s.durableWarn = fmt.Sprintf("disk cache disabled, running memory-only: %v", err)
+		} else {
+			s.store = store
+			s.cache.AttachDurable(durableAdapter{store})
+		}
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
@@ -305,7 +386,46 @@ func (s *Server) Close() {
 	if s.router != nil {
 		s.router.Close()
 	}
+	if s.store != nil {
+		// Crash-only: this releases file descriptors, it flushes nothing
+		// recovery needs. kill -9 instead of Close loses no promises.
+		s.store.Close()
+	}
 }
+
+// DurableWarning returns the startup degradation message when a
+// configured CacheDir could not be used ("" when the disk tier is
+// running or was never requested). cmd/xdatad logs it once at startup.
+func (s *Server) DurableWarning() string { return s.durableWarn }
+
+// durableAdapter bridges *durable.Store to fleet.DurableTier: the
+// fleet cache speaks single opaque payloads, the store keeps the HTTP
+// status as its own field, so the adapter applies the same 2-byte
+// big-endian status envelope the cache payloads already use. Store
+// errors are swallowed — the tier is a cache of a cache.
+type durableAdapter struct{ store *durable.Store }
+
+func (d durableAdapter) Get(key string) ([]byte, bool) {
+	status, body, ok := d.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return envelope(status, body), true
+}
+
+func (d durableAdapter) Put(key string, payload []byte) {
+	if len(payload) < 2 {
+		return // malformed envelope; nothing worth persisting
+	}
+	status, body := unenvelope(payload)
+	d.store.Put(key, status, body)
+}
+
+func (d durableAdapter) Delete(key string) { d.store.Delete(key) }
+
+func (d durableAdapter) Epoch() int64 { return d.store.Epoch() }
+
+func (d durableAdapter) SetEpoch(epoch int64) { _ = d.store.SetEpoch(epoch) }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -331,10 +451,20 @@ func (s *Server) Counters() Counters {
 		InFlight:          s.ctr.inFlight.Load(),
 		Engine:            s.ctr.engine.Counts(),
 		DegradedServes:    s.ctr.degraded.Load(),
+		BundlesWritten:    s.ctr.bundles.Load(),
+		BundleErrors:      s.ctr.bundleErrs.Load(),
 	}
 	c.CacheCounters = s.cache.Counters()
 	if s.router != nil {
 		c.RouterCounters = s.router.Counters()
+	}
+	if s.store != nil {
+		dc := s.store.Counters()
+		// cache_corrupt_drops is the whole tiered cache's corruption
+		// tally: the memory share is folded in by the fleet cache, the
+		// disk share comes from the store.
+		c.CacheCounters.CorruptDrops += dc.CorruptDrops
+		c.Durable = DurableStatus{Enabled: true, Dir: s.store.Dir(), Counters: dc}
 	}
 	return c
 }

@@ -55,6 +55,14 @@ func SetFaultHook(f FaultFunc) {
 	faultHook.Store(&f)
 }
 
+// FaultHookActive reports whether a fault-injection hook is currently
+// installed. Failure repro bundles record it so a bundle captured under
+// injected faults is labeled as such and never mistaken for organic
+// evidence.
+func FaultHookActive() bool {
+	return faultHook.Load() != nil
+}
+
 // injectComponentFault is injectFault's sibling for the parallel
 // component driver: each worker consults the hook before searching a
 // claimed component, so robustness tests can land a fault *inside* a

@@ -61,6 +61,10 @@ func addCounters(dst *service.Counters, c service.Counters) {
 	dst.CacheCounters.Collapsed += c.CacheCounters.Collapsed
 	dst.CacheCounters.Bytes += c.CacheCounters.Bytes
 	dst.CacheCounters.Entries += c.CacheCounters.Entries
+	dst.CacheCounters.DiskHits += c.CacheCounters.DiskHits
+	dst.CacheCounters.CorruptDrops += c.CacheCounters.CorruptDrops
+	dst.BundlesWritten += c.BundlesWritten
+	dst.BundleErrors += c.BundleErrors
 	dst.RouterCounters.Forwards += c.RouterCounters.Forwards
 	dst.RouterCounters.ForwardErrors += c.RouterCounters.ForwardErrors
 	dst.RouterCounters.Retries += c.RouterCounters.Retries
